@@ -1,0 +1,48 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper's
+evaluation section: it runs the corresponding experiment, prints the
+paper-style rows/series, writes them to ``benchmarks/results/``, asserts
+the qualitative shape the paper reports, and times a representative unit
+of work with pytest-benchmark.
+
+Running ``pytest benchmarks/`` executes both the shape assertions and the
+timings; ``pytest benchmarks/ --benchmark-only`` skips the pure shape
+tests but still regenerates every report, because the experiment fixtures
+are requested by the benchmark tests.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import CroesusConfig
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_common import BENCH_SEED  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CroesusConfig:
+    """The default configuration all benchmarks start from."""
+    return CroesusConfig(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report file under ``benchmarks/results/`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, content: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====\n{content}\n")
+        return path
+
+    return _write

@@ -1,0 +1,177 @@
+"""Ablations of Croesus' design choices (DESIGN.md §5).
+
+These are not figures from the paper but sanity checks on the design
+knobs the paper's text motivates:
+
+* bandwidth thresholding on vs off (full validation);
+* the single-threaded sequencer for MS-IA vs issuing conflicting
+  transactions blindly;
+* the label-matching overlap threshold (the paper's 10% vs stricter);
+* the gradient-step optimiser's evaluation savings vs brute force.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.baselines import run_croesus
+from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
+from repro.sim.rng import RngRegistry
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.exceptions import TransactionAborted
+from repro.transactions.ms_ia import MSIAController
+from repro.transactions.sequencer import Sequencer
+from repro.workloads.hotspot import HotspotWorkload
+
+from bench_common import BENCH_FRAMES, BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def thresholding_ablation(bench_config, report_writer):
+    """Thresholding on (tuned) vs off (validate everything)."""
+    evaluator = ThresholdEvaluator.profile(bench_config, "v1", num_frames=BENCH_FRAMES)
+    optimum = brute_force_search(evaluator, target_f_score=0.8)
+    tuned = run_croesus(
+        bench_config.with_thresholds(*optimum.thresholds), "v1", num_frames=BENCH_FRAMES
+    )
+    full = run_croesus(
+        bench_config.with_thresholds(0.0, 0.999), "v1", num_frames=BENCH_FRAMES
+    )
+    report_writer(
+        "ablation_thresholding",
+        format_table(
+            ["configuration", "BU", "F-score", "final latency (ms)"],
+            [
+                ["tuned thresholds", tuned.bandwidth_utilization, tuned.f_score, tuned.average_final_latency * 1000],
+                ["full validation", full.bandwidth_utilization, full.f_score, full.average_final_latency * 1000],
+            ],
+        ),
+    )
+    return {"tuned": tuned, "full": full, "optimum": optimum}
+
+
+def test_thresholding_saves_bandwidth_and_latency(thresholding_ablation):
+    tuned = thresholding_ablation["tuned"]
+    full = thresholding_ablation["full"]
+    assert tuned.bandwidth_utilization < full.bandwidth_utilization - 0.2
+    assert tuned.average_final_latency < full.average_final_latency
+    # the accuracy cost of the saved bandwidth stays bounded
+    assert tuned.f_score > full.f_score - 0.2
+
+
+def test_sequencer_prevents_lock_denials_under_contention():
+    """Issuing a contended batch with in-flight overlap aborts heavily under
+    locking (MS-SR); the same batch scheduled by the sequencer and run under
+    MS-IA completes without a single abort."""
+    from repro.transactions.ms_sr import TwoStage2PL
+
+    def build_batch():
+        rng = RngRegistry(BENCH_SEED).stream("ablation-hotspot")
+        workload = HotspotWorkload(rng=rng, key_range=5, batch_size=50)
+        return workload.build_batch()
+
+    # Without the sequencer: every transaction's initial section starts
+    # before any final section completes (the cloud round trip keeps them
+    # all in flight), so conflicting transactions hit held locks.
+    unsequenced = TwoStage2PL(KeyValueStore())
+    started = []
+    for txn in build_batch():
+        try:
+            unsequenced.process_initial(txn, now=0.0)
+            started.append(txn)
+        except TransactionAborted:
+            continue
+    for txn in started:
+        unsequenced.process_final(txn, now=1.0)
+
+    # With the sequencer: conflict-free waves, no denials possible.
+    sequenced = MSIAController(KeyValueStore())
+    for wave in Sequencer().schedule(build_batch()):
+        for txn in wave:
+            sequenced.process_initial(txn, now=0.0)
+        for txn in wave:
+            sequenced.process_final(txn, now=0.0)
+
+    assert unsequenced.stats.aborts > 0
+    assert sequenced.stats.aborts == 0
+    assert sequenced.stats.final_commits == 50
+
+
+def test_match_overlap_threshold_ablation(bench_config, report_writer):
+    """A stricter matching overlap turns borderline corrections into
+    missing/new labels; the 10% default is the most forgiving."""
+    from dataclasses import replace
+
+    from repro.core.system import CroesusSystem
+    from repro.video.library import make_video
+
+    rows = []
+    results = {}
+    for overlap in (0.10, 0.5, 0.9):
+        config = replace(bench_config.with_thresholds(0.0, 0.999), match_overlap=overlap)
+        run = CroesusSystem(config).run(make_video("v1", num_frames=40, seed=config.seed))
+        results[overlap] = run
+        rows.append([overlap, run.f_score, run.total_corrections])
+    report_writer(
+        "ablation_match_overlap",
+        format_table(["overlap threshold", "F-score", "corrections"], rows),
+    )
+    assert results[0.9].total_corrections >= results[0.10].total_corrections
+
+
+def test_edge_feedback_ablation(bench_config, report_writer):
+    """Footnote-1 feedback (correction memory + temporal smoothing) on vs off.
+
+    With a moderate validate interval, the cloud's verdicts teach the edge
+    stage which of its classes are unreliable; the refined edge labels must
+    not hurt accuracy and the learned statistics must actually accumulate.
+    """
+    from repro.core.system import CroesusSystem
+    from repro.video.library import make_video
+
+    config = bench_config.with_thresholds(0.3, 0.7)
+    plain = CroesusSystem(config).run(make_video("v4", num_frames=BENCH_FRAMES, seed=config.seed))
+    feedback_system = CroesusSystem(config.with_feedback())
+    with_feedback = feedback_system.run(make_video("v4", num_frames=BENCH_FRAMES, seed=config.seed))
+
+    report_writer(
+        "ablation_edge_feedback",
+        format_table(
+            ["configuration", "F-score", "BU", "corrections"],
+            [
+                ["no feedback", plain.f_score, plain.bandwidth_utilization, plain.total_corrections],
+                [
+                    "correction memory + smoothing",
+                    with_feedback.f_score,
+                    with_feedback.bandwidth_utilization,
+                    with_feedback.total_corrections,
+                ],
+            ],
+        ),
+    )
+    assert with_feedback.f_score >= plain.f_score - 0.1
+    memory = feedback_system.edge.feedback
+    tracked_classes = [name for name in ("person", "bag", "mannequin") if memory.stats_for(name).observations]
+    assert tracked_classes
+
+
+def test_gradient_optimizer_cheaper_than_brute_force(bench_config):
+    evaluator = ThresholdEvaluator.profile(bench_config, "v2", num_frames=BENCH_FRAMES)
+    brute = brute_force_search(evaluator, target_f_score=0.85)
+    gradient = gradient_step_search(evaluator, target_f_score=0.85)
+    assert gradient.evaluations < brute.evaluations
+    assert gradient.feasible == brute.feasible
+
+
+def test_benchmark_sequencer_scheduling(benchmark):
+    """Time the sequencer on a contended 200-transaction batch."""
+    rng = RngRegistry(BENCH_SEED).stream("sequencer-bench")
+    workload = HotspotWorkload(rng=rng, key_range=50, batch_size=200)
+    batch = workload.build_batch()
+
+    def schedule():
+        return Sequencer().schedule(batch)
+
+    waves = benchmark(schedule)
+    assert sum(len(wave) for wave in waves) == 200

@@ -1,0 +1,117 @@
+"""Figure 2: Croesus vs state-of-the-art baselines.
+
+Latency breakdown (edge/cloud transfer, edge/cloud detection, initial and
+final transaction) and F-score for four videos, at several bandwidth
+configurations, compared with the edge-only and cloud-only baselines.
+
+Qualitative shape asserted (paper §5.2.1):
+* Croesus' initial latency is comparable to the edge baseline and far
+  below the cloud baseline.
+* F-score grows with bandwidth utilisation.
+* At (near) full BU, Croesus' total latency exceeds the cloud-only
+  baseline (it pays the cloud cost plus its own overhead).
+* The airport-runway video (v3) is accurate even with little cloud help.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import LATENCY_BREAKDOWN_HEADERS, format_table, latency_breakdown_row
+from repro.core.baselines import run_cloud_only, run_croesus, run_edge_only
+from repro.core.system import CroesusSystem
+from repro.video.library import make_video
+
+from bench_common import BENCH_FRAMES, BENCH_SEED
+
+VIDEOS = ("v1", "v2", "v3", "v4")
+
+#: Threshold pairs spanning the BU range, mirroring the BU configurations
+#: the paper plots for each video (from no validation to full validation).
+BU_CONFIGS = {
+    "BU~0%": (0.0, 0.0),
+    "BU~medium": (0.52, 0.58),
+    "BU~high": (0.3, 0.7),
+    "BU~100%": (0.0, 0.999),
+}
+
+
+@pytest.fixture(scope="module")
+def figure2_results(bench_config, report_writer):
+    results = {}
+    for video in VIDEOS:
+        per_video = {}
+        for label, (lower, upper) in BU_CONFIGS.items():
+            config = bench_config.with_thresholds(lower, upper)
+            per_video[label] = run_croesus(config, video, num_frames=BENCH_FRAMES)
+        per_video["edge-only"] = run_edge_only(bench_config, video, num_frames=BENCH_FRAMES)
+        per_video["cloud-only"] = run_cloud_only(bench_config, video, num_frames=BENCH_FRAMES)
+        results[video] = per_video
+
+    sections = []
+    for video, runs in results.items():
+        rows = [
+            latency_breakdown_row(label, result.average_breakdown)
+            + [result.f_score, result.bandwidth_utilization]
+            for label, result in runs.items()
+        ]
+        table = format_table(LATENCY_BREAKDOWN_HEADERS + ["F-score", "BU"], rows)
+        sections.append(f"video {video}\n{table}")
+    report_writer("fig2_latency_accuracy", "\n\n".join(sections))
+    return results
+
+
+def test_initial_latency_tracks_edge_baseline(figure2_results):
+    for video, runs in figure2_results.items():
+        edge = runs["edge-only"].average_initial_latency
+        cloud = runs["cloud-only"].average_final_latency
+        for label in BU_CONFIGS:
+            croesus_initial = runs[label].average_initial_latency
+            assert croesus_initial == pytest.approx(edge, rel=0.35), (video, label)
+            assert croesus_initial < cloud / 3, (video, label)
+
+
+def test_f_score_grows_with_bandwidth(figure2_results):
+    for video, runs in figure2_results.items():
+        low_bu = runs["BU~0%"]
+        full_bu = runs["BU~100%"]
+        assert full_bu.bandwidth_utilization >= low_bu.bandwidth_utilization, video
+        assert full_bu.f_score >= low_bu.f_score - 0.02, video
+
+
+def test_full_bu_latency_exceeds_cloud_baseline(figure2_results):
+    for video, runs in figure2_results.items():
+        croesus_full = runs["BU~100%"]
+        cloud = runs["cloud-only"]
+        if croesus_full.bandwidth_utilization > 0.9:
+            assert croesus_full.average_final_latency > cloud.average_final_latency, video
+
+
+def test_medium_bu_beats_cloud_latency_with_better_than_edge_accuracy(figure2_results):
+    for video, runs in figure2_results.items():
+        medium = runs["BU~medium"]
+        assert medium.average_final_latency < runs["cloud-only"].average_final_latency, video
+        assert medium.f_score >= runs["edge-only"].f_score - 0.02, video
+
+
+def test_airport_video_is_accurate_even_without_cloud(figure2_results):
+    """v3's large, easy objects make the edge model accurate on its own."""
+    edge_scores = {video: runs["edge-only"].f_score for video, runs in figure2_results.items()}
+    assert edge_scores["v3"] == max(edge_scores.values())
+    assert edge_scores["v3"] > 0.7
+    # ... while the mall video (v4, small hard objects) is where the edge
+    # model struggles most, which is why it benefits most from the cloud.
+    assert edge_scores["v4"] == min(edge_scores.values())
+
+
+def test_benchmark_croesus_frame_processing(benchmark, bench_config, figure2_results):
+    """Time one full Croesus run over a short video (the unit the figure
+    repeats per video and BU configuration)."""
+    video_frames = 20
+
+    def run_once():
+        system = CroesusSystem(bench_config.with_thresholds(0.3, 0.7))
+        return system.run(make_video("v1", num_frames=video_frames, seed=BENCH_SEED))
+
+    result = benchmark(run_once)
+    assert result.num_frames == video_frames

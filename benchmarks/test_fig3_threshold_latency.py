@@ -1,0 +1,108 @@
+"""Figure 3: latency and BU across threshold pairs (street-traffic video).
+
+The paper varies the threshold pair on the street-traffic video querying
+for vehicles and shows that (a) BU and cloud latency grow with the
+validate interval, and (b) pairs with similar BU can have very different
+F-scores, motivating the dynamic optimisation.
+
+Qualitative shape asserted (paper §5.2.1, Figure 3):
+* a degenerate pair (x, x) sends nothing and matches edge-only accuracy;
+* widening the interval from a fixed lower threshold increases BU, cloud
+  latency and F-score;
+* high-BU pairs reach a much higher F-score than the no-validation pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.optimizer import ThresholdEvaluator
+
+from bench_common import BENCH_FRAMES
+
+VIDEO = "v2"  # street traffic querying for vehicles
+
+PAIRS = [
+    (0.5, 0.5),
+    (0.5, 0.6),
+    (0.5, 0.7),
+    (0.5, 0.8),
+    (0.5, 0.9),
+    (0.6, 0.7),
+    (0.6, 0.8),
+    (0.4, 0.6),
+    (0.3, 0.7),
+]
+
+
+@pytest.fixture(scope="module")
+def figure3_scores(bench_config, report_writer):
+    evaluator = ThresholdEvaluator.profile(bench_config, VIDEO, num_frames=BENCH_FRAMES)
+    scores = {pair: evaluator.evaluate(*pair) for pair in PAIRS}
+
+    rows = [
+        [
+            f"({lower:.1f}, {upper:.1f})",
+            score.bandwidth_utilization,
+            score.f_score,
+            score.average_final_latency * 1000,
+            score.average_initial_latency * 1000,
+        ]
+        for (lower, upper), score in scores.items()
+    ]
+    report_writer(
+        "fig3_threshold_latency",
+        format_table(
+            ["(θL, θU)", "BU", "F-score", "final latency (ms)", "initial latency (ms)"], rows
+        ),
+    )
+    return scores
+
+
+def test_degenerate_pair_sends_nothing(figure3_scores):
+    score = figure3_scores[(0.5, 0.5)]
+    assert score.bandwidth_utilization < 0.2
+
+
+def test_bandwidth_grows_with_interval_width(figure3_scores):
+    widths = [(0.5, 0.5), (0.5, 0.6), (0.5, 0.7), (0.5, 0.8), (0.5, 0.9)]
+    bus = [figure3_scores[pair].bandwidth_utilization for pair in widths]
+    assert all(later >= earlier - 1e-9 for earlier, later in zip(bus, bus[1:]))
+
+
+def test_latency_grows_with_bandwidth(figure3_scores):
+    narrow = figure3_scores[(0.5, 0.5)]
+    wide = figure3_scores[(0.5, 0.9)]
+    assert wide.average_final_latency > narrow.average_final_latency
+
+
+def test_accuracy_improves_with_validation(figure3_scores):
+    narrow = figure3_scores[(0.5, 0.5)]
+    wide = figure3_scores[(0.3, 0.7)]
+    assert wide.f_score > narrow.f_score + 0.1
+
+
+def test_similar_bu_can_have_different_f_scores(figure3_scores):
+    """The paper's observation that BU alone does not determine accuracy:
+    among all evaluated pairs, find two with similar BU whose F-scores
+    differ noticeably."""
+    scores = list(figure3_scores.values())
+    best_gap = 0.0
+    for i, left in enumerate(scores):
+        for right in scores[i + 1:]:
+            if abs(left.bandwidth_utilization - right.bandwidth_utilization) < 0.15:
+                best_gap = max(best_gap, abs(left.f_score - right.f_score))
+    assert best_gap > 0.03
+
+
+def test_benchmark_threshold_evaluation(benchmark, bench_config, figure3_scores):
+    """Time a single threshold-pair evaluation over the profiled video."""
+    evaluator = ThresholdEvaluator.profile(bench_config, VIDEO, num_frames=40)
+
+    def evaluate():
+        evaluator._cache.clear()
+        return evaluator.evaluate(0.4, 0.6)
+
+    score = benchmark(evaluate)
+    assert 0.0 <= score.bandwidth_utilization <= 1.0

@@ -1,0 +1,111 @@
+"""Figure 4: optimal-threshold Croesus across four deployment setups.
+
+The same workloads run over (a) small edge / different locations,
+(b) small edge / same location, (c) regular edge / different locations,
+(d) regular edge / same location — the four setups of Figure 4.
+
+Qualitative shape asserted (paper §5.2.2):
+* co-locating edge and cloud lowers the final latency;
+* a bigger edge machine lowers the initial (and final) latency;
+* the initial-commit latency stays in the edge-only ballpark in every
+  setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.baselines import run_croesus
+from repro.core.optimizer import ThresholdEvaluator, brute_force_search
+from repro.network.topology import EdgeCloudTopology
+
+from bench_common import BENCH_FRAMES
+
+VIDEOS = ("v1", "v4")
+TARGET_F_SCORE = 0.8
+
+SETUPS = {
+    "small-edge/different-location": EdgeCloudTopology.small_edge_different_location(),
+    "small-edge/same-location": EdgeCloudTopology.small_edge_same_location(),
+    "regular-edge/different-location": EdgeCloudTopology.regular_edge_different_location(),
+    "regular-edge/same-location": EdgeCloudTopology.regular_edge_same_location(),
+}
+
+
+@pytest.fixture(scope="module")
+def figure4_results(bench_config, report_writer):
+    # Tune the thresholds once per video on the default setup, as Croesus'
+    # dynamic optimisation would, then deploy them on each setup.
+    thresholds = {}
+    for video in VIDEOS:
+        evaluator = ThresholdEvaluator.profile(bench_config, video, num_frames=BENCH_FRAMES)
+        thresholds[video] = brute_force_search(evaluator, target_f_score=TARGET_F_SCORE).thresholds
+
+    results = {}
+    for setup_name, topology in SETUPS.items():
+        for video in VIDEOS:
+            config = bench_config.with_topology(topology).with_thresholds(*thresholds[video])
+            results[(setup_name, video)] = run_croesus(config, video, num_frames=BENCH_FRAMES)
+
+    rows = [
+        [
+            setup_name,
+            video,
+            result.average_initial_latency * 1000,
+            result.average_final_latency * 1000,
+            result.f_score,
+            result.bandwidth_utilization,
+        ]
+        for (setup_name, video), result in results.items()
+    ]
+    report_writer(
+        "fig4_setups",
+        format_table(
+            ["setup", "video", "initial latency (ms)", "final latency (ms)", "F-score", "BU"],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_same_location_is_faster(figure4_results):
+    for video in VIDEOS:
+        far = figure4_results[("regular-edge/different-location", video)]
+        near = figure4_results[("regular-edge/same-location", video)]
+        assert near.average_final_latency <= far.average_final_latency, video
+
+
+def test_bigger_edge_machine_is_faster(figure4_results):
+    for video in VIDEOS:
+        small = figure4_results[("small-edge/different-location", video)]
+        regular = figure4_results[("regular-edge/different-location", video)]
+        assert regular.average_initial_latency < small.average_initial_latency, video
+        assert regular.average_final_latency < small.average_final_latency, video
+
+
+def test_best_setup_is_regular_edge_same_location(figure4_results):
+    for video in VIDEOS:
+        latencies = {
+            setup: figure4_results[(setup, video)].average_final_latency for setup in SETUPS
+        }
+        assert min(latencies, key=latencies.get) == "regular-edge/same-location", video
+
+
+def test_accuracy_unaffected_by_deployment(figure4_results):
+    """Changing machines/links changes latency, not what the models detect."""
+    for video in VIDEOS:
+        scores = [figure4_results[(setup, video)].f_score for setup in SETUPS]
+        assert max(scores) - min(scores) < 0.1, video
+
+
+def test_benchmark_setup_run(benchmark, bench_config, figure4_results):
+    """Time one Croesus run on the small-edge setup (the slowest to simulate)."""
+    topology = EdgeCloudTopology.small_edge_different_location()
+    config = bench_config.with_topology(topology).with_thresholds(0.4, 0.6)
+
+    def run_once():
+        return run_croesus(config, "v1", num_frames=20)
+
+    result = benchmark(run_once)
+    assert result.average_final_latency > 0

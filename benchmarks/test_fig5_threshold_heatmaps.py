@@ -1,0 +1,132 @@
+"""Figure 5: BU / F-score heatmaps over the threshold space, and the
+dynamically found optimum (brute force vs gradient step).
+
+Two videos are swept: street traffic querying "person" (µ = 0.90) and
+mall surveillance querying "person" (µ = 0.80).
+
+Qualitative shape asserted (paper §5.2.3):
+* BU and F-score both grow as the validate interval widens (the heatmaps
+  shift together);
+* the harder (mall) video depends on the cloud much more: its accuracy
+  jumps when frames start being validated;
+* the brute-force star meets the target with the minimum BU of the grid;
+* the gradient-step star is found with fewer evaluations and stays in a
+  reasonable BU range (the paper reports both stars below ~78% BU).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import sweep_thresholds
+from repro.analysis.tables import format_table
+from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
+
+from bench_common import BENCH_FRAMES
+
+CASES = {
+    "v5": 0.90,  # street traffic querying "person"
+    "v4": 0.80,  # mall surveillance querying "person"
+}
+
+
+@pytest.fixture(scope="module")
+def figure5_results(bench_config, report_writer):
+    results = {}
+    sections = []
+    for video, target in CASES.items():
+        evaluator = ThresholdEvaluator.profile(bench_config, video, num_frames=BENCH_FRAMES)
+        sweep = sweep_thresholds(evaluator, step=0.1)
+        brute = brute_force_search(evaluator, target_f_score=target)
+        gradient = gradient_step_search(evaluator, target_f_score=target)
+        results[video] = {
+            "target": target,
+            "sweep": sweep,
+            "brute": brute,
+            "gradient": gradient,
+        }
+
+        heat_rows = [
+            [
+                f"({score.lower:.1f}, {score.upper:.1f})",
+                score.bandwidth_utilization,
+                score.f_score,
+            ]
+            for score in sorted(sweep.scores, key=lambda s: (s.lower, s.upper))
+        ]
+        stars = format_table(
+            ["method", "(θL, θU)", "BU", "F-score", "evaluations"],
+            [
+                ["brute force", str(brute.thresholds), brute.best.bandwidth_utilization, brute.best.f_score, brute.evaluations],
+                ["gradient step", str(gradient.thresholds), gradient.best.bandwidth_utilization, gradient.best.f_score, gradient.evaluations],
+            ],
+        )
+        sections.append(
+            f"video {video} (target µ={target})\n"
+            + format_table(["(θL, θU)", "BU", "F-score"], heat_rows)
+            + "\n"
+            + stars
+        )
+    report_writer("fig5_threshold_heatmaps", "\n\n".join(sections))
+    return results
+
+
+def test_heatmaps_shift_together(figure5_results):
+    """Pairs with higher BU generally have at least the accuracy of the
+    zero-BU configuration (more validation never hurts, on average)."""
+    for video, entry in figure5_results.items():
+        sweep = entry["sweep"]
+        zero_bu = [s for s in sweep.scores if s.bandwidth_utilization < 0.05]
+        high_bu = [s for s in sweep.scores if s.bandwidth_utilization > 0.8]
+        assert zero_bu and high_bu, video
+        assert max(s.f_score for s in high_bu) > max(s.f_score for s in zero_bu), video
+
+
+def test_mall_video_depends_on_cloud_more(figure5_results):
+    """The accuracy jump from no-validation to full-validation is larger for
+    the harder mall video than for the street video."""
+    def jump(entry):
+        sweep = entry["sweep"]
+        low = max(s.f_score for s in sweep.scores if s.bandwidth_utilization < 0.05)
+        high = max(s.f_score for s in sweep.scores)
+        return high - low
+
+    assert jump(figure5_results["v4"]) > jump(figure5_results["v5"])
+
+
+def test_brute_force_star_is_grid_optimal(figure5_results):
+    for video, entry in figure5_results.items():
+        brute = entry["brute"]
+        target = entry["target"]
+        assert brute.feasible, video
+        feasible = [s for s in entry["sweep"].scores if s.f_score >= target]
+        assert brute.best.bandwidth_utilization == pytest.approx(
+            min(s.bandwidth_utilization for s in feasible)
+        ), video
+
+
+def test_gradient_star_uses_fewer_evaluations(figure5_results):
+    for video, entry in figure5_results.items():
+        assert entry["gradient"].evaluations < entry["brute"].evaluations, video
+        assert entry["gradient"].feasible, video
+
+
+def test_accuracy_gain_over_edge_model(figure5_results):
+    """Paper: in both cases accuracy of the tuned system is far above the
+    edge-only configuration."""
+    for video, entry in figure5_results.items():
+        sweep = entry["sweep"]
+        edge_only = max(s.f_score for s in sweep.scores if s.bandwidth_utilization < 0.05)
+        assert entry["brute"].best.f_score > edge_only
+
+
+def test_benchmark_grid_sweep(benchmark, bench_config, figure5_results):
+    """Time a full 0.1-step grid sweep on a profiled evaluator."""
+    evaluator = ThresholdEvaluator.profile(bench_config, "v4", num_frames=40)
+
+    def sweep():
+        evaluator._cache.clear()
+        return sweep_thresholds(evaluator, step=0.1)
+
+    result = benchmark(sweep)
+    assert len(result.scores) == 55

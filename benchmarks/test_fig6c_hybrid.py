@@ -1,0 +1,110 @@
+"""Figure 6(c): hybrid edge-cloud techniques.
+
+Compression and difference communication are applied (i) to the cloud
+baseline and (ii) on top of Croesus, on the park video (v1) with the
+largest cloud model (YOLOv3-608).
+
+Qualitative shape asserted (paper §5.2.5):
+* compression (and differencing) give the cloud baseline only a small
+  improvement, because detection latency dominates;
+* the same techniques layered on Croesus reduce its edge-cloud transfer
+  but again only marginally change the final commit latency;
+* Croesus (with or without the hybrid techniques) stays well below the
+  cloud baseline's latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.baselines import (
+    run_cloud_only,
+    run_croesus,
+    run_hybrid_cloud,
+    run_hybrid_croesus,
+)
+from repro.detection.profiles import CLOUD_YOLOV3_608
+
+from bench_common import BENCH_FRAMES
+
+VIDEO = "v1"
+
+
+@pytest.fixture(scope="module")
+def figure6c_results(bench_config, report_writer):
+    config = bench_config.with_cloud_profile(CLOUD_YOLOV3_608).with_thresholds(0.45, 0.6)
+    results = {
+        "cloud": run_cloud_only(config, VIDEO, num_frames=BENCH_FRAMES),
+        "cloud+compression": run_hybrid_cloud(config, VIDEO, num_frames=BENCH_FRAMES),
+        "cloud+compression+difference": run_hybrid_cloud(
+            config, VIDEO, num_frames=BENCH_FRAMES, use_difference=True
+        ),
+        "croesus": run_croesus(config, VIDEO, num_frames=BENCH_FRAMES),
+        "croesus+compression": run_hybrid_croesus(config, VIDEO, num_frames=BENCH_FRAMES),
+        "croesus+compression+difference": run_hybrid_croesus(
+            config, VIDEO, num_frames=BENCH_FRAMES, use_difference=True
+        ),
+    }
+    rows = [
+        [
+            name,
+            result.average_final_latency * 1000,
+            result.average_breakdown.cloud_transfer * 1000,
+            result.average_breakdown.cloud_detection * 1000,
+            result.f_score,
+        ]
+        for name, result in results.items()
+    ]
+    report_writer(
+        "fig6c_hybrid",
+        format_table(
+            ["system", "final latency (ms)", "cloud transfer (ms)", "cloud detection (ms)", "F-score"],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_compression_helps_cloud_baseline_a_little(figure6c_results):
+    plain = figure6c_results["cloud"].average_final_latency
+    compressed = figure6c_results["cloud+compression"].average_final_latency
+    differenced = figure6c_results["cloud+compression+difference"].average_final_latency
+    assert compressed <= plain
+    assert differenced <= compressed + 1e-6
+    # ... but the improvement is small: detection latency dominates.
+    assert (plain - differenced) < 0.25 * plain
+
+
+def test_detection_latency_dominates_cloud_baseline(figure6c_results):
+    breakdown = figure6c_results["cloud"].average_breakdown
+    assert breakdown.cloud_detection > 3 * breakdown.cloud_transfer
+
+
+def test_compression_reduces_croesus_transfer(figure6c_results):
+    plain = figure6c_results["croesus"].average_breakdown.cloud_transfer
+    compressed = figure6c_results["croesus+compression"].average_breakdown.cloud_transfer
+    assert compressed < plain
+
+
+def test_croesus_variants_beat_cloud_baseline(figure6c_results):
+    cloud = figure6c_results["cloud"].average_final_latency
+    for name in ("croesus", "croesus+compression", "croesus+compression+difference"):
+        assert figure6c_results[name].average_final_latency < cloud, name
+
+
+def test_hybrid_improvement_on_croesus_is_small(figure6c_results):
+    plain = figure6c_results["croesus"].average_final_latency
+    hybrid = figure6c_results["croesus+compression+difference"].average_final_latency
+    assert abs(plain - hybrid) < 0.25 * plain
+
+
+def test_benchmark_hybrid_cloud_run(benchmark, bench_config, figure6c_results):
+    """Time one hybrid cloud-baseline run (compression + difference)."""
+    config = bench_config.with_cloud_profile(CLOUD_YOLOV3_608)
+
+    def run_once():
+        return run_hybrid_cloud(config, VIDEO, num_frames=15, use_difference=True)
+
+    result = benchmark(run_once)
+    assert result.bandwidth_utilization == 1.0

@@ -1,0 +1,139 @@
+"""Extension experiment: generalized multi-stage processing (paper §3.5).
+
+The paper argues that, for edge-cloud video analytics, generalising to
+more than two stages "adds additional overhead without providing a
+significant benefit", because the asymmetry is two-fold (edge vs cloud).
+This benchmark quantifies that claim on the reproduction: a three-tier
+device→edge→cloud cascade is compared with the standard two-tier
+deployment.
+
+Shape asserted:
+* the three-tier cascade's final latency is at least as high as the
+  two-tier deployment's when frames are forwarded all the way;
+* its accuracy benefit over two tiers is small (well under the gain of
+  adding the cloud tier in the first place);
+* the first tier still provides the fast initial response.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.multi_tier import MultiTierPipeline, TierSpec
+from repro.core.thresholds import ThresholdPolicy
+from repro.detection.profiles import CLOUD_YOLOV3_320, CLOUD_YOLOV3_416, EDGE_TINY_YOLOV3
+from repro.network.latency import CROSS_COUNTRY, SAME_REGION
+from repro.network.topology import CLOUD_XLARGE, EDGE_REGULAR, EDGE_SMALL
+from repro.video.library import make_video
+
+from bench_common import BENCH_FRAMES, BENCH_SEED
+
+VIDEO = "v2"
+FORWARD_ALL = ThresholdPolicy(0.0, 0.999)
+
+
+def _two_tier() -> MultiTierPipeline:
+    return MultiTierPipeline(
+        [
+            TierSpec(name="edge", model=EDGE_TINY_YOLOV3, machine=EDGE_REGULAR, policy=FORWARD_ALL),
+            TierSpec(name="cloud", model=CLOUD_YOLOV3_416, machine=CLOUD_XLARGE, uplink=CROSS_COUNTRY),
+        ],
+        seed=BENCH_SEED,
+    )
+
+
+def _three_tier() -> MultiTierPipeline:
+    return MultiTierPipeline(
+        [
+            TierSpec(name="device", model=EDGE_TINY_YOLOV3, machine=EDGE_SMALL, policy=FORWARD_ALL),
+            TierSpec(
+                name="edge",
+                model=CLOUD_YOLOV3_320,
+                machine=EDGE_REGULAR,
+                uplink=SAME_REGION,
+                policy=FORWARD_ALL,
+            ),
+            TierSpec(name="cloud", model=CLOUD_YOLOV3_416, machine=CLOUD_XLARGE, uplink=CROSS_COUNTRY),
+        ],
+        seed=BENCH_SEED,
+    )
+
+
+def _edge_only() -> MultiTierPipeline:
+    """Two tiers but nothing ever forwarded: the edge-only reference point."""
+    return MultiTierPipeline(
+        [
+            TierSpec(
+                name="edge",
+                model=EDGE_TINY_YOLOV3,
+                machine=EDGE_REGULAR,
+                policy=ThresholdPolicy(0.0, 0.0),
+            ),
+            TierSpec(name="cloud", model=CLOUD_YOLOV3_416, machine=CLOUD_XLARGE, uplink=CROSS_COUNTRY),
+        ],
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def multistage_results(report_writer):
+    results = {
+        "edge-only": _edge_only().run(make_video(VIDEO, num_frames=BENCH_FRAMES, seed=BENCH_SEED)),
+        "two-tier": _two_tier().run(make_video(VIDEO, num_frames=BENCH_FRAMES, seed=BENCH_SEED)),
+        "three-tier": _three_tier().run(make_video(VIDEO, num_frames=BENCH_FRAMES, seed=BENCH_SEED)),
+    }
+    rows = [
+        [
+            name,
+            result.f_score,
+            result.average_initial_latency * 1000,
+            result.average_final_latency * 1000,
+            result.average_tiers_visited,
+        ]
+        for name, result in results.items()
+    ]
+    report_writer(
+        "multistage_extension",
+        format_table(
+            ["cascade", "F-score", "initial latency (ms)", "final latency (ms)", "avg tiers"],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_extra_tier_adds_latency(multistage_results):
+    assert (
+        multistage_results["three-tier"].average_final_latency
+        > multistage_results["two-tier"].average_final_latency
+    )
+
+
+def test_extra_tier_benefit_is_marginal(multistage_results):
+    """Adding the cloud tier is what buys accuracy; the intermediate tier
+    contributes comparatively little — the paper's argument for two stages."""
+    edge_only = multistage_results["edge-only"].f_score
+    two_tier = multistage_results["two-tier"].f_score
+    three_tier = multistage_results["three-tier"].f_score
+    cloud_gain = two_tier - edge_only
+    extra_tier_gain = three_tier - two_tier
+    assert cloud_gain > 0.1
+    assert extra_tier_gain < cloud_gain / 2
+
+
+def test_first_tier_still_gives_fast_initial_response(multistage_results):
+    for name in ("two-tier", "three-tier"):
+        result = multistage_results[name]
+        assert result.average_initial_latency < 0.6
+        assert result.average_initial_latency < result.average_final_latency
+
+
+def test_benchmark_three_tier_cascade(benchmark, multistage_results):
+    """Time a short three-tier run."""
+
+    def run_once():
+        return _three_tier().run(make_video(VIDEO, num_frames=10, seed=BENCH_SEED))
+
+    result = benchmark(run_once)
+    assert result.num_frames == 10

@@ -1,0 +1,105 @@
+"""Table 2: the effect of the cloud model size.
+
+With µ = 0.8, Croesus is tuned and run with three cloud models
+(YOLOv3-320, YOLOv3-416, YOLOv3-608).
+
+Qualitative shape asserted (paper §5.2.1, Table 2):
+* detection latency grows with the cloud model size;
+* because the optimiser re-tunes the thresholds to hit the same accuracy
+  floor, the resulting F-score stays roughly flat across model sizes
+  (and meets the floor);
+* bandwidth utilisation stays in the same ballpark rather than exploding
+  with the bigger model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.baselines import run_croesus
+from repro.core.optimizer import ThresholdEvaluator, brute_force_search
+from repro.detection.profiles import CLOUD_PROFILES
+
+from bench_common import BENCH_FRAMES
+
+VIDEO = "v1"
+TARGET_F_SCORE = 0.8
+
+
+@pytest.fixture(scope="module")
+def table2_results(bench_config, report_writer):
+    results = {}
+    for model_name, profile in CLOUD_PROFILES.items():
+        config = bench_config.with_cloud_profile(profile)
+        evaluator = ThresholdEvaluator.profile(config, VIDEO, num_frames=BENCH_FRAMES)
+        optimum = brute_force_search(evaluator, target_f_score=TARGET_F_SCORE)
+        tuned = config.with_thresholds(*optimum.thresholds)
+        run = run_croesus(tuned, VIDEO, num_frames=BENCH_FRAMES)
+        results[model_name] = {"optimum": optimum, "run": run}
+
+    rows = []
+    for model_name, entry in results.items():
+        run = entry["run"]
+        detection_latency = _average_detection_latency(run)
+        rows.append(
+            [
+                model_name,
+                str(entry["optimum"].thresholds),
+                run.f_score,
+                run.bandwidth_utilization,
+                detection_latency,
+            ]
+        )
+    report_writer(
+        "table2_cloud_model_size",
+        format_table(
+            ["cloud model", "optimal threshold", "F-score", "BU", "detection latency (s)"], rows
+        ),
+    )
+    return results
+
+
+def _average_detection_latency(run) -> float:
+    """Average cloud detection latency over the frames that were sent."""
+    breakdown = run.average_breakdown
+    if run.bandwidth_utilization == 0:
+        return 0.0
+    return breakdown.cloud_detection / run.bandwidth_utilization
+
+
+def test_detection_latency_grows_with_model_size(table2_results):
+    latency_320 = _average_detection_latency(table2_results["yolov3-320"]["run"])
+    latency_416 = _average_detection_latency(table2_results["yolov3-416"]["run"])
+    latency_608 = _average_detection_latency(table2_results["yolov3-608"]["run"])
+    assert latency_320 < latency_416 < latency_608
+
+
+def test_f_score_stays_near_target_across_models(table2_results):
+    """The optimal thresholds are chosen per model to reach µ, so the
+    resulting accuracy is similar across model sizes."""
+    scores = [entry["run"].f_score for entry in table2_results.values()]
+    assert min(scores) >= TARGET_F_SCORE - 0.1
+    assert max(scores) - min(scores) < 0.15
+
+
+def test_optimizer_feasible_for_every_model(table2_results):
+    for model_name, entry in table2_results.items():
+        assert entry["optimum"].feasible, model_name
+
+
+def test_bandwidth_stays_bounded(table2_results):
+    for model_name, entry in table2_results.items():
+        assert entry["run"].bandwidth_utilization <= 0.9, model_name
+
+
+def test_benchmark_profiling_pass(benchmark, bench_config, table2_results):
+    """Time the per-model profiling pass that Table 2 repeats three times."""
+
+    def profile():
+        return ThresholdEvaluator.profile(
+            bench_config.with_cloud_profile(CLOUD_PROFILES["yolov3-320"]), VIDEO, num_frames=20
+        )
+
+    evaluator = benchmark(profile)
+    assert evaluator.num_frames == 20

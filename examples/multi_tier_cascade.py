@@ -1,0 +1,118 @@
+"""Generalized multi-stage processing (paper Section 3.5).
+
+Builds a three-tier cascade — device → edge → cloud — where each tier
+hosts a better (slower) model and bandwidth thresholding decides whether
+a frame climbs to the next tier.  Compares it with the standard two-tier
+Croesus deployment on the same video, illustrating the paper's
+observation that for edge-cloud workloads the extra tier adds latency
+without a decisive accuracy benefit.
+
+Usage::
+
+    python examples/multi_tier_cascade.py [video_key]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.multi_tier import MultiTierPipeline, TierSpec
+from repro.core.thresholds import ThresholdPolicy
+from repro.detection.profiles import CLOUD_YOLOV3_320, CLOUD_YOLOV3_416, EDGE_TINY_YOLOV3
+from repro.network.latency import CROSS_COUNTRY, SAME_REGION
+from repro.network.topology import CLOUD_XLARGE, EDGE_REGULAR, EDGE_SMALL
+from repro.video.library import make_video
+
+
+def build_two_tier() -> MultiTierPipeline:
+    """The paper's standard deployment: edge (Tiny YOLOv3) + cloud (YOLOv3)."""
+    return MultiTierPipeline(
+        [
+            TierSpec(
+                name="edge",
+                model=EDGE_TINY_YOLOV3,
+                machine=EDGE_REGULAR,
+                policy=ThresholdPolicy(0.3, 0.7),
+            ),
+            TierSpec(
+                name="cloud",
+                model=CLOUD_YOLOV3_416,
+                machine=CLOUD_XLARGE,
+                uplink=CROSS_COUNTRY,
+            ),
+        ],
+        seed=7,
+    )
+
+
+def build_three_tier() -> MultiTierPipeline:
+    """A device → edge → cloud cascade with thresholding at each hop."""
+    return MultiTierPipeline(
+        [
+            TierSpec(
+                name="device",
+                model=EDGE_TINY_YOLOV3,
+                machine=EDGE_SMALL,
+                policy=ThresholdPolicy(0.3, 0.8),
+            ),
+            TierSpec(
+                name="edge",
+                model=CLOUD_YOLOV3_320,
+                machine=EDGE_REGULAR,
+                uplink=SAME_REGION,
+                policy=ThresholdPolicy(0.4, 0.7),
+            ),
+            TierSpec(
+                name="cloud",
+                model=CLOUD_YOLOV3_416,
+                machine=CLOUD_XLARGE,
+                uplink=CROSS_COUNTRY,
+            ),
+        ],
+        seed=7,
+    )
+
+
+def main(video_key: str = "v2", num_frames: int = 60) -> None:
+    video_two = make_video(video_key, num_frames=num_frames, seed=7)
+    video_three = make_video(video_key, num_frames=num_frames, seed=7)
+
+    print(f"Running the two-tier and three-tier cascades on video {video_key!r}...")
+    two_tier = build_two_tier().run(video_two)
+    three_tier = build_three_tier().run(video_three)
+
+    rows = [
+        [
+            "edge + cloud (2 tiers)",
+            two_tier.f_score,
+            two_tier.average_initial_latency * 1000,
+            two_tier.average_final_latency * 1000,
+            two_tier.average_tiers_visited,
+        ],
+        [
+            "device + edge + cloud (3 tiers)",
+            three_tier.f_score,
+            three_tier.average_initial_latency * 1000,
+            three_tier.average_final_latency * 1000,
+            three_tier.average_tiers_visited,
+        ],
+    ]
+    print(
+        format_table(
+            ["cascade", "F-score", "initial latency (ms)", "final latency (ms)", "avg tiers visited"],
+            rows,
+        )
+    )
+    print(
+        "\nForwarding ratio past tier 0: "
+        f"two-tier {two_tier.forwarding_ratio(0):.0%}, three-tier {three_tier.forwarding_ratio(0):.0%}"
+    )
+    print(
+        "Forwarding ratio past tier 1 (three-tier only): "
+        f"{three_tier.forwarding_ratio(1):.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or ["v2"]))

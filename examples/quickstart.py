@@ -1,0 +1,85 @@
+"""Quickstart: run Croesus on a synthetic video and compare with the baselines.
+
+Usage::
+
+    python examples/quickstart.py [video_key]
+
+where ``video_key`` is one of ``v1`` (park/dog), ``v2`` (street traffic),
+``v3`` (airport runway), ``v4`` (mall surveillance), ``v5`` (pedestrians).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CroesusConfig,
+    CroesusSystem,
+    ThresholdEvaluator,
+    brute_force_search,
+    make_video,
+    run_cloud_only,
+    run_edge_only,
+)
+from repro.analysis.tables import format_table
+
+
+def main(video_key: str = "v1", num_frames: int = 80) -> None:
+    config = CroesusConfig(seed=1)
+
+    # Croesus tunes its bandwidth thresholds per application: profile the
+    # video once, then pick the pair that minimises edge-cloud bandwidth
+    # subject to an F-score floor (paper Section 3.4).
+    print(f"Tuning bandwidth thresholds for video {video_key!r}...")
+    evaluator = ThresholdEvaluator.profile(config, video_key, num_frames=num_frames)
+    optimum = brute_force_search(evaluator, target_f_score=0.85)
+    config = config.with_thresholds(*optimum.thresholds)
+    print(f"  optimal (θL, θU) = {optimum.thresholds}, predicted BU = "
+          f"{optimum.best.bandwidth_utilization:.0%}")
+
+    print(f"Running Croesus on video {video_key!r} ({num_frames} frames)...")
+    system = CroesusSystem(config)
+    croesus = system.run(make_video(video_key, num_frames=num_frames, seed=config.seed))
+
+    print("Running the edge-only and cloud-only baselines...")
+    edge = run_edge_only(config, video_key, num_frames=num_frames)
+    cloud = run_cloud_only(config, video_key, num_frames=num_frames)
+
+    rows = [
+        [
+            "croesus",
+            croesus.f_score,
+            croesus.average_initial_latency * 1000,
+            croesus.average_final_latency * 1000,
+            croesus.bandwidth_utilization,
+        ],
+        [
+            "edge-only",
+            edge.f_score,
+            edge.average_initial_latency * 1000,
+            edge.average_final_latency * 1000,
+            edge.bandwidth_utilization,
+        ],
+        [
+            "cloud-only",
+            cloud.f_score,
+            cloud.average_initial_latency * 1000,
+            cloud.average_final_latency * 1000,
+            cloud.bandwidth_utilization,
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["system", "F-score", "initial latency (ms)", "final latency (ms)", "BU"], rows
+        )
+    )
+    print()
+    print(
+        f"Croesus triggered {croesus.total_transactions} transactions, corrected "
+        f"{croesus.total_corrections} labels and issued {croesus.total_apologies} apologies."
+    )
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or ["v1"]))

@@ -1,0 +1,84 @@
+"""Smart-campus AR example (paper Section 2.1).
+
+Task 1: detected buildings have their information read from the database
+and rendered on the headset.  Task 2: clicking the auxiliary device
+reserves a study room in the building closest to the center of the view.
+Erroneous edge detections are corrected by the final sections, which move
+or cancel reservations and issue apologies.
+
+Usage::
+
+    python examples/smart_campus_ar.py
+"""
+
+from __future__ import annotations
+
+from repro import CroesusConfig, CroesusSystem
+from repro.core.apps.smart_campus import SmartCampusApp
+from repro.sim.rng import RngRegistry
+from repro.video.synthetic import ObjectClassSpec, SyntheticVideo
+
+BUILDINGS = {
+    "Engineering Building": {"study_rooms": 3, "hours": "8am-10pm", "floors": 5},
+    "Science Library": {"study_rooms": 2, "hours": "24/7", "floors": 7},
+    "Student Center": {"study_rooms": 1, "hours": "7am-11pm", "floors": 3},
+}
+
+
+def make_campus_video(num_frames: int = 60, seed: int = 11) -> SyntheticVideo:
+    """A synthetic walk across campus: buildings come in and out of view and
+    the user occasionally clicks the reserve button."""
+    classes = tuple(
+        ObjectClassSpec(
+            name=name,
+            confusable_name=other,
+            arrival_rate=0.25,
+            lifetime_frames=40,
+            size_fraction=0.35,
+            visibility=0.9,
+            difficulty=1.4,
+            speed=5.0,
+        )
+        for name, other in zip(BUILDINGS, list(BUILDINGS)[1:] + [list(BUILDINGS)[0]])
+    )
+    return SyntheticVideo(
+        name="campus-walk",
+        query_class="Engineering Building",
+        classes=classes,
+        num_frames=num_frames,
+        rng=RngRegistry(seed).stream("campus"),
+        auxiliary_click_rate=0.25,
+    )
+
+
+def main() -> None:
+    config = CroesusConfig(seed=11, lower_threshold=0.2, upper_threshold=0.7)
+
+    app = SmartCampusApp(buildings=BUILDINGS)
+    system = CroesusSystem(config, bank=app.bank)
+    app.install(system.edge.store)
+
+    video = make_campus_video()
+    result = system.run(video)
+    store = system.edge.store
+
+    print(f"Processed {result.num_frames} frames of the campus walk.")
+    print(f"Transactions triggered: {result.total_transactions}")
+    print(f"Labels corrected by the cloud: {result.total_corrections}")
+    print(f"Apologies sent to the headset: {result.total_apologies}")
+    print(f"Bandwidth utilisation: {result.bandwidth_utilization:.0%}")
+    print()
+
+    print("Study rooms remaining per building:")
+    for name, info in BUILDINGS.items():
+        remaining = store.read(f"rooms:{name}", default=info["study_rooms"])
+        print(f"  {name:25s} {remaining}/{info['study_rooms']}")
+
+    reservations = [key for key in store.keys() if key.startswith("reservation:") and store.exists(key)]
+    print(f"\nActive reservations: {len(reservations)}")
+    for key in reservations[:5]:
+        print(f"  {key}: {store.read(key)}")
+
+
+if __name__ == "__main__":
+    main()

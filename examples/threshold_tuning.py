@@ -1,0 +1,55 @@
+"""Bandwidth-threshold tuning (paper Section 3.4 / Figure 5).
+
+Profiles a video once, sweeps the (θL, θU) grid, and compares the
+brute-force optimum with the gradient-step search for a target F-score.
+
+Usage::
+
+    python examples/threshold_tuning.py [video_key] [target_f_score]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CroesusConfig, ThresholdEvaluator, brute_force_search, gradient_step_search
+from repro.analysis.sweeps import sweep_thresholds
+from repro.analysis.tables import format_table
+
+
+def main(video_key: str = "v2", target: float = 0.85) -> None:
+    config = CroesusConfig(seed=5)
+    print(f"Profiling video {video_key!r} (one pass of edge + cloud detection)...")
+    evaluator = ThresholdEvaluator.profile(config, video_key, num_frames=100)
+
+    sweep = sweep_thresholds(evaluator, step=0.1)
+    print(f"\nBU / F-score heatmap over (θL, θU), video {video_key}:")
+    rows = []
+    for score in sorted(sweep.scores, key=lambda s: (s.lower, s.upper)):
+        if score.upper - score.lower in (0.1, 0.3, 0.5):
+            rows.append(
+                [f"({score.lower:.1f}, {score.upper:.1f})", score.bandwidth_utilization, score.f_score]
+            )
+    print(format_table(["(θL, θU)", "BU", "F-score"], rows))
+
+    brute = brute_force_search(evaluator, target_f_score=target)
+    gradient = gradient_step_search(evaluator, target_f_score=target)
+
+    print(f"\nTarget F-score µ = {target}")
+    print(
+        format_table(
+            ["method", "(θL, θU)", "BU", "F-score", "evaluations"],
+            [
+                ["brute force", str(brute.thresholds), brute.best.bandwidth_utilization, brute.best.f_score, brute.evaluations],
+                ["gradient step", str(gradient.thresholds), gradient.best.bandwidth_utilization, gradient.best.f_score, gradient.evaluations],
+            ],
+        )
+    )
+    speedup = brute.evaluations / max(gradient.evaluations, 1)
+    print(f"\nGradient-step search used {speedup:.1f}x fewer threshold evaluations.")
+
+
+if __name__ == "__main__":
+    video = sys.argv[1] if len(sys.argv) > 1 else "v2"
+    target = float(sys.argv[2]) if len(sys.argv) > 2 else 0.85
+    main(video, target)

@@ -1,0 +1,66 @@
+"""The multi-player AR token game of paper Section 4.4.
+
+Demonstrates guesses and apologies under MS-IA: a transfer lands on the
+wrong player because the edge model confused two players; the final
+section re-routes the tokens when the cloud model reveals the truth, and
+the overdraft repair retracts only the minimum set of dependent
+transfers.
+
+Usage::
+
+    python examples/token_game_apologies.py
+"""
+
+from __future__ import annotations
+
+from repro.core.apps.token_game import TokenGame
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.ms_ia import MSIAController
+
+
+def print_balances(game: TokenGame, title: str) -> None:
+    balances = ", ".join(f"{player}={game.balance(player)}" for player in game.players)
+    print(f"{title:55s} {balances}")
+
+
+def main() -> None:
+    store = KeyValueStore()
+    game = TokenGame(controller=MSIAController(store), players={"A": 50, "B": 10, "C": 0, "D": 0})
+    print_balances(game, "Initial balances")
+
+    # The edge model detects player B, but the recipient is actually D.
+    t1 = game.transfer("t1", "A", "B", 50)
+    game.run_initial(t1)
+    print_balances(game, "t1 initial: A sends 50 to (detected) B")
+
+    # B immediately spends the windfall.
+    t2 = game.transfer("t2", "B", "C", 10)
+    game.run_initial(t2)
+    t3 = game.transfer("t3", "B", "C", 50)
+    game.run_initial(t3)
+    print_balances(game, "t2/t3 initial: B sends 10 and 50 to C")
+
+    # The cloud confirms t2 and t3 (their triggers were correct).
+    game.run_final(t2, true_recipient="C")
+    game.run_final(t3, true_recipient="C")
+
+    # The cloud reveals t1's true recipient was D: the final section
+    # re-routes the 50 tokens and apologises.
+    outcome = game.run_final(t1, true_recipient="D")
+    print_balances(game, "t1 final: tokens re-routed from B to D")
+    for apology in outcome.apologies:
+        print(f"  apology: {apology}")
+
+    # B is now overdrawn; the merge retracts the minimum set of transfers.
+    print(f"\nInvariant (no negative balances) holds: {game.invariant_holds()}")
+    apologies = game.repair_overdrafts()
+    print_balances(game, "After overdraft repair")
+    for apology in apologies:
+        print(f"  apology: {apology}")
+    print(f"Retracted transfers: {', '.join(game.retracted_transfers()) or 'none'}")
+    print(f"Invariant holds: {game.invariant_holds()}")
+    print(f"Total tokens conserved: {game.total_tokens()} (started with 60)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP
+517 editable builds (which go through ``bdist_wheel``) fail.  Keeping a
+minimal ``setup.py`` lets ``pip install -e . --no-build-isolation``
+fall back to the legacy editable install; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

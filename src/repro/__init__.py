@@ -1,0 +1,65 @@
+"""Croesus reproduction: multi-stage processing and transactions for
+video analytics in edge-cloud systems (ICDE 2022).
+
+The top-level package re-exports the pieces most applications need: the
+system and its configuration, the threshold optimiser, the baselines, the
+multi-stage transaction API, and the paper's video workloads.
+"""
+
+from repro.core.baselines import (
+    BaselineResult,
+    run_cloud_only,
+    run_croesus,
+    run_edge_only,
+    run_hybrid_cloud,
+    run_hybrid_croesus,
+)
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.optimizer import (
+    OptimizationResult,
+    ThresholdEvaluator,
+    brute_force_search,
+    gradient_step_search,
+)
+from repro.core.results import LatencyBreakdown, RunResult
+from repro.core.system import CroesusSystem
+from repro.core.thresholds import ThresholdPolicy
+from repro.network.topology import EdgeCloudTopology
+from repro.transactions import (
+    MSIAController,
+    MultiStageTransaction,
+    SectionSpec,
+    TransactionBank,
+    TwoStage2PL,
+)
+from repro.video.library import VIDEO_LIBRARY, make_video
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CroesusConfig",
+    "ConsistencyLevel",
+    "CroesusSystem",
+    "ThresholdPolicy",
+    "ThresholdEvaluator",
+    "OptimizationResult",
+    "brute_force_search",
+    "gradient_step_search",
+    "RunResult",
+    "LatencyBreakdown",
+    "EdgeCloudTopology",
+    "BaselineResult",
+    "run_edge_only",
+    "run_cloud_only",
+    "run_croesus",
+    "run_hybrid_cloud",
+    "run_hybrid_croesus",
+    "MultiStageTransaction",
+    "SectionSpec",
+    "TransactionBank",
+    "TwoStage2PL",
+    "MSIAController",
+    "VIDEO_LIBRARY",
+    "make_video",
+    "__version__",
+]

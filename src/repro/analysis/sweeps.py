@@ -1,0 +1,49 @@
+"""Parameter sweeps over threshold pairs (Figure 3 / Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.optimizer import ThresholdEvaluator, ThresholdScore
+
+
+@dataclass(frozen=True)
+class ThresholdSweep:
+    """All scores of a grid sweep, with heatmap accessors."""
+
+    step: float
+    scores: tuple[ThresholdScore, ...]
+
+    def grid_values(self) -> list[float]:
+        """Sorted distinct threshold values in the sweep."""
+        values = sorted({score.lower for score in self.scores} | {score.upper for score in self.scores})
+        return values
+
+    def score_at(self, lower: float, upper: float) -> ThresholdScore | None:
+        """Score of one pair, or None when the pair was not in the sweep."""
+        for score in self.scores:
+            if abs(score.lower - lower) < 1e-9 and abs(score.upper - upper) < 1e-9:
+                return score
+        return None
+
+    def heatmap(self, metric: str) -> dict[tuple[float, float], float]:
+        """Mapping of (θL, θU) to a metric (``"bu"`` or ``"f_score"``)."""
+        if metric not in {"bu", "f_score"}:
+            raise ValueError("metric must be 'bu' or 'f_score'")
+        result: dict[tuple[float, float], float] = {}
+        for score in self.scores:
+            value = score.bandwidth_utilization if metric == "bu" else score.f_score
+            result[(score.lower, score.upper)] = value
+        return result
+
+    def best_feasible(self, target_f_score: float) -> ThresholdScore | None:
+        """Lowest-BU pair meeting the F-score target, if any."""
+        feasible = [s for s in self.scores if s.f_score >= target_f_score]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda s: (s.bandwidth_utilization, s.average_final_latency))
+
+
+def sweep_thresholds(evaluator: ThresholdEvaluator, step: float = 0.1) -> ThresholdSweep:
+    """Score every grid pair and return the sweep."""
+    return ThresholdSweep(step=step, scores=tuple(evaluator.evaluate_grid(step=step)))

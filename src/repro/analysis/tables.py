@@ -1,0 +1,59 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.results import LatencyBreakdown
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a simple fixed-width table.
+
+    Numbers are formatted with three decimals; everything else uses
+    ``str``.  The output is meant for benchmark logs, mirroring the rows
+    of the paper's tables.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    all_rows = [list(headers)] + rendered_rows
+    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(row, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render(list(headers)), separator]
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def latency_breakdown_row(name: str, breakdown: LatencyBreakdown) -> list[Any]:
+    """One row of a Figure-2-style latency breakdown, in milliseconds."""
+    return [
+        name,
+        breakdown.edge_transfer * 1000.0,
+        breakdown.edge_detection * 1000.0,
+        breakdown.initial_txn * 1000.0,
+        breakdown.cloud_transfer * 1000.0,
+        breakdown.cloud_detection * 1000.0,
+        breakdown.final_txn * 1000.0,
+        breakdown.final_latency * 1000.0,
+    ]
+
+
+LATENCY_BREAKDOWN_HEADERS = [
+    "system",
+    "edge xfer (ms)",
+    "edge detect (ms)",
+    "initial txn (ms)",
+    "cloud xfer (ms)",
+    "cloud detect (ms)",
+    "final txn (ms)",
+    "final (ms)",
+]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

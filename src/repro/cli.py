@@ -1,0 +1,159 @@
+"""Command-line interface for running Croesus experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro run --video v1 --frames 80 --lower 0.3 --upper 0.7
+    python -m repro tune --video v2 --target 0.85 --method gradient
+    python -m repro compare --video v4 --frames 60
+    python -m repro videos
+
+Every command prints a small table and exits with status 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.baselines import run_cloud_only, run_croesus, run_edge_only
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
+from repro.video.library import VIDEO_LIBRARY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Croesus: multi-stage edge-cloud video analytics (ICDE 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run Croesus on one video")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--lower", type=float, default=0.3, help="lower threshold θL")
+    run_parser.add_argument("--upper", type=float, default=0.7, help="upper threshold θU")
+    run_parser.add_argument(
+        "--consistency",
+        choices=["ms-ia", "ms-sr"],
+        default="ms-ia",
+        help="multi-stage safety level",
+    )
+
+    tune_parser = subparsers.add_parser("tune", help="find optimal bandwidth thresholds")
+    _add_common_arguments(tune_parser)
+    tune_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
+    tune_parser.add_argument(
+        "--method",
+        choices=["brute", "gradient", "both"],
+        default="both",
+        help="search strategy",
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare Croesus against the edge-only and cloud-only baselines"
+    )
+    _add_common_arguments(compare_parser)
+    compare_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
+
+    subparsers.add_parser("videos", help="list the available video workloads")
+    return parser
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--video", default="v1", choices=sorted(VIDEO_LIBRARY), help="video workload")
+    parser.add_argument("--frames", type=int, default=80, help="number of frames to process")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "videos":
+        return _cmd_videos()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_videos() -> int:
+    rows = [
+        [spec.key, spec.query_class, spec.description]
+        for spec in sorted(VIDEO_LIBRARY.values(), key=lambda s: s.key)
+    ]
+    print(format_table(["key", "query", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    consistency = ConsistencyLevel.MS_SR if args.consistency == "ms-sr" else ConsistencyLevel.MS_IA
+    config = CroesusConfig(
+        seed=args.seed,
+        lower_threshold=args.lower,
+        upper_threshold=args.upper,
+        consistency=consistency,
+    )
+    result = run_croesus(config, args.video, num_frames=args.frames)
+    print(
+        format_table(
+            ["video", "F-score", "initial latency (ms)", "final latency (ms)", "BU"],
+            [
+                [
+                    args.video,
+                    result.f_score,
+                    result.average_initial_latency * 1000,
+                    result.average_final_latency * 1000,
+                    result.bandwidth_utilization,
+                ]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    config = CroesusConfig(seed=args.seed)
+    evaluator = ThresholdEvaluator.profile(config, args.video, num_frames=args.frames)
+    rows = []
+    if args.method in ("brute", "both"):
+        brute = brute_force_search(evaluator, target_f_score=args.target)
+        rows.append(
+            ["brute force", str(brute.thresholds), brute.best.bandwidth_utilization, brute.best.f_score, brute.evaluations]
+        )
+    if args.method in ("gradient", "both"):
+        gradient = gradient_step_search(evaluator, target_f_score=args.target)
+        rows.append(
+            ["gradient step", str(gradient.thresholds), gradient.best.bandwidth_utilization, gradient.best.f_score, gradient.evaluations]
+        )
+    print(format_table(["method", "(θL, θU)", "BU", "F-score", "evaluations"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = CroesusConfig(seed=args.seed)
+    evaluator = ThresholdEvaluator.profile(config, args.video, num_frames=args.frames)
+    optimum = brute_force_search(evaluator, target_f_score=args.target)
+    tuned = config.with_thresholds(*optimum.thresholds)
+
+    croesus = run_croesus(tuned, args.video, num_frames=args.frames)
+    edge = run_edge_only(config, args.video, num_frames=args.frames)
+    cloud = run_cloud_only(config, args.video, num_frames=args.frames)
+    rows = [
+        [name, result.f_score, result.average_initial_latency * 1000, result.average_final_latency * 1000, result.bandwidth_utilization]
+        for name, result in (("croesus", croesus), ("edge-only", edge), ("cloud-only", cloud))
+    ]
+    print(
+        format_table(
+            ["system", "F-score", "initial latency (ms)", "final latency (ms)", "BU"], rows
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Example application logic built on the multi-stage transaction API.
+
+Two applications from the paper:
+
+* :mod:`repro.core.apps.smart_campus` — the smart-campus AR application
+  of Section 2.1 (display building information, reserve study rooms).
+* :mod:`repro.core.apps.token_game` — the multi-player AR token game of
+  Section 4.4, demonstrating guesses, apologies, invariants and
+  cascading retractions under MS-IA.
+"""
+
+from repro.core.apps.smart_campus import SmartCampusApp
+from repro.core.apps.token_game import TokenGame
+
+__all__ = ["SmartCampusApp", "TokenGame"]

@@ -1,0 +1,168 @@
+"""Smart-campus AR application (paper Section 2.1).
+
+Two tasks:
+
+* **Task 1** — when a building is detected, read its information from the
+  database and render it on the headset.  The final section re-renders
+  with the corrected building (plus an apology) if the edge detection was
+  wrong.
+* **Task 2** — when the user clicks the auxiliary device, reserve a study
+  room in the building closest to the frame center.  The final section
+  checks the building was right; if not, it cancels the reservation and,
+  if possible, books a room in the correct building, apologising either
+  way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.detection.labels import Detection
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.bank import TransactionBank
+from repro.transactions.model import (
+    MultiStageTransaction,
+    SectionContext,
+    SectionSpec,
+)
+from repro.transactions.ops import ReadWriteSet
+
+
+@dataclass
+class SmartCampusApp:
+    """Registers the two campus tasks on a transaction bank.
+
+    Parameters
+    ----------
+    buildings:
+        Mapping of building label name to its info record; each record is
+        stored under ``building:<name>`` and room availability under
+        ``rooms:<name>``.
+    """
+
+    buildings: dict[str, dict[str, Any]]
+    bank: TransactionBank = field(default_factory=TransactionBank)
+
+    def install(self, store: KeyValueStore) -> TransactionBank:
+        """Seed the store with building data and register the trigger rules."""
+        for name, info in self.buildings.items():
+            store.write(f"building:{name}", dict(info), writer="setup")
+            store.write(f"rooms:{name}", int(info.get("study_rooms", 0)), writer="setup")
+
+        self.bank.register(
+            name="building-info",
+            label_class=self.buildings.keys(),
+            factory=self._build_info_transaction,
+        )
+        self.bank.register(
+            name="reserve-room",
+            label_class=self.buildings.keys(),
+            factory=self._build_reservation_transaction,
+            requires_auxiliary_input=True,
+        )
+        return self.bank
+
+    # -- Task 1: display building information -------------------------------
+    def _build_info_transaction(
+        self, detection: Detection | None, transaction_id: str
+    ) -> MultiStageTransaction:
+        building = detection.name if detection is not None else ""
+        info_key = f"building:{building}"
+
+        def initial_body(ctx: SectionContext) -> dict[str, Any]:
+            info = ctx.read(info_key, default={})
+            ctx.put_handoff("displayed_building", building)
+            return {"building": building, "info": info}
+
+        def final_body(ctx: SectionContext) -> dict[str, Any] | None:
+            displayed = ctx.get_handoff("displayed_building")
+            corrected = getattr(ctx.labels, "name", None)
+            if corrected is None:
+                ctx.apologize(f"'{displayed}' was not actually in view")
+                return None
+            if corrected == displayed:
+                return None  # the guess was right; nothing to fix
+            info = ctx.read(f"building:{corrected}", default={})
+            ctx.apologize(f"displayed '{displayed}' but the building is '{corrected}'")
+            return {"building": corrected, "info": info}
+
+        all_info_keys = frozenset(f"building:{name}" for name in self.buildings)
+        return MultiStageTransaction(
+            transaction_id=transaction_id,
+            initial=SectionSpec(body=initial_body, rwset=ReadWriteSet(reads=frozenset({info_key}))),
+            final=SectionSpec(body=final_body, rwset=ReadWriteSet(reads=all_info_keys)),
+            trigger=f"building-info:{building}",
+        )
+
+    # -- Task 2: reserve a study room ---------------------------------------
+    def _build_reservation_transaction(
+        self, detection: Detection | None, transaction_id: str
+    ) -> MultiStageTransaction:
+        building = detection.name if detection is not None else ""
+        rooms_key = f"rooms:{building}"
+        all_rooms_keys = frozenset(f"rooms:{name}" for name in self.buildings)
+        reservation_key = f"reservation:{transaction_id}"
+
+        def initial_body(ctx: SectionContext) -> dict[str, Any]:
+            available = ctx.read(rooms_key, default=0) or 0
+            if available <= 0:
+                ctx.put_handoff("reserved", False)
+                return {"building": building, "reserved": False}
+            ctx.write(rooms_key, available - 1)
+            ctx.write(reservation_key, {"building": building, "user": "client"})
+            ctx.put_handoff("reserved", True)
+            ctx.put_handoff("reserved_building", building)
+            return {"building": building, "reserved": True}
+
+        def final_body(ctx: SectionContext) -> dict[str, Any] | None:
+            if not ctx.get_handoff("reserved", False):
+                return None
+            reserved_building = ctx.get_handoff("reserved_building")
+            corrected = getattr(ctx.labels, "name", None)
+            if corrected == reserved_building:
+                return None  # reservation stands
+
+            # Cancel the erroneous reservation.
+            current = ctx.read(f"rooms:{reserved_building}", default=0) or 0
+            ctx.write(f"rooms:{reserved_building}", current + 1)
+            ctx.delete(reservation_key)
+
+            if corrected is None:
+                ctx.apologize(
+                    f"cancelled the room in '{reserved_building}': no building was in view"
+                )
+                return {"reserved": False}
+
+            available = ctx.read(f"rooms:{corrected}", default=0) or 0
+            if available > 0:
+                ctx.write(f"rooms:{corrected}", available - 1)
+                ctx.write(reservation_key, {"building": corrected, "user": "client"})
+                ctx.apologize(
+                    f"moved your reservation from '{reserved_building}' to '{corrected}'"
+                )
+                return {"building": corrected, "reserved": True}
+
+            ctx.apologize(
+                f"cancelled the room in '{reserved_building}'; '{corrected}' has no rooms left"
+            )
+            return {"reserved": False}
+
+        return MultiStageTransaction(
+            transaction_id=transaction_id,
+            initial=SectionSpec(
+                body=initial_body,
+                rwset=ReadWriteSet(
+                    reads=frozenset({rooms_key}),
+                    writes=frozenset({rooms_key, reservation_key}),
+                ),
+            ),
+            final=SectionSpec(
+                body=final_body,
+                rwset=ReadWriteSet(
+                    reads=all_rooms_keys,
+                    writes=all_rooms_keys | frozenset({reservation_key}),
+                ),
+            ),
+            trigger=f"reserve-room:{building}",
+        )

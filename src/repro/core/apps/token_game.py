@@ -1,0 +1,206 @@
+"""Multi-player AR token game (paper Section 4.4).
+
+Players transfer tokens to each other; the recipient of a transfer is
+whoever the edge model detected, so the initial section acts on a *guess*
+and the final section reconciles it when the cloud model reveals the true
+recipient.  The application invariant is that no player's balance goes
+negative; the merge/apology logic retains as much state as possible and
+retracts only the transfers the invariant cannot absorb.
+
+This reproduces the worked example of the paper: A transfers 50 to the
+player the edge thought was B; B then pays C twice (10 and 50 tokens);
+when the cloud reveals A's true recipient was D, the final section
+re-routes the 50 tokens, and the overdraft repair retracts only the
+50-token B→C transfer B could not afford on its own, keeping the 10-token
+one — exactly the outcome described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.model import (
+    MultiStageTransaction,
+    SectionContext,
+    SectionSpec,
+)
+from repro.transactions.ms_ia import MSIAController
+from repro.transactions.ops import ReadWriteSet
+
+
+def _balance_key(player: str) -> str:
+    return f"tokens:{player}"
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one transfer's final section."""
+
+    transaction_id: str
+    committed: bool
+    apologies: tuple[str, ...] = ()
+
+
+@dataclass
+class TokenGame:
+    """The token-transfer application, programmed against MS-IA.
+
+    Parameters
+    ----------
+    controller:
+        MS-IA concurrency controller over the game's store.
+    players:
+        Initial balances.
+    """
+
+    controller: MSIAController
+    players: dict[str, int]
+    _transfer_log: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for player, balance in self.players.items():
+            self.store.write(_balance_key(player), int(balance), writer="setup")
+
+    @property
+    def store(self) -> KeyValueStore:
+        return self.controller.store
+
+    def balance(self, player: str) -> int:
+        """Current token balance of ``player``."""
+        return int(self.store.read(_balance_key(player), default=0) or 0)
+
+    def invariant_holds(self) -> bool:
+        """The application invariant: no player balance is negative."""
+        return all(self.balance(player) >= 0 for player in self.players)
+
+    def total_tokens(self) -> int:
+        """Sum of all balances — conserved by transfers and repairs."""
+        return sum(self.balance(player) for player in self.players)
+
+    # -- transfers -----------------------------------------------------------
+    def transfer(
+        self, transaction_id: str, sender: str, guessed_recipient: str, amount: int
+    ) -> MultiStageTransaction:
+        """Build the multi-stage transfer transaction.
+
+        The initial section moves ``amount`` from ``sender`` to the
+        *guessed* recipient; the final section receives the true recipient
+        and reconciles by re-routing the tokens if the guess was wrong.
+        """
+        if amount <= 0:
+            raise ValueError("transfer amount must be positive")
+
+        def initial_body(ctx: SectionContext) -> dict[str, Any]:
+            sender_balance = ctx.read(_balance_key(sender), default=0) or 0
+            recipient_balance = ctx.read(_balance_key(guessed_recipient), default=0) or 0
+            ctx.write(_balance_key(sender), sender_balance - amount)
+            ctx.write(_balance_key(guessed_recipient), recipient_balance + amount)
+            ctx.put_handoff("recipient", guessed_recipient)
+            ctx.put_handoff("amount", amount)
+            return {"from": sender, "to": guessed_recipient, "amount": amount}
+
+        def final_body(ctx: SectionContext) -> dict[str, Any]:
+            guessed = ctx.get_handoff("recipient")
+            true_recipient = ctx.labels if isinstance(ctx.labels, str) else guessed
+            entry = self._transfer_log[transaction_id]
+            if true_recipient == guessed:
+                entry["effective_recipient"] = guessed
+                return {"status": "confirmed"}
+
+            # The guess was wrong: move the tokens from the guessed
+            # recipient to the true recipient (the minimal repair that
+            # preserves the transfer's intent).
+            moved = ctx.get_handoff("amount")
+            wrong_balance = ctx.read(_balance_key(guessed), default=0) or 0
+            right_balance = ctx.read(_balance_key(true_recipient), default=0) or 0
+            ctx.write(_balance_key(guessed), wrong_balance - moved)
+            ctx.write(_balance_key(true_recipient), right_balance + moved)
+            ctx.apologize(
+                f"transfer of {moved} was redirected from {guessed} to {true_recipient}"
+            )
+            entry["effective_recipient"] = true_recipient
+            return {"status": "redirected", "to": true_recipient}
+
+        involved = frozenset(
+            {_balance_key(sender), _balance_key(guessed_recipient)}
+            | {_balance_key(player) for player in self.players}
+        )
+        transaction = MultiStageTransaction(
+            transaction_id=transaction_id,
+            initial=SectionSpec(
+                body=initial_body,
+                rwset=ReadWriteSet(
+                    reads=frozenset({_balance_key(sender), _balance_key(guessed_recipient)}),
+                    writes=frozenset({_balance_key(sender), _balance_key(guessed_recipient)}),
+                ),
+            ),
+            final=SectionSpec(body=final_body, rwset=ReadWriteSet(reads=involved, writes=involved)),
+            trigger=f"transfer:{sender}->{guessed_recipient}",
+        )
+        self._transfer_log[transaction_id] = {
+            "sender": sender,
+            "recipient": guessed_recipient,
+            "effective_recipient": guessed_recipient,
+            "amount": amount,
+            "retracted": False,
+        }
+        return transaction
+
+    def run_initial(self, transaction: MultiStageTransaction, now: float = 0.0) -> Any:
+        """Process the transfer's initial (guess) section."""
+        return self.controller.process_initial(transaction, labels=None, now=now)
+
+    def run_final(
+        self, transaction: MultiStageTransaction, true_recipient: str, now: float = 0.0
+    ) -> TransferOutcome:
+        """Process the transfer's final (apology) section."""
+        self.controller.process_final(transaction, labels=true_recipient, now=now)
+        return TransferOutcome(
+            transaction_id=transaction.transaction_id,
+            committed=transaction.is_committed,
+            apologies=transaction.apologies,
+        )
+
+    # -- invariant repair ------------------------------------------------------
+    def repair_overdrafts(self) -> list[str]:
+        """Retract the minimum set of transfers needed to restore the invariant.
+
+        This is the application-level merge of §4.4: when a redirected
+        transfer leaves a player overdrawn, their most recent outgoing
+        transfers are retracted (newest first) until the balance is
+        non-negative; everything else is retained.  Returns the apology
+        messages issued for the retracted transfers.
+        """
+        apologies: list[str] = []
+        for player in self.players:
+            if self.balance(player) >= 0:
+                continue
+            for transaction_id in reversed(list(self._transfer_log)):
+                if self.balance(player) >= 0:
+                    break
+                entry = self._transfer_log[transaction_id]
+                if entry["retracted"] or entry["sender"] != player:
+                    continue
+                recipient = entry["effective_recipient"]
+                amount = entry["amount"]
+                self.store.write(
+                    _balance_key(player), self.balance(player) + amount, writer="repair"
+                )
+                self.store.write(
+                    _balance_key(recipient), self.balance(recipient) - amount, writer="repair"
+                )
+                entry["retracted"] = True
+                apologies.append(
+                    f"retracted transfer {transaction_id} of {amount} from {player} to {recipient}"
+                )
+        return apologies
+
+    def retracted_transfers(self) -> tuple[str, ...]:
+        """Ids of transfers that have been retracted by the repair step."""
+        return tuple(
+            transaction_id
+            for transaction_id, entry in self._transfer_log.items()
+            if entry["retracted"]
+        )

@@ -1,0 +1,41 @@
+"""The cloud node.
+
+"The cloud node has a single task of processing frames using the cloud
+model Mc" (§3.3.3): a frame arrives from the edge, the accurate model
+produces labels, and the labels are sent back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.labels import LabelSet
+from repro.detection.models import SimulatedDetector
+from repro.detection.profiles import ModelProfile
+from repro.network.topology import MachineProfile
+from repro.video.frames import Frame
+
+
+class CloudNode:
+    """Runs the accurate (slow) cloud model ``Mc``."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        machine: MachineProfile,
+        rng: np.random.Generator,
+    ) -> None:
+        self._machine = machine
+        self._detector = SimulatedDetector(profile, rng, latency_scale=machine.compute_scale)
+
+    @property
+    def model_name(self) -> str:
+        return self._detector.name
+
+    @property
+    def machine(self) -> MachineProfile:
+        return self._machine
+
+    def detect(self, frame: Frame) -> tuple[LabelSet, float]:
+        """Process ``frame`` with ``Mc``; returns (labels, detection latency)."""
+        return self._detector.detect(frame)

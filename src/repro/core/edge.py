@@ -1,0 +1,238 @@
+"""The edge node: input processing and transaction processing (§3.3.2).
+
+The edge node hosts the small model ``Me``, the partition's data store,
+the transactions bank and the concurrency controller.  Its two
+components are modelled as two groups of methods:
+
+* **input processing** — run the edge model, drop low-confidence labels,
+  look up triggered transactions in the bank;
+* **transaction processing (TPC)** — run initial sections when a frame
+  arrives and final sections when the corrected labels come back from
+  the cloud, matching edge labels to cloud labels by bounding-box
+  overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.detection.feedback import CorrectionMemory, TemporalSmoother
+from repro.detection.labels import Detection, LabelSet
+from repro.detection.matching import MatchReport, match_labels
+from repro.detection.models import SimulatedDetector
+from repro.detection.profiles import ModelProfile
+from repro.network.topology import MachineProfile
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.locks import LockManager
+from repro.transactions.bank import TransactionBank
+from repro.transactions.exceptions import TransactionAborted
+from repro.transactions.history import History
+from repro.transactions.model import MultiStageTransaction
+from repro.transactions.ms_ia import MSIAController
+from repro.transactions.ms_sr import TwoStage2PL
+from repro.video.frames import Frame
+
+
+@dataclass
+class TriggeredTransaction:
+    """A transaction the TPC started for a frame, with its trigger."""
+
+    transaction: MultiStageTransaction
+    trigger_detection: Detection | None
+    initial_result: Any = None
+    aborted: bool = False
+
+
+@dataclass
+class InitialStageOutcome:
+    """What the edge produced for one frame before any cloud involvement."""
+
+    frame_id: int
+    raw_labels: LabelSet
+    labels: LabelSet  # after the low-confidence filter
+    detection_latency: float
+    triggered: list[TriggeredTransaction] = field(default_factory=list)
+    txn_latency: float = 0.0
+
+    @property
+    def committed(self) -> list[TriggeredTransaction]:
+        return [item for item in self.triggered if not item.aborted]
+
+
+@dataclass
+class FinalStageOutcome:
+    """Result of running the final sections for one frame."""
+
+    frame_id: int
+    match_report: MatchReport | None
+    txn_latency: float = 0.0
+    apologies: tuple[str, ...] = ()
+    corrections: int = 0
+    new_transactions: int = 0
+
+
+class EdgeNode:
+    """The edge node: ``Me``, the data store and the TPC."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        machine: MachineProfile,
+        bank: TransactionBank,
+        rng: np.random.Generator,
+        min_confidence: float = 0.05,
+        match_overlap: float = 0.10,
+        consistency: str = "ms-ia",
+        history: History | None = None,
+        enable_feedback: bool = False,
+    ) -> None:
+        self._machine = machine
+        self._detector = SimulatedDetector(profile, rng, latency_scale=machine.compute_scale)
+        self._bank = bank
+        self._min_confidence = min_confidence
+        self._match_overlap = match_overlap
+        self.feedback = CorrectionMemory() if enable_feedback else None
+        self.smoother = TemporalSmoother() if enable_feedback else None
+        self.store = KeyValueStore()
+        self.locks = LockManager()
+        if consistency == "ms-sr":
+            self.controller: TwoStage2PL | MSIAController = TwoStage2PL(
+                self.store, self.locks, history=history
+            )
+        else:
+            self.controller = MSIAController(self.store, self.locks, history=history)
+
+    @property
+    def model_name(self) -> str:
+        return self._detector.name
+
+    @property
+    def machine(self) -> MachineProfile:
+        return self._machine
+
+    @property
+    def bank(self) -> TransactionBank:
+        return self._bank
+
+    # -- input processing --------------------------------------------------
+    def detect(self, frame: Frame) -> tuple[LabelSet, float]:
+        """Run ``Me`` on a frame; returns (raw labels, detection latency)."""
+        return self._detector.detect(frame)
+
+    def filter_labels(self, labels: LabelSet) -> LabelSet:
+        """Drop low-confidence detections and apply edge-model feedback.
+
+        When feedback is enabled (footnote 1 of the paper), the labels are
+        first smoothed over recent frames and their confidences/names are
+        adjusted using the correction statistics learned from the cloud.
+        """
+        filtered = labels.filter_confidence(self._min_confidence)
+        if self.smoother is not None:
+            filtered = self.smoother.smooth(filtered)
+        if self.feedback is not None:
+            filtered = self.feedback.adjust(filtered)
+        return filtered
+
+    # -- initial stage -----------------------------------------------------
+    def process_initial_stage(
+        self,
+        frame: Frame,
+        labels: LabelSet,
+        now: float = 0.0,
+        detection_latency: float = 0.0,
+    ) -> InitialStageOutcome:
+        """Trigger and run the initial sections for a frame's labels."""
+        filtered = self.filter_labels(labels)
+        outcome = InitialStageOutcome(
+            frame_id=frame.frame_id,
+            raw_labels=labels,
+            labels=filtered,
+            detection_latency=detection_latency,
+        )
+
+        triggered_pairs = self._bank.transactions_for(
+            filtered.detections, auxiliary_input=frame.auxiliary_input
+        )
+        for transaction, detection in triggered_pairs:
+            entry = TriggeredTransaction(transaction=transaction, trigger_detection=detection)
+            try:
+                entry.initial_result = self.controller.process_initial(
+                    transaction, labels=detection, now=now
+                )
+            except TransactionAborted:
+                entry.aborted = True
+            outcome.triggered.append(entry)
+            outcome.txn_latency += self._transaction_cost(transaction)
+        return outcome
+
+    # -- final stage -------------------------------------------------------
+    def process_final_stage(
+        self,
+        initial: InitialStageOutcome,
+        cloud_labels: LabelSet | None,
+        now: float = 0.0,
+    ) -> FinalStageOutcome:
+        """Run the final sections for a frame.
+
+        When ``cloud_labels`` is ``None`` the frame was not validated: the
+        final sections run with the original edge labels (no correction).
+        Otherwise edge labels are matched to cloud labels and each final
+        section receives the corrected label; unmatched cloud labels
+        trigger fresh transactions whose initial and final sections both
+        run now (§3.3.2, last paragraph).
+        """
+        outcome = FinalStageOutcome(frame_id=initial.frame_id, match_report=None)
+
+        if cloud_labels is None:
+            for entry in initial.committed:
+                self._finalize(entry, entry.trigger_detection, outcome, now)
+            return outcome
+
+        report = match_labels(initial.labels, cloud_labels, min_overlap=self._match_overlap)
+        outcome.match_report = report
+        if self.feedback is not None:
+            self.feedback.observe(report)
+        corrected_by_edge: dict[Detection, Detection | None] = {
+            match.edge: match.corrected_label for match in report.matches
+        }
+        outcome.corrections = report.corrections_needed
+
+        for entry in initial.committed:
+            trigger = entry.trigger_detection
+            corrected = corrected_by_edge.get(trigger, trigger) if trigger is not None else None
+            self._finalize(entry, corrected, outcome, now)
+
+        # Cloud labels no edge label claimed: they should have triggered
+        # transactions but their labels were missing from Le.
+        missed_pairs = self._bank.transactions_for(report.unmatched_cloud, auxiliary_input=False)
+        for transaction, detection in missed_pairs:
+            try:
+                self.controller.process_initial(transaction, labels=detection, now=now)
+                self.controller.process_final(transaction, labels=detection, now=now)
+                outcome.new_transactions += 1
+                outcome.txn_latency += self._transaction_cost(transaction)
+            except TransactionAborted:
+                continue
+        return outcome
+
+    def _finalize(
+        self,
+        entry: TriggeredTransaction,
+        corrected: Detection | None,
+        outcome: FinalStageOutcome,
+        now: float,
+    ) -> None:
+        try:
+            self.controller.process_final(entry.transaction, labels=corrected, now=now)
+        except TransactionAborted:
+            return
+        outcome.apologies = outcome.apologies + entry.transaction.apologies
+        outcome.txn_latency += self._transaction_cost(entry.transaction)
+
+    def _transaction_cost(self, transaction: MultiStageTransaction) -> float:
+        """Simulated processing cost of one section batch of operations."""
+        operations = len(transaction.combined_rwset().keys)
+        return max(operations, 1) * self._machine.txn_overhead

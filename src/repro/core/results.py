@@ -1,0 +1,168 @@
+"""Run results: per-frame traces and aggregate metrics.
+
+The quantities here mirror what the paper's figures report:
+
+* the Figure 2 latency breakdown — edge transfer, edge detection, cloud
+  transfer, cloud detection, initial transaction, final transaction;
+* bandwidth utilisation (fraction of frames sent to the cloud);
+* the F-score of what the client observed against the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.detection.labels import LabelSet
+from repro.detection.metrics import AccuracyReport, aggregate_reports
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency components (seconds) of one frame, or their averages."""
+
+    edge_transfer: float = 0.0
+    edge_detection: float = 0.0
+    initial_txn: float = 0.0
+    cloud_transfer: float = 0.0
+    cloud_detection: float = 0.0
+    final_txn: float = 0.0
+
+    @property
+    def initial_latency(self) -> float:
+        """Time until the client has the initial (edge) response."""
+        return self.edge_transfer + self.edge_detection + self.initial_txn
+
+    @property
+    def final_latency(self) -> float:
+        """Time until the client has the final (corrected) response."""
+        return (
+            self.initial_latency
+            + self.cloud_transfer
+            + self.cloud_detection
+            + self.final_txn
+        )
+
+    @property
+    def cloud_total(self) -> float:
+        """Cloud-side portion of the final latency."""
+        return self.cloud_transfer + self.cloud_detection
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        """All components multiplied by ``factor``."""
+        return LatencyBreakdown(
+            edge_transfer=self.edge_transfer * factor,
+            edge_detection=self.edge_detection * factor,
+            initial_txn=self.initial_txn * factor,
+            cloud_transfer=self.cloud_transfer * factor,
+            cloud_detection=self.cloud_detection * factor,
+            final_txn=self.final_txn * factor,
+        )
+
+    @staticmethod
+    def average(breakdowns: list["LatencyBreakdown"]) -> "LatencyBreakdown":
+        """Component-wise mean of a list of breakdowns."""
+        if not breakdowns:
+            return LatencyBreakdown()
+        return LatencyBreakdown(
+            edge_transfer=mean(b.edge_transfer for b in breakdowns),
+            edge_detection=mean(b.edge_detection for b in breakdowns),
+            initial_txn=mean(b.initial_txn for b in breakdowns),
+            cloud_transfer=mean(b.cloud_transfer for b in breakdowns),
+            cloud_detection=mean(b.cloud_detection for b in breakdowns),
+            final_txn=mean(b.final_txn for b in breakdowns),
+        )
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """Everything recorded about one processed frame."""
+
+    frame_id: int
+    edge_labels: LabelSet
+    cloud_labels: LabelSet
+    observed_labels: LabelSet
+    sent_to_cloud: bool
+    latency: LatencyBreakdown
+    accuracy: AccuracyReport
+    transactions_triggered: int = 0
+    corrections: int = 0
+    apologies: int = 0
+    frame_bytes_sent: int = 0
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of running one video through a system."""
+
+    system_name: str
+    video_key: str
+    traces: list[FrameTrace] = field(default_factory=list)
+
+    def add(self, trace: FrameTrace) -> None:
+        self.traces.append(trace)
+
+    # -- aggregates --------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self.traces)
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of frames sent to the cloud (the paper's BU)."""
+        if not self.traces:
+            return 0.0
+        return sum(1 for trace in self.traces if trace.sent_to_cloud) / len(self.traces)
+
+    @property
+    def bytes_sent_to_cloud(self) -> int:
+        return sum(trace.frame_bytes_sent for trace in self.traces)
+
+    @property
+    def accuracy(self) -> AccuracyReport:
+        """Corpus-level precision/recall/F-score of the client's view."""
+        return aggregate_reports([trace.accuracy for trace in self.traces])
+
+    @property
+    def f_score(self) -> float:
+        return self.accuracy.f_score
+
+    @property
+    def average_latency(self) -> LatencyBreakdown:
+        return LatencyBreakdown.average([trace.latency for trace in self.traces])
+
+    @property
+    def average_initial_latency(self) -> float:
+        if not self.traces:
+            return 0.0
+        return mean(trace.latency.initial_latency for trace in self.traces)
+
+    @property
+    def average_final_latency(self) -> float:
+        if not self.traces:
+            return 0.0
+        return mean(trace.latency.final_latency for trace in self.traces)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(trace.transactions_triggered for trace in self.traces)
+
+    @property
+    def total_corrections(self) -> int:
+        return sum(trace.corrections for trace in self.traces)
+
+    @property
+    def total_apologies(self) -> int:
+        return sum(trace.apologies for trace in self.traces)
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary of the headline metrics."""
+        return {
+            "frames": float(self.num_frames),
+            "bandwidth_utilization": self.bandwidth_utilization,
+            "f_score": self.f_score,
+            "initial_latency_ms": self.average_initial_latency * 1000.0,
+            "final_latency_ms": self.average_final_latency * 1000.0,
+            "transactions": float(self.total_transactions),
+            "corrections": float(self.total_corrections),
+        }

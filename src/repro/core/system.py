@@ -1,0 +1,231 @@
+"""The Croesus pipeline.
+
+:class:`CroesusSystem` wires client, edge node and cloud node together
+and runs a video through the full multi-stage flow of Figure 1:
+
+1. the client sends a frame to the edge node;
+2. the edge model detects labels, low-confidence labels are dropped,
+   triggered transactions run their initial sections and the initial
+   response goes back to the client;
+3. bandwidth thresholding decides whether the frame needs cloud
+   validation; if so, the frame travels to the cloud, the cloud model
+   detects labels and they travel back;
+4. edge labels are matched to cloud labels and the final sections run
+   with the corrected labels (or, for unvalidated frames, with the
+   original edge labels).
+
+The run also computes the paper's metrics: the latency breakdown, the
+bandwidth utilisation, and the F-score of what the client observed
+against the cloud labels (which the paper treats as ground truth —
+the cloud model therefore runs on every frame for evaluation, but its
+latency and bandwidth are only charged for validated frames).
+"""
+
+from __future__ import annotations
+
+from repro.core.client import Client, ClientResponse
+from repro.core.cloud import CloudNode
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.edge import EdgeNode, InitialStageOutcome
+from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
+from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
+from repro.detection.labels import Detection, LabelSet
+from repro.detection.matching import match_labels
+from repro.detection.metrics import evaluate_detections
+from repro.network.channel import Channel
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLog
+from repro.sim.rng import RngRegistry
+from repro.transactions.bank import ANY_LABEL, TransactionBank
+from repro.transactions.history import History
+from repro.video.synthetic import SyntheticVideo
+from repro.workloads.ycsb import YCSBWorkload
+
+#: Nominal encoded size of a label set sent from the cloud back to the edge.
+LABELS_MESSAGE_BYTES = 2_048
+
+
+class CroesusSystem:
+    """One Croesus deployment, ready to process videos.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (topology, models, thresholds, safety
+        level, seed).
+    bank:
+        Optional transactions bank.  When omitted, a YCSB-A workload rule
+        is registered for every label class, mirroring the paper's
+        evaluation ("transactions are constructed by randomly selecting
+        keys to read or write to the database in response to detected
+        labels").
+    """
+
+    def __init__(self, config: CroesusConfig, bank: TransactionBank | None = None) -> None:
+        self.config = config
+        self.rngs = RngRegistry(config.seed)
+        self.events = EventLog()
+        self.history = History()
+        self.policy = ThresholdPolicy(config.lower_threshold, config.upper_threshold)
+
+        if bank is None:
+            workload = YCSBWorkload(
+                rng=self.rngs.stream("ycsb"),
+                operations_per_transaction=config.operations_per_transaction,
+            )
+            bank = TransactionBank()
+            bank.register(
+                name="detection",
+                label_class=ANY_LABEL,
+                factory=lambda detection, txn_id: workload.build_transaction(txn_id, detection),
+            )
+        self.bank = bank
+
+        consistency = "ms-sr" if config.consistency is ConsistencyLevel.MS_SR else "ms-ia"
+        self.edge = EdgeNode(
+            profile=config.edge_profile,
+            machine=config.topology.edge_machine,
+            bank=self.bank,
+            rng=self.rngs.stream("edge-model"),
+            min_confidence=config.min_confidence,
+            match_overlap=config.match_overlap,
+            consistency=consistency,
+            history=self.history,
+            enable_feedback=config.enable_feedback,
+        )
+        self.cloud = CloudNode(
+            profile=config.cloud_profile,
+            machine=config.topology.cloud_machine,
+            rng=self.rngs.stream("cloud-model"),
+        )
+        self.client_edge = Channel(config.topology.client_edge_link, self.rngs.stream("client-edge"))
+        self.edge_cloud = Channel(config.topology.edge_cloud_link, self.rngs.stream("edge-cloud"))
+
+    # -- public API ---------------------------------------------------------
+    def run(self, video: SyntheticVideo, client: Client | None = None) -> RunResult:
+        """Process every frame of ``video`` and return the aggregated result."""
+        if client is None:
+            client = Client(video)
+        result = RunResult(system_name="croesus", video_key=video.name)
+        clock = SimClock()
+        for frame in client.frames():
+            trace = self._process_frame(frame, clock, client)
+            result.add(trace)
+        return result
+
+    # -- per-frame pipeline ---------------------------------------------------
+    def _process_frame(self, frame, clock: SimClock, client: Client) -> FrameTrace:
+        # Step 1: client -> edge transfer.
+        edge_transfer = self.client_edge.send(
+            frame.size_bytes, timestamp=clock.now, description=f"frame-{frame.frame_id}"
+        )
+        clock.advance(edge_transfer)
+
+        # Step 2: edge detection + initial sections.
+        edge_labels_raw, edge_detection = self.edge.detect(frame)
+        clock.advance(edge_detection)
+        initial = self.edge.process_initial_stage(
+            frame, edge_labels_raw, now=clock.now, detection_latency=edge_detection
+        )
+        clock.advance(initial.txn_latency)
+        initial_commit_time = clock.now
+        client.render(
+            ClientResponse(
+                frame_id=frame.frame_id,
+                stage="initial",
+                payload=[entry.initial_result for entry in initial.committed],
+                timestamp=initial_commit_time,
+            )
+        )
+        self.events.record(clock.now, "initial_commit", frame_id=frame.frame_id)
+
+        # Step 3: thresholding decision on the filtered labels.
+        partition = self.policy.classify_labels(initial.labels)
+        validate = partition[ConfidenceInterval.VALIDATE]
+        send_to_cloud = bool(validate)
+
+        # The cloud model always runs for ground truth; its cost is only
+        # charged when the frame is actually validated.
+        cloud_labels, cloud_detection_raw = self.cloud.detect(frame)
+
+        cloud_transfer = 0.0
+        cloud_detection = 0.0
+        frame_bytes_sent = 0
+        if send_to_cloud:
+            uplink = self.edge_cloud.send(
+                frame.size_bytes, timestamp=clock.now, description=f"frame-{frame.frame_id}"
+            )
+            downlink = self.edge_cloud.send(
+                LABELS_MESSAGE_BYTES, timestamp=clock.now, description=f"labels-{frame.frame_id}"
+            )
+            cloud_transfer = uplink + downlink
+            cloud_detection = cloud_detection_raw
+            frame_bytes_sent = frame.size_bytes
+            clock.advance(cloud_transfer + cloud_detection)
+
+        # Step 4: final sections (with corrections when validated).
+        final = self.edge.process_final_stage(
+            initial, cloud_labels if send_to_cloud else None, now=clock.now
+        )
+        clock.advance(final.txn_latency)
+        client.render(
+            ClientResponse(
+                frame_id=frame.frame_id,
+                stage="final",
+                payload=None,
+                apologies=final.apologies,
+                timestamp=clock.now,
+            )
+        )
+        self.events.record(clock.now, "final_commit", frame_id=frame.frame_id)
+
+        observed = self._observed_labels(initial, cloud_labels, send_to_cloud)
+        accuracy = evaluate_detections(observed, cloud_labels, min_overlap=self.config.match_overlap)
+        latency = LatencyBreakdown(
+            edge_transfer=edge_transfer,
+            edge_detection=edge_detection,
+            initial_txn=initial.txn_latency,
+            cloud_transfer=cloud_transfer,
+            cloud_detection=cloud_detection,
+            final_txn=final.txn_latency,
+        )
+
+        return FrameTrace(
+            frame_id=frame.frame_id,
+            edge_labels=initial.labels,
+            cloud_labels=cloud_labels,
+            observed_labels=observed,
+            sent_to_cloud=send_to_cloud,
+            latency=latency,
+            accuracy=accuracy,
+            transactions_triggered=len(initial.triggered),
+            corrections=final.corrections,
+            apologies=len(final.apologies),
+            frame_bytes_sent=frame_bytes_sent,
+        )
+
+    # -- helpers --------------------------------------------------------------
+    def _observed_labels(
+        self,
+        initial: InitialStageOutcome,
+        cloud_labels: LabelSet,
+        sent: bool,
+    ) -> LabelSet:
+        """What the client ends up seeing for this frame.
+
+        Unvalidated frames show the surviving edge labels.  Validated
+        frames show the corrected labels: confirmed/corrected edge labels
+        plus any cloud labels the edge missed, with spurious edge labels
+        dropped — exactly what the final sections render.
+        """
+        survivors = self.policy.surviving_labels(initial.labels)
+        if not sent:
+            return survivors
+
+        report = match_labels(survivors, cloud_labels, min_overlap=self.config.match_overlap)
+        corrected: list[Detection] = []
+        for match in report.matches:
+            if match.corrected_label is not None:
+                corrected.append(match.corrected_label)
+        corrected.extend(report.unmatched_cloud)
+        return LabelSet(initial.frame_id, tuple(corrected), model_name="croesus-observed")

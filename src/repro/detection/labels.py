@@ -1,0 +1,101 @@
+"""Detections and label sets.
+
+A *detection* is what the paper calls a label ``L[i]``: a name, a
+confidence and bounding-box coordinates.  A :class:`LabelSet` is the set
+of detections a model produced for one frame (``Le`` at the edge, ``Lc``
+at the cloud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.detection.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object.
+
+    Attributes
+    ----------
+    name:
+        Label name (e.g. ``"person"``, ``"Engineering Building"``).
+    confidence:
+        Model confidence in [0, 1].
+    box:
+        Bounding box of the detection.
+    object_id:
+        Identifier of the ground-truth object this detection came from,
+        or ``None`` for a hallucinated (false-positive) detection.  Only
+        the simulation substrate uses this; Croesus itself never looks at
+        it.
+    """
+
+    name: str
+    confidence: float
+    box: BoundingBox
+    object_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+
+    def with_confidence(self, confidence: float) -> "Detection":
+        """Return a copy with a different confidence."""
+        return replace(self, confidence=confidence)
+
+    def with_name(self, name: str) -> "Detection":
+        """Return a copy with a different label name."""
+        return replace(self, name=name)
+
+
+@dataclass(frozen=True)
+class LabelSet:
+    """The detections produced by one model for one frame."""
+
+    frame_id: int
+    detections: tuple[Detection, ...] = field(default_factory=tuple)
+    model_name: str = "unknown"
+
+    def __iter__(self) -> Iterator[Detection]:
+        return iter(self.detections)
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def __bool__(self) -> bool:
+        return bool(self.detections)
+
+    def names(self) -> list[str]:
+        """Label names in detection order."""
+        return [detection.name for detection in self.detections]
+
+    def filter_confidence(self, minimum: float) -> "LabelSet":
+        """Drop detections with confidence strictly below ``minimum``."""
+        kept = tuple(d for d in self.detections if d.confidence >= minimum)
+        return LabelSet(self.frame_id, kept, self.model_name)
+
+    def filter_names(self, names: Iterable[str]) -> "LabelSet":
+        """Keep only detections whose name is in ``names``."""
+        allowed = set(names)
+        kept = tuple(d for d in self.detections if d.name in allowed)
+        return LabelSet(self.frame_id, kept, self.model_name)
+
+    def best_by_confidence(self) -> Detection | None:
+        """The highest-confidence detection, or ``None`` when empty."""
+        if not self.detections:
+            return None
+        return max(self.detections, key=lambda d: d.confidence)
+
+    def closest_to_center(self, width: float, height: float) -> Detection | None:
+        """Detection whose box center is closest to the frame center.
+
+        The paper's room-reservation task (Task 2) picks "the label that
+        is closest to the center of the frame".
+        """
+        if not self.detections:
+            return None
+        cx, cy = width / 2.0, height / 2.0
+        return min(self.detections, key=lambda d: d.box.distance_to_point(cx, cy))

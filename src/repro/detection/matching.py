@@ -1,0 +1,142 @@
+"""Edge-to-cloud label matching (paper Section 3.3.2, "Final Transaction Section").
+
+When the cloud labels ``Lc`` arrive, each edge label ``Le[i]`` is matched
+to the cloud label with the largest bounding-box overlap (subject to a
+minimum overlap fraction).  Three outcomes are possible:
+
+* ``MISSING``   — no overlapping cloud label: the edge detection was
+  spurious; the final section runs with an empty label.
+* ``CONFIRMED`` — overlapping cloud label with the **same** name: the edge
+  detection was correct.
+* ``CORRECTED`` — overlapping cloud label with a **different** name: the
+  edge detection was mislabelled; the final section runs with the cloud
+  label.
+
+Cloud labels that match no edge label are *unmatched* and trigger fresh
+initial+final sections (step 4 of the execution pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.detection.geometry import overlap_ratio
+from repro.detection.labels import Detection, LabelSet
+
+
+class MatchOutcome(Enum):
+    """Result of matching one edge label against the cloud labels."""
+
+    CONFIRMED = "confirmed"
+    CORRECTED = "corrected"
+    MISSING = "missing"
+
+
+@dataclass(frozen=True)
+class LabelMatch:
+    """Pairing of one edge detection with its cloud counterpart (if any)."""
+
+    edge: Detection
+    cloud: Detection | None
+    outcome: MatchOutcome
+    overlap: float
+
+    @property
+    def was_correct(self) -> bool:
+        """True when the edge label needed no correction."""
+        return self.outcome is MatchOutcome.CONFIRMED
+
+    @property
+    def corrected_label(self) -> Detection | None:
+        """The label the final section should use (None when spurious)."""
+        if self.outcome is MatchOutcome.MISSING:
+            return None
+        if self.outcome is MatchOutcome.CONFIRMED:
+            return self.edge
+        return self.cloud
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Full result of matching a frame's edge labels with its cloud labels."""
+
+    matches: tuple[LabelMatch, ...]
+    unmatched_cloud: tuple[Detection, ...]
+
+    @property
+    def corrections_needed(self) -> int:
+        """Number of edge labels that turned out wrong (corrected or missing)."""
+        return sum(1 for match in self.matches if not match.was_correct)
+
+    @property
+    def all_correct(self) -> bool:
+        """True when every edge label was confirmed and nothing was missed."""
+        return self.corrections_needed == 0 and not self.unmatched_cloud
+
+
+def match_labels(
+    edge_labels: LabelSet,
+    cloud_labels: LabelSet,
+    min_overlap: float = 0.10,
+) -> MatchReport:
+    """Match edge labels against cloud labels by bounding-box overlap.
+
+    Parameters
+    ----------
+    edge_labels:
+        Labels produced by the edge model (``Le``).
+    cloud_labels:
+        Labels produced by the cloud model (``Lc``), treated as truth.
+    min_overlap:
+        Minimum overlap fraction for two boxes to be considered the same
+        object (the paper's X%, default 10%).
+
+    Returns
+    -------
+    MatchReport
+        Per-edge-label matches plus the cloud labels no edge label claimed.
+    """
+    if not 0.0 <= min_overlap <= 1.0:
+        raise ValueError("min_overlap must be in [0, 1]")
+
+    matches: list[LabelMatch] = []
+    claimed: set[int] = set()
+
+    for edge_detection in edge_labels:
+        best_index: int | None = None
+        best_overlap = 0.0
+        for index, cloud_detection in enumerate(cloud_labels):
+            overlap = overlap_ratio(edge_detection.box, cloud_detection.box)
+            if overlap >= min_overlap and overlap > best_overlap:
+                best_overlap = overlap
+                best_index = index
+
+        if best_index is None:
+            matches.append(
+                LabelMatch(edge=edge_detection, cloud=None, outcome=MatchOutcome.MISSING, overlap=0.0)
+            )
+            continue
+
+        cloud_detection = cloud_labels.detections[best_index]
+        claimed.add(best_index)
+        outcome = (
+            MatchOutcome.CONFIRMED
+            if cloud_detection.name == edge_detection.name
+            else MatchOutcome.CORRECTED
+        )
+        matches.append(
+            LabelMatch(
+                edge=edge_detection,
+                cloud=cloud_detection,
+                outcome=outcome,
+                overlap=best_overlap,
+            )
+        )
+
+    unmatched = tuple(
+        detection
+        for index, detection in enumerate(cloud_labels)
+        if index not in claimed
+    )
+    return MatchReport(matches=tuple(matches), unmatched_cloud=unmatched)

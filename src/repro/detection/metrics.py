@@ -1,0 +1,99 @@
+"""Accuracy metrics: precision, recall and F-score.
+
+The paper measures accuracy as the F-score of what the *client observes*
+against the ground truth (which the paper takes to be YOLOv3's output).
+A client observation is the edge label unless the frame was validated by
+the cloud, in which case the corrected label counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.geometry import overlap_ratio
+from repro.detection.labels import LabelSet
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision / recall / F-score over a set of frames."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f_score(self) -> float:
+        return f_score(self.precision, self.recall)
+
+    def merged(self, other: "AccuracyReport") -> "AccuracyReport":
+        """Combine counts from two reports."""
+        return AccuracyReport(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+        )
+
+
+def f_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def evaluate_detections(
+    observed: LabelSet,
+    truth: LabelSet,
+    min_overlap: float = 0.10,
+) -> AccuracyReport:
+    """Score observed labels against ground-truth labels for one frame.
+
+    A prediction counts as a true positive when some unclaimed truth label
+    overlaps it by at least ``min_overlap`` and carries the same name —
+    the same 10%-overlap rule the paper uses for its F-score.
+    """
+    claimed: set[int] = set()
+    true_positives = 0
+    false_positives = 0
+
+    for prediction in observed:
+        matched = False
+        for index, truth_label in enumerate(truth):
+            if index in claimed:
+                continue
+            if truth_label.name != prediction.name:
+                continue
+            if overlap_ratio(prediction.box, truth_label.box) >= min_overlap:
+                claimed.add(index)
+                matched = True
+                break
+        if matched:
+            true_positives += 1
+        else:
+            false_positives += 1
+
+    false_negatives = len(truth) - len(claimed)
+    return AccuracyReport(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )
+
+
+def aggregate_reports(reports: list[AccuracyReport]) -> AccuracyReport:
+    """Sum a list of per-frame reports into one corpus-level report."""
+    total = AccuracyReport(0, 0, 0)
+    for report in reports:
+        total = total.merged(report)
+    return total

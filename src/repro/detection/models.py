@@ -1,0 +1,149 @@
+"""Simulated detection models.
+
+The :class:`SimulatedDetector` turns a frame's ground-truth scene into a
+:class:`~repro.detection.labels.LabelSet` according to a
+:class:`~repro.detection.profiles.ModelProfile`:
+
+* each ground-truth object is detected with probability
+  ``recall * object.visibility``,
+* a detected object is mislabelled with probability ``mislabel_rate``
+  (scaled up for "hard" objects),
+* bounding boxes are jittered by ``box_noise``,
+* a Poisson number of false positives is hallucinated per frame,
+* confidences are drawn around ``confidence_correct`` /
+  ``confidence_error`` and clipped to [0, 1],
+* the reported inference latency is Gaussian around
+  ``inference_latency``.
+
+This is the substitution documented in DESIGN.md: Croesus only consumes
+labels, confidences, boxes and latency, so a calibrated statistical
+detector reproduces the accuracy/performance trade-off the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.detection.geometry import BoundingBox
+from repro.detection.labels import Detection, LabelSet
+from repro.detection.profiles import ModelProfile
+from repro.video.frames import Frame
+
+
+class DetectionModel(Protocol):
+    """Anything that can turn a frame into labels with a latency."""
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol
+        ...
+
+    def detect(self, frame: Frame) -> tuple[LabelSet, float]:
+        """Return ``(labels, inference_latency_seconds)`` for a frame."""
+        ...  # pragma: no cover - protocol
+
+
+class SimulatedDetector:
+    """A statistical detector driven by a :class:`ModelProfile`.
+
+    Parameters
+    ----------
+    profile:
+        Error/latency characteristics of the simulated CNN.
+    rng:
+        NumPy generator; pass a stream from
+        :class:`repro.sim.RngRegistry` for reproducibility.
+    latency_scale:
+        Multiplier on inference latency, used to model slower machines.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        rng: np.random.Generator,
+        latency_scale: float = 1.0,
+    ) -> None:
+        if latency_scale <= 0:
+            raise ValueError("latency_scale must be positive")
+        self._profile = profile
+        self._rng = rng
+        self._latency_scale = latency_scale
+
+    @property
+    def name(self) -> str:
+        return self._profile.name
+
+    @property
+    def profile(self) -> ModelProfile:
+        return self._profile
+
+    def detect(self, frame: Frame) -> tuple[LabelSet, float]:
+        """Simulate inference over ``frame``.
+
+        Returns the produced label set and the simulated inference latency
+        in seconds.
+        """
+        detections: list[Detection] = []
+        profile = self._profile
+        for obj in frame.objects:
+            detect_prob = profile.recall * obj.visibility
+            if self._rng.random() > detect_prob:
+                continue
+            mislabel_prob = min(1.0, profile.mislabel_rate * obj.difficulty)
+            mislabelled = self._rng.random() < mislabel_prob
+            name = obj.confusable_name if mislabelled else obj.name
+            box = self._jitter_box(obj.box)
+            confidence = self._draw_confidence(correct=not mislabelled, difficulty=obj.difficulty)
+            detections.append(
+                Detection(name=name, confidence=confidence, box=box, object_id=obj.object_id)
+            )
+
+        for _ in range(self._rng.poisson(profile.false_positive_rate)):
+            detections.append(self._hallucinate(frame))
+
+        latency = self._draw_latency()
+        labels = LabelSet(
+            frame_id=frame.frame_id,
+            detections=tuple(detections),
+            model_name=profile.name,
+        )
+        return labels, latency
+
+    def _jitter_box(self, box: BoundingBox) -> BoundingBox:
+        noise = self._profile.box_noise
+        if noise <= 0:
+            return box
+        dx = self._rng.normal(0.0, noise * box.width)
+        dy = self._rng.normal(0.0, noise * box.height)
+        scale = float(np.clip(self._rng.normal(1.0, noise), 0.5, 1.5))
+        return box.translated(dx, dy).scaled(scale)
+
+    def _draw_confidence(self, correct: bool, difficulty: float) -> float:
+        profile = self._profile
+        mean = profile.confidence_correct if correct else profile.confidence_error
+        # Harder objects yield lower confidence even when correctly labelled.
+        mean = mean / max(difficulty, 1.0) if difficulty > 1.0 else mean
+        value = self._rng.normal(mean, profile.confidence_spread)
+        return float(np.clip(value, 0.01, 0.999))
+
+    def _draw_latency(self) -> float:
+        profile = self._profile
+        latency = self._rng.normal(profile.inference_latency, profile.latency_jitter)
+        return float(max(latency, 0.001)) * self._latency_scale
+
+    def _hallucinate(self, frame: Frame) -> Detection:
+        """Produce a false-positive detection somewhere in the frame."""
+        width, height = frame.width, frame.height
+        box_w = self._rng.uniform(0.05, 0.2) * width
+        box_h = self._rng.uniform(0.05, 0.2) * height
+        x = self._rng.uniform(0, max(width - box_w, 1.0))
+        y = self._rng.uniform(0, max(height - box_h, 1.0))
+        name = frame.query_class if frame.query_class else "object"
+        confidence = self._draw_confidence(correct=False, difficulty=1.0)
+        return Detection(
+            name=name,
+            confidence=confidence,
+            box=BoundingBox(x, y, x + box_w, y + box_h),
+            object_id=None,
+        )

@@ -1,0 +1,37 @@
+"""Edge-cloud network emulation.
+
+The paper's evaluation places the edge in California and the cloud in
+Virginia (or both in the same region), on t3a.small / t3a.xlarge
+machines.  This package models those choices as link profiles
+(propagation delay + bandwidth) and machine profiles (compute scaling),
+which the Croesus pipeline charges against the simulation clock.
+"""
+
+from repro.network.latency import (
+    CLIENT_TO_EDGE,
+    CROSS_COUNTRY,
+    SAME_REGION,
+    LinkProfile,
+)
+from repro.network.channel import Channel, TransferRecord
+from repro.network.topology import (
+    EDGE_REGULAR,
+    EDGE_SMALL,
+    CLOUD_XLARGE,
+    EdgeCloudTopology,
+    MachineProfile,
+)
+
+__all__ = [
+    "LinkProfile",
+    "CLIENT_TO_EDGE",
+    "SAME_REGION",
+    "CROSS_COUNTRY",
+    "Channel",
+    "TransferRecord",
+    "MachineProfile",
+    "EDGE_SMALL",
+    "EDGE_REGULAR",
+    "CLOUD_XLARGE",
+    "EdgeCloudTopology",
+]

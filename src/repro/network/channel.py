@@ -1,0 +1,68 @@
+"""Channels: links plus bandwidth accounting.
+
+A :class:`Channel` wraps a :class:`~repro.network.latency.LinkProfile`
+and records every transfer so that experiments can report edge-cloud
+bandwidth utilisation (BU) and total bytes moved — the monetary-cost
+proxy the paper discusses in §3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.latency import LinkProfile
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer over a channel."""
+
+    timestamp: float
+    size_bytes: int
+    duration: float
+    description: str
+
+
+class Channel:
+    """A unidirectional link with transfer accounting."""
+
+    def __init__(self, profile: LinkProfile, rng: np.random.Generator | None = None) -> None:
+        self._profile = profile
+        self._rng = rng
+        self._transfers: list[TransferRecord] = []
+
+    @property
+    def profile(self) -> LinkProfile:
+        return self._profile
+
+    def send(self, size_bytes: int, timestamp: float = 0.0, description: str = "") -> float:
+        """Record a transfer and return its duration in seconds."""
+        duration = self._profile.transfer_time(size_bytes, rng=self._rng)
+        self._transfers.append(
+            TransferRecord(
+                timestamp=timestamp,
+                size_bytes=size_bytes,
+                duration=duration,
+                description=description,
+            )
+        )
+        return duration
+
+    @property
+    def transfers(self) -> tuple[TransferRecord, ...]:
+        return tuple(self._transfers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved over this channel so far."""
+        return sum(record.size_bytes for record in self._transfers)
+
+    @property
+    def transfer_count(self) -> int:
+        return len(self._transfers)
+
+    def reset(self) -> None:
+        """Forget recorded transfers (new experiment run)."""
+        self._transfers.clear()

@@ -1,0 +1,81 @@
+"""Link profiles.
+
+A link is described by a one-way propagation delay, an available
+bandwidth, and a jitter term.  The presets roughly match the deployments
+in the paper's evaluation:
+
+* client → edge: a nearby edge node, a few milliseconds away;
+* edge → cloud, same region: AWS intra-region latency (~1-2 ms);
+* edge → cloud, cross-country (California ↔ Virginia): ~60-70 ms RTT,
+  so ~30-35 ms one way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """One-way characteristics of a network link.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    propagation_delay:
+        One-way base delay in seconds.
+    bandwidth_bytes_per_sec:
+        Achievable throughput in bytes/second.
+    jitter:
+        Standard deviation of the delay noise, in seconds.
+    """
+
+    name: str
+    propagation_delay: float
+    bandwidth_bytes_per_sec: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def transfer_time(self, size_bytes: int, rng: np.random.Generator | None = None) -> float:
+        """One-way time to move ``size_bytes`` over this link."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        base = self.propagation_delay + size_bytes / self.bandwidth_bytes_per_sec
+        if rng is not None and self.jitter > 0:
+            base += abs(float(rng.normal(0.0, self.jitter)))
+        return base
+
+
+#: Client (headset / camera) to its nearby edge node.
+CLIENT_TO_EDGE = LinkProfile(
+    name="client-edge",
+    propagation_delay=0.004,
+    bandwidth_bytes_per_sec=40e6,
+    jitter=0.001,
+)
+
+#: Edge and cloud in the same AWS region.
+SAME_REGION = LinkProfile(
+    name="same-region",
+    propagation_delay=0.0015,
+    bandwidth_bytes_per_sec=120e6,
+    jitter=0.0005,
+)
+
+#: California edge to Virginia cloud (the paper's default setup).
+CROSS_COUNTRY = LinkProfile(
+    name="cross-country",
+    propagation_delay=0.033,
+    bandwidth_bytes_per_sec=25e6,
+    jitter=0.004,
+)

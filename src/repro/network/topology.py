@@ -1,0 +1,116 @@
+"""Machines and the edge-cloud topology.
+
+The evaluation uses two machine types (t3a.small and t3a.xlarge) and two
+placements (edge and cloud in the same region or across the country).
+A :class:`MachineProfile` scales model-inference and transaction
+latencies; an :class:`EdgeCloudTopology` bundles the machine choices with
+the link profiles to describe one experimental setup (Figure 4 runs the
+same workload over four of these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.latency import CLIENT_TO_EDGE, CROSS_COUNTRY, SAME_REGION, LinkProfile
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Compute capability of a machine.
+
+    ``compute_scale`` multiplies model-inference latency; ``txn_overhead``
+    is the fixed per-operation transaction-processing cost in seconds.
+    """
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    compute_scale: float
+    txn_overhead: float = 0.00002
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if self.compute_scale <= 0:
+            raise ValueError("compute_scale must be positive")
+
+
+#: t3a.small: 2 vCPUs, 2 GiB — the "limited resources" edge machine.
+EDGE_SMALL = MachineProfile(name="t3a.small", vcpus=2, memory_gib=2.0, compute_scale=2.1)
+
+#: t3a.xlarge: 4 vCPUs, 16 GiB — the default edge machine.
+EDGE_REGULAR = MachineProfile(name="t3a.xlarge", vcpus=4, memory_gib=16.0, compute_scale=1.0)
+
+#: The cloud machine is always a t3a.xlarge in the paper's experiments.
+CLOUD_XLARGE = MachineProfile(name="t3a.xlarge", vcpus=4, memory_gib=16.0, compute_scale=1.0)
+
+
+@dataclass(frozen=True)
+class EdgeCloudTopology:
+    """One experimental deployment: machines plus links."""
+
+    name: str
+    edge_machine: MachineProfile
+    cloud_machine: MachineProfile
+    client_edge_link: LinkProfile
+    edge_cloud_link: LinkProfile
+
+    @classmethod
+    def default(cls) -> "EdgeCloudTopology":
+        """The paper's default: regular edge in CA, cloud in VA."""
+        return cls.regular_edge_different_location()
+
+    @classmethod
+    def small_edge_different_location(cls) -> "EdgeCloudTopology":
+        """Figure 4 setup (a): t3a.small edge, CA ↔ VA."""
+        return cls(
+            name="small-edge/different-location",
+            edge_machine=EDGE_SMALL,
+            cloud_machine=CLOUD_XLARGE,
+            client_edge_link=CLIENT_TO_EDGE,
+            edge_cloud_link=CROSS_COUNTRY,
+        )
+
+    @classmethod
+    def small_edge_same_location(cls) -> "EdgeCloudTopology":
+        """Figure 4 setup (b): t3a.small edge, co-located with the cloud."""
+        return cls(
+            name="small-edge/same-location",
+            edge_machine=EDGE_SMALL,
+            cloud_machine=CLOUD_XLARGE,
+            client_edge_link=CLIENT_TO_EDGE,
+            edge_cloud_link=SAME_REGION,
+        )
+
+    @classmethod
+    def regular_edge_different_location(cls) -> "EdgeCloudTopology":
+        """Figure 4 setup (c): t3a.xlarge edge, CA ↔ VA (the default)."""
+        return cls(
+            name="regular-edge/different-location",
+            edge_machine=EDGE_REGULAR,
+            cloud_machine=CLOUD_XLARGE,
+            client_edge_link=CLIENT_TO_EDGE,
+            edge_cloud_link=CROSS_COUNTRY,
+        )
+
+    @classmethod
+    def regular_edge_same_location(cls) -> "EdgeCloudTopology":
+        """Figure 4 setup (d): t3a.xlarge edge, co-located with the cloud."""
+        return cls(
+            name="regular-edge/same-location",
+            edge_machine=EDGE_REGULAR,
+            cloud_machine=CLOUD_XLARGE,
+            client_edge_link=CLIENT_TO_EDGE,
+            edge_cloud_link=SAME_REGION,
+        )
+
+    @classmethod
+    def all_setups(cls) -> tuple["EdgeCloudTopology", ...]:
+        """The four setups of Figure 4, in the paper's (a)-(d) order."""
+        return (
+            cls.small_edge_different_location(),
+            cls.small_edge_same_location(),
+            cls.regular_edge_different_location(),
+            cls.regular_edge_same_location(),
+        )

@@ -1,0 +1,72 @@
+"""Logical simulation clock.
+
+All latencies in the reproduction are expressed in **seconds** of
+simulated time.  The clock only moves forward; components call
+:meth:`SimClock.advance` to charge elapsed time and :meth:`SimClock.now`
+to timestamp events.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock is asked to move backwards."""
+
+
+class SimClock:
+    """A monotonically increasing logical clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds.
+
+    Examples
+    --------
+    >>> clock = SimClock()
+    >>> clock.advance(0.5)
+    0.5
+    >>> clock.now
+    0.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start at a negative time")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += float(delta)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp``.
+
+        A timestamp in the past is ignored (the clock never rewinds); this
+        mirrors how a node that finishes early still has to wait for a
+        message that arrives later.
+        """
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def fork(self) -> "SimClock":
+        """Return an independent clock starting at the current time.
+
+        Used to model concurrent activities (e.g. the cloud processing a
+        frame while the edge commits the initial section): each branch
+        advances its own copy and the caller joins them with
+        :meth:`advance_to` on the maximum.
+        """
+        return SimClock(self._now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SimClock(now={self._now:.6f})"

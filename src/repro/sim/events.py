@@ -1,0 +1,61 @@
+"""Event records for simulation traces.
+
+The event log is an append-only timeline used by the analysis layer to
+produce latency breakdowns (Figure 2 / Figure 4 in the paper) without the
+system components having to know which breakdown a benchmark wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped event.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time (seconds) at which the event occurred.
+    kind:
+        Machine-readable category, e.g. ``"edge_detection_done"``.
+    payload:
+        Free-form extra data (frame id, latency components, ...).
+    """
+
+    timestamp: float
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only, time-ordered log of :class:`Event` records."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, timestamp: float, kind: str, **payload: Any) -> Event:
+        """Append an event and return it."""
+        event = Event(timestamp=timestamp, kind=kind, payload=dict(payload))
+        self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Return all events with the given ``kind`` in insertion order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def kinds(self) -> set[str]:
+        """Return the set of event kinds seen so far."""
+        return {event.kind for event in self._events}
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

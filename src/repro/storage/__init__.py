@@ -1,0 +1,26 @@
+"""Edge data-store substrate.
+
+The edge node "hosts the main copy of its partition's data" (paper §3.1)
+and processes transactions against it.  This package provides the
+versioned key-value store, the lock manager used by both concurrency
+controllers, undo logging for apologies/retractions, and a partitioned
+store with a two-phase-commit coordinator for multi-partition
+transactions (paper §4.5).
+"""
+
+from repro.storage.kvstore import KeyValueStore, Version
+from repro.storage.locks import LockManager, LockMode, LockRequestDenied
+from repro.storage.partition import PartitionedStore, TwoPhaseCommitCoordinator
+from repro.storage.wal import UndoLog, UndoRecord
+
+__all__ = [
+    "KeyValueStore",
+    "Version",
+    "LockManager",
+    "LockMode",
+    "LockRequestDenied",
+    "UndoLog",
+    "UndoRecord",
+    "PartitionedStore",
+    "TwoPhaseCommitCoordinator",
+]

@@ -1,0 +1,113 @@
+"""Versioned in-memory key-value store.
+
+The store keeps every committed version of a key.  Versions let the
+final (apology) section of a transaction inspect what the initial
+section wrote, and let the undo machinery retract a write precisely even
+if later transactions touched the same key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class KeyNotFound(KeyError):
+    """Raised when reading a key that has never been written."""
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key."""
+
+    value: Any
+    writer: str
+    sequence: int
+
+
+@dataclass
+class KeyValueStore:
+    """Multi-version key-value store with simple read/write/delete.
+
+    The store is deliberately unsynchronised: the concurrency controllers
+    in :mod:`repro.transactions` serialize access to it, matching the
+    paper's single edge-node prototype.
+    """
+
+    _data: dict[str, list[Version]] = field(default_factory=dict)
+    _sequence: int = 0
+
+    def read(self, key: str, default: Any = ...) -> Any:
+        """Return the latest committed value of ``key``.
+
+        Raises :class:`KeyNotFound` when the key does not exist and no
+        ``default`` is supplied.
+        """
+        versions = self._data.get(key)
+        if not versions:
+            if default is ...:
+                raise KeyNotFound(key)
+            return default
+        return versions[-1].value
+
+    def read_version(self, key: str, index: int = -1) -> Version:
+        """Return a specific version record of ``key`` (default: latest)."""
+        versions = self._data.get(key)
+        if not versions:
+            raise KeyNotFound(key)
+        return versions[index]
+
+    def write(self, key: str, value: Any, writer: str = "system") -> Version:
+        """Append a new version of ``key`` and return it."""
+        self._sequence += 1
+        version = Version(value=value, writer=writer, sequence=self._sequence)
+        self._data.setdefault(key, []).append(version)
+        return version
+
+    def delete(self, key: str, writer: str = "system") -> None:
+        """Delete a key by writing a tombstone (``None``) version."""
+        self.write(key, None, writer=writer)
+
+    def exists(self, key: str) -> bool:
+        """True when the key has a non-tombstone latest version."""
+        versions = self._data.get(key)
+        return bool(versions) and versions[-1].value is not None
+
+    def history(self, key: str) -> tuple[Version, ...]:
+        """All committed versions of ``key`` in commit order."""
+        return tuple(self._data.get(key, ()))
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all keys that have ever been written."""
+        return iter(self._data.keys())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Latest value of every live (non-tombstone) key."""
+        return {
+            key: versions[-1].value
+            for key, versions in self._data.items()
+            if versions and versions[-1].value is not None
+        }
+
+    def rollback_writer(self, key: str, writer: str) -> bool:
+        """Restore ``key`` to the value it had before ``writer`` last wrote it.
+
+        Returns ``True`` when a write by ``writer`` was found and undone.
+        Used by MS-IA apologies to retract the effect of an erroneous
+        initial section.
+        """
+        versions = self._data.get(key)
+        if not versions:
+            return False
+        for index in range(len(versions) - 1, -1, -1):
+            if versions[index].writer == writer:
+                prior_value = versions[index - 1].value if index > 0 else None
+                self.write(key, prior_value, writer=f"undo:{writer}")
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data

@@ -1,0 +1,167 @@
+"""Lock manager for multi-stage transactions.
+
+Both Two-Stage 2PL (MS-SR) and the MS-IA controller acquire shared /
+exclusive locks on keys.  The manager is *non-blocking*: a request that
+cannot be granted immediately is denied, and the caller decides whether
+to abort (MS-SR under contention, Figure 6b) or to queue the transaction
+behind a sequencer (MS-IA, which the paper reports as abort-free).
+
+The manager also tracks, per holder, when each lock was acquired so the
+benchmark for Figure 6a can measure average lock-hold latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+
+class LockMode(Enum):
+    """Shared (read) or exclusive (write) lock."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockRequestDenied(RuntimeError):
+    """Raised when a lock cannot be granted and the caller must abort/retry."""
+
+    def __init__(self, key: str, holder: str, requester: str) -> None:
+        super().__init__(f"{requester} denied lock on {key!r} held by {holder}")
+        self.key = key
+        self.holder = holder
+        self.requester = requester
+
+
+@dataclass
+class _LockEntry:
+    """Current grants on one key."""
+
+    mode: LockMode
+    holders: dict[str, float] = field(default_factory=dict)  # holder -> acquire time
+
+
+@dataclass(frozen=True)
+class LockHoldRecord:
+    """A completed lock tenure, used for contention statistics."""
+
+    key: str
+    holder: str
+    acquired_at: float
+    released_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.released_at - self.acquired_at
+
+
+class LockManager:
+    """Grants and releases S/X locks and records hold durations."""
+
+    def __init__(self) -> None:
+        self._table: dict[str, _LockEntry] = {}
+        self._held_by: dict[str, set[str]] = {}
+        self._hold_records: list[LockHoldRecord] = []
+
+    def try_acquire(
+        self,
+        holder: str,
+        key: str,
+        mode: LockMode,
+        now: float = 0.0,
+    ) -> bool:
+        """Attempt to grant ``holder`` a lock on ``key``.
+
+        Returns ``True`` when granted, ``False`` when the request
+        conflicts with an existing grant by another holder.  Re-acquiring
+        an already held lock (including an S→X upgrade when the holder is
+        the only one) succeeds.
+        """
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = _LockEntry(mode=mode, holders={holder: now})
+            self._held_by.setdefault(holder, set()).add(key)
+            return True
+
+        if holder in entry.holders:
+            if mode is LockMode.EXCLUSIVE and entry.mode is LockMode.SHARED:
+                if len(entry.holders) == 1:
+                    entry.mode = LockMode.EXCLUSIVE
+                    return True
+                return False
+            return True
+
+        if entry.mode is LockMode.SHARED and mode is LockMode.SHARED:
+            entry.holders[holder] = now
+            self._held_by.setdefault(holder, set()).add(key)
+            return True
+        return False
+
+    def acquire_all(
+        self,
+        holder: str,
+        requests: Iterable[tuple[str, LockMode]],
+        now: float = 0.0,
+    ) -> bool:
+        """Atomically acquire every requested lock or none of them.
+
+        This is the ``acquirelocks(items)`` step of Algorithms 1 and 2:
+        if any lock is unavailable, the locks acquired so far in this call
+        are rolled back and ``False`` is returned.
+        """
+        newly_acquired: list[str] = []
+        for key, mode in requests:
+            already_held = key in self._held_by.get(holder, set())
+            if self.try_acquire(holder, key, mode, now=now):
+                if not already_held:
+                    newly_acquired.append(key)
+            else:
+                for acquired_key in newly_acquired:
+                    self.release(holder, acquired_key, now=now, record=False)
+                return False
+        return True
+
+    def release(self, holder: str, key: str, now: float = 0.0, record: bool = True) -> None:
+        """Release ``holder``'s lock on ``key`` (no-op when not held)."""
+        entry = self._table.get(key)
+        if entry is None or holder not in entry.holders:
+            return
+        acquired_at = entry.holders.pop(holder)
+        if record:
+            self._hold_records.append(
+                LockHoldRecord(key=key, holder=holder, acquired_at=acquired_at, released_at=now)
+            )
+        self._held_by.get(holder, set()).discard(key)
+        if not entry.holders:
+            del self._table[key]
+
+    def release_all(self, holder: str, now: float = 0.0) -> None:
+        """Release every lock held by ``holder``."""
+        for key in list(self._held_by.get(holder, set())):
+            self.release(holder, key, now=now)
+        self._held_by.pop(holder, None)
+
+    def holds(self, holder: str, key: str) -> bool:
+        """True when ``holder`` currently holds a lock on ``key``."""
+        entry = self._table.get(key)
+        return bool(entry and holder in entry.holders)
+
+    def held_keys(self, holder: str) -> frozenset[str]:
+        """Keys currently locked by ``holder``."""
+        return frozenset(self._held_by.get(holder, set()))
+
+    def locked_keys(self) -> frozenset[str]:
+        """All keys currently locked by anyone."""
+        return frozenset(self._table.keys())
+
+    @property
+    def hold_records(self) -> tuple[LockHoldRecord, ...]:
+        """Completed lock tenures (for Figure 6a's contention metric)."""
+        return tuple(self._hold_records)
+
+    def average_hold_time(self) -> float:
+        """Mean duration of completed lock tenures (0 when none)."""
+        if not self._hold_records:
+            return 0.0
+        return sum(record.duration for record in self._hold_records) / len(self._hold_records)

@@ -1,0 +1,141 @@
+"""Partitioned store and two-phase commit (paper Section 4.5).
+
+The paper focuses on a single edge node/partition but sketches the
+multi-partition extension: lock requests for remote keys are sent to the
+edge node owning the partition, and a two-phase commit (2PC) runs at the
+end of the final section (MS-SR) or at the end of both sections (MS-IA).
+
+This module provides that extension: a :class:`PartitionedStore` that
+routes keys to partitions by hash, and a
+:class:`TwoPhaseCommitCoordinator` implementing prepare/commit/abort over
+the participating partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable
+
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.locks import LockManager, LockMode
+
+
+class PartitionError(RuntimeError):
+    """Raised for malformed partition configurations or routing errors."""
+
+
+@dataclass
+class Partition:
+    """One partition: a store plus its own lock manager."""
+
+    partition_id: int
+    store: KeyValueStore = field(default_factory=KeyValueStore)
+    locks: LockManager = field(default_factory=LockManager)
+
+
+class PartitionedStore:
+    """Hash-partitioned collection of :class:`Partition` objects."""
+
+    def __init__(self, num_partitions: int = 1) -> None:
+        if num_partitions < 1:
+            raise PartitionError("need at least one partition")
+        self._partitions = [Partition(partition_id=i) for i in range(num_partitions)]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def partition_for(self, key: str) -> Partition:
+        """Partition that owns ``key`` (stable hash routing)."""
+        index = _stable_bucket(key, len(self._partitions))
+        return self._partitions[index]
+
+    def partition(self, partition_id: int) -> Partition:
+        """Partition by id."""
+        try:
+            return self._partitions[partition_id]
+        except IndexError:
+            raise PartitionError(f"no partition {partition_id}") from None
+
+    def read(self, key: str, default: Any = ...) -> Any:
+        return self.partition_for(key).store.read(key, default=default)
+
+    def write(self, key: str, value: Any, writer: str = "system") -> None:
+        self.partition_for(key).store.write(key, value, writer=writer)
+
+    def partitions_touched(self, keys: Iterable[str]) -> frozenset[int]:
+        """Set of partition ids a key-set spans."""
+        return frozenset(self.partition_for(key).partition_id for key in keys)
+
+
+class VoteOutcome(Enum):
+    """A participant's vote in the prepare phase."""
+
+    YES = "yes"
+    NO = "no"
+
+
+@dataclass
+class TwoPhaseCommitResult:
+    """Outcome of one 2PC round."""
+
+    committed: bool
+    votes: dict[int, VoteOutcome]
+    participants: frozenset[int]
+
+
+class TwoPhaseCommitCoordinator:
+    """Atomic commitment across the partitions a transaction touched.
+
+    The coordinator asks every participating partition to *prepare* by
+    acquiring exclusive locks on the transaction's keys in that
+    partition; if every vote is YES, writes are applied and locks
+    released, otherwise all partitions abort and release.
+    """
+
+    def __init__(self, store: PartitionedStore) -> None:
+        self._store = store
+
+    def commit(
+        self,
+        transaction_id: str,
+        writes: dict[str, Any],
+        now: float = 0.0,
+    ) -> TwoPhaseCommitResult:
+        """Run 2PC for ``writes`` on behalf of ``transaction_id``."""
+        by_partition: dict[int, dict[str, Any]] = {}
+        for key, value in writes.items():
+            partition = self._store.partition_for(key)
+            by_partition.setdefault(partition.partition_id, {})[key] = value
+
+        participants = frozenset(by_partition)
+        votes: dict[int, VoteOutcome] = {}
+
+        # Phase 1: prepare (grab exclusive locks on every key).
+        for partition_id, partition_writes in by_partition.items():
+            partition = self._store.partition(partition_id)
+            requests = [(key, LockMode.EXCLUSIVE) for key in partition_writes]
+            granted = partition.locks.acquire_all(transaction_id, requests, now=now)
+            votes[partition_id] = VoteOutcome.YES if granted else VoteOutcome.NO
+
+        decision = all(vote is VoteOutcome.YES for vote in votes.values())
+
+        # Phase 2: commit or abort everywhere.
+        for partition_id, partition_writes in by_partition.items():
+            partition = self._store.partition(partition_id)
+            if decision:
+                for key, value in partition_writes.items():
+                    partition.store.write(key, value, writer=transaction_id)
+            partition.locks.release_all(transaction_id, now=now)
+
+        return TwoPhaseCommitResult(committed=decision, votes=votes, participants=participants)
+
+
+def _stable_bucket(key: str, buckets: int) -> int:
+    """Deterministic, process-independent hash bucket for a key."""
+    value = 2166136261
+    for byte in key.encode("utf-8"):
+        value ^= byte
+        value = (value * 16777619) & 0xFFFFFFFF
+    return value % buckets

@@ -1,0 +1,82 @@
+"""Undo logging for apologies and retractions.
+
+MS-IA's apply-then-check pattern means an initial section may later turn
+out to have been triggered erroneously.  The undo log records, per
+transaction, what each write replaced so that the final section (or a
+cascading retraction) can restore the prior state and so that the
+apology message can describe what was undone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.kvstore import KeyValueStore
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """One logged write: ``key`` went from ``before`` to ``after``."""
+
+    transaction_id: str
+    key: str
+    before: Any
+    after: Any
+
+
+@dataclass
+class UndoLog:
+    """Per-transaction undo records over a :class:`KeyValueStore`."""
+
+    store: KeyValueStore
+    _records: dict[str, list[UndoRecord]] = field(default_factory=dict)
+
+    def log_write(self, transaction_id: str, key: str, new_value: Any) -> UndoRecord:
+        """Record that ``transaction_id`` is about to write ``key``.
+
+        The *current* value of the key is captured as the before-image.
+        """
+        before = self.store.read(key, default=None)
+        record = UndoRecord(transaction_id=transaction_id, key=key, before=before, after=new_value)
+        self._records.setdefault(transaction_id, []).append(record)
+        return record
+
+    def records_for(self, transaction_id: str) -> tuple[UndoRecord, ...]:
+        """Undo records of one transaction, oldest first."""
+        return tuple(self._records.get(transaction_id, ()))
+
+    def undo(self, transaction_id: str) -> list[UndoRecord]:
+        """Restore the before-image of every write of ``transaction_id``.
+
+        Writes are undone newest-first.  Returns the undone records.
+        Undoing an unknown transaction is a no-op.
+        """
+        records = self._records.pop(transaction_id, [])
+        for record in reversed(records):
+            self.store.write(record.key, record.before, writer=f"undo:{transaction_id}")
+        return list(reversed(records))
+
+    def forget(self, transaction_id: str) -> None:
+        """Drop records of a transaction whose effects are now final."""
+        self._records.pop(transaction_id, None)
+
+    def touched_keys(self, transaction_id: str) -> frozenset[str]:
+        """Keys written by ``transaction_id`` so far."""
+        return frozenset(record.key for record in self._records.get(transaction_id, ()))
+
+    def dependents(self, transaction_id: str) -> frozenset[str]:
+        """Other transactions that later wrote keys this transaction wrote.
+
+        Used to compute the retraction cascade in the token-game example
+        (paper §4.4): if t1's effects are retracted, any transaction that
+        built on the keys t1 touched may need to be compensated too.
+        """
+        keys = self.touched_keys(transaction_id)
+        dependent_ids: set[str] = set()
+        for other_id, records in self._records.items():
+            if other_id == transaction_id:
+                continue
+            if any(record.key in keys for record in records):
+                dependent_ids.add(other_id)
+        return frozenset(dependent_ids)

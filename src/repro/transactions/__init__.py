@@ -1,0 +1,70 @@
+"""Multi-stage transactions — the paper's core contribution.
+
+A multi-stage transaction has an *initial section* triggered by edge
+labels and a *final section* triggered by the corrected cloud labels.
+This package provides:
+
+* the transaction model and programming interface
+  (:class:`MultiStageTransaction`, :class:`SectionSpec`,
+  :class:`SectionContext`),
+* the transaction bank that maps label classes to triggered transactions,
+* two concurrency controllers implementing the paper's two safety
+  levels — :class:`TwoStage2PL` for MS-SR (Algorithm 1) and
+  :class:`MSIAController` for MS-IA (Algorithm 2),
+* an execution-history recorder and checkers for the MS-SR / MS-IA
+  ordering conditions,
+* a single-threaded batch :class:`Sequencer` (the paper's abort-free
+  MS-IA configuration).
+"""
+
+from repro.transactions.bank import ANY_LABEL, TransactionBank, TriggerRule
+from repro.transactions.checker import check_ms_ia, check_ms_sr
+from repro.transactions.distributed import (
+    DistributedMSIAController,
+    DistributedTwoStage2PL,
+)
+from repro.transactions.exceptions import (
+    InvariantViolation,
+    SectionOrderError,
+    TransactionAborted,
+)
+from repro.transactions.history import History, SectionRecord
+from repro.transactions.model import (
+    MultiStageTransaction,
+    SectionContext,
+    SectionKind,
+    SectionSpec,
+    TransactionStatus,
+)
+from repro.transactions.ms_ia import MSIAController
+from repro.transactions.ms_sr import TwoStage2PL
+from repro.transactions.ops import Operation, OperationKind
+from repro.transactions.sequencer import Sequencer
+from repro.transactions.staged import StagedController, StagedTransaction
+
+__all__ = [
+    "MultiStageTransaction",
+    "SectionSpec",
+    "SectionContext",
+    "SectionKind",
+    "TransactionStatus",
+    "Operation",
+    "OperationKind",
+    "TransactionBank",
+    "TriggerRule",
+    "ANY_LABEL",
+    "History",
+    "SectionRecord",
+    "check_ms_sr",
+    "check_ms_ia",
+    "TwoStage2PL",
+    "MSIAController",
+    "Sequencer",
+    "StagedTransaction",
+    "StagedController",
+    "DistributedMSIAController",
+    "DistributedTwoStage2PL",
+    "TransactionAborted",
+    "InvariantViolation",
+    "SectionOrderError",
+]

@@ -1,0 +1,99 @@
+"""Checkers for the MS-SR and MS-IA ordering conditions.
+
+These validate a recorded :class:`~repro.transactions.history.History`
+against the formal definitions in Sections 4.3 and 4.4:
+
+MS-SR, for every pair of conflicting transactions ``tk``, ``tj`` with
+``s^i_k <h s^i_j``:
+
+* (1) ``s^f_k`` commits after ``s^i_k``           (initial before final);
+* (2) ``s^f_k`` commits before ``s^f_j``          (finals ordered like initials);
+* (3) if ``s^f_k`` conflicts with ``s^i_j`` then ``s^f_k <h s^i_j``.
+
+MS-IA only requires (1): each transaction's initial section is ordered
+before its own final section.
+
+The checkers are used by the property-based tests (the protocols must
+only ever produce valid histories) and are also part of the public API so
+applications can audit traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transactions.history import History, SectionRecord
+from repro.transactions.model import SectionKind
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a history check."""
+
+    ok: bool
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_ms_ia(history: History) -> CheckResult:
+    """Validate the MS-IA condition: initial before final, per transaction."""
+    violations = list(_per_transaction_violations(history))
+    return CheckResult(ok=not violations, violations=tuple(violations))
+
+
+def check_ms_sr(history: History) -> CheckResult:
+    """Validate all three MS-SR conditions over a history."""
+    violations = list(_per_transaction_violations(history))
+
+    for left_id, right_id in history.conflicting_pairs():
+        violations.extend(_pair_violations(history, left_id, right_id))
+        violations.extend(_pair_violations(history, right_id, left_id))
+
+    return CheckResult(ok=not violations, violations=tuple(violations))
+
+
+def _per_transaction_violations(history: History):
+    """Condition (1): every final section commits after its initial section."""
+    for transaction_id in history.transaction_ids():
+        initial = history.section(transaction_id, SectionKind.INITIAL)
+        final = history.section(transaction_id, SectionKind.FINAL)
+        if final is not None and initial is None:
+            yield f"{transaction_id}: final section committed without an initial section"
+        elif final is not None and initial is not None:
+            if not history.ordered_before(initial, final):
+                yield f"{transaction_id}: final section committed before its initial section"
+
+
+def _pair_violations(history: History, first_id: str, second_id: str):
+    """Conditions (2) and (3) for the ordered pair where ``first`` initial-commits first."""
+    first_initial = history.section(first_id, SectionKind.INITIAL)
+    second_initial = history.section(second_id, SectionKind.INITIAL)
+    if first_initial is None or second_initial is None:
+        return
+    if not history.ordered_before(first_initial, second_initial):
+        return  # this direction of the pair is handled by the symmetric call
+
+    first_final = history.section(first_id, SectionKind.FINAL)
+    second_final = history.section(second_id, SectionKind.FINAL)
+
+    # Condition (2): s^f_k <h s^f_j.
+    if first_final is not None and second_final is not None:
+        if not history.ordered_before(first_final, second_final):
+            yield (
+                f"MS-SR(2) violated: {first_final.label} must commit before "
+                f"{second_final.label}"
+            )
+
+    # Condition (3): if s^f_k conflicts with s^i_j then s^f_k <h s^i_j.
+    if first_final is not None and _sections_conflict(first_final, second_initial):
+        if not history.ordered_before(first_final, second_initial):
+            yield (
+                f"MS-SR(3) violated: {first_final.label} conflicts with "
+                f"{second_initial.label} but commits after it"
+            )
+
+
+def _sections_conflict(left: SectionRecord, right: SectionRecord) -> bool:
+    return left.conflicts_with(right)

@@ -1,0 +1,284 @@
+"""Multi-partition multi-stage transactions (paper Section 4.5).
+
+When a transaction's data spans multiple partitions (each owned by a
+different edge node), lock requests for remote keys are routed to the
+owning partition's lock manager, and the partitions run a two-phase
+commit at the end of a section to make the distributed commit atomic:
+
+* under **MS-SR**, atomic commitment runs once, at the end of the final
+  section (the locks are not released until then anyway);
+* under **MS-IA**, atomic commitment runs at the end of *both* the
+  initial and the final sections, because each section commits and
+  releases its locks independently.
+
+The controllers below implement that extension on top of the
+single-partition controllers' semantics, buffering each section's writes
+and applying them through the :class:`TwoPhaseCommitCoordinator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.locks import LockMode
+from repro.storage.partition import PartitionedStore, TwoPhaseCommitCoordinator
+from repro.transactions.exceptions import SectionOrderError, TransactionAborted
+from repro.transactions.model import MultiStageTransaction, SectionKind, TransactionStatus
+from repro.transactions.ms_sr import ControllerStats
+from repro.transactions.ops import Operation, OperationKind, ReadWriteSet
+
+
+class _BufferedSectionContext:
+    """Section context over a partitioned store with buffered writes.
+
+    Reads see the transaction's own pending writes first (read-your-own-
+    writes), then the latest committed value in the owning partition.
+    Writes are buffered and applied atomically by 2PC at commit time.
+    """
+
+    def __init__(
+        self,
+        transaction_id: str,
+        section: SectionKind,
+        store: PartitionedStore,
+        labels: Any = None,
+        handoff: dict[str, Any] | None = None,
+    ) -> None:
+        self.transaction_id = transaction_id
+        self.section = section
+        self.labels = labels
+        self._store = store
+        self._handoff = dict(handoff or {})
+        self._writes: dict[str, Any] = {}
+        self._operations: list[Operation] = []
+        self._apologies: list[str] = []
+
+    def read(self, key: str, default: Any = None) -> Any:
+        if key in self._writes:
+            value = self._writes[key]
+        else:
+            value = self._store.read(key, default=default)
+        self._operations.append(Operation(OperationKind.READ, key, value))
+        return value
+
+    def write(self, key: str, value: Any) -> None:
+        self._writes[key] = value
+        self._operations.append(Operation(OperationKind.WRITE, key, value))
+
+    def delete(self, key: str) -> None:
+        self.write(key, None)
+
+    def put_handoff(self, key: str, value: Any) -> None:
+        self._handoff[key] = value
+
+    def get_handoff(self, key: str, default: Any = None) -> Any:
+        return self._handoff.get(key, default)
+
+    @property
+    def handoff(self) -> dict[str, Any]:
+        return dict(self._handoff)
+
+    def apologize(self, message: str) -> None:
+        self._apologies.append(message)
+
+    @property
+    def apologies(self) -> tuple[str, ...]:
+        return tuple(self._apologies)
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        return tuple(self._operations)
+
+    @property
+    def pending_writes(self) -> dict[str, Any]:
+        return dict(self._writes)
+
+
+@dataclass
+class DistributedCommitRecord:
+    """Book-keeping of the 2PC rounds a transaction performed."""
+
+    transaction_id: str
+    rounds: list[frozenset[int]] = field(default_factory=list)
+
+    @property
+    def partitions_touched(self) -> frozenset[int]:
+        touched: set[int] = set()
+        for participants in self.rounds:
+            touched |= participants
+        return frozenset(touched)
+
+
+class DistributedMSIAController:
+    """MS-IA over a partitioned store: 2PC at the end of each section."""
+
+    name = "distributed-MS-IA"
+
+    def __init__(self, store: PartitionedStore) -> None:
+        self._store = store
+        self._coordinator = TwoPhaseCommitCoordinator(store)
+        self._pending: dict[str, Any] = {}
+        self.stats = ControllerStats()
+        self.commit_records: dict[str, DistributedCommitRecord] = {}
+
+    @property
+    def store(self) -> PartitionedStore:
+        return self._store
+
+    def process_initial(
+        self, transaction: MultiStageTransaction, labels: Any = None, now: float = 0.0
+    ) -> Any:
+        if transaction.status is not TransactionStatus.PENDING:
+            raise SectionOrderError(f"transaction {transaction.transaction_id} already processed")
+        holder = transaction.transaction_id
+
+        try:
+            self._acquire_section_locks(holder, transaction.initial.rwset, now)
+        except TransactionAborted:
+            transaction.mark_aborted()
+            self.stats.aborts += 1
+            raise
+        context = _BufferedSectionContext(holder, SectionKind.INITIAL, self._store, labels=labels)
+        result = transaction.initial.body(context)
+        self._release_section_locks(holder, transaction.initial.rwset, now)
+
+        committed = self._atomic_commit(holder, context.pending_writes, now)
+        if not committed:
+            transaction.mark_aborted()
+            self.stats.aborts += 1
+            raise TransactionAborted(holder, "initial-section atomic commit failed")
+
+        transaction.mark_initial_committed(result, context.handoff, now)
+        self.stats.initial_commits += 1
+        self._pending[holder] = labels
+        return result
+
+    def process_final(
+        self, transaction: MultiStageTransaction, labels: Any = None, now: float = 0.0
+    ) -> Any:
+        holder = transaction.transaction_id
+        if holder not in self._pending:
+            raise SectionOrderError(f"transaction {holder} has no pending final section")
+        initial_labels = self._pending.pop(holder)
+
+        self._acquire_section_locks(holder, transaction.final.rwset, now)
+        context = _BufferedSectionContext(
+            holder,
+            SectionKind.FINAL,
+            self._store,
+            labels=labels,
+            handoff=transaction.handoff,
+        )
+        context.initial_labels = initial_labels
+        result = transaction.final.body(context)
+        self._release_section_locks(holder, transaction.final.rwset, now)
+
+        committed = self._atomic_commit(holder, context.pending_writes, now)
+        if not committed:
+            # The final section must commit; surface the contention so the
+            # caller can retry after the conflicting holder finishes.
+            self._pending[holder] = initial_labels
+            raise TransactionAborted(holder, "final-section atomic commit failed; retry later")
+
+        transaction.mark_committed(result, context.apologies, now)
+        self.stats.final_commits += 1
+        return result
+
+    # -- internals ---------------------------------------------------------
+    def _acquire_section_locks(self, holder: str, rwset: ReadWriteSet, now: float) -> None:
+        """Route lock requests to the owning partitions (all-or-nothing)."""
+        acquired: list[tuple[int, str]] = []
+        for key, mode in rwset.lock_requests():
+            partition = self._store.partition_for(key)
+            if partition.locks.try_acquire(holder, key, mode, now=now):
+                acquired.append((partition.partition_id, key))
+            else:
+                for partition_id, acquired_key in acquired:
+                    self._store.partition(partition_id).locks.release(holder, acquired_key, now=now)
+                raise TransactionAborted(holder, f"remote lock denied on {key!r}")
+
+    def _release_section_locks(self, holder: str, rwset: ReadWriteSet, now: float) -> None:
+        for key in rwset.keys:
+            self._store.partition_for(key).locks.release(holder, key, now=now)
+
+    def _atomic_commit(self, holder: str, writes: dict[str, Any], now: float) -> bool:
+        if not writes:
+            self._record_round(holder, frozenset())
+            return True
+        result = self._coordinator.commit(holder, writes, now=now)
+        self._record_round(holder, result.participants)
+        return result.committed
+
+    def _record_round(self, holder: str, participants: frozenset[int]) -> None:
+        record = self.commit_records.setdefault(holder, DistributedCommitRecord(holder))
+        record.rounds.append(participants)
+
+
+class DistributedTwoStage2PL(DistributedMSIAController):
+    """MS-SR over a partitioned store: locks for both sections are routed to
+    their partitions before the initial commit and a single 2PC round runs at
+    the end of the final section."""
+
+    name = "distributed-MS-SR"
+
+    def __init__(self, store: PartitionedStore) -> None:
+        super().__init__(store)
+        self._buffered_writes: dict[str, dict[str, Any]] = {}
+
+    def process_initial(
+        self, transaction: MultiStageTransaction, labels: Any = None, now: float = 0.0
+    ) -> Any:
+        if transaction.status is not TransactionStatus.PENDING:
+            raise SectionOrderError(f"transaction {transaction.transaction_id} already processed")
+        holder = transaction.transaction_id
+
+        combined = transaction.combined_rwset()
+        try:
+            self._acquire_section_locks(holder, combined, now)
+        except TransactionAborted:
+            transaction.mark_aborted()
+            self.stats.aborts += 1
+            raise
+
+        context = _BufferedSectionContext(holder, SectionKind.INITIAL, self._store, labels=labels)
+        result = transaction.initial.body(context)
+
+        transaction.mark_initial_committed(result, context.handoff, now)
+        self.stats.initial_commits += 1
+        self._pending[holder] = labels
+        self._buffered_writes[holder] = context.pending_writes
+        return result
+
+    def process_final(
+        self, transaction: MultiStageTransaction, labels: Any = None, now: float = 0.0
+    ) -> Any:
+        holder = transaction.transaction_id
+        if holder not in self._pending:
+            raise SectionOrderError(f"transaction {holder} has no pending final section")
+        initial_labels = self._pending.pop(holder)
+
+        context = _BufferedSectionContext(
+            holder,
+            SectionKind.FINAL,
+            self._store,
+            labels=labels,
+            handoff=transaction.handoff,
+        )
+        context.initial_labels = initial_labels
+        # Reads must observe the initial section's buffered writes.
+        context._writes.update(self._buffered_writes.get(holder, {}))
+        result = transaction.final.body(context)
+
+        writes = {**self._buffered_writes.pop(holder, {}), **context.pending_writes}
+        # The locks for every touched key are already held, so prepare
+        # cannot be denied and the single 2PC round at the end of the final
+        # section must succeed.
+        self._release_section_locks(holder, transaction.combined_rwset(), now)
+        committed = self._atomic_commit(holder, writes, now)
+        if not committed:  # pragma: no cover - cannot happen while locks were held
+            raise TransactionAborted(holder, "final atomic commit failed")
+
+        transaction.mark_committed(result, context.apologies, now)
+        self.stats.final_commits += 1
+        return result

@@ -1,0 +1,112 @@
+"""Execution histories and the ``<h`` ordering.
+
+Section 4.3 defines MS-SR over an ordering relation ``<h`` on *sections*,
+"relative to the commitment rather than the beginning of the section".
+The :class:`History` records each executed section with its commit
+timestamp and its executed operations; checkers
+(:mod:`repro.transactions.checker`) then validate the MS-SR / MS-IA
+conditions over the recorded order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.transactions.ops import Operation, operations_conflict
+from repro.transactions.model import SectionKind
+
+
+@dataclass(frozen=True)
+class SectionRecord:
+    """One committed section execution."""
+
+    transaction_id: str
+    section: SectionKind
+    commit_time: float
+    sequence: int
+    operations: tuple[Operation, ...] = ()
+
+    def conflicts_with(self, other: "SectionRecord") -> bool:
+        """True when the two sections contain conflicting operations."""
+        return operations_conflict(self.operations, other.operations)
+
+    @property
+    def label(self) -> str:
+        """Compact ``s^i_t`` style label for error messages."""
+        suffix = "i" if self.section is SectionKind.INITIAL else "f"
+        return f"s^{suffix}_{self.transaction_id}"
+
+
+@dataclass
+class History:
+    """Append-only log of committed sections, ordered by commitment."""
+
+    _records: list[SectionRecord] = field(default_factory=list)
+    _sequence: int = 0
+
+    def record_section(
+        self,
+        transaction_id: str,
+        section: SectionKind,
+        commit_time: float,
+        operations: tuple[Operation, ...] = (),
+    ) -> SectionRecord:
+        """Append a committed section to the history."""
+        self._sequence += 1
+        record = SectionRecord(
+            transaction_id=transaction_id,
+            section=section,
+            commit_time=commit_time,
+            sequence=self._sequence,
+            operations=operations,
+        )
+        self._records.append(record)
+        return record
+
+    def __iter__(self) -> Iterator[SectionRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def sections_of(self, transaction_id: str) -> list[SectionRecord]:
+        """Committed sections of one transaction, in commit order."""
+        return [record for record in self._records if record.transaction_id == transaction_id]
+
+    def section(self, transaction_id: str, kind: SectionKind) -> SectionRecord | None:
+        """A specific section of a transaction, or None if not committed."""
+        for record in self._records:
+            if record.transaction_id == transaction_id and record.section is kind:
+                return record
+        return None
+
+    def transaction_ids(self) -> list[str]:
+        """Distinct transaction ids in first-commit order."""
+        seen: list[str] = []
+        for record in self._records:
+            if record.transaction_id not in seen:
+                seen.append(record.transaction_id)
+        return seen
+
+    def ordered_before(self, first: SectionRecord, second: SectionRecord) -> bool:
+        """The ``<h`` relation: ``first`` committed before ``second``.
+
+        Ties on commit time are broken by append order, which reflects the
+        order the (single-threaded) controller committed them in.
+        """
+        if first.commit_time != second.commit_time:
+            return first.commit_time < second.commit_time
+        return first.sequence < second.sequence
+
+    def conflicting_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of distinct transactions that conflict (in either section)."""
+        ids = self.transaction_ids()
+        pairs: list[tuple[str, str]] = []
+        for i, left in enumerate(ids):
+            left_sections = self.sections_of(left)
+            for right in ids[i + 1:]:
+                right_sections = self.sections_of(right)
+                if any(a.conflicts_with(b) for a in left_sections for b in right_sections):
+                    pairs.append((left, right))
+        return pairs

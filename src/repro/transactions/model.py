@@ -1,0 +1,261 @@
+"""The multi-stage transaction model and programming interface.
+
+Section 2.1 ("Programming Interface") describes transactions written as
+two blocks — ``CC.initial{ }`` and ``CC.final{ }`` — both receiving the
+detected labels as input.  Here a transaction is a pair of
+:class:`SectionSpec` objects; each section declares its read/write set
+(so a controller can run ``get_rwsets`` before executing) and provides a
+body that runs against a :class:`SectionContext`.
+
+The context exposes ``read``/``write`` (routed through the store and the
+undo log), the section's input labels, the values the initial section
+passed forward, and apology recording for MS-IA final sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.wal import UndoLog
+from repro.transactions.exceptions import SectionOrderError
+from repro.transactions.ops import Operation, OperationKind, ReadWriteSet
+
+
+class SectionKind(Enum):
+    """Which of the two sections of a transaction."""
+
+    INITIAL = "initial"
+    FINAL = "final"
+
+
+class TransactionStatus(Enum):
+    """Lifecycle of a multi-stage transaction.
+
+    ``PENDING → INITIAL_COMMITTED → COMMITTED`` on the success path;
+    ``ABORTED`` only ever happens before the initial commit (the paper's
+    guarantee: once the initial section commits, the final section must
+    commit too).
+    """
+
+    PENDING = "pending"
+    INITIAL_COMMITTED = "initial-committed"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class SectionContext:
+    """Execution context handed to a section body.
+
+    Parameters
+    ----------
+    transaction_id:
+        Id of the enclosing transaction (used as the writer tag).
+    section:
+        Which section is running.
+    store:
+        The edge node's key-value store.
+    labels:
+        The section's input labels (edge labels for the initial section,
+        corrected labels for the final section).
+    initial_labels:
+        For final sections, the labels the initial section ran with, so
+        the apology logic can tell whether the trigger was erroneous.
+    handoff:
+        Key/value state the initial section recorded for the final
+        section ("the initial section communicates to the final section
+        via writing its input and state", §3.2).  Final sections receive
+        the initial section's handoff read-only.
+    undo_log:
+        Undo log used to capture before-images of writes (MS-IA).
+    """
+
+    def __init__(
+        self,
+        transaction_id: str,
+        section: SectionKind,
+        store: KeyValueStore,
+        labels: Any = None,
+        initial_labels: Any = None,
+        handoff: dict[str, Any] | None = None,
+        undo_log: UndoLog | None = None,
+    ) -> None:
+        self.transaction_id = transaction_id
+        self.section = section
+        self.labels = labels
+        self.initial_labels = initial_labels
+        self._store = store
+        self._undo_log = undo_log
+        self._handoff = dict(handoff or {})
+        self._operations: list[Operation] = []
+        self._apologies: list[str] = []
+        self._retracted = False
+
+    # -- data access -----------------------------------------------------
+    def read(self, key: str, default: Any = None) -> Any:
+        """Read ``key`` from the store, recording the operation."""
+        value = self._store.read(key, default=default)
+        self._operations.append(Operation(OperationKind.READ, key, value))
+        return value
+
+    def write(self, key: str, value: Any) -> None:
+        """Write ``key`` to the store, recording the operation and its undo image."""
+        if self._undo_log is not None:
+            self._undo_log.log_write(self.transaction_id, key, value)
+        self._store.write(key, value, writer=self.transaction_id)
+        self._operations.append(Operation(OperationKind.WRITE, key, value))
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (tombstone write)."""
+        self.write(key, None)
+
+    # -- initial → final handoff -----------------------------------------
+    def put_handoff(self, key: str, value: Any) -> None:
+        """Record state for the final section (initial sections only)."""
+        if self.section is not SectionKind.INITIAL:
+            raise SectionOrderError("only the initial section can record handoff state")
+        self._handoff[key] = value
+
+    def get_handoff(self, key: str, default: Any = None) -> Any:
+        """Read state the initial section recorded."""
+        return self._handoff.get(key, default)
+
+    @property
+    def handoff(self) -> dict[str, Any]:
+        """Copy of the handoff dictionary."""
+        return dict(self._handoff)
+
+    # -- apologies (MS-IA) -----------------------------------------------
+    def apologize(self, message: str) -> None:
+        """Record an apology to be delivered to the client (final sections)."""
+        self._apologies.append(message)
+
+    def retract_initial_effects(self) -> list[str]:
+        """Undo every write the initial section performed.
+
+        Returns the list of keys that were restored.  Requires an undo
+        log (MS-IA); calling it twice is a no-op.
+        """
+        if self._undo_log is None or self._retracted:
+            return []
+        records = self._undo_log.undo(self.transaction_id)
+        self._retracted = True
+        return [record.key for record in records]
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """Operations executed so far in this section."""
+        return tuple(self._operations)
+
+    @property
+    def apologies(self) -> tuple[str, ...]:
+        return tuple(self._apologies)
+
+    @property
+    def retracted(self) -> bool:
+        return self._retracted
+
+    def executed_rwset(self) -> ReadWriteSet:
+        """Read/write set actually touched by the section body."""
+        return ReadWriteSet.from_operations(self._operations)
+
+
+#: A section body takes the context and returns an application-level result.
+SectionBody = Callable[[SectionContext], Any]
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """Declaration of one section: its body plus its read/write set.
+
+    Declared read/write sets are what ``get_rwsets`` returns in
+    Algorithms 1 and 2.  They must cover (be a superset of) what the body
+    actually touches; the controllers verify this in strict mode.
+    """
+
+    body: SectionBody
+    rwset: ReadWriteSet = field(default_factory=ReadWriteSet)
+
+    @classmethod
+    def noop(cls) -> "SectionSpec":
+        """A section that does nothing (e.g. 'terminate' final sections)."""
+        return cls(body=lambda ctx: None, rwset=ReadWriteSet())
+
+
+@dataclass
+class MultiStageTransaction:
+    """A transaction with an initial and a final section.
+
+    Attributes
+    ----------
+    transaction_id:
+        Unique identifier.
+    initial:
+        The initial section, triggered by edge labels.
+    final:
+        The final section, triggered by (corrected) cloud labels.
+    trigger:
+        Free-form description of what triggered the transaction (label
+        class, auxiliary input, ...), used for reporting.
+    """
+
+    transaction_id: str
+    initial: SectionSpec
+    final: SectionSpec
+    trigger: str = ""
+    status: TransactionStatus = TransactionStatus.PENDING
+    initial_result: Any = None
+    final_result: Any = None
+    apologies: tuple[str, ...] = ()
+    handoff: dict[str, Any] = field(default_factory=dict)
+    initial_commit_time: float | None = None
+    final_commit_time: float | None = None
+
+    # -- lifecycle helpers used by the controllers ------------------------
+    def mark_initial_committed(self, result: Any, handoff: dict[str, Any], now: float) -> None:
+        if self.status is not TransactionStatus.PENDING:
+            raise SectionOrderError(
+                f"cannot initial-commit transaction in state {self.status.value}"
+            )
+        self.status = TransactionStatus.INITIAL_COMMITTED
+        self.initial_result = result
+        self.handoff = dict(handoff)
+        self.initial_commit_time = now
+
+    def mark_committed(self, result: Any, apologies: tuple[str, ...], now: float) -> None:
+        if self.status is not TransactionStatus.INITIAL_COMMITTED:
+            raise SectionOrderError(
+                f"cannot final-commit transaction in state {self.status.value}"
+            )
+        self.status = TransactionStatus.COMMITTED
+        self.final_result = result
+        self.apologies = apologies
+        self.final_commit_time = now
+
+    def mark_aborted(self) -> None:
+        if self.status in (TransactionStatus.INITIAL_COMMITTED, TransactionStatus.COMMITTED):
+            raise SectionOrderError(
+                "a transaction cannot abort after its initial section committed"
+            )
+        self.status = TransactionStatus.ABORTED
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def is_committed(self) -> bool:
+        return self.status is TransactionStatus.COMMITTED
+
+    @property
+    def is_aborted(self) -> bool:
+        return self.status is TransactionStatus.ABORTED
+
+    def combined_rwset(self) -> ReadWriteSet:
+        """Union of the declared initial and final read/write sets."""
+        return self.initial.rwset.merged(self.final.rwset)
+
+    def conflicts_with(self, other: "MultiStageTransaction") -> bool:
+        """Paper §4.1: two transactions conflict when at least one
+        conflicting operation exists in either of their sections."""
+        return self.combined_rwset().conflicts_with(other.combined_rwset())

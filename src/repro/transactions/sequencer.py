@@ -1,0 +1,71 @@
+"""Batch sequencer.
+
+Paper §5.2.4: "our implementation uses a single-threaded sequencer to
+order transactions in batches so that conflicting transactions do not
+overlap" — which is why MS-IA shows a 0% abort rate in Figure 6b.
+
+The :class:`Sequencer` takes a batch of transactions and partitions it
+into *waves*: within a wave no two transactions conflict (by their
+declared read/write sets), so they can be issued concurrently without any
+lock denial; conflicting transactions land in later waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transactions.model import MultiStageTransaction
+from repro.transactions.ops import ReadWriteSet
+
+
+@dataclass
+class Sequencer:
+    """Greedy wave scheduler over declared read/write sets."""
+
+    _issued: int = field(default=0, init=False)
+
+    def schedule(self, batch: list[MultiStageTransaction]) -> list[list[MultiStageTransaction]]:
+        """Partition ``batch`` into conflict-free waves, preserving order.
+
+        Each transaction is placed in the earliest wave in which it does
+        not conflict with any already-placed transaction **and** that is
+        not earlier than the wave of any previously seen conflicting
+        transaction (so the original submission order of conflicting
+        transactions is preserved — the property the paper relies on for
+        abort-free MS-IA execution).
+        """
+        waves: list[list[MultiStageTransaction]] = []
+        wave_rwsets: list[list[ReadWriteSet]] = []
+        placement: dict[str, int] = {}
+
+        for transaction in batch:
+            rwset = transaction.combined_rwset()
+            earliest = 0
+            for other in batch:
+                if other.transaction_id == transaction.transaction_id:
+                    break
+                if other.transaction_id in placement and transaction.conflicts_with(other):
+                    earliest = max(earliest, placement[other.transaction_id] + 1)
+
+            wave_index = earliest
+            while wave_index < len(waves) and self._conflicts_with_wave(rwset, wave_rwsets[wave_index]):
+                wave_index += 1
+
+            if wave_index == len(waves):
+                waves.append([])
+                wave_rwsets.append([])
+            waves[wave_index].append(transaction)
+            wave_rwsets[wave_index].append(rwset)
+            placement[transaction.transaction_id] = wave_index
+            self._issued += 1
+
+        return waves
+
+    @property
+    def issued(self) -> int:
+        """Total number of transactions scheduled so far."""
+        return self._issued
+
+    @staticmethod
+    def _conflicts_with_wave(rwset: ReadWriteSet, wave: list[ReadWriteSet]) -> bool:
+        return any(rwset.conflicts_with(existing) for existing in wave)

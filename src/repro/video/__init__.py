@@ -1,0 +1,23 @@
+"""Synthetic video substrate.
+
+The paper evaluates on five video workloads (park pet, street traffic,
+pedestrians, airport runway, mall surveillance).  Real footage is not
+available offline, so this package generates synthetic scenes whose
+object density, size and "difficulty" match the qualitative descriptions
+in the paper — airport-runway objects are big and easy, mall objects are
+small and hard — which is all the detection substrate consumes.
+"""
+
+from repro.video.frames import Frame
+from repro.video.library import VIDEO_LIBRARY, VideoSpec, make_video
+from repro.video.scene import SceneObject
+from repro.video.synthetic import SyntheticVideo
+
+__all__ = [
+    "Frame",
+    "SceneObject",
+    "SyntheticVideo",
+    "VideoSpec",
+    "VIDEO_LIBRARY",
+    "make_video",
+]

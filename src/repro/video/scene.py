@@ -1,0 +1,70 @@
+"""Ground-truth scene objects.
+
+A :class:`SceneObject` is what a frame "really" contains.  Detectors only
+see it through their error model; Croesus never reads ground truth
+directly (the cloud model is near-perfect, mirroring the paper's use of
+YOLOv3 output as truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.detection.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class SceneObject:
+    """One real object present in a frame.
+
+    Attributes
+    ----------
+    object_id:
+        Stable identity of the object across frames (a car keeps its id
+        while it drives through the scene).
+    name:
+        True class name (e.g. ``"person"``, ``"bus"``).
+    box:
+        True bounding box.
+    visibility:
+        In (0, 1]; scales the probability that a detector finds the
+        object at all (small/occluded objects are less visible).
+    difficulty:
+        >= 1; scales the probability of mislabelling and depresses the
+        confidence of correct detections (blurry or ambiguous objects).
+    confusable_name:
+        The class name an erring detector reports instead of ``name``.
+    velocity:
+        Per-frame translation of the box, in pixels.
+    """
+
+    object_id: int
+    name: str
+    box: BoundingBox
+    visibility: float = 1.0
+    difficulty: float = 1.0
+    confusable_name: str = "unknown"
+    velocity: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.visibility <= 1.0:
+            raise ValueError(f"visibility must be in (0, 1], got {self.visibility}")
+        if self.difficulty < 1.0:
+            raise ValueError(f"difficulty must be >= 1, got {self.difficulty}")
+
+    def advanced(self, frame_width: float, frame_height: float) -> "SceneObject":
+        """Return the object one frame later, clipped to the frame."""
+        dx, dy = self.velocity
+        if dx == 0.0 and dy == 0.0:
+            return self
+        moved = self.box.translated(dx, dy).clipped(frame_width, frame_height)
+        if moved.area <= 0.0:
+            # The object left the frame entirely; park it on the border as
+            # a degenerate-but-valid sliver so generators can cull it.
+            moved = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        return replace(self, box=moved)
+
+    @property
+    def is_visible_in_frame(self) -> bool:
+        """Whether the object still occupies a meaningful area."""
+        return self.box.area > 4.0

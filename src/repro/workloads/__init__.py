@@ -1,0 +1,14 @@
+"""Transactional workload generators.
+
+The paper drives the data layer with a YCSB-Workload-A-like mix: each
+detection triggers a transaction with six operations, half of which
+insert new items and half of which read previously inserted items
+(§5.1).  Figure 6b additionally uses a hotspot workload — batches of 50
+transactions with 5 updates each over a small key range — to study abort
+rates under contention.
+"""
+
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+__all__ = ["YCSBWorkload", "HotspotWorkload"]

@@ -1,0 +1,133 @@
+"""Tests for the smart-campus AR application."""
+
+import pytest
+
+from repro.core.apps.smart_campus import SmartCampusApp
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.ms_ia import MSIAController
+
+from conftest import make_detection
+
+
+BUILDINGS = {
+    "Engineering": {"study_rooms": 2, "hours": "8-22"},
+    "Library": {"study_rooms": 1, "hours": "24/7"},
+    "Gym": {"study_rooms": 0, "hours": "6-23"},
+}
+
+
+@pytest.fixture
+def campus(store: KeyValueStore):
+    app = SmartCampusApp(buildings=BUILDINGS)
+    bank = app.install(store)
+    controller = MSIAController(store)
+    return app, bank, controller, store
+
+
+class TestBuildingInfoTask:
+    def test_initial_section_reads_building_info(self, campus):
+        _, bank, controller, _ = campus
+        triggered = bank.transactions_for([make_detection("Engineering")])
+        info_txns = [txn for txn, _ in triggered if txn.trigger.startswith("building-info")]
+        assert len(info_txns) == 1
+        result = controller.process_initial(info_txns[0], labels=make_detection("Engineering"))
+        assert result["info"]["hours"] == "8-22"
+
+    def test_final_section_terminates_when_label_correct(self, campus):
+        _, bank, controller, _ = campus
+        detection = make_detection("Engineering")
+        txn = [t for t, _ in bank.transactions_for([detection]) if "building-info" in t.trigger][0]
+        controller.process_initial(txn, labels=detection)
+        controller.process_final(txn, labels=detection)
+        assert txn.is_committed
+        assert txn.apologies == ()
+
+    def test_final_section_corrects_wrong_building(self, campus):
+        _, bank, controller, _ = campus
+        wrong = make_detection("Engineering")
+        right = make_detection("Library")
+        txn = [t for t, _ in bank.transactions_for([wrong]) if "building-info" in t.trigger][0]
+        controller.process_initial(txn, labels=wrong)
+        result = controller.process_final(txn, labels=right)
+        assert result["building"] == "Library"
+        assert txn.apologies
+
+    def test_final_section_apologises_for_spurious_detection(self, campus):
+        _, bank, controller, _ = campus
+        detection = make_detection("Engineering")
+        txn = [t for t, _ in bank.transactions_for([detection]) if "building-info" in t.trigger][0]
+        controller.process_initial(txn, labels=detection)
+        controller.process_final(txn, labels=None)
+        assert txn.apologies
+
+    def test_unknown_labels_trigger_nothing(self, campus):
+        _, bank, _, _ = campus
+        assert bank.transactions_for([make_detection("University Shuttle 42")]) == []
+
+
+class TestReservationTask:
+    def _reservation_txn(self, bank, detection):
+        triggered = bank.transactions_for([detection], auxiliary_input=True)
+        return [txn for txn, _ in triggered if txn.trigger.startswith("reserve-room")][0]
+
+    def test_requires_auxiliary_input(self, campus):
+        _, bank, _, _ = campus
+        triggered = bank.transactions_for([make_detection("Engineering")], auxiliary_input=False)
+        assert all(not txn.trigger.startswith("reserve-room") for txn, _ in triggered)
+
+    def test_reservation_decrements_room_count(self, campus):
+        _, bank, controller, store = campus
+        detection = make_detection("Engineering")
+        txn = self._reservation_txn(bank, detection)
+        result = controller.process_initial(txn, labels=detection)
+        assert result["reserved"]
+        assert store.read("rooms:Engineering") == 1
+
+    def test_no_rooms_available(self, campus):
+        _, bank, controller, store = campus
+        detection = make_detection("Gym")
+        txn = self._reservation_txn(bank, detection)
+        result = controller.process_initial(txn, labels=detection)
+        assert not result["reserved"]
+        assert store.read("rooms:Gym") == 0
+
+    def test_correct_building_keeps_reservation(self, campus):
+        _, bank, controller, store = campus
+        detection = make_detection("Engineering")
+        txn = self._reservation_txn(bank, detection)
+        controller.process_initial(txn, labels=detection)
+        controller.process_final(txn, labels=detection)
+        assert store.read("rooms:Engineering") == 1
+        assert txn.apologies == ()
+
+    def test_wrong_building_moves_reservation(self, campus):
+        _, bank, controller, store = campus
+        wrong = make_detection("Engineering")
+        right = make_detection("Library")
+        txn = self._reservation_txn(bank, wrong)
+        controller.process_initial(txn, labels=wrong)
+        controller.process_final(txn, labels=right)
+        # the erroneous reservation was returned and a Library room taken
+        assert store.read("rooms:Engineering") == 2
+        assert store.read("rooms:Library") == 0
+        assert txn.apologies
+
+    def test_wrong_building_with_no_rooms_cancels(self, campus):
+        _, bank, controller, store = campus
+        wrong = make_detection("Engineering")
+        right = make_detection("Gym")  # has no rooms
+        txn = self._reservation_txn(bank, wrong)
+        controller.process_initial(txn, labels=wrong)
+        result = controller.process_final(txn, labels=right)
+        assert store.read("rooms:Engineering") == 2
+        assert result == {"reserved": False}
+        assert txn.apologies
+
+    def test_spurious_detection_cancels_reservation(self, campus):
+        _, bank, controller, store = campus
+        detection = make_detection("Engineering")
+        txn = self._reservation_txn(bank, detection)
+        controller.process_initial(txn, labels=detection)
+        controller.process_final(txn, labels=None)
+        assert store.read("rooms:Engineering") == 2
+        assert txn.apologies

@@ -1,0 +1,100 @@
+"""Tests for the multi-player AR token game (paper §4.4 worked example)."""
+
+import pytest
+
+from repro.core.apps.token_game import TokenGame
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.ms_ia import MSIAController
+
+
+@pytest.fixture
+def game() -> TokenGame:
+    store = KeyValueStore()
+    controller = MSIAController(store)
+    return TokenGame(controller=controller, players={"A": 50, "B": 10, "C": 0, "D": 0})
+
+
+class TestTokenGame:
+    def test_initial_balances(self, game):
+        assert game.balance("A") == 50
+        assert game.balance("B") == 10
+        assert game.total_tokens() == 60
+
+    def test_correct_transfer_confirmed(self, game):
+        txn = game.transfer("t1", "A", "B", 20)
+        game.run_initial(txn)
+        assert game.balance("B") == 30
+        outcome = game.run_final(txn, true_recipient="B")
+        assert outcome.committed
+        assert outcome.apologies == ()
+        assert game.balance("A") == 30
+        assert game.balance("B") == 30
+
+    def test_wrong_recipient_redirected(self, game):
+        txn = game.transfer("t1", "A", "B", 20)
+        game.run_initial(txn)
+        outcome = game.run_final(txn, true_recipient="D")
+        assert outcome.apologies
+        assert game.balance("B") == 10   # back to the original balance
+        assert game.balance("D") == 20   # the true recipient got the tokens
+        assert game.balance("A") == 30
+
+    def test_tokens_conserved_by_redirection(self, game):
+        txn = game.transfer("t1", "A", "B", 35)
+        game.run_initial(txn)
+        game.run_final(txn, true_recipient="C")
+        assert game.total_tokens() == 60
+
+    def test_paper_scenario_minimal_retraction(self, game):
+        """The §4.4 scenario: A→B 50 (guess wrong, truly A→D), then B→C 10 and
+        B→C 50 both confirmed.  Repairing t1 leaves B overdrawn by exactly the
+        50 tokens it should never have received; the merge retracts only the
+        unaffordable 50-token B→C transfer and keeps the 10-token one."""
+        t1 = game.transfer("t1", "A", "B", 50)
+        game.run_initial(t1)
+        t2 = game.transfer("t2", "B", "C", 10)
+        game.run_initial(t2)
+        t3 = game.transfer("t3", "B", "C", 50)
+        game.run_initial(t3)
+
+        # Final sections of t2 and t3 arrive first and are correct.
+        assert game.run_final(t2, true_recipient="C").committed
+        assert game.run_final(t3, true_recipient="C").committed
+        assert game.balance("C") == 60
+        assert game.balance("B") == 0
+
+        # t1's final section learns the true recipient was D.
+        outcome = game.run_final(t1, true_recipient="D")
+        assert outcome.apologies
+        assert game.balance("D") == 50
+        # B is now overdrawn by the 50 tokens it passed on to C.
+        assert game.balance("B") == -50
+        assert not game.invariant_holds()
+        assert game.total_tokens() == 60
+
+        # The application-level merge retracts only the unaffordable transfer.
+        apologies = game.repair_overdrafts()
+        assert len(apologies) == 1
+        assert game.retracted_transfers() == ("t3",)
+        assert game.invariant_holds()
+        assert game.balance("A") == 0
+        assert game.balance("B") == 0
+        assert game.balance("C") == 10  # the 10-token transfer was retained
+        assert game.balance("D") == 50
+        assert game.total_tokens() == 60
+
+    def test_repair_is_noop_when_invariant_holds(self, game):
+        txn = game.transfer("t1", "A", "B", 20)
+        game.run_initial(txn)
+        game.run_final(txn, true_recipient="B")
+        assert game.repair_overdrafts() == []
+        assert game.retracted_transfers() == ()
+
+    def test_invalid_amount_rejected(self, game):
+        with pytest.raises(ValueError):
+            game.transfer("t1", "A", "B", 0)
+
+    def test_transfer_is_multistage(self, game):
+        txn = game.transfer("t1", "A", "B", 5)
+        assert txn.initial.rwset.writes
+        assert txn.final.rwset.keys >= txn.initial.rwset.writes

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.video == "v1"
+        assert args.lower == 0.3
+        assert args.consistency == "ms-ia"
+
+    def test_unknown_video_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--video", "v99"])
+
+
+class TestCommands:
+    def test_videos_lists_workloads(self, capsys):
+        assert main(["videos"]) == 0
+        output = capsys.readouterr().out
+        for key in ("v1", "v2", "v3", "v4", "v5"):
+            assert key in output
+
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "--video", "v1", "--frames", "10", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "F-score" in output
+        assert "v1" in output
+
+    def test_run_with_ms_sr(self, capsys):
+        assert main(
+            ["run", "--video", "v1", "--frames", "8", "--consistency", "ms-sr"]
+        ) == 0
+        assert "F-score" in capsys.readouterr().out
+
+    def test_tune_gradient_only(self, capsys):
+        assert main(
+            ["tune", "--video", "v1", "--frames", "20", "--method", "gradient", "--target", "0.7"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "gradient step" in output
+        assert "brute force" not in output
+
+    def test_tune_both_methods(self, capsys):
+        assert main(["tune", "--video", "v3", "--frames", "20", "--target", "0.7"]) == 0
+        output = capsys.readouterr().out
+        assert "gradient step" in output
+        assert "brute force" in output
+
+    def test_compare_prints_three_systems(self, capsys):
+        assert main(["compare", "--video", "v1", "--frames", "15", "--target", "0.7"]) == 0
+        output = capsys.readouterr().out
+        for name in ("croesus", "edge-only", "cloud-only"):
+            assert name in output

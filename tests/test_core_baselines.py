@@ -1,0 +1,112 @@
+"""Tests for the edge-only / cloud-only / hybrid baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    run_cloud_only,
+    run_croesus,
+    run_edge_only,
+    run_hybrid_cloud,
+    run_hybrid_croesus,
+)
+from repro.core.config import CroesusConfig
+
+
+@pytest.fixture(scope="module")
+def config() -> CroesusConfig:
+    return CroesusConfig(seed=6)
+
+
+FRAMES = 30
+
+
+class TestEdgeOnlyBaseline:
+    def test_never_uses_the_cloud(self, config):
+        result = run_edge_only(config, "v1", num_frames=FRAMES)
+        assert result.bandwidth_utilization == pytest.approx(0.0, abs=0.05)
+
+    def test_fast_but_inaccurate(self, config):
+        edge = run_edge_only(config, "v1", num_frames=FRAMES)
+        cloud = run_cloud_only(config, "v1", num_frames=FRAMES)
+        assert edge.average_final_latency < cloud.average_final_latency / 3
+        assert edge.f_score < cloud.f_score
+
+
+class TestCloudOnlyBaseline:
+    def test_accuracy_is_perfect_by_construction(self, config):
+        result = run_cloud_only(config, "v1", num_frames=FRAMES)
+        assert result.f_score == pytest.approx(1.0)
+
+    def test_no_fast_initial_response(self, config):
+        result = run_cloud_only(config, "v1", num_frames=FRAMES)
+        assert result.average_initial_latency == result.average_final_latency
+
+    def test_latency_dominated_by_detection(self, config):
+        result = run_cloud_only(config, "v1", num_frames=FRAMES)
+        breakdown = result.average_breakdown
+        assert breakdown.cloud_detection > breakdown.cloud_transfer
+
+    def test_every_frame_sent(self, config):
+        assert run_cloud_only(config, "v1", num_frames=FRAMES).bandwidth_utilization == 1.0
+
+
+class TestCroesusVsBaselines:
+    def test_initial_latency_comparable_to_edge(self, config):
+        croesus = run_croesus(config, "v1", num_frames=FRAMES)
+        edge = run_edge_only(config, "v1", num_frames=FRAMES)
+        assert croesus.average_initial_latency == pytest.approx(
+            edge.average_initial_latency, rel=0.25
+        )
+
+    def test_final_latency_below_cloud_only(self, config):
+        croesus = run_croesus(config.with_thresholds(0.45, 0.55), "v1", num_frames=FRAMES)
+        cloud = run_cloud_only(config, "v1", num_frames=FRAMES)
+        assert croesus.average_final_latency < cloud.average_final_latency
+
+    def test_accuracy_above_edge_only(self, config):
+        croesus = run_croesus(config, "v1", num_frames=FRAMES)
+        edge = run_edge_only(config, "v1", num_frames=FRAMES)
+        assert croesus.f_score > edge.f_score
+
+
+class TestHybridTechniques:
+    def test_compression_reduces_cloud_baseline_latency(self, config):
+        plain = run_cloud_only(config, "v1", num_frames=FRAMES)
+        compressed = run_hybrid_cloud(config, "v1", num_frames=FRAMES)
+        assert compressed.average_breakdown.cloud_transfer < plain.average_breakdown.cloud_transfer
+
+    def test_difference_reduces_transfer_further(self, config):
+        compressed = run_hybrid_cloud(config, "v1", num_frames=FRAMES)
+        differenced = run_hybrid_cloud(config, "v1", num_frames=FRAMES, use_difference=True)
+        assert (
+            differenced.average_breakdown.cloud_transfer
+            <= compressed.average_breakdown.cloud_transfer
+        )
+
+    def test_improvement_is_small_because_detection_dominates(self, config):
+        """Figure 6c's point: pre-processing helps a little, the detection
+        latency still dominates the cloud baseline."""
+        plain = run_cloud_only(config, "v1", num_frames=FRAMES)
+        hybrid = run_hybrid_cloud(config, "v1", num_frames=FRAMES, use_difference=True)
+        saving = plain.average_final_latency - hybrid.average_final_latency
+        assert saving < 0.5 * plain.average_final_latency
+
+    def test_hybrid_croesus_no_slower_than_plain_croesus(self, config):
+        plain = run_croesus(config, "v1", num_frames=FRAMES)
+        hybrid = run_hybrid_croesus(config, "v1", num_frames=FRAMES)
+        assert (
+            hybrid.average_breakdown.cloud_transfer
+            <= plain.average_breakdown.cloud_transfer
+        )
+
+    def test_hybrid_croesus_keeps_accuracy(self, config):
+        plain = run_croesus(config, "v1", num_frames=FRAMES)
+        hybrid = run_hybrid_croesus(config, "v1", num_frames=FRAMES)
+        assert hybrid.f_score == pytest.approx(plain.f_score)
+
+    def test_hybrid_names(self, config):
+        assert run_hybrid_cloud(config, "v1", num_frames=5).name == "cloud+compression"
+        assert (
+            run_hybrid_cloud(config, "v1", num_frames=5, use_difference=True).name
+            == "cloud+compression+difference"
+        )

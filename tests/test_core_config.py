@@ -1,0 +1,51 @@
+"""Tests for the Croesus configuration."""
+
+import pytest
+
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.detection.profiles import CLOUD_YOLOV3_608
+from repro.network.topology import EdgeCloudTopology
+
+
+class TestCroesusConfig:
+    def test_defaults_are_valid(self):
+        config = CroesusConfig()
+        assert config.consistency is ConsistencyLevel.MS_IA
+        assert 0.0 <= config.lower_threshold <= config.upper_threshold < 1.0
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CroesusConfig(lower_threshold=0.8, upper_threshold=0.2)
+        with pytest.raises(ValueError):
+            CroesusConfig(lower_threshold=-0.1, upper_threshold=0.5)
+
+    def test_invalid_min_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            CroesusConfig(min_confidence=1.0)
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            CroesusConfig(match_overlap=1.5)
+
+    def test_invalid_operations_rejected(self):
+        with pytest.raises(ValueError):
+            CroesusConfig(operations_per_transaction=1)
+
+    def test_with_thresholds_returns_new_config(self):
+        base = CroesusConfig()
+        updated = base.with_thresholds(0.1, 0.9)
+        assert updated.thresholds == (0.1, 0.9)
+        assert base.thresholds != updated.thresholds
+
+    def test_with_topology(self):
+        topology = EdgeCloudTopology.small_edge_same_location()
+        config = CroesusConfig().with_topology(topology)
+        assert config.topology is topology
+
+    def test_with_cloud_profile(self):
+        config = CroesusConfig().with_cloud_profile(CLOUD_YOLOV3_608)
+        assert config.cloud_profile is CLOUD_YOLOV3_608
+
+    def test_with_consistency(self):
+        config = CroesusConfig().with_consistency(ConsistencyLevel.MS_SR)
+        assert config.consistency is ConsistencyLevel.MS_SR

@@ -1,0 +1,96 @@
+"""Tests for the generalized multi-tier pipeline (paper §3.5)."""
+
+import pytest
+
+from repro.core.multi_tier import MultiTierPipeline, TierSpec
+from repro.core.thresholds import ThresholdPolicy
+from repro.detection.profiles import (
+    CLOUD_YOLOV3_320,
+    CLOUD_YOLOV3_416,
+    EDGE_TINY_YOLOV3,
+)
+from repro.network.latency import CROSS_COUNTRY, SAME_REGION
+from repro.network.topology import CLOUD_XLARGE, EDGE_REGULAR, EDGE_SMALL
+from repro.video.library import make_video
+
+
+def _three_tiers(forward_everything: bool = False) -> list[TierSpec]:
+    policy = ThresholdPolicy(0.0, 0.999) if forward_everything else ThresholdPolicy(0.3, 0.7)
+    return [
+        TierSpec(name="device", model=EDGE_TINY_YOLOV3, machine=EDGE_SMALL, policy=policy),
+        TierSpec(
+            name="edge",
+            model=CLOUD_YOLOV3_320,
+            machine=EDGE_REGULAR,
+            uplink=SAME_REGION,
+            policy=policy,
+        ),
+        TierSpec(
+            name="cloud",
+            model=CLOUD_YOLOV3_416,
+            machine=CLOUD_XLARGE,
+            uplink=CROSS_COUNTRY,
+        ),
+    ]
+
+
+class TestMultiTierPipeline:
+    def test_requires_two_tiers(self):
+        with pytest.raises(ValueError):
+            MultiTierPipeline([_three_tiers()[0]])
+
+    def test_processes_all_frames(self):
+        pipeline = MultiTierPipeline(_three_tiers(), seed=3)
+        result = pipeline.run(make_video("v1", num_frames=15, seed=3))
+        assert result.num_frames == 15
+
+    def test_frames_visit_between_one_and_all_tiers(self):
+        pipeline = MultiTierPipeline(_three_tiers(), seed=3)
+        result = pipeline.run(make_video("v1", num_frames=20, seed=3))
+        for trace in result.traces:
+            assert 1 <= trace.tiers_visited <= 3
+
+    def test_forwarding_everything_visits_every_tier(self):
+        pipeline = MultiTierPipeline(_three_tiers(forward_everything=True), seed=3)
+        result = pipeline.run(make_video("v1", num_frames=15, seed=3))
+        frames_with_detections = [
+            t for t in result.traces if len(t.tiers[0].labels) > 0
+        ]
+        assert frames_with_detections
+        assert all(t.tiers_visited == 3 for t in frames_with_detections)
+
+    def test_initial_latency_smaller_than_final(self):
+        pipeline = MultiTierPipeline(_three_tiers(forward_everything=True), seed=3)
+        result = pipeline.run(make_video("v1", num_frames=15, seed=3))
+        assert result.average_initial_latency <= result.average_final_latency
+        assert result.average_initial_latency > 0
+
+    def test_forwarding_ratio_decreases_up_the_cascade(self):
+        pipeline = MultiTierPipeline(_three_tiers(), seed=3)
+        result = pipeline.run(make_video("v2", num_frames=30, seed=3))
+        assert result.forwarding_ratio(0) >= result.forwarding_ratio(1)
+
+    def test_more_tiers_means_higher_final_latency_when_forwarding(self):
+        two_tier = MultiTierPipeline(_three_tiers(forward_everything=True)[:2], seed=3)
+        three_tier = MultiTierPipeline(_three_tiers(forward_everything=True), seed=3)
+        two_result = two_tier.run(make_video("v1", num_frames=15, seed=3))
+        three_result = three_tier.run(make_video("v1", num_frames=15, seed=3))
+        assert three_result.average_final_latency > two_result.average_final_latency
+
+    def test_transactions_write_per_stage_records(self):
+        pipeline = MultiTierPipeline(_three_tiers(forward_everything=True), seed=3)
+        pipeline.run(make_video("v1", num_frames=10, seed=3))
+        stage_keys = [key for key in pipeline.store.keys() if ":stage-" in key]
+        assert stage_keys
+        # Every staged transaction that started must have a stage-0 record.
+        assert any(key.endswith("stage-0") for key in stage_keys)
+
+    def test_accuracy_is_reported(self):
+        pipeline = MultiTierPipeline(_three_tiers(forward_everything=True), seed=3)
+        result = pipeline.run(make_video("v3", num_frames=20, seed=3))
+        assert 0.0 <= result.f_score <= 1.0
+
+    def test_average_tiers_visited_between_bounds(self):
+        pipeline = MultiTierPipeline(_three_tiers(), seed=3)
+        result = pipeline.run(make_video("v1", num_frames=20, seed=3))
+        assert 1.0 <= result.average_tiers_visited <= 3.0

@@ -1,0 +1,98 @@
+"""Tests for accuracy metrics."""
+
+import pytest
+
+from repro.detection.metrics import (
+    AccuracyReport,
+    aggregate_reports,
+    evaluate_detections,
+    f_score,
+)
+
+from conftest import make_detection, make_label_set
+
+
+class TestFScore:
+    def test_perfect(self):
+        assert f_score(1.0, 1.0) == 1.0
+
+    def test_zero_when_both_zero(self):
+        assert f_score(0.0, 0.0) == 0.0
+
+    def test_harmonic_mean(self):
+        assert f_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_symmetric(self):
+        assert f_score(0.3, 0.9) == f_score(0.9, 0.3)
+
+
+class TestAccuracyReport:
+    def test_precision_recall(self):
+        report = AccuracyReport(true_positives=8, false_positives=2, false_negatives=4)
+        assert report.precision == pytest.approx(0.8)
+        assert report.recall == pytest.approx(8 / 12)
+
+    def test_empty_report_is_zero(self):
+        report = AccuracyReport(0, 0, 0)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f_score == 0.0
+
+    def test_merged(self):
+        left = AccuracyReport(1, 2, 3)
+        right = AccuracyReport(4, 5, 6)
+        merged = left.merged(right)
+        assert (merged.true_positives, merged.false_positives, merged.false_negatives) == (5, 7, 9)
+
+    def test_aggregate_reports(self):
+        total = aggregate_reports([AccuracyReport(1, 0, 0), AccuracyReport(0, 1, 1)])
+        assert total.true_positives == 1
+        assert total.false_positives == 1
+        assert total.false_negatives == 1
+
+
+class TestEvaluateDetections:
+    def test_exact_match_is_perfect(self):
+        truth = make_label_set(0, make_detection("person", x=100))
+        report = evaluate_detections(truth, truth)
+        assert report.f_score == 1.0
+
+    def test_wrong_name_is_false_positive_and_negative(self):
+        observed = make_label_set(0, make_detection("dog", x=100))
+        truth = make_label_set(0, make_detection("cat", x=100))
+        report = evaluate_detections(observed, truth)
+        assert report.true_positives == 0
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+
+    def test_missed_object_is_false_negative(self):
+        observed = make_label_set(0)
+        truth = make_label_set(0, make_detection("person"))
+        report = evaluate_detections(observed, truth)
+        assert report.false_negatives == 1
+        assert report.false_positives == 0
+
+    def test_hallucination_is_false_positive(self):
+        observed = make_label_set(0, make_detection("person", x=100), make_detection("person", x=700))
+        truth = make_label_set(0, make_detection("person", x=100))
+        report = evaluate_detections(observed, truth)
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+
+    def test_each_truth_label_claimed_once(self):
+        """Two overlapping predictions of the same object: only one TP."""
+        observed = make_label_set(
+            0, make_detection("person", x=100), make_detection("person", x=103)
+        )
+        truth = make_label_set(0, make_detection("person", x=100))
+        report = evaluate_detections(observed, truth)
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+
+    def test_overlap_threshold(self):
+        observed = make_label_set(0, make_detection("person", x=100, size=50))
+        truth = make_label_set(0, make_detection("person", x=145, size=50))
+        strict = evaluate_detections(observed, truth, min_overlap=0.5)
+        assert strict.true_positives == 0
+        loose = evaluate_detections(observed, truth, min_overlap=0.05)
+        assert loose.true_positives == 1

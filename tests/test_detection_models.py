@@ -1,0 +1,118 @@
+"""Tests for the simulated detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detection.models import SimulatedDetector
+from repro.detection.profiles import CLOUD_YOLOV3_416, EDGE_TINY_YOLOV3, ModelProfile
+
+from conftest import make_frame, make_scene_object
+
+
+def _perfect_profile() -> ModelProfile:
+    return ModelProfile(
+        name="perfect",
+        recall=1.0,
+        mislabel_rate=0.0,
+        false_positive_rate=0.0,
+        box_noise=0.0,
+        confidence_correct=0.95,
+        confidence_error=0.4,
+        confidence_spread=0.0,
+        inference_latency=0.1,
+        latency_jitter=0.0,
+    )
+
+
+def _blind_profile() -> ModelProfile:
+    return ModelProfile(
+        name="blind",
+        recall=0.0,
+        mislabel_rate=0.0,
+        false_positive_rate=0.0,
+        box_noise=0.0,
+        confidence_correct=0.9,
+        confidence_error=0.4,
+        confidence_spread=0.0,
+        inference_latency=0.05,
+        latency_jitter=0.0,
+    )
+
+
+class TestSimulatedDetector:
+    def test_perfect_detector_finds_every_object(self, rng):
+        detector = SimulatedDetector(_perfect_profile(), rng)
+        frame = make_frame(0, make_scene_object(0, "dog"), make_scene_object(1, "dog", x=400))
+        labels, latency = detector.detect(frame)
+        assert len(labels) == 2
+        assert set(labels.names()) == {"dog"}
+        assert latency > 0
+
+    def test_blind_detector_finds_nothing(self, rng):
+        detector = SimulatedDetector(_blind_profile(), rng)
+        frame = make_frame(0, make_scene_object(0, "dog"))
+        labels, _ = detector.detect(frame)
+        assert len(labels) == 0
+
+    def test_latency_matches_profile_mean(self, rng):
+        detector = SimulatedDetector(_perfect_profile(), rng)
+        frame = make_frame(0, make_scene_object(0))
+        latencies = [detector.detect(frame)[1] for _ in range(50)]
+        assert np.mean(latencies) == pytest.approx(0.1, abs=0.01)
+
+    def test_latency_scale_multiplies(self, rng):
+        slow = SimulatedDetector(_perfect_profile(), rng, latency_scale=3.0)
+        frame = make_frame(0, make_scene_object(0))
+        latencies = [slow.detect(frame)[1] for _ in range(30)]
+        assert np.mean(latencies) == pytest.approx(0.3, abs=0.03)
+
+    def test_latency_scale_must_be_positive(self, rng):
+        with pytest.raises(ValueError):
+            SimulatedDetector(_perfect_profile(), rng, latency_scale=0.0)
+
+    def test_detections_carry_ground_truth_object_id(self, rng):
+        detector = SimulatedDetector(_perfect_profile(), rng)
+        frame = make_frame(0, make_scene_object(7, "dog"))
+        labels, _ = detector.detect(frame)
+        assert labels.detections[0].object_id == 7
+
+    def test_edge_model_is_less_accurate_than_cloud(self, rngs):
+        """Across many frames, the cloud profile should recall more objects."""
+        edge = SimulatedDetector(EDGE_TINY_YOLOV3, rngs.stream("edge"))
+        cloud = SimulatedDetector(CLOUD_YOLOV3_416, rngs.stream("cloud"))
+        frames = [
+            make_frame(i, make_scene_object(i, "person", visibility=0.85, difficulty=1.4))
+            for i in range(120)
+        ]
+        edge_hits = sum(
+            1
+            for frame in frames
+            for d in edge.detect(frame)[0]
+            if d.object_id is not None and d.name == "person"
+        )
+        cloud_hits = sum(
+            1
+            for frame in frames
+            for d in cloud.detect(frame)[0]
+            if d.object_id is not None and d.name == "person"
+        )
+        assert cloud_hits > edge_hits
+
+    def test_confidences_within_bounds(self, rng):
+        detector = SimulatedDetector(EDGE_TINY_YOLOV3, rng)
+        frame = make_frame(0, *[make_scene_object(i, x=50 + 100 * i) for i in range(5)])
+        for _ in range(20):
+            labels, _ = detector.detect(frame)
+            assert all(0.0 < d.confidence < 1.0 for d in labels)
+
+    def test_deterministic_given_same_stream(self):
+        frame = make_frame(0, make_scene_object(0))
+        first = SimulatedDetector(EDGE_TINY_YOLOV3, np.random.default_rng(5)).detect(frame)
+        second = SimulatedDetector(EDGE_TINY_YOLOV3, np.random.default_rng(5)).detect(frame)
+        assert first[0].names() == second[0].names()
+        assert first[1] == second[1]
+
+    def test_name_and_profile_accessors(self, rng):
+        detector = SimulatedDetector(EDGE_TINY_YOLOV3, rng)
+        assert detector.name == "tiny-yolov3"
+        assert detector.profile is EDGE_TINY_YOLOV3

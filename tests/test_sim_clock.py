@@ -1,0 +1,55 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now == 2.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = SimClock(start=3.0)
+        assert clock.advance(0.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future_timestamp(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_fork_starts_at_current_time(self):
+        clock = SimClock()
+        clock.advance(2.0)
+        branch = clock.fork()
+        assert branch.now == 2.0
+
+    def test_fork_is_independent(self):
+        clock = SimClock()
+        branch = clock.fork()
+        branch.advance(5.0)
+        assert clock.now == 0.0
+        assert branch.now == 5.0

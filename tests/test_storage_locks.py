@@ -1,0 +1,104 @@
+"""Tests for the lock manager."""
+
+from repro.storage.locks import LockManager, LockMode
+
+
+class TestLockManager:
+    def test_exclusive_lock_granted_when_free(self):
+        locks = LockManager()
+        assert locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert locks.holds("t1", "x")
+
+    def test_exclusive_conflicts_with_exclusive(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+
+    def test_shared_locks_are_compatible(self):
+        locks = LockManager()
+        assert locks.try_acquire("t1", "x", LockMode.SHARED)
+        assert locks.try_acquire("t2", "x", LockMode.SHARED)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.SHARED)
+        assert not locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire("t2", "x", LockMode.SHARED)
+
+    def test_reacquire_is_idempotent(self):
+        locks = LockManager()
+        assert locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        assert locks.try_acquire("t1", "x", LockMode.SHARED)
+
+    def test_upgrade_shared_to_exclusive_when_sole_holder(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.SHARED)
+        assert locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+
+    def test_upgrade_denied_with_other_sharers(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.SHARED)
+        locks.try_acquire("t2", "x", LockMode.SHARED)
+        assert not locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+
+    def test_release_frees_lock(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.release("t1", "x")
+        assert locks.try_acquire("t2", "x", LockMode.EXCLUSIVE)
+
+    def test_release_unheld_lock_is_noop(self):
+        locks = LockManager()
+        locks.release("t1", "x")  # must not raise
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.try_acquire("t1", "y", LockMode.SHARED)
+        locks.release_all("t1")
+        assert locks.held_keys("t1") == frozenset()
+        assert locks.locked_keys() == frozenset()
+
+    def test_acquire_all_atomicity(self):
+        """If any lock in the group is denied, none are retained."""
+        locks = LockManager()
+        locks.try_acquire("other", "y", LockMode.EXCLUSIVE)
+        granted = locks.acquire_all(
+            "t1", [("x", LockMode.EXCLUSIVE), ("y", LockMode.EXCLUSIVE)]
+        )
+        assert not granted
+        assert not locks.holds("t1", "x")
+        assert not locks.holds("t1", "y")
+
+    def test_acquire_all_success(self):
+        locks = LockManager()
+        assert locks.acquire_all("t1", [("x", LockMode.SHARED), ("y", LockMode.EXCLUSIVE)])
+        assert locks.held_keys("t1") == {"x", "y"}
+
+    def test_acquire_all_keeps_previously_held_locks_on_failure(self):
+        """A failed group acquisition must not drop locks held before the call."""
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE)
+        locks.try_acquire("other", "y", LockMode.EXCLUSIVE)
+        granted = locks.acquire_all(
+            "t1", [("x", LockMode.EXCLUSIVE), ("y", LockMode.EXCLUSIVE)]
+        )
+        assert not granted
+        assert locks.holds("t1", "x")
+
+    def test_hold_records_measure_duration(self):
+        locks = LockManager()
+        locks.try_acquire("t1", "x", LockMode.EXCLUSIVE, now=1.0)
+        locks.release("t1", "x", now=3.5)
+        records = locks.hold_records
+        assert len(records) == 1
+        assert records[0].duration == 2.5
+        assert locks.average_hold_time() == 2.5
+
+    def test_average_hold_time_empty(self):
+        assert LockManager().average_hold_time() == 0.0

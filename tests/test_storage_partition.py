@@ -1,0 +1,88 @@
+"""Tests for the partitioned store and two-phase commit."""
+
+import pytest
+
+from repro.storage.locks import LockMode
+from repro.storage.partition import (
+    PartitionedStore,
+    PartitionError,
+    TwoPhaseCommitCoordinator,
+    VoteOutcome,
+)
+
+
+class TestPartitionedStore:
+    def test_requires_at_least_one_partition(self):
+        with pytest.raises(PartitionError):
+            PartitionedStore(num_partitions=0)
+
+    def test_key_routing_is_stable(self):
+        store = PartitionedStore(num_partitions=4)
+        first = store.partition_for("user:42").partition_id
+        second = store.partition_for("user:42").partition_id
+        assert first == second
+
+    def test_read_write_through_routing(self):
+        store = PartitionedStore(num_partitions=3)
+        store.write("k", "v")
+        assert store.read("k") == "v"
+
+    def test_read_default(self):
+        store = PartitionedStore(num_partitions=2)
+        assert store.read("missing", default=5) == 5
+
+    def test_partitions_touched(self):
+        store = PartitionedStore(num_partitions=8)
+        keys = [f"key-{i}" for i in range(50)]
+        touched = store.partitions_touched(keys)
+        assert touched
+        assert all(0 <= p < 8 for p in touched)
+        assert len(touched) > 1  # 50 keys should span several partitions
+
+    def test_partition_lookup_by_id(self):
+        store = PartitionedStore(num_partitions=2)
+        assert store.partition(1).partition_id == 1
+        with pytest.raises(PartitionError):
+            store.partition(5)
+
+
+class TestTwoPhaseCommit:
+    def test_commit_applies_writes_everywhere(self):
+        store = PartitionedStore(num_partitions=4)
+        coordinator = TwoPhaseCommitCoordinator(store)
+        writes = {f"key-{i}": i for i in range(20)}
+        result = coordinator.commit("t1", writes)
+        assert result.committed
+        assert all(vote is VoteOutcome.YES for vote in result.votes.values())
+        for key, value in writes.items():
+            assert store.read(key) == value
+
+    def test_commit_releases_locks(self):
+        store = PartitionedStore(num_partitions=2)
+        coordinator = TwoPhaseCommitCoordinator(store)
+        coordinator.commit("t1", {"a": 1, "b": 2})
+        # a second transaction touching the same keys must succeed
+        result = coordinator.commit("t2", {"a": 10, "b": 20})
+        assert result.committed
+        assert store.read("a") == 10
+
+    def test_abort_when_a_participant_cannot_prepare(self):
+        store = PartitionedStore(num_partitions=2)
+        # Simulate a concurrent holder of one key's lock.
+        blocked_key = "contended"
+        partition = store.partition_for(blocked_key)
+        partition.locks.try_acquire("other", blocked_key, LockMode.EXCLUSIVE)
+
+        coordinator = TwoPhaseCommitCoordinator(store)
+        result = coordinator.commit("t1", {blocked_key: 1, "free": 2})
+        assert not result.committed
+        assert VoteOutcome.NO in result.votes.values()
+        # No write may have been applied anywhere (atomicity).
+        assert store.read(blocked_key, default=None) is None
+        assert store.read("free", default=None) is None
+
+    def test_participants_reported(self):
+        store = PartitionedStore(num_partitions=4)
+        coordinator = TwoPhaseCommitCoordinator(store)
+        result = coordinator.commit("t1", {"only-one-key": 1})
+        assert len(result.participants) == 1

@@ -1,0 +1,69 @@
+"""Tests for the undo log."""
+
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.wal import UndoLog
+
+
+class TestUndoLog:
+    def test_log_write_captures_before_image(self, store):
+        store.write("k", "before")
+        log = UndoLog(store)
+        record = log.log_write("t1", "k", "after")
+        assert record.before == "before"
+        assert record.after == "after"
+
+    def test_before_image_of_new_key_is_none(self, store):
+        log = UndoLog(store)
+        assert log.log_write("t1", "new", 1).before is None
+
+    def test_undo_restores_values_in_reverse_order(self, store):
+        log = UndoLog(store)
+        store.write("k", "v0")
+        log.log_write("t1", "k", "v1")
+        store.write("k", "v1", writer="t1")
+        log.log_write("t1", "k", "v2")
+        store.write("k", "v2", writer="t1")
+
+        log.undo("t1")
+        assert store.read("k") == "v0"
+
+    def test_undo_unknown_transaction_is_noop(self, store):
+        log = UndoLog(store)
+        assert log.undo("missing") == []
+
+    def test_undo_returns_undone_records(self, store):
+        log = UndoLog(store)
+        log.log_write("t1", "a", 1)
+        store.write("a", 1, writer="t1")
+        log.log_write("t1", "b", 2)
+        store.write("b", 2, writer="t1")
+        undone = log.undo("t1")
+        assert [record.key for record in undone] == ["b", "a"]
+
+    def test_forget_discards_records(self, store):
+        log = UndoLog(store)
+        log.log_write("t1", "k", 1)
+        store.write("k", 1, writer="t1")
+        log.forget("t1")
+        log.undo("t1")
+        assert store.read("k") == 1  # nothing undone
+
+    def test_touched_keys(self, store):
+        log = UndoLog(store)
+        log.log_write("t1", "a", 1)
+        log.log_write("t1", "b", 2)
+        assert log.touched_keys("t1") == {"a", "b"}
+        assert log.touched_keys("t2") == frozenset()
+
+    def test_dependents_finds_overlapping_transactions(self, store):
+        log = UndoLog(store)
+        log.log_write("t1", "shared", 1)
+        log.log_write("t2", "shared", 2)
+        log.log_write("t3", "other", 3)
+        assert log.dependents("t1") == {"t2"}
+
+    def test_records_for_returns_in_order(self, store):
+        log = UndoLog(store)
+        log.log_write("t1", "a", 1)
+        log.log_write("t1", "b", 2)
+        assert [r.key for r in log.records_for("t1")] == ["a", "b"]

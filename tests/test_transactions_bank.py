@@ -1,0 +1,73 @@
+"""Tests for the transactions bank."""
+
+from repro.transactions.bank import ANY_LABEL, TransactionBank
+from repro.transactions.model import MultiStageTransaction, SectionSpec
+
+from conftest import make_detection
+
+
+def _factory(detection, txn_id) -> MultiStageTransaction:
+    return MultiStageTransaction(
+        transaction_id=txn_id,
+        initial=SectionSpec.noop(),
+        final=SectionSpec.noop(),
+        trigger=detection.name if detection is not None else "input",
+    )
+
+
+class TestTransactionBank:
+    def test_label_class_rule_fires_per_matching_detection(self):
+        bank = TransactionBank()
+        bank.register("buildings", {"Engineering", "Library"}, _factory)
+        detections = [
+            make_detection("Engineering"),
+            make_detection("University Shuttle 42"),
+            make_detection("Library"),
+        ]
+        triggered = bank.transactions_for(detections)
+        assert len(triggered) == 2
+        assert {txn.trigger for txn, _ in triggered} == {"Engineering", "Library"}
+
+    def test_wildcard_rule_fires_for_every_detection(self):
+        bank = TransactionBank()
+        bank.register("any", ANY_LABEL, _factory)
+        detections = [make_detection("a"), make_detection("b")]
+        assert len(bank.transactions_for(detections)) == 2
+
+    def test_wildcard_rule_does_not_fire_without_detections(self):
+        bank = TransactionBank()
+        bank.register("any", ANY_LABEL, _factory)
+        assert bank.transactions_for([]) == []
+
+    def test_auxiliary_input_required(self):
+        bank = TransactionBank()
+        bank.register("reserve", {"Engineering"}, _factory, requires_auxiliary_input=True)
+        detections = [make_detection("Engineering")]
+        assert bank.transactions_for(detections, auxiliary_input=False) == []
+        assert len(bank.transactions_for(detections, auxiliary_input=True)) == 1
+
+    def test_pure_input_rule_fires_once_per_frame(self):
+        bank = TransactionBank()
+        bank.register("menu", (), _factory, requires_auxiliary_input=True)
+        triggered = bank.transactions_for([make_detection("a")], auxiliary_input=True)
+        assert len(triggered) == 1
+        assert triggered[0][1] is None  # no triggering detection
+
+    def test_transaction_ids_are_unique(self):
+        bank = TransactionBank()
+        bank.register("any", ANY_LABEL, _factory)
+        triggered = bank.transactions_for([make_detection("a"), make_detection("b")])
+        ids = [txn.transaction_id for txn, _ in triggered]
+        assert len(set(ids)) == len(ids)
+
+    def test_multiple_rules_can_fire_for_one_detection(self):
+        bank = TransactionBank()
+        bank.register("info", {"Engineering"}, _factory)
+        bank.register("audit", {"Engineering"}, _factory)
+        triggered = bank.transactions_for([make_detection("Engineering")])
+        assert len(triggered) == 2
+
+    def test_rules_accessor(self):
+        bank = TransactionBank()
+        rule = bank.register("r", {"x"}, _factory)
+        assert bank.rules == (rule,)

@@ -1,0 +1,88 @@
+"""Tests for operations and read/write sets."""
+
+from repro.storage.locks import LockMode
+from repro.transactions.ops import (
+    Operation,
+    OperationKind,
+    ReadWriteSet,
+    operations_conflict,
+)
+
+
+class TestOperation:
+    def test_reads_do_not_conflict(self):
+        a = Operation(OperationKind.READ, "x")
+        b = Operation(OperationKind.READ, "x")
+        assert not a.conflicts_with(b)
+
+    def test_read_write_conflict_on_same_key(self):
+        read = Operation(OperationKind.READ, "x")
+        write = Operation(OperationKind.WRITE, "x", 1)
+        assert read.conflicts_with(write)
+        assert write.conflicts_with(read)
+
+    def test_write_write_conflict(self):
+        a = Operation(OperationKind.WRITE, "x", 1)
+        b = Operation(OperationKind.WRITE, "x", 2)
+        assert a.conflicts_with(b)
+
+    def test_different_keys_never_conflict(self):
+        a = Operation(OperationKind.WRITE, "x", 1)
+        b = Operation(OperationKind.WRITE, "y", 2)
+        assert not a.conflicts_with(b)
+
+    def test_lock_mode(self):
+        assert Operation(OperationKind.READ, "x").lock_mode is LockMode.SHARED
+        assert Operation(OperationKind.WRITE, "x").lock_mode is LockMode.EXCLUSIVE
+
+    def test_operations_conflict_helper(self):
+        left = [Operation(OperationKind.READ, "a"), Operation(OperationKind.WRITE, "b")]
+        right = [Operation(OperationKind.READ, "b")]
+        assert operations_conflict(left, right)
+        assert not operations_conflict(left, [Operation(OperationKind.READ, "a")])
+
+
+class TestReadWriteSet:
+    def test_keys_union(self):
+        rwset = ReadWriteSet(reads=frozenset({"a"}), writes=frozenset({"b"}))
+        assert rwset.keys == {"a", "b"}
+
+    def test_lock_requests_prefer_exclusive(self):
+        rwset = ReadWriteSet(reads=frozenset({"a", "b"}), writes=frozenset({"b"}))
+        requests = dict(rwset.lock_requests())
+        assert requests["b"] is LockMode.EXCLUSIVE
+        assert requests["a"] is LockMode.SHARED
+
+    def test_merged(self):
+        left = ReadWriteSet(reads=frozenset({"a"}), writes=frozenset({"b"}))
+        right = ReadWriteSet(reads=frozenset({"c"}), writes=frozenset({"a"}))
+        merged = left.merged(right)
+        assert merged.reads == {"a", "c"}
+        assert merged.writes == {"a", "b"}
+
+    def test_conflicts_when_write_overlaps(self):
+        left = ReadWriteSet(writes=frozenset({"x"}))
+        right = ReadWriteSet(reads=frozenset({"x"}))
+        assert left.conflicts_with(right)
+        assert right.conflicts_with(left)
+
+    def test_no_conflict_between_read_only_sets(self):
+        left = ReadWriteSet(reads=frozenset({"x"}))
+        right = ReadWriteSet(reads=frozenset({"x"}))
+        assert not left.conflicts_with(right)
+
+    def test_from_operations(self):
+        operations = [
+            Operation(OperationKind.READ, "a"),
+            Operation(OperationKind.WRITE, "b", 1),
+            Operation(OperationKind.READ, "b"),
+        ]
+        rwset = ReadWriteSet.from_operations(operations)
+        assert rwset.reads == {"a", "b"}
+        assert rwset.writes == {"b"}
+
+    def test_empty_set_conflicts_with_nothing(self):
+        empty = ReadWriteSet()
+        busy = ReadWriteSet(reads=frozenset({"a"}), writes=frozenset({"b"}))
+        assert not empty.conflicts_with(busy)
+        assert not busy.conflicts_with(empty)

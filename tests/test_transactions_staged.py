@@ -1,0 +1,139 @@
+"""Tests for generalized m-stage transactions (paper §3.5)."""
+
+import pytest
+
+from repro.storage.locks import LockMode
+from repro.transactions.exceptions import SectionOrderError, TransactionAborted
+from repro.transactions.model import SectionSpec
+from repro.transactions.ops import ReadWriteSet
+from repro.transactions.staged import StagedController, StagedTransaction
+
+
+def _staged_counter(txn_id: str, key: str, stages: int = 3) -> StagedTransaction:
+    """Each stage appends its index to a list stored under ``key``."""
+
+    def make_section(stage: int) -> SectionSpec:
+        def body(ctx, _stage=stage):
+            values = ctx.read(key, default=[]) or []
+            ctx.write(key, values + [_stage])
+            return _stage
+
+        return SectionSpec(
+            body=body, rwset=ReadWriteSet(reads=frozenset({key}), writes=frozenset({key}))
+        )
+
+    return StagedTransaction(
+        transaction_id=txn_id, sections=tuple(make_section(s) for s in range(stages))
+    )
+
+
+class TestStagedTransaction:
+    def test_requires_at_least_two_sections(self):
+        with pytest.raises(ValueError):
+            StagedTransaction(transaction_id="t", sections=(SectionSpec.noop(),))
+
+    def test_two_stage_special_case(self, store):
+        controller = StagedController(store)
+        txn = _staged_counter("t1", "k", stages=2)
+        controller.process_stage(txn, 0)
+        controller.process_stage(txn, 1)
+        assert txn.is_fully_committed
+        assert store.read("k") == [0, 1]
+
+
+class TestStagedController:
+    def test_stages_run_in_order(self, store):
+        controller = StagedController(store)
+        txn = _staged_counter("t1", "k", stages=4)
+        for stage in range(4):
+            controller.process_stage(txn, stage)
+        assert store.read("k") == [0, 1, 2, 3]
+        assert txn.is_fully_committed
+        assert controller.stats.initial_commits == 1
+        assert controller.stats.final_commits == 1
+
+    def test_out_of_order_stage_rejected(self, store):
+        controller = StagedController(store)
+        txn = _staged_counter("t1", "k")
+        with pytest.raises(SectionOrderError):
+            controller.process_stage(txn, 1)
+
+    def test_stage_cannot_run_twice(self, store):
+        controller = StagedController(store)
+        txn = _staged_counter("t1", "k")
+        controller.process_stage(txn, 0)
+        with pytest.raises(SectionOrderError):
+            controller.process_stage(txn, 0)
+
+    def test_locks_released_between_stages(self, store):
+        controller = StagedController(store)
+        first = _staged_counter("t1", "k")
+        second = _staged_counter("t2", "k")
+        controller.process_stage(first, 0)
+        # A conflicting transaction can start before t1 finishes its stages.
+        controller.process_stage(second, 0)
+        assert store.read("k") == [0, 0]
+
+    def test_initial_stage_lock_denial_aborts(self, store):
+        controller = StagedController(store)
+        controller.lock_manager.try_acquire("other", "k", LockMode.EXCLUSIVE)
+        txn = _staged_counter("t1", "k")
+        with pytest.raises(TransactionAborted):
+            controller.process_stage(txn, 0)
+        assert txn.aborted
+
+    def test_later_stage_lock_denial_is_retryable(self, store):
+        controller = StagedController(store)
+        txn = _staged_counter("t1", "k")
+        controller.process_stage(txn, 0)
+        controller.lock_manager.try_acquire("other", "k", LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionAborted):
+            controller.process_stage(txn, 1)
+        assert not txn.aborted
+        controller.lock_manager.release_all("other")
+        controller.process_stage(txn, 1)
+        assert txn.committed_stages == 2
+
+    def test_handoff_flows_through_all_stages(self, store):
+        def stage0(ctx):
+            ctx.put_handoff("seen", ["stage0"])
+
+        def stage1(ctx):
+            ctx.put_handoff("seen", ctx.get_handoff("seen") + ["stage1"])
+
+        def stage2(ctx):
+            return ctx.get_handoff("seen")
+
+        txn = StagedTransaction(
+            transaction_id="t1",
+            sections=(
+                SectionSpec(body=stage0),
+                SectionSpec(body=stage1),
+                SectionSpec(body=stage2),
+            ),
+        )
+        controller = StagedController(store)
+        controller.process_stage(txn, 0)
+        controller.process_stage(txn, 1)
+        result = controller.process_stage(txn, 2)
+        assert result == ["stage0", "stage1"]
+
+    def test_apologies_accumulate(self, store):
+        def apologetic(ctx):
+            ctx.apologize("sorry")
+
+        txn = StagedTransaction(
+            transaction_id="t1",
+            sections=(SectionSpec.noop(), SectionSpec(body=apologetic), SectionSpec(body=apologetic)),
+        )
+        controller = StagedController(store)
+        controller.finish_remaining(txn)
+        assert txn.apologies == ("sorry", "sorry")
+
+    def test_finish_remaining_runs_all_outstanding_stages(self, store):
+        controller = StagedController(store)
+        txn = _staged_counter("t1", "k", stages=5)
+        controller.process_stage(txn, 0)
+        results = controller.finish_remaining(txn)
+        assert len(results) == 4
+        assert txn.is_fully_committed

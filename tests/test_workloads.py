@@ -1,0 +1,133 @@
+"""Tests for the YCSB-A and hotspot workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.storage.kvstore import KeyValueStore
+from repro.transactions.ms_ia import MSIAController
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+from conftest import make_detection
+
+
+class TestYCSBWorkload:
+    def _workload(self, seed: int = 0, **kwargs) -> YCSBWorkload:
+        return YCSBWorkload(rng=np.random.default_rng(seed), **kwargs)
+
+    def test_operation_count_matches_paper(self):
+        """6 operations per transaction, half reads and half writes."""
+        txn = self._workload().build_transaction("t1", make_detection("person"))
+        reads = len(txn.initial.rwset.reads)
+        writes = len(txn.initial.rwset.writes) + len(txn.final.rwset.writes)
+        assert reads == 3
+        assert writes == 3
+
+    def test_final_section_has_at_least_one_write(self):
+        txn = self._workload().build_transaction("t1", make_detection("person"))
+        assert len(txn.final.rwset.writes) >= 1
+
+    def test_transaction_runs_through_controller(self):
+        store = KeyValueStore()
+        controller = MSIAController(store)
+        workload = self._workload()
+        txn = workload.build_transaction("t1", make_detection("dog"))
+        controller.process_initial(txn, labels=make_detection("dog"))
+        controller.process_final(txn, labels=make_detection("dog"))
+        assert txn.is_committed
+        assert len(store) > 0
+
+    def test_corrected_label_triggers_apology(self):
+        store = KeyValueStore()
+        controller = MSIAController(store)
+        txn = self._workload().build_transaction("t1", make_detection("dog"))
+        controller.process_initial(txn, labels=make_detection("dog"))
+        controller.process_final(txn, labels=make_detection("cat"))
+        assert txn.apologies
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            self._workload(operations_per_transaction=1)
+        with pytest.raises(ValueError):
+            self._workload(final_write_fraction=2.0)
+
+    def test_custom_operation_count(self):
+        txn = self._workload(operations_per_transaction=10).build_transaction(
+            "t1", make_detection("x")
+        )
+        total_ops = (
+            len(txn.initial.rwset.reads)
+            + len(txn.initial.rwset.writes)
+            + len(txn.final.rwset.writes)
+        )
+        assert total_ops == 10
+
+    def test_handles_missing_detection(self):
+        txn = self._workload().build_transaction("t1", None)
+        assert txn.trigger == "ycsb:none"
+
+
+class TestHotspotWorkload:
+    def _workload(self, key_range: int = 10, **kwargs) -> HotspotWorkload:
+        return HotspotWorkload(rng=np.random.default_rng(0), key_range=key_range, **kwargs)
+
+    def test_batch_size(self):
+        batch = self._workload(batch_size=50).build_batch()
+        assert len(batch) == 50
+
+    def test_updates_per_transaction(self):
+        txn = self._workload(updates_per_transaction=5).build_transaction()
+        total_keys = len(txn.initial.rwset.writes) + len(txn.final.rwset.writes)
+        # Random key collisions within a transaction can reduce the count,
+        # but it can never exceed the requested number of updates.
+        assert 1 <= total_keys <= 5
+
+    def test_keys_restricted_to_hot_range(self):
+        workload = self._workload(key_range=3)
+        txn = workload.build_transaction()
+        for key in txn.combined_rwset().keys:
+            index = int(key.split("-")[1])
+            assert 0 <= index < 3
+
+    def test_small_key_range_produces_conflicts(self):
+        workload = self._workload(key_range=2, batch_size=20)
+        batch = workload.build_batch()
+        conflicts = sum(
+            1
+            for i, left in enumerate(batch)
+            for right in batch[i + 1:]
+            if left.conflicts_with(right)
+        )
+        assert conflicts > 0
+
+    def test_large_key_range_has_fewer_conflicts(self):
+        small = self._workload(key_range=10, batch_size=30).build_batch()
+        large = HotspotWorkload(
+            rng=np.random.default_rng(0), key_range=100_000, batch_size=30
+        ).build_batch()
+
+        def count_conflicts(batch):
+            return sum(
+                1
+                for i, left in enumerate(batch)
+                for right in batch[i + 1:]
+                if left.conflicts_with(right)
+            )
+
+        assert count_conflicts(large) < count_conflicts(small)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            self._workload(key_range=0)
+        with pytest.raises(ValueError):
+            HotspotWorkload(
+                rng=np.random.default_rng(0),
+                key_range=5,
+                updates_per_transaction=3,
+                final_updates=4,
+            )
+
+    def test_transaction_ids_unique_across_batches(self):
+        workload = self._workload()
+        ids = [txn.transaction_id for txn in workload.build_batch() + workload.build_batch()]
+        assert len(set(ids)) == len(ids)
