@@ -1,0 +1,125 @@
+"""Cluster scale-out sweep: 1→8 edges × uniform/hotspot placement.
+
+Eight camera streams run against growing clusters under MS-SR with a
+shared hot key range, so remote lock conflicts and 2PC aborts are live.
+For every cluster size the sweep runs both a uniform (round-robin) and a
+skewed (hotspot) placement and records throughput, queueing delay, the
+cross-partition transaction fraction, and the 2PC abort rate.
+
+Qualitative shape asserted:
+* adding edges raises throughput and drains queueing delay under
+  uniform placement (the scale-out story);
+* skewed placement leaves the hot edge congested, so its queueing delay
+  stays above the uniform placement's at the same cluster size;
+* once the store has more than one partition, transactions span remote
+  partitions and the cross-partition fraction is substantial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.video.library import make_camera_streams
+
+from bench_common import BENCH_SEED
+
+EDGE_COUNTS = (1, 2, 4, 8)
+PLACEMENTS = ("round-robin", "hotspot")
+NUM_STREAMS = 8
+FRAMES_PER_STREAM = 10
+HOT_KEY_RANGE = 50
+
+
+def _make_streams(seed: int) -> list:
+    return make_camera_streams(NUM_STREAMS, num_frames=FRAMES_PER_STREAM, seed=seed)
+
+
+def _run_cell(num_edges: int, placement: str, seed: int) -> dict[str, float]:
+    """One sweep cell: a full multi-stream cluster run."""
+    config = ClusterConfig(
+        base=CroesusConfig(seed=seed, consistency=ConsistencyLevel.MS_SR),
+        num_edges=num_edges,
+        router_policy=placement,
+    )
+    system = ClusterSystem(config, bank_factory=hotspot_bank_factory(seed, key_range=HOT_KEY_RANGE))
+    result = system.run(_make_streams(seed))
+    assert result.num_frames == NUM_STREAMS * FRAMES_PER_STREAM
+    return result.summary()
+
+
+@pytest.fixture(scope="module")
+def scaleout_results(report_writer):
+    results = {
+        (num_edges, placement): _run_cell(num_edges, placement, BENCH_SEED)
+        for num_edges in EDGE_COUNTS
+        for placement in PLACEMENTS
+    }
+    rows = [
+        [
+            num_edges,
+            placement,
+            f"{cell['throughput_fps']:.2f}",
+            f"{cell['mean_queue_delay_ms']:.0f}",
+            f"{cell['max_utilization']:.0%}",
+            f"{cell['cross_partition_fraction']:.0%}",
+            f"{cell['two_phase_abort_rate']:.1%}",
+        ]
+        for (num_edges, placement), cell in results.items()
+    ]
+    report_writer(
+        "cluster_scaleout",
+        format_table(
+            [
+                "edges",
+                "placement",
+                "throughput (fps)",
+                "queue delay (ms)",
+                "max utilization",
+                "cross-partition",
+                "2PC abort rate",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_every_cell_completes(scaleout_results):
+    for cell in scaleout_results.values():
+        assert cell["frames"] == NUM_STREAMS * FRAMES_PER_STREAM
+
+
+def test_uniform_placement_scales_throughput(scaleout_results):
+    series = [scaleout_results[(n, "round-robin")]["throughput_fps"] for n in EDGE_COUNTS]
+    assert series[-1] > series[0]
+
+
+def test_uniform_placement_drains_queueing_delay(scaleout_results):
+    series = [scaleout_results[(n, "round-robin")]["mean_queue_delay_ms"] for n in EDGE_COUNTS]
+    assert series[-1] < series[0]
+
+
+def test_skewed_placement_stays_congested(scaleout_results):
+    for num_edges in EDGE_COUNTS[1:]:
+        uniform = scaleout_results[(num_edges, "round-robin")]
+        skewed = scaleout_results[(num_edges, "hotspot")]
+        assert skewed["mean_queue_delay_ms"] >= uniform["mean_queue_delay_ms"]
+
+
+def test_multi_edge_runs_have_cross_partition_transactions(scaleout_results):
+    for num_edges in EDGE_COUNTS[1:]:
+        for placement in PLACEMENTS:
+            assert scaleout_results[(num_edges, placement)]["cross_partition_fraction"] > 0.25
+
+
+def test_benchmark_two_edge_cluster_run(benchmark, scaleout_results):
+    """Time one full 2-edge, 8-stream cluster run."""
+
+    def run_cluster():
+        return _run_cell(2, "round-robin", BENCH_SEED + 1)
+
+    cell = benchmark(run_cluster)
+    assert cell["frames"] == NUM_STREAMS * FRAMES_PER_STREAM

@@ -32,7 +32,13 @@ from repro.transactions import (
     TransactionBank,
     TwoStage2PL,
 )
-from repro.video.library import VIDEO_LIBRARY, make_video
+from repro.video.library import VIDEO_LIBRARY, make_camera_streams, make_video
+
+# Imported after the core/video modules: the cluster package pulls in
+# repro.video before repro.detection, which only resolves once the
+# detection package has finished loading.
+from repro.cluster.router import make_router  # noqa: E402
+from repro.cluster.system import ClusterConfig, ClusterRunResult, ClusterSystem  # noqa: E402
 
 __version__ = "1.0.0"
 
@@ -40,6 +46,10 @@ __all__ = [
     "CroesusConfig",
     "ConsistencyLevel",
     "CroesusSystem",
+    "ClusterConfig",
+    "ClusterRunResult",
+    "ClusterSystem",
+    "make_router",
     "ThresholdPolicy",
     "ThresholdEvaluator",
     "OptimizationResult",
@@ -61,5 +71,6 @@ __all__ = [
     "MSIAController",
     "VIDEO_LIBRARY",
     "make_video",
+    "make_camera_streams",
     "__version__",
 ]

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run --video v1 --frames 80 --lower 0.3 --upper 0.7
     python -m repro tune --video v2 --target 0.85 --method gradient
     python -m repro compare --video v4 --frames 60
+    python -m repro cluster --edges 4 --streams 8 --router hotspot
     python -m repro videos
 
 Every command prints a small table and exits with status 0 on success.
@@ -13,13 +14,16 @@ Every command prints a small table and exits with status 0 on success.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.analysis.tables import format_table
+from repro.cluster.router import ROUTER_POLICIES
+from repro.cluster.system import ClusterConfig, ClusterSystem
 from repro.core.baselines import run_cloud_only, run_croesus, run_edge_only
 from repro.core.config import ConsistencyLevel, CroesusConfig
 from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
-from repro.video.library import VIDEO_LIBRARY
+from repro.video.library import VIDEO_LIBRARY, make_camera_streams
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +61,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(compare_parser)
     compare_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
 
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="run many camera streams on a multi-edge cluster"
+    )
+    cluster_parser.add_argument("--edges", type=int, default=2, help="number of edge replicas")
+    cluster_parser.add_argument(
+        "--streams", type=int, default=4, help="number of concurrent camera streams"
+    )
+    cluster_parser.add_argument("--frames", type=int, default=40, help="frames per stream")
+    cluster_parser.add_argument(
+        "--router", choices=list(ROUTER_POLICIES), default="round-robin", help="placement policy"
+    )
+    cluster_parser.add_argument(
+        "--partitions-per-edge", type=int, default=1, help="store partitions per edge"
+    )
+    cluster_parser.add_argument(
+        "--fps", type=float, default=30.0, help="capture rate of each stream (frames/second)"
+    )
+    cluster_parser.add_argument(
+        "--consistency",
+        choices=["ms-ia", "ms-sr"],
+        default="ms-ia",
+        help="multi-stage safety level",
+    )
+    cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+
     subparsers.add_parser("videos", help="list the available video workloads")
     return parser
 
@@ -78,6 +107,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_tune(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 
@@ -152,6 +183,64 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ["system", "F-score", "initial latency (ms)", "final latency (ms)", "BU"], rows
         )
     )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    for name, value in (
+        ("--edges", args.edges),
+        ("--streams", args.streams),
+        ("--frames", args.frames),
+        ("--partitions-per-edge", args.partitions_per_edge),
+        ("--fps", args.fps),
+    ):
+        if value <= 0:
+            print(f"repro cluster: error: {name} must be positive, got {value}", file=sys.stderr)
+            return 2
+    consistency = ConsistencyLevel.MS_SR if args.consistency == "ms-sr" else ConsistencyLevel.MS_IA
+    config = ClusterConfig(
+        base=CroesusConfig(seed=args.seed, consistency=consistency),
+        num_edges=args.edges,
+        partitions_per_edge=args.partitions_per_edge,
+        router_policy=args.router,
+        frame_interval=1.0 / args.fps,
+    )
+    system = ClusterSystem(config)
+    streams = make_camera_streams(
+        args.streams,
+        num_frames=args.frames,
+        seed=args.seed,
+        keys=sorted(VIDEO_LIBRARY),
+    )
+    result = system.run(streams)
+
+    edge_rows = [
+        [
+            edge.edge_id,
+            edge.machine_name,
+            len(edge.streams),
+            edge.frames_processed,
+            f"{edge.utilization:.1%}",
+            edge.mean_queue_delay * 1000,
+        ]
+        for edge in result.edges
+    ]
+    print(format_table(
+        ["edge", "machine", "streams", "frames", "utilization", "queue delay (ms)"], edge_rows
+    ))
+    summary = result.summary()
+    print(format_table(
+        ["throughput (fps)", "queue delay (ms)", "cross-partition", "2PC abort rate", "F-score"],
+        [
+            [
+                summary["throughput_fps"],
+                summary["mean_queue_delay_ms"],
+                f"{result.cross_partition_fraction:.1%}",
+                f"{result.two_phase_abort_rate:.1%}",
+                summary["f_score"],
+            ]
+        ],
+    ))
     return 0
 
 

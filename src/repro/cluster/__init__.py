@@ -1,0 +1,52 @@
+"""Multi-edge cluster deployment: sharded scale-out of the Croesus
+pipeline with stream routing, per-edge queueing, and cross-edge 2PC
+transactions (paper Section 4.5).
+
+* :mod:`repro.cluster.node` — an edge replica owning a slice of the
+  shared partitioned store;
+* :mod:`repro.cluster.router` — stream-to-edge placement policies;
+* :mod:`repro.cluster.scheduler` — frame interleaving and the per-edge
+  queueing-delay model;
+* :mod:`repro.cluster.system` — the :class:`ClusterSystem` deployment
+  mirroring :class:`~repro.core.system.CroesusSystem`'s run API.
+"""
+
+from repro.cluster.node import EdgeReplica
+from repro.cluster.router import (
+    ROUTER_POLICIES,
+    ConsistentHashRouter,
+    HotspotRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RoutingError,
+    StreamRouter,
+    make_router,
+)
+from repro.cluster.scheduler import EdgeQueue, FrameArrival, FrameScheduler
+from repro.cluster.system import (
+    ClusterConfig,
+    ClusterRunResult,
+    ClusterSystem,
+    EdgeMetrics,
+    hotspot_bank_factory,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRunResult",
+    "ClusterSystem",
+    "EdgeMetrics",
+    "EdgeReplica",
+    "EdgeQueue",
+    "FrameArrival",
+    "FrameScheduler",
+    "ROUTER_POLICIES",
+    "StreamRouter",
+    "RoundRobinRouter",
+    "ConsistentHashRouter",
+    "LeastLoadedRouter",
+    "HotspotRouter",
+    "RoutingError",
+    "make_router",
+    "hotspot_bank_factory",
+]

@@ -1,0 +1,133 @@
+"""One member of an edge cluster.
+
+An :class:`EdgeReplica` is an :class:`~repro.core.edge.EdgeNode` whose
+transaction processing runs against the cluster's shared
+:class:`~repro.storage.partition.PartitionedStore` instead of a private
+single-node store.  The replica owns a contiguous slice of the
+partitions; transactions it runs that touch keys hashed to another
+replica's partitions send their lock requests to the owning partition
+and commit through 2PC (paper Section 4.5), which is exactly what the
+distributed controllers of :mod:`repro.transactions.distributed`
+implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.scheduler import EdgeQueue
+from repro.core.edge import EdgeNode
+from repro.detection.profiles import ModelProfile
+from repro.network.topology import MachineProfile
+from repro.storage.partition import PartitionedStore
+from repro.transactions.bank import TransactionBank
+from repro.transactions.distributed import (
+    DistributedMSIAController,
+    DistributedTwoStage2PL,
+)
+from repro.transactions.ms_sr import ControllerStats
+
+
+class EdgeReplica:
+    """An edge node plus its owned slice of the cluster's partitions.
+
+    Parameters
+    ----------
+    edge_id:
+        Index of this replica in the cluster.
+    profile, machine:
+        The edge model and the machine it runs on (replicas may run on
+        heterogeneous machines).
+    bank:
+        This replica's transactions bank.  Each replica needs its own
+        bank so transaction ids — which double as lock-holder ids in the
+        shared partitions — never collide across replicas.
+    rng:
+        Detection-noise stream for this replica's edge model.
+    store:
+        The cluster-wide partitioned store.
+    owned_partitions:
+        Partition ids this replica hosts.  Keys hashing elsewhere are
+        remote: their locks and writes route to the owning replica.
+    consistency:
+        ``"ms-sr"`` or ``"ms-ia"``; selects the distributed controller.
+    """
+
+    def __init__(
+        self,
+        edge_id: int,
+        profile: ModelProfile,
+        machine: MachineProfile,
+        bank: TransactionBank,
+        rng: np.random.Generator,
+        store: PartitionedStore,
+        owned_partitions: frozenset[int],
+        consistency: str = "ms-ia",
+        min_confidence: float = 0.05,
+        match_overlap: float = 0.10,
+    ) -> None:
+        self.edge_id = edge_id
+        self.owned_partitions = frozenset(owned_partitions)
+        self.queue = EdgeQueue()
+        self.streams: list[str] = []
+
+        self.node = EdgeNode(
+            profile=profile,
+            machine=machine,
+            bank=bank,
+            rng=rng,
+            min_confidence=min_confidence,
+            match_overlap=match_overlap,
+            consistency=consistency,
+        )
+        # Swap the node's private single-partition controller for a
+        # distributed one over the shared store: same process_initial /
+        # process_final interface, but lock requests route to the owning
+        # partitions and commits run 2PC.
+        if consistency == "ms-sr":
+            self.controller: DistributedMSIAController = DistributedTwoStage2PL(store)
+        else:
+            self.controller = DistributedMSIAController(store)
+        self.node.controller = self.controller  # type: ignore[assignment]
+
+    @property
+    def machine(self) -> MachineProfile:
+        """Machine profile this replica runs on."""
+        return self.node.machine
+
+    @property
+    def stats(self) -> ControllerStats:
+        """Commit/abort counters of this replica's controller."""
+        return self.controller.stats
+
+    def assign_stream(self, stream_name: str) -> None:
+        """Record that a stream was placed on this replica."""
+        self.streams.append(stream_name)
+
+    def reset_run_state(self) -> None:
+        """Fresh queue and stream assignments for a new cluster run."""
+        self.queue = EdgeQueue()
+        self.streams = []
+
+    def transaction_partition_counts(
+        self, exclude: frozenset[str] = frozenset()
+    ) -> tuple[int, int, int]:
+        """Partition-span accounting over this replica's transactions.
+
+        Returns ``(total, cross_edge, multi_partition)`` where
+        ``cross_edge`` counts transactions that touched at least one
+        partition owned by another replica and ``multi_partition`` those
+        whose 2PC rounds spanned more than one partition.  Transaction
+        ids in ``exclude`` (e.g. from an earlier run) are skipped.
+        """
+        total = cross_edge = multi_partition = 0
+        for txn_id, record in self.controller.commit_records.items():
+            if txn_id in exclude:
+                continue
+            touched = record.partitions_touched
+            total += 1
+            if touched - self.owned_partitions:
+                cross_edge += 1
+            if len(touched) > 1:
+                multi_partition += 1
+        return total, cross_edge, multi_partition

@@ -1,0 +1,642 @@
+"""The multi-edge cluster deployment.
+
+:class:`ClusterSystem` scales the single-edge Croesus pipeline out to
+many edge replicas serving many concurrent camera streams against one
+hash-partitioned datastore (paper Section 4.5):
+
+1. a router places every stream on an edge replica (round-robin,
+   consistent-hash, least-loaded, or a deliberately skewed hotspot
+   placement);
+2. the scheduler interleaves all streams' frames into one global
+   timeline; each replica serves its arrivals from a FIFO queue whose
+   waiting time — driven by the replica's measured detection+transaction
+   service times — shows up in frame latency, making overload visible;
+3. every frame runs the full Croesus flow on its home replica (edge
+   detection, initial sections, thresholding, cloud validation, final
+   sections), but transactions execute through the distributed
+   controllers of :mod:`repro.transactions.distributed`: lock requests
+   for keys hashed to another replica's partitions are routed there, and
+   commits run two-phase commit across the participating partitions;
+4. the run returns per-stream :class:`~repro.core.results.RunResult`\\ s
+   plus cluster-level metrics: per-edge utilization and queue delay, the
+   cross-edge transaction fraction, and the 2PC abort rate.
+
+Because the cloud round trip does not occupy the edge, a replica keeps
+serving other frames while a validated frame is in flight; under MS-SR
+the in-flight frame's locks stay held, so concurrent frames can abort —
+the cluster reproduces the paper's contention behaviour at scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.cluster.node import EdgeReplica
+from repro.cluster.router import ROUTER_POLICIES, make_router
+from repro.cluster.scheduler import FrameArrival, FrameScheduler
+from repro.core.client import Client, ClientResponse
+from repro.core.cloud import CloudNode
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.edge import InitialStageOutcome
+from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
+from repro.core.system import LABELS_MESSAGE_BYTES, observed_labels
+from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
+from repro.detection.labels import LabelSet
+from repro.detection.metrics import aggregate_reports, evaluate_detections
+from repro.network.channel import Channel
+from repro.network.topology import MachineProfile
+from repro.sim.events import EventLog
+from repro.sim.rng import RngRegistry
+from repro.storage.partition import PartitionedStore
+from repro.transactions.bank import ANY_LABEL, TransactionBank
+from repro.transactions.ms_sr import ControllerStats
+from repro.video.synthetic import SyntheticVideo
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+#: Builds the transactions bank for one edge replica.  Each replica needs
+#: its own bank so transaction ids (the lock-holder ids in the shared
+#: partitions) never collide across replicas.
+BankFactory = Callable[[int], TransactionBank]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything that defines one cluster deployment.
+
+    Attributes
+    ----------
+    base:
+        The per-edge Croesus configuration (models, thresholds, links,
+        safety level, seed).  The master seed of the whole cluster.
+    num_edges:
+        Number of edge replicas.
+    partitions_per_edge:
+        Partitions each replica hosts; the shared store has
+        ``num_edges * partitions_per_edge`` partitions in total.
+    router_policy:
+        Stream placement policy (see :data:`~repro.cluster.router.ROUTER_POLICIES`).
+    hotspot_fraction:
+        Skew of the ``"hotspot"`` policy (ignored by the others).
+    frame_interval:
+        Seconds between consecutive frames of one stream (1/30 ≈ 30 fps).
+    edge_machines:
+        Machine profiles cycled over the replicas; empty means every
+        replica runs on ``base.topology.edge_machine``.  Mixing profiles
+        models a heterogeneous cluster.
+    """
+
+    base: CroesusConfig = field(default_factory=CroesusConfig)
+    num_edges: int = 2
+    partitions_per_edge: int = 1
+    router_policy: str = "round-robin"
+    hotspot_fraction: float = 0.75
+    frame_interval: float = 1.0 / 30.0
+    edge_machines: tuple[MachineProfile, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_edges < 1:
+            raise ValueError("num_edges must be at least 1")
+        if self.partitions_per_edge < 1:
+            raise ValueError("partitions_per_edge must be at least 1")
+        if self.router_policy not in ROUTER_POLICIES:
+            known = ", ".join(ROUTER_POLICIES)
+            raise ValueError(
+                f"unknown router_policy {self.router_policy!r}; known policies: {known}"
+            )
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if self.frame_interval <= 0:
+            raise ValueError("frame_interval must be positive")
+
+    @property
+    def num_partitions(self) -> int:
+        """Total partitions of the shared store."""
+        return self.num_edges * self.partitions_per_edge
+
+    @property
+    def seed(self) -> int:
+        """Master seed of the cluster (the base config's seed)."""
+        return self.base.seed
+
+    def with_edges(self, num_edges: int) -> "ClusterConfig":
+        """Copy of this config with a different cluster size."""
+        return replace(self, num_edges=num_edges)
+
+    def with_router(self, policy: str) -> "ClusterConfig":
+        """Copy of this config with a different placement policy."""
+        return replace(self, router_policy=policy)
+
+
+@dataclass(frozen=True)
+class EdgeMetrics:
+    """Per-edge outcome of one cluster run.
+
+    Queue-delay statistics cover every admission to the edge's queue —
+    each frame queues twice, once for its initial stage and once for
+    its final stage — so ``queue_jobs`` is about twice
+    ``frames_processed``.
+    """
+
+    edge_id: int
+    machine_name: str
+    owned_partitions: tuple[int, ...]
+    streams: tuple[str, ...]
+    frames_processed: int
+    queue_jobs: int
+    busy_time: float
+    utilization: float
+    mean_queue_delay: float
+    max_queue_delay: float
+
+
+@dataclass
+class ClusterRunResult:
+    """Aggregated outcome of one multi-stream cluster run."""
+
+    router_policy: str
+    placements: dict[str, int]
+    per_stream: dict[str, RunResult]
+    edges: list[EdgeMetrics]
+    makespan: float
+    stats: ControllerStats
+    total_transactions: int = 0
+    cross_edge_transactions: int = 0
+    multi_partition_transactions: int = 0
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_frames(self) -> int:
+        """Frames processed across all streams."""
+        return sum(result.num_frames for result in self.per_stream.values())
+
+    @property
+    def throughput_fps(self) -> float:
+        """Cluster-wide frames per second of simulated time."""
+        return self.num_frames / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def cross_partition_fraction(self) -> float:
+        """Fraction of transactions that touched a remote replica's partition."""
+        if not self.total_transactions:
+            return 0.0
+        return self.cross_edge_transactions / self.total_transactions
+
+    @property
+    def two_phase_abort_rate(self) -> float:
+        """Fraction of attempted transactions aborted cluster-wide."""
+        return self.stats.abort_rate
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean queue delay per admission, over all edges' queues.
+
+        Every frame is admitted twice (initial and final stage), so this
+        averages over ``2 × num_frames`` waits cluster-wide.
+        """
+        jobs = sum(edge.queue_jobs for edge in self.edges)
+        if not jobs:
+            return 0.0
+        weighted = sum(edge.mean_queue_delay * edge.queue_jobs for edge in self.edges)
+        return weighted / jobs
+
+    @property
+    def max_utilization(self) -> float:
+        """Utilization of the busiest edge (1.0 means saturated)."""
+        return max((edge.utilization for edge in self.edges), default=0.0)
+
+    @property
+    def f_score(self) -> float:
+        """Corpus-level F-score over every stream's observed labels."""
+        reports = [
+            trace.accuracy
+            for result in self.per_stream.values()
+            for trace in result.traces
+        ]
+        return aggregate_reports(reports).f_score
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary of the headline cluster metrics."""
+        return {
+            "edges": float(self.num_edges),
+            "streams": float(len(self.per_stream)),
+            "frames": float(self.num_frames),
+            "makespan_s": self.makespan,
+            "throughput_fps": self.throughput_fps,
+            "mean_queue_delay_ms": self.mean_queue_delay * 1000.0,
+            "max_utilization": self.max_utilization,
+            "cross_partition_fraction": self.cross_partition_fraction,
+            "two_phase_abort_rate": self.two_phase_abort_rate,
+            "f_score": self.f_score,
+        }
+
+
+@dataclass
+class _PendingFinal:
+    """A frame waiting for its final stage (cloud round trip in flight)."""
+
+    arrival: FrameArrival
+    initial: InitialStageOutcome
+    cloud_labels: LabelSet
+    sent_to_cloud: bool
+    edge_transfer: float
+    queue_delay: float
+    edge_detection: float
+    cloud_transfer: float
+    cloud_detection: float
+    frame_bytes_sent: int
+
+
+class ClusterSystem:
+    """A multi-edge Croesus deployment over one partitioned store.
+
+    Parameters
+    ----------
+    config:
+        Cluster deployment configuration.
+    bank_factory:
+        Optional per-edge transactions-bank builder.  The default
+        registers a YCSB-A rule per replica, mirroring the single-edge
+        default; see :func:`hotspot_bank_factory` for the contention
+        scenario.
+    """
+
+    def __init__(self, config: ClusterConfig, bank_factory: BankFactory | None = None) -> None:
+        self.config = config
+        base = config.base
+        self.rngs = RngRegistry(base.seed)
+        self.events = EventLog()
+        self.policy = ThresholdPolicy(base.lower_threshold, base.upper_threshold)
+        self.store = PartitionedStore(config.num_partitions)
+        self.scheduler = FrameScheduler(config.frame_interval)
+
+        consistency = "ms-sr" if base.consistency is ConsistencyLevel.MS_SR else "ms-ia"
+        machines = config.edge_machines or (base.topology.edge_machine,)
+        if bank_factory is None:
+            bank_factory = self._default_bank_factory
+
+        self.replicas: list[EdgeReplica] = []
+        self._client_edge: list[Channel] = []
+        self._edge_cloud: list[Channel] = []
+        for edge_id in range(config.num_edges):
+            owned = frozenset(
+                range(
+                    edge_id * config.partitions_per_edge,
+                    (edge_id + 1) * config.partitions_per_edge,
+                )
+            )
+            self.replicas.append(
+                EdgeReplica(
+                    edge_id=edge_id,
+                    profile=base.edge_profile,
+                    machine=machines[edge_id % len(machines)],
+                    bank=bank_factory(edge_id),
+                    rng=self.rngs.stream(f"edge-model-{edge_id}"),
+                    store=self.store,
+                    owned_partitions=owned,
+                    consistency=consistency,
+                    min_confidence=base.min_confidence,
+                    match_overlap=base.match_overlap,
+                )
+            )
+            self._client_edge.append(
+                Channel(base.topology.client_edge_link, self.rngs.stream(f"client-edge-{edge_id}"))
+            )
+            self._edge_cloud.append(
+                Channel(base.topology.edge_cloud_link, self.rngs.stream(f"edge-cloud-{edge_id}"))
+            )
+
+        self.cloud = CloudNode(
+            profile=base.cloud_profile,
+            machine=base.topology.cloud_machine,
+            rng=self.rngs.stream("cloud-model"),
+        )
+        self.router = make_router(
+            config.router_policy,
+            config.num_edges,
+            rng=self.rngs.stream("router"),
+            compute_scales=[replica.machine.compute_scale for replica in self.replicas],
+            hot_fraction=config.hotspot_fraction,
+        )
+
+    # -- public API ---------------------------------------------------------
+    def run(self, streams: Sequence[SyntheticVideo]) -> ClusterRunResult:
+        """Run every stream to completion and return the cluster result.
+
+        Streams are placed on edges by the configured router, their
+        frames interleaved onto one global timeline, and each frame runs
+        the full two-stage pipeline on its home replica.  Each call
+        starts from empty queues and a clean event log, and reports only
+        its own transactions; note that reusing a system continues the
+        random streams, so build a fresh :class:`ClusterSystem` when two
+        runs must reproduce each other bit for bit.
+        """
+        if not streams:
+            raise ValueError("need at least one stream")
+        names = [video.name for video in streams]
+        if len(set(names)) != len(names):
+            raise ValueError("stream names must be unique")
+
+        self.events.clear()
+        for replica in self.replicas:
+            replica.reset_run_state()
+        placements = self.router.assign(names)
+        for name, edge_id in zip(names, placements):
+            self.replicas[edge_id].assign_stream(name)
+
+        clients = [Client(video) for video in streams]
+        results = {
+            name: RunResult(system_name="croesus-cluster", video_key=name) for name in names
+        }
+        frames_on_edge = [0] * len(self.replicas)
+
+        # Snapshot controller state so repeated run() calls report only
+        # this run's transactions.
+        pre_stats = [
+            (r.stats.initial_commits, r.stats.final_commits, r.stats.aborts)
+            for r in self.replicas
+        ]
+        pre_records = [frozenset(r.controller.commit_records) for r in self.replicas]
+
+        # Event loop: frame arrivals (from the scheduler) interleave with
+        # final stages (scheduled once the cloud round trip completes).
+        heap: list[tuple[float, int, int, object]] = []
+        sequence = 0
+        for arrival in self.scheduler.interleave(streams, placements):
+            heapq.heappush(heap, (arrival.arrival_time, sequence, 0, arrival))
+            sequence += 1
+
+        makespan = 0.0
+        while heap:
+            when, _, kind, payload = heapq.heappop(heap)
+            if kind == 0:
+                arrival = payload  # type: ignore[assignment]
+                pending = self._process_arrival(arrival, clients[arrival.stream_index])
+                frames_on_edge[arrival.edge_id] += 1
+                final_ready = (
+                    self.replicas[arrival.edge_id].queue.busy_until
+                    + pending.cloud_transfer
+                    + pending.cloud_detection
+                )
+                heapq.heappush(heap, (final_ready, sequence, 1, pending))
+                sequence += 1
+            else:
+                pending = payload  # type: ignore[assignment]
+                trace, finished_at = self._process_final(
+                    pending, when, clients[pending.arrival.stream_index]
+                )
+                results[pending.arrival.stream_name].add(trace)
+                makespan = max(makespan, finished_at)
+
+        return self._collect(names, placements, results, frames_on_edge, makespan, pre_stats, pre_records)
+
+    # -- per-frame pipeline -------------------------------------------------
+    def _process_arrival(self, arrival: FrameArrival, client: Client) -> _PendingFinal:
+        """Run a frame's edge-side initial stage; schedule its final stage."""
+        replica = self.replicas[arrival.edge_id]
+        frame = arrival.frame
+
+        edge_transfer = self._client_edge[arrival.edge_id].send(
+            frame.size_bytes,
+            timestamp=arrival.arrival_time,
+            description=f"{arrival.stream_name}-frame-{frame.frame_id}",
+        )
+        at_edge = arrival.arrival_time + edge_transfer
+        start, queue_delay = replica.queue.admit(at_edge)
+
+        edge_labels_raw, edge_detection = replica.node.detect(frame)
+        initial = replica.node.process_initial_stage(
+            frame, edge_labels_raw, now=start + edge_detection, detection_latency=edge_detection
+        )
+        replica.queue.occupy(start, edge_detection + initial.txn_latency)
+        initial_done = replica.queue.busy_until
+        client.render(
+            ClientResponse(
+                frame_id=frame.frame_id,
+                stage="initial",
+                payload=[entry.initial_result for entry in initial.committed],
+                timestamp=initial_done,
+            )
+        )
+        self.events.record(
+            initial_done,
+            "initial_commit",
+            frame_id=frame.frame_id,
+            stream=arrival.stream_name,
+            edge=arrival.edge_id,
+        )
+
+        partition = self.policy.classify_labels(initial.labels)
+        send_to_cloud = bool(partition[ConfidenceInterval.VALIDATE])
+
+        # The cloud model always runs for ground truth; its cost is only
+        # charged when the frame is actually validated.
+        cloud_labels, cloud_detection_raw = self.cloud.detect(frame)
+
+        cloud_transfer = 0.0
+        cloud_detection = 0.0
+        frame_bytes_sent = 0
+        if send_to_cloud:
+            uplink = self._edge_cloud[arrival.edge_id].send(
+                frame.size_bytes,
+                timestamp=initial_done,
+                description=f"{arrival.stream_name}-frame-{frame.frame_id}",
+            )
+            downlink = self._edge_cloud[arrival.edge_id].send(
+                LABELS_MESSAGE_BYTES,
+                timestamp=initial_done,
+                description=f"{arrival.stream_name}-labels-{frame.frame_id}",
+            )
+            cloud_transfer = uplink + downlink
+            cloud_detection = cloud_detection_raw
+            frame_bytes_sent = frame.size_bytes
+
+        return _PendingFinal(
+            arrival=arrival,
+            initial=initial,
+            cloud_labels=cloud_labels,
+            sent_to_cloud=send_to_cloud,
+            edge_transfer=edge_transfer,
+            queue_delay=queue_delay,
+            edge_detection=edge_detection,
+            cloud_transfer=cloud_transfer,
+            cloud_detection=cloud_detection,
+            frame_bytes_sent=frame_bytes_sent,
+        )
+
+    def _process_final(
+        self, pending: _PendingFinal, when: float, client: Client
+    ) -> tuple[FrameTrace, float]:
+        """Run a frame's final stage once the corrected labels are back."""
+        arrival = pending.arrival
+        replica = self.replicas[arrival.edge_id]
+
+        start, final_queue_delay = replica.queue.admit(when)
+        final = replica.node.process_final_stage(
+            pending.initial,
+            pending.cloud_labels if pending.sent_to_cloud else None,
+            now=start,
+        )
+        replica.queue.occupy(start, final.txn_latency)
+        final_done = replica.queue.busy_until
+        client.render(
+            ClientResponse(
+                frame_id=arrival.frame.frame_id,
+                stage="final",
+                payload=None,
+                apologies=final.apologies,
+                timestamp=final_done,
+            )
+        )
+        self.events.record(
+            final_done,
+            "final_commit",
+            frame_id=arrival.frame.frame_id,
+            stream=arrival.stream_name,
+            edge=arrival.edge_id,
+        )
+
+        observed = observed_labels(
+            self.policy,
+            pending.initial,
+            pending.cloud_labels,
+            pending.sent_to_cloud,
+            self.config.base.match_overlap,
+        )
+        accuracy = evaluate_detections(
+            observed, pending.cloud_labels, min_overlap=self.config.base.match_overlap
+        )
+        latency = LatencyBreakdown(
+            edge_transfer=pending.edge_transfer,
+            edge_detection=pending.edge_detection,
+            initial_txn=pending.initial.txn_latency,
+            cloud_transfer=pending.cloud_transfer,
+            cloud_detection=pending.cloud_detection,
+            final_txn=final.txn_latency,
+            queue_delay=pending.queue_delay,
+            final_queue_delay=final_queue_delay,
+        )
+        trace = FrameTrace(
+            frame_id=arrival.frame.frame_id,
+            edge_labels=pending.initial.labels,
+            cloud_labels=pending.cloud_labels,
+            observed_labels=observed,
+            sent_to_cloud=pending.sent_to_cloud,
+            latency=latency,
+            accuracy=accuracy,
+            transactions_triggered=len(pending.initial.triggered),
+            corrections=final.corrections,
+            apologies=len(final.apologies),
+            frame_bytes_sent=pending.frame_bytes_sent,
+            edge_id=arrival.edge_id,
+        )
+        return trace, final_done
+
+    # -- result assembly ----------------------------------------------------
+    def _collect(
+        self,
+        names: list[str],
+        placements: list[int],
+        results: dict[str, RunResult],
+        frames_on_edge: list[int],
+        makespan: float,
+        pre_stats: list[tuple[int, int, int]],
+        pre_records: list[frozenset[str]],
+    ) -> ClusterRunResult:
+        stats = ControllerStats()
+        total = cross_edge = multi_partition = 0
+        edges: list[EdgeMetrics] = []
+        for replica, (initial0, final0, aborts0), seen in zip(
+            self.replicas, pre_stats, pre_records
+        ):
+            stats.initial_commits += replica.stats.initial_commits - initial0
+            stats.final_commits += replica.stats.final_commits - final0
+            stats.aborts += replica.stats.aborts - aborts0
+            replica_total, replica_cross, replica_multi = (
+                replica.transaction_partition_counts(exclude=seen)
+            )
+            total += replica_total
+            cross_edge += replica_cross
+            multi_partition += replica_multi
+            edges.append(
+                EdgeMetrics(
+                    edge_id=replica.edge_id,
+                    machine_name=replica.machine.name,
+                    owned_partitions=tuple(sorted(replica.owned_partitions)),
+                    streams=tuple(replica.streams),
+                    frames_processed=frames_on_edge[replica.edge_id],
+                    queue_jobs=replica.queue.jobs,
+                    busy_time=replica.queue.busy_time,
+                    utilization=replica.queue.utilization(makespan),
+                    mean_queue_delay=replica.queue.mean_wait,
+                    max_queue_delay=replica.queue.max_wait,
+                )
+            )
+        return ClusterRunResult(
+            router_policy=self.config.router_policy,
+            placements=dict(zip(names, placements)),
+            per_stream=results,
+            edges=edges,
+            makespan=makespan,
+            stats=stats,
+            total_transactions=total,
+            cross_edge_transactions=cross_edge,
+            multi_partition_transactions=multi_partition,
+        )
+
+    # -- banks --------------------------------------------------------------
+    def _default_bank_factory(self, edge_id: int) -> TransactionBank:
+        """Per-replica YCSB-A bank (the single-edge default, namespaced)."""
+        workload = YCSBWorkload(
+            rng=self.rngs.stream(f"ycsb-{edge_id}"),
+            operations_per_transaction=self.config.base.operations_per_transaction,
+        )
+        bank = TransactionBank()
+        bank.register(
+            name=f"e{edge_id}-detection",
+            label_class=ANY_LABEL,
+            factory=lambda detection, txn_id: workload.build_transaction(txn_id, detection),
+        )
+        return bank
+
+
+def hotspot_bank_factory(
+    seed: int,
+    key_range: int = 100,
+    updates_per_transaction: int = 5,
+    final_updates: int = 1,
+) -> BankFactory:
+    """Bank factory whose replicas all hammer one shared hot key range.
+
+    Every detection triggers a :class:`~repro.workloads.hotspot.HotspotWorkload`
+    update transaction over the *same* ``key_range`` hot keys on every
+    replica, so a small range produces heavy cross-edge lock conflicts —
+    the cluster analogue of the paper's Figure 6b contention experiment.
+    Transaction ids are namespaced per replica so lock holders stay
+    distinct.
+    """
+    rngs = RngRegistry(seed)
+
+    def factory(edge_id: int) -> TransactionBank:
+        workload = HotspotWorkload(
+            rng=rngs.stream(f"hotspot-{edge_id}"),
+            key_range=key_range,
+            updates_per_transaction=updates_per_transaction,
+            final_updates=final_updates,
+            key_prefix="hot",
+            txn_prefix=f"e{edge_id}-hot",
+        )
+        bank = TransactionBank()
+        bank.register(
+            name=f"e{edge_id}-hotspot",
+            label_class=ANY_LABEL,
+            factory=lambda detection, txn_id: workload.build_transaction(),
+        )
+        return bank
+
+    return factory

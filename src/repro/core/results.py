@@ -19,7 +19,15 @@ from repro.detection.metrics import AccuracyReport, aggregate_reports
 
 @dataclass(frozen=True)
 class LatencyBreakdown:
-    """Latency components (seconds) of one frame, or their averages."""
+    """Latency components (seconds) of one frame, or their averages.
+
+    ``queue_delay`` is the time a frame waited in an edge node's input
+    queue before the edge started processing it, and
+    ``final_queue_delay`` the wait before its final sections ran once
+    the corrected labels were back.  Single-edge runs always report 0
+    for both; in a :class:`~repro.cluster.system.ClusterSystem` run they
+    make overload visible in the latency of every queued frame.
+    """
 
     edge_transfer: float = 0.0
     edge_detection: float = 0.0
@@ -27,11 +35,13 @@ class LatencyBreakdown:
     cloud_transfer: float = 0.0
     cloud_detection: float = 0.0
     final_txn: float = 0.0
+    queue_delay: float = 0.0
+    final_queue_delay: float = 0.0
 
     @property
     def initial_latency(self) -> float:
         """Time until the client has the initial (edge) response."""
-        return self.edge_transfer + self.edge_detection + self.initial_txn
+        return self.edge_transfer + self.queue_delay + self.edge_detection + self.initial_txn
 
     @property
     def final_latency(self) -> float:
@@ -40,6 +50,7 @@ class LatencyBreakdown:
             self.initial_latency
             + self.cloud_transfer
             + self.cloud_detection
+            + self.final_queue_delay
             + self.final_txn
         )
 
@@ -57,6 +68,8 @@ class LatencyBreakdown:
             cloud_transfer=self.cloud_transfer * factor,
             cloud_detection=self.cloud_detection * factor,
             final_txn=self.final_txn * factor,
+            queue_delay=self.queue_delay * factor,
+            final_queue_delay=self.final_queue_delay * factor,
         )
 
     @staticmethod
@@ -71,6 +84,8 @@ class LatencyBreakdown:
             cloud_transfer=mean(b.cloud_transfer for b in breakdowns),
             cloud_detection=mean(b.cloud_detection for b in breakdowns),
             final_txn=mean(b.final_txn for b in breakdowns),
+            queue_delay=mean(b.queue_delay for b in breakdowns),
+            final_queue_delay=mean(b.final_queue_delay for b in breakdowns),
         )
 
 
@@ -89,6 +104,8 @@ class FrameTrace:
     corrections: int = 0
     apologies: int = 0
     frame_bytes_sent: int = 0
+    #: Edge node that processed the frame (``None`` outside cluster runs).
+    edge_id: int | None = None
 
 
 @dataclass

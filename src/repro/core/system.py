@@ -45,6 +45,34 @@ from repro.workloads.ycsb import YCSBWorkload
 LABELS_MESSAGE_BYTES = 2_048
 
 
+def observed_labels(
+    policy: ThresholdPolicy,
+    initial: InitialStageOutcome,
+    cloud_labels: LabelSet,
+    sent: bool,
+    match_overlap: float,
+) -> LabelSet:
+    """What the client ends up seeing for one frame.
+
+    Unvalidated frames show the surviving edge labels.  Validated frames
+    show the corrected labels: confirmed/corrected edge labels plus any
+    cloud labels the edge missed, with spurious edge labels dropped —
+    exactly what the final sections render.  Shared by the single-edge
+    :class:`CroesusSystem` and the multi-edge cluster system.
+    """
+    survivors = policy.surviving_labels(initial.labels)
+    if not sent:
+        return survivors
+
+    report = match_labels(survivors, cloud_labels, min_overlap=match_overlap)
+    corrected: list[Detection] = []
+    for match in report.matches:
+        if match.corrected_label is not None:
+            corrected.append(match.corrected_label)
+    corrected.extend(report.unmatched_cloud)
+    return LabelSet(initial.frame_id, tuple(corrected), model_name="croesus-observed")
+
+
 class CroesusSystem:
     """One Croesus deployment, ready to process videos.
 
@@ -103,9 +131,16 @@ class CroesusSystem:
 
     # -- public API ---------------------------------------------------------
     def run(self, video: SyntheticVideo, client: Client | None = None) -> RunResult:
-        """Process every frame of ``video`` and return the aggregated result."""
+        """Process every frame of ``video`` and return the aggregated result.
+
+        Each call starts from a clean slate: the event log and the
+        transaction history are cleared so repeated ``run()`` invocations
+        on one system do not accumulate records across runs.
+        """
         if client is None:
             client = Client(video)
+        self.events.clear()
+        self.history.clear()
         result = RunResult(system_name="croesus", video_key=video.name)
         clock = SimClock()
         for frame in client.frames():
@@ -211,21 +246,7 @@ class CroesusSystem:
         cloud_labels: LabelSet,
         sent: bool,
     ) -> LabelSet:
-        """What the client ends up seeing for this frame.
-
-        Unvalidated frames show the surviving edge labels.  Validated
-        frames show the corrected labels: confirmed/corrected edge labels
-        plus any cloud labels the edge missed, with spurious edge labels
-        dropped — exactly what the final sections render.
-        """
-        survivors = self.policy.surviving_labels(initial.labels)
-        if not sent:
-            return survivors
-
-        report = match_labels(survivors, cloud_labels, min_overlap=self.config.match_overlap)
-        corrected: list[Detection] = []
-        for match in report.matches:
-            if match.corrected_label is not None:
-                corrected.append(match.corrected_label)
-        corrected.extend(report.unmatched_cloud)
-        return LabelSet(initial.frame_id, tuple(corrected), model_name="croesus-observed")
+        """What the client ends up seeing for this frame."""
+        return observed_labels(
+            self.policy, initial, cloud_labels, sent, self.config.match_overlap
+        )

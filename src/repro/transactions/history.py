@@ -70,6 +70,16 @@ class History:
     def __len__(self) -> int:
         return len(self._records)
 
+    def clear(self) -> None:
+        """Drop all recorded sections and restart the sequence counter.
+
+        Controllers keep a reference to the history they were built with,
+        so clearing in place (rather than swapping in a new object) starts
+        a fresh history for every component at once.
+        """
+        self._records.clear()
+        self._sequence = 0
+
     def sections_of(self, transaction_id: str) -> list[SectionRecord]:
         """Committed sections of one transaction, in commit order."""
         return [record for record in self._records if record.transaction_id == transaction_id]

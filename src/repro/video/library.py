@@ -16,6 +16,7 @@ the cloud), traffic and park sit in between.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -210,3 +211,24 @@ def make_video(
         auxiliary_click_rate=spec.auxiliary_click_rate,
         frame_size_bytes=spec.frame_size_bytes,
     )
+
+
+def make_camera_streams(
+    count: int,
+    num_frames: int = 30,
+    seed: int = 0,
+    keys: Sequence[str] = ("v1", "v2", "v3", "v4", "v5"),
+) -> list[SyntheticVideo]:
+    """``count`` independent camera streams cycling over the presets.
+
+    Camera ``i`` plays preset ``keys[i % len(keys)]`` with seed
+    ``seed + i`` and is renamed ``"cam{i}-{key}"``, so every stream in a
+    multi-camera cluster run is independent and uniquely named.
+    """
+    streams: list[SyntheticVideo] = []
+    for index in range(count):
+        key = keys[index % len(keys)]
+        video = make_video(key, num_frames=num_frames, seed=seed + index)
+        video.name = f"cam{index}-{key}"
+        streams.append(video)
+    return streams

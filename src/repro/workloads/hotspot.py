@@ -33,6 +33,15 @@ class HotspotWorkload:
     final_updates:
         How many of the updates run in the final section; the rest run in
         the initial section.
+    key_prefix:
+        Prefix of the hot keys.  Workload instances sharing a prefix
+        contend for the same hot range (e.g. many camera streams hammering
+        one counter table across a cluster); distinct prefixes keep their
+        hot spots disjoint.
+    txn_prefix:
+        Prefix of generated transaction ids; defaults to ``key_prefix``.
+        Give each workload instance its own ``txn_prefix`` when several
+        instances share a ``key_prefix``, so lock holders stay distinct.
     """
 
     rng: np.random.Generator
@@ -40,6 +49,8 @@ class HotspotWorkload:
     updates_per_transaction: int = 5
     batch_size: int = 50
     final_updates: int = 1
+    key_prefix: str = "hot"
+    txn_prefix: str = ""
     _counter: int = 0
 
     def __post_init__(self) -> None:
@@ -55,7 +66,7 @@ class HotspotWorkload:
     def build_transaction(self) -> MultiStageTransaction:
         """Create one transaction updating random keys in the hot spot."""
         self._counter += 1
-        transaction_id = f"hot-{self._counter}"
+        transaction_id = f"{self.txn_prefix or self.key_prefix}-{self._counter}"
         keys = [self._hot_key() for _ in range(self.updates_per_transaction)]
         initial_keys = keys[: self.updates_per_transaction - self.final_updates]
         final_keys = keys[self.updates_per_transaction - self.final_updates:]
@@ -86,4 +97,4 @@ class HotspotWorkload:
         )
 
     def _hot_key(self) -> str:
-        return f"hot-{int(self.rng.integers(0, self.key_range))}"
+        return f"{self.key_prefix}-{int(self.rng.integers(0, self.key_range))}"

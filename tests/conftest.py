@@ -1,4 +1,10 @@
-"""Shared fixtures for the Croesus test suite."""
+"""Shared fixtures for the Croesus test suite.
+
+Object factories live in :mod:`helpers` (``tests/helpers.py``) so test
+modules can import them explicitly without relying on ``conftest``
+import-path resolution, which breaks when ``benchmarks/conftest.py`` is
+collected in the same pytest invocation.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,8 @@ import numpy as np
 import pytest
 
 from repro.core.config import CroesusConfig
-from repro.detection.geometry import BoundingBox
-from repro.detection.labels import Detection, LabelSet
 from repro.sim.rng import RngRegistry
 from repro.storage.kvstore import KeyValueStore
-from repro.video.frames import Frame
-from repro.video.scene import SceneObject
 
 
 @pytest.fixture
@@ -36,56 +38,3 @@ def store() -> KeyValueStore:
 def config() -> CroesusConfig:
     """A default Croesus configuration with a fixed seed."""
     return CroesusConfig(seed=7)
-
-
-def make_detection(
-    name: str = "person",
-    confidence: float = 0.8,
-    x: float = 100.0,
-    y: float = 100.0,
-    size: float = 50.0,
-    object_id: int | None = None,
-) -> Detection:
-    """Build a detection with a square box at (x, y)."""
-    return Detection(
-        name=name,
-        confidence=confidence,
-        box=BoundingBox(x, y, x + size, y + size),
-        object_id=object_id,
-    )
-
-
-def make_label_set(frame_id: int, *detections: Detection, model: str = "test") -> LabelSet:
-    """Build a label set from detections."""
-    return LabelSet(frame_id=frame_id, detections=tuple(detections), model_name=model)
-
-
-def make_scene_object(
-    object_id: int = 0,
-    name: str = "person",
-    x: float = 100.0,
-    y: float = 100.0,
-    size: float = 80.0,
-    visibility: float = 1.0,
-    difficulty: float = 1.0,
-) -> SceneObject:
-    """Build a ground-truth object with a square box."""
-    return SceneObject(
-        object_id=object_id,
-        name=name,
-        box=BoundingBox(x, y, x + size, y + size),
-        visibility=visibility,
-        difficulty=difficulty,
-        confusable_name="other",
-    )
-
-
-def make_frame(frame_id: int = 0, *objects: SceneObject, query: str = "person") -> Frame:
-    """Build a frame containing the given ground-truth objects."""
-    return Frame(
-        frame_id=frame_id,
-        width=1280.0,
-        height=720.0,
-        objects=tuple(objects),
-        query_class=query,
-    )

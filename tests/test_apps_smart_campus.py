@@ -6,7 +6,7 @@ from repro.core.apps.smart_campus import SmartCampusApp
 from repro.storage.kvstore import KeyValueStore
 from repro.transactions.ms_ia import MSIAController
 
-from conftest import make_detection
+from helpers import make_detection
 
 
 BUILDINGS = {

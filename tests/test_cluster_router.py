@@ -1,0 +1,109 @@
+"""Tests for the stream-to-edge placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.router import (
+    ROUTER_POLICIES,
+    ConsistentHashRouter,
+    HotspotRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RoutingError,
+    make_router,
+)
+
+STREAMS = [f"cam{i}" for i in range(16)]
+
+
+class TestRoundRobin:
+    def test_cycles_through_edges(self):
+        router = RoundRobinRouter(num_edges=3)
+        assert router.assign(STREAMS[:6]) == [0, 1, 2, 0, 1, 2]
+
+    def test_single_edge(self):
+        router = RoundRobinRouter(num_edges=1)
+        assert set(router.assign(STREAMS)) == {0}
+
+
+class TestConsistentHash:
+    def test_placement_depends_only_on_stream_name(self):
+        first = ConsistentHashRouter(num_edges=4).assign(STREAMS)
+        shuffled = ConsistentHashRouter(num_edges=4).assign(list(reversed(STREAMS)))
+        assert first == list(reversed(shuffled))
+
+    def test_adding_streams_does_not_move_existing_ones(self):
+        router = ConsistentHashRouter(num_edges=4)
+        before = {name: router.place(name) for name in STREAMS[:8]}
+        router.assign(STREAMS[8:])
+        assert {name: router.place(name) for name in STREAMS[:8]} == before
+
+    def test_all_edges_in_range(self):
+        router = ConsistentHashRouter(num_edges=5)
+        assert all(0 <= edge < 5 for edge in router.assign(STREAMS))
+
+    def test_rejects_bad_virtual_nodes(self):
+        with pytest.raises(RoutingError):
+            ConsistentHashRouter(num_edges=2, virtual_nodes=0)
+
+
+class TestLeastLoaded:
+    def test_balances_homogeneous_edges(self):
+        router = LeastLoadedRouter(num_edges=4)
+        placements = router.assign(STREAMS[:8])
+        assert sorted(placements.count(edge) for edge in range(4)) == [2, 2, 2, 2]
+
+    def test_slow_edge_absorbs_fewer_streams(self):
+        # Edge 0 is twice as slow: each stream costs it double.
+        router = LeastLoadedRouter(num_edges=2, compute_scales=[2.0, 1.0])
+        placements = router.assign(STREAMS[:9])
+        assert placements.count(1) > placements.count(0)
+
+    def test_rejects_mismatched_scales(self):
+        with pytest.raises(RoutingError):
+            LeastLoadedRouter(num_edges=2, compute_scales=[1.0])
+        with pytest.raises(RoutingError):
+            LeastLoadedRouter(num_edges=2, compute_scales=[1.0, -1.0])
+
+
+class TestHotspot:
+    def test_seeded_placements_are_deterministic(self):
+        a = HotspotRouter(4, rng=np.random.default_rng(9), hot_fraction=0.7).assign(STREAMS)
+        b = HotspotRouter(4, rng=np.random.default_rng(9), hot_fraction=0.7).assign(STREAMS)
+        assert a == b
+
+    def test_hot_edge_receives_the_majority(self):
+        router = HotspotRouter(4, rng=np.random.default_rng(3), hot_fraction=0.9)
+        placements = router.assign([f"cam{i}" for i in range(60)])
+        assert placements.count(0) > 60 // 2
+
+    def test_full_skew_sends_everything_to_the_hot_edge(self):
+        router = HotspotRouter(3, rng=np.random.default_rng(0), hot_fraction=1.0, hot_edge=2)
+        assert set(router.assign(STREAMS)) == {2}
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(RoutingError):
+            HotspotRouter(2, rng=rng, hot_fraction=1.5)
+        with pytest.raises(RoutingError):
+            HotspotRouter(2, rng=rng, hot_edge=2)
+
+
+class TestMakeRouter:
+    @pytest.mark.parametrize("policy", ROUTER_POLICIES)
+    def test_builds_every_policy(self, policy):
+        router = make_router(policy, num_edges=3, rng=np.random.default_rng(1))
+        assert router.name == policy
+        assert 0 <= router.place("cam0") < 3
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(RoutingError):
+            make_router("random", num_edges=2)
+
+    def test_hotspot_requires_rng(self):
+        with pytest.raises(RoutingError):
+            make_router("hotspot", num_edges=2)
+
+    def test_zero_edges_rejected(self):
+        with pytest.raises(RoutingError):
+            make_router("round-robin", num_edges=0)

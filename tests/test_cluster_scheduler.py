@@ -1,0 +1,90 @@
+"""Tests for frame interleaving and the per-edge queueing model."""
+
+import pytest
+
+from repro.cluster.scheduler import EdgeQueue, FrameScheduler
+from repro.video.library import make_camera_streams
+
+
+def make_streams(count: int, frames: int = 5):
+    return make_camera_streams(count, num_frames=frames, seed=0, keys=("v1",))
+
+
+class TestFrameScheduler:
+    def test_arrivals_are_time_ordered(self):
+        scheduler = FrameScheduler(frame_interval=0.1)
+        streams = make_streams(3)
+        arrivals = scheduler.interleave(streams, [0, 1, 0])
+        times = [a.arrival_time for a in arrivals]
+        assert times == sorted(times)
+        assert len(arrivals) == 3 * 5
+
+    def test_per_stream_spacing_is_the_frame_interval(self):
+        scheduler = FrameScheduler(frame_interval=0.5)
+        arrivals = scheduler.interleave(make_streams(2), [0, 1])
+        first = [a.arrival_time for a in arrivals if a.stream_index == 0]
+        spacing = [b - a for a, b in zip(first, first[1:])]
+        assert all(delta == pytest.approx(0.5) for delta in spacing)
+
+    def test_streams_are_phase_shifted(self):
+        scheduler = FrameScheduler(frame_interval=0.3)
+        arrivals = scheduler.interleave(make_streams(3), [0, 1, 2])
+        starts = {a.stream_index: a.arrival_time for a in reversed(arrivals) if a.frame.frame_id == 0}
+        assert len(set(starts.values())) == 3
+
+    def test_arrivals_carry_their_placement(self):
+        scheduler = FrameScheduler(frame_interval=0.1)
+        arrivals = scheduler.interleave(make_streams(2), [1, 0])
+        by_stream = {a.stream_name: a.edge_id for a in arrivals}
+        assert by_stream == {"cam0-v1": 1, "cam1-v1": 0}
+
+    def test_placement_count_must_match(self):
+        scheduler = FrameScheduler(frame_interval=0.1)
+        with pytest.raises(ValueError):
+            scheduler.interleave(make_streams(2), [0])
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            FrameScheduler(frame_interval=0.0)
+
+
+class TestEdgeQueue:
+    def test_idle_edge_starts_immediately(self):
+        queue = EdgeQueue()
+        start, wait = queue.admit(1.0)
+        assert (start, wait) == (1.0, 0.0)
+
+    def test_busy_edge_queues_the_job(self):
+        queue = EdgeQueue()
+        start, _ = queue.admit(0.0)
+        queue.occupy(start, 2.0)
+        start, wait = queue.admit(0.5)
+        assert start == pytest.approx(2.0)
+        assert wait == pytest.approx(1.5)
+
+    def test_busy_time_accumulates(self):
+        queue = EdgeQueue()
+        queue.occupy(0.0, 1.0)
+        queue.occupy(1.0, 0.5)
+        assert queue.busy_time == pytest.approx(1.5)
+        assert queue.utilization(3.0) == pytest.approx(0.5)
+
+    def test_wait_statistics(self):
+        queue = EdgeQueue()
+        queue.occupy(0.0, 4.0)
+        queue.admit(1.0)
+        queue.admit(3.0)
+        assert queue.jobs == 2
+        assert queue.mean_wait == pytest.approx(2.0)
+        assert queue.max_wait == pytest.approx(3.0)
+
+    def test_empty_queue_statistics(self):
+        queue = EdgeQueue()
+        assert queue.mean_wait == 0.0
+        assert queue.max_wait == 0.0
+        assert queue.utilization(0.0) == 0.0
+
+    def test_negative_service_time_rejected(self):
+        queue = EdgeQueue()
+        with pytest.raises(ValueError):
+            queue.occupy(0.0, -1.0)

@@ -1,0 +1,152 @@
+"""Tests for the multi-edge cluster deployment."""
+
+import pytest
+
+from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.video.library import make_camera_streams, make_video
+
+
+def make_streams(count: int, frames: int = 8, seed: int = 7):
+    return make_camera_streams(count, num_frames=frames, seed=seed)
+
+
+def cluster_config(seed: int = 7, **overrides) -> ClusterConfig:
+    overrides.setdefault("num_edges", 2)
+    return ClusterConfig(base=CroesusConfig(seed=seed), **overrides)
+
+
+class TestClusterConfig:
+    def test_partition_count(self):
+        config = cluster_config(num_edges=3, partitions_per_edge=2)
+        assert config.num_partitions == 6
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            cluster_config(num_edges=0)
+        with pytest.raises(ValueError):
+            cluster_config(partitions_per_edge=0)
+        with pytest.raises(ValueError):
+            cluster_config(router_policy="nope")
+        with pytest.raises(ValueError):
+            cluster_config(frame_interval=0.0)
+        with pytest.raises(ValueError):
+            cluster_config(hotspot_fraction=2.0)
+
+    def test_with_helpers(self):
+        config = cluster_config()
+        assert config.with_edges(5).num_edges == 5
+        assert config.with_router("hotspot").router_policy == "hotspot"
+        assert config.seed == config.base.seed
+
+
+class TestClusterRun:
+    def test_hotspot_run_completes_end_to_end(self):
+        """Acceptance: ≥2 edges + hotspot router, all frames processed."""
+        system = ClusterSystem(cluster_config(num_edges=3, router_policy="hotspot"))
+        streams = make_streams(4, frames=6)
+        result = system.run(streams)
+
+        assert set(result.placements) == {video.name for video in streams}
+        assert result.num_frames == 4 * 6
+        for name, run in result.per_stream.items():
+            assert run.num_frames == 6, name
+        assert sum(edge.frames_processed for edge in result.edges) == 24
+        assert result.makespan > 0
+        assert result.throughput_fps > 0
+
+    def test_cross_partition_fraction_is_nonzero(self):
+        system = ClusterSystem(cluster_config(num_edges=2))
+        result = system.run(make_streams(2))
+        assert result.total_transactions > 0
+        assert result.cross_partition_fraction > 0.0
+        assert result.multi_partition_transactions > 0
+
+    def test_traces_carry_their_edge(self):
+        system = ClusterSystem(cluster_config(num_edges=2))
+        result = system.run(make_streams(2, frames=4))
+        for name, run in result.per_stream.items():
+            home = result.placements[name]
+            assert all(trace.edge_id == home for trace in run.traces)
+
+    def test_seeded_run_is_reproducible(self):
+        """Acceptance: identical configs and seeds give identical runs."""
+        def run_once():
+            system = ClusterSystem(cluster_config(num_edges=3, router_policy="hotspot"))
+            return system.run(make_streams(4, frames=5))
+
+        first, second = run_once(), run_once()
+        assert first.summary() == second.summary()
+        assert first.placements == second.placements
+        for name in first.per_stream:
+            a = first.per_stream[name].traces
+            b = second.per_stream[name].traces
+            assert [t.latency for t in a] == [t.latency for t in b]
+            assert [t.accuracy for t in a] == [t.accuracy for t in b]
+
+    def test_queue_delay_grows_with_stream_count(self):
+        """One edge, rising load: mean queue delay must not shrink."""
+        delays = []
+        for count in (1, 2, 4):
+            system = ClusterSystem(cluster_config(num_edges=1, frame_interval=0.02))
+            delays.append(system.run(make_streams(count, frames=5)).mean_queue_delay)
+        assert delays[0] <= delays[1] <= delays[2]
+        assert delays[2] > delays[0]
+
+    def test_abort_accounting_matches_controller_stats(self):
+        """Cluster-level 2PC abort numbers must mirror the replicas' stats."""
+        config = ClusterConfig(
+            base=CroesusConfig(seed=11, consistency=ConsistencyLevel.MS_SR),
+            num_edges=3,
+        )
+        system = ClusterSystem(config, bank_factory=hotspot_bank_factory(11, key_range=10))
+        result = system.run(make_streams(3, frames=8, seed=11))
+
+        assert result.stats.aborts == sum(r.stats.aborts for r in system.replicas)
+        assert result.stats.initial_commits == sum(r.stats.initial_commits for r in system.replicas)
+        assert result.stats.final_commits == sum(r.stats.final_commits for r in system.replicas)
+        assert result.stats.aborts > 0
+        expected_rate = result.stats.aborts / (result.stats.initial_commits + result.stats.aborts)
+        assert result.two_phase_abort_rate == pytest.approx(expected_rate)
+
+    def test_hotspot_router_skews_load(self):
+        config = cluster_config(seed=1, num_edges=4, router_policy="hotspot", hotspot_fraction=1.0)
+        result = ClusterSystem(config).run(make_streams(4, frames=4, seed=1))
+        assert result.edges[0].frames_processed == 16
+        assert all(edge.frames_processed == 0 for edge in result.edges[1:])
+
+    def test_repeated_runs_start_from_clean_queues(self):
+        """A second run() must not inherit the first run's backlog."""
+        system = ClusterSystem(cluster_config(num_edges=2))
+        system.run(make_streams(2, frames=4))
+        second = system.run(make_streams(2, frames=4, seed=20))
+
+        assert second.num_frames == 2 * 4
+        # queue accounting covers only this run: two admissions per frame
+        assert sum(edge.queue_jobs for edge in second.edges) == 2 * second.num_frames
+        # stream assignments are not duplicated across runs
+        assert sum(len(edge.streams) for edge in second.edges) == 2
+        assert second.total_transactions > 0
+
+    def test_rejects_empty_or_duplicate_streams(self):
+        system = ClusterSystem(cluster_config())
+        with pytest.raises(ValueError):
+            system.run([])
+        video_a = make_video("v1", num_frames=2, seed=0)
+        video_b = make_video("v1", num_frames=2, seed=1)
+        with pytest.raises(ValueError):
+            system.run([video_a, video_b])
+
+    def test_summary_keys(self):
+        system = ClusterSystem(cluster_config())
+        summary = system.run(make_streams(2, frames=3)).summary()
+        assert {
+            "edges",
+            "streams",
+            "frames",
+            "throughput_fps",
+            "mean_queue_delay_ms",
+            "cross_partition_fraction",
+            "two_phase_abort_rate",
+            "f_score",
+        } <= set(summary)

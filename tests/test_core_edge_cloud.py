@@ -12,7 +12,7 @@ from repro.transactions.model import MultiStageTransaction, SectionContext, Sect
 from repro.transactions.ops import ReadWriteSet
 from repro.video.library import make_video
 
-from conftest import make_detection, make_frame, make_label_set, make_scene_object
+from helpers import make_detection, make_frame, make_label_set, make_scene_object
 
 
 def _counting_bank() -> TransactionBank:

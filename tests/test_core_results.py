@@ -5,7 +5,7 @@ import pytest
 from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
 from repro.detection.metrics import AccuracyReport
 
-from conftest import make_label_set
+from helpers import make_label_set
 
 
 def _trace(frame_id: int, sent: bool, f_tp: int = 1, f_fp: int = 0, f_fn: int = 0) -> FrameTrace:

@@ -115,3 +115,19 @@ class TestCroesusSystem:
         sent_frames = sum(1 for t in result.traces if t.sent_to_cloud)
         # two transfers (uplink frame + downlink labels) per validated frame
         assert system.edge_cloud.transfer_count == 2 * sent_frames
+
+    def test_repeated_runs_do_not_accumulate_events(self):
+        config = CroesusConfig(seed=3)
+        system = CroesusSystem(config)
+        num_frames = 10
+        system.run(make_video("v1", num_frames=num_frames, seed=3))
+        history_after_first = len(system.history)
+        # one initial_commit + one final_commit event per frame, per run
+        assert len(system.events) == 2 * num_frames
+
+        system.run(make_video("v1", num_frames=num_frames, seed=4))
+        assert len(system.events) == 2 * num_frames
+        # the history restarts too (same order of magnitude as one run,
+        # not the concatenation of both)
+        assert history_after_first > 0
+        assert len(system.history) < 2 * history_after_first

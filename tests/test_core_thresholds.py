@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
 
-from conftest import make_detection, make_label_set
+from helpers import make_detection, make_label_set
 
 
 class TestThresholdPolicy:

@@ -5,7 +5,7 @@ import pytest
 from repro.detection.feedback import CorrectionMemory, TemporalSmoother
 from repro.detection.matching import match_labels
 
-from conftest import make_detection, make_label_set
+from helpers import make_detection, make_label_set
 
 
 def _report(edge_name: str, cloud_name: str | None):

@@ -5,7 +5,7 @@ import pytest
 from repro.detection.geometry import BoundingBox
 from repro.detection.labels import Detection, LabelSet
 
-from conftest import make_detection, make_label_set
+from helpers import make_detection, make_label_set
 
 
 class TestDetection:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.detection.matching import MatchOutcome, match_labels
 
-from conftest import make_detection, make_label_set
+from helpers import make_detection, make_label_set
 
 
 class TestMatchLabels:

@@ -9,7 +9,7 @@ from repro.detection.metrics import (
     f_score,
 )
 
-from conftest import make_detection, make_label_set
+from helpers import make_detection, make_label_set
 
 
 class TestFScore:

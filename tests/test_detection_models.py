@@ -6,7 +6,7 @@ import pytest
 from repro.detection.models import SimulatedDetector
 from repro.detection.profiles import CLOUD_YOLOV3_416, EDGE_TINY_YOLOV3, ModelProfile
 
-from conftest import make_frame, make_scene_object
+from helpers import make_frame, make_scene_object
 
 
 def _perfect_profile() -> ModelProfile:

@@ -9,6 +9,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.cluster",
     "repro.core",
     "repro.core.apps",
     "repro.transactions",

@@ -3,7 +3,7 @@
 from repro.transactions.bank import ANY_LABEL, TransactionBank
 from repro.transactions.model import MultiStageTransaction, SectionSpec
 
-from conftest import make_detection
+from helpers import make_detection
 
 
 def _factory(detection, txn_id) -> MultiStageTransaction:

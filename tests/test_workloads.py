@@ -8,7 +8,7 @@ from repro.transactions.ms_ia import MSIAController
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.ycsb import YCSBWorkload
 
-from conftest import make_detection
+from helpers import make_detection
 
 
 class TestYCSBWorkload:
