@@ -28,6 +28,18 @@ from bench_common import BENCH_SEED  # noqa: E402
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every pytest-benchmark timing test as ``slow``.
+
+    The calibrated timing runs dominate the harness' wall clock; CI's
+    smoke pass (``-m "not slow"``) keeps the experiment shapes — the
+    regression signal — and skips only the stopwatch work.
+    """
+    for item in items:
+        if "benchmark" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> CroesusConfig:
     """The default configuration all benchmarks start from."""

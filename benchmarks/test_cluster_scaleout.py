@@ -1,10 +1,14 @@
-"""Cluster scale-out sweep: 1→8 edges × uniform/hotspot placement.
+"""Cluster scale-out sweep: edges × placement × cloud capacity.
 
 Eight camera streams run against growing clusters under MS-SR with a
 shared hot key range, so remote lock conflicts and 2PC aborts are live.
 For every cluster size the sweep runs both a uniform (round-robin) and a
 skewed (hotspot) placement and records throughput, queueing delay, the
-cross-partition transaction fraction, and the 2PC abort rate.
+cross-partition transaction fraction, and the 2PC abort rate.  Two more
+sweeps exercise the engine-level additions: a cloud-contention sweep
+(1→4 cloud servers against an unbounded baseline) and a runtime-migration
+comparison (``migrating`` vs ``least-loaded`` on a hotspot workload with
+unequal stream lengths).
 
 Qualitative shape asserted:
 * adding edges raises throughput and drains queueing delay under
@@ -12,17 +16,28 @@ Qualitative shape asserted:
 * skewed placement leaves the hot edge congested, so its queueing delay
   stays above the uniform placement's at the same cluster size;
 * once the store has more than one partition, transactions span remote
-  partitions and the cross-partition fraction is substantial.
+  partitions and the cross-partition fraction is substantial;
+* adding cloud servers drains the cloud queue, and an unbounded cloud
+  never queues;
+* runtime migration sheds load off saturated edges, beating
+  placement-time least-loaded on max edge utilization.
+
+Every sweep cell also lands in ``results/BENCH_cluster.json`` so the
+cluster's performance trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.tables import format_table
+from repro.analysis.timeline import migration_timeline
 from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
 from repro.core.config import ConsistencyLevel, CroesusConfig
-from repro.video.library import make_camera_streams
+from repro.video.library import make_camera_streams, make_uneven_camera_streams
 
 from bench_common import BENCH_SEED
 
@@ -31,10 +46,24 @@ PLACEMENTS = ("round-robin", "hotspot")
 NUM_STREAMS = 8
 FRAMES_PER_STREAM = 10
 HOT_KEY_RANGE = 50
+CLOUD_SERVER_COUNTS = (1, 2, 4)
+ARTIFACT_PATH = Path(__file__).parent / "results" / "BENCH_cluster.json"
 
 
 def _make_streams(seed: int) -> list:
     return make_camera_streams(NUM_STREAMS, num_frames=FRAMES_PER_STREAM, seed=seed)
+
+
+def _make_uneven_streams(seed: int) -> list:
+    """Two long-running cameras plus six short ones.
+
+    Placement-time policies cannot know stream lengths, so whichever
+    edges host the long streams stay busy after the rest of the cluster
+    drains — the scenario runtime migration exists for.
+    """
+    return make_uneven_camera_streams(
+        NUM_STREAMS, long_frames=40, short_frames=10, seed=seed
+    )
 
 
 def _run_cell(num_edges: int, placement: str, seed: int) -> dict[str, float]:
@@ -87,6 +116,78 @@ def scaleout_results(report_writer):
     return results
 
 
+@pytest.fixture(scope="module")
+def cloud_contention_results(report_writer):
+    """Cloud-capacity sweep: 1→4 cloud servers plus the unbounded baseline."""
+    results = {}
+    for servers in CLOUD_SERVER_COUNTS + (None,):
+        config = ClusterConfig(
+            base=CroesusConfig(seed=BENCH_SEED, consistency=ConsistencyLevel.MS_SR),
+            num_edges=4,
+            router_policy="round-robin",
+            cloud_servers=servers,
+        )
+        system = ClusterSystem(
+            config, bank_factory=hotspot_bank_factory(BENCH_SEED, key_range=HOT_KEY_RANGE)
+        )
+        results[servers] = system.run(_make_streams(BENCH_SEED)).summary()
+    rows = [
+        [
+            "unbounded" if servers is None else servers,
+            f"{cell['mean_cloud_queue_delay_ms']:.0f}",
+            f"{cell['mean_queue_delay_ms']:.0f}",
+            f"{cell['throughput_fps']:.2f}",
+        ]
+        for servers, cell in results.items()
+    ]
+    report_writer(
+        "cluster_cloud_contention",
+        format_table(
+            ["cloud servers", "cloud queue delay (ms)", "edge queue delay (ms)", "throughput (fps)"],
+            rows,
+        ),
+    )
+    return results
+
+
+@pytest.fixture(scope="module")
+def migration_results(report_writer):
+    """Least-loaded vs migrating placement on the uneven hotspot workload."""
+    results = {}
+    timelines = {}
+    for policy in ("least-loaded", "migrating"):
+        config = ClusterConfig(
+            base=CroesusConfig(seed=BENCH_SEED, consistency=ConsistencyLevel.MS_SR),
+            num_edges=4,
+            router_policy=policy,
+            frame_interval=0.2,
+        )
+        system = ClusterSystem(
+            config, bank_factory=hotspot_bank_factory(BENCH_SEED, key_range=HOT_KEY_RANGE)
+        )
+        results[policy] = system.run(_make_uneven_streams(BENCH_SEED)).summary()
+        timelines[policy] = migration_timeline(system.events)
+        results[policy]["timeline_migrations"] = float(timelines[policy].count)
+    rows = [
+        [
+            policy,
+            f"{cell['max_utilization']:.0%}",
+            f"{cell['mean_queue_delay_ms']:.0f}",
+            f"{cell['makespan_s']:.2f}",
+            int(cell["migrations"]),
+        ]
+        for policy, cell in results.items()
+    ]
+    report_writer(
+        "cluster_migration",
+        format_table(
+            ["placement", "max utilization", "queue delay (ms)", "makespan (s)", "migrations"],
+            rows,
+        ),
+    )
+    return results
+
+
 def test_every_cell_completes(scaleout_results):
     for cell in scaleout_results.values():
         assert cell["frames"] == NUM_STREAMS * FRAMES_PER_STREAM
@@ -113,6 +214,61 @@ def test_multi_edge_runs_have_cross_partition_transactions(scaleout_results):
     for num_edges in EDGE_COUNTS[1:]:
         for placement in PLACEMENTS:
             assert scaleout_results[(num_edges, placement)]["cross_partition_fraction"] > 0.25
+
+
+def test_adding_cloud_servers_drains_the_cloud_queue(cloud_contention_results):
+    delays = [
+        cloud_contention_results[servers]["mean_cloud_queue_delay_ms"]
+        for servers in CLOUD_SERVER_COUNTS
+    ]
+    assert delays == sorted(delays, reverse=True)
+    assert delays[0] > delays[-1] > 0.0
+    assert cloud_contention_results[None]["mean_cloud_queue_delay_ms"] == 0.0
+
+
+def test_migration_events_match_summary_counts(migration_results):
+    for cell in migration_results.values():
+        assert cell["timeline_migrations"] == cell["migrations"]
+
+
+def test_migration_reduces_max_edge_utilization(migration_results):
+    """Acceptance: the migrating router beats least-loaded on the hotspot workload."""
+    assert migration_results["migrating"]["migrations"] > 0
+    assert migration_results["least-loaded"]["migrations"] == 0
+    assert (
+        migration_results["migrating"]["max_utilization"]
+        < migration_results["least-loaded"]["max_utilization"]
+    )
+
+
+def test_emit_bench_cluster_artifact(
+    scaleout_results, cloud_contention_results, migration_results
+):
+    """Write every sweep cell to ``results/BENCH_cluster.json``.
+
+    The artifact is the machine-readable start of the cluster's perf
+    trajectory: CI uploads it per commit so throughput/queueing drift is
+    diffable across PRs.
+    """
+    payload = {
+        "seed": BENCH_SEED,
+        "streams": NUM_STREAMS,
+        "frames_per_stream": FRAMES_PER_STREAM,
+        "scaleout": [
+            {"edges": edges, "placement": placement, **cell}
+            for (edges, placement), cell in scaleout_results.items()
+        ],
+        "cloud_contention": [
+            {"cloud_servers": servers, **cell}
+            for servers, cell in cloud_contention_results.items()
+        ],
+        "migration": [
+            {"placement": policy, **cell} for policy, cell in migration_results.items()
+        ],
+    }
+    ARTIFACT_PATH.parent.mkdir(exist_ok=True)
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    assert json.loads(ARTIFACT_PATH.read_text())["scaleout"]
 
 
 def test_benchmark_two_edge_cluster_run(benchmark, scaleout_results):

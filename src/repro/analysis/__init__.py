@@ -7,5 +7,22 @@ system code.
 
 from repro.analysis.sweeps import ThresholdSweep, sweep_thresholds
 from repro.analysis.tables import format_table, latency_breakdown_row
+from repro.analysis.timeline import (
+    CloudQueueProfile,
+    MigrationTimeline,
+    cloud_queue_profile,
+    migration_timeline,
+    stage_commit_counts,
+)
 
-__all__ = ["format_table", "latency_breakdown_row", "ThresholdSweep", "sweep_thresholds"]
+__all__ = [
+    "CloudQueueProfile",
+    "MigrationTimeline",
+    "ThresholdSweep",
+    "cloud_queue_profile",
+    "format_table",
+    "latency_breakdown_row",
+    "migration_timeline",
+    "stage_commit_counts",
+    "sweep_thresholds",
+]

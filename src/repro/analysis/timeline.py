@@ -1,0 +1,83 @@
+"""Timeline analyses over the simulation event log.
+
+The engine-driven systems record what happened *when* — commits, cloud
+validations (with their queueing delay), and runtime stream migrations.
+These helpers read those event kinds off the per-kind index of
+:class:`~repro.sim.events.EventLog` and reduce them to the series the
+benchmarks and the CLI report, so consumers never rescan the raw
+timeline themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.sim.events import EventLog
+
+
+@dataclass(frozen=True)
+class CloudQueueProfile:
+    """How hard validated frames hit the cloud in one run."""
+
+    validations: int
+    queued: int
+    mean_delay: float
+    max_delay: float
+
+    @property
+    def queued_fraction(self) -> float:
+        """Fraction of validations that had to wait for a cloud server."""
+        return self.queued / self.validations if self.validations else 0.0
+
+
+def cloud_queue_profile(events: EventLog) -> CloudQueueProfile:
+    """Summarise the ``cloud_validate`` events of one run."""
+    delays = [event.payload["queue_delay"] for event in events.of_kind("cloud_validate")]
+    return CloudQueueProfile(
+        validations=len(delays),
+        queued=sum(1 for delay in delays if delay > 0),
+        mean_delay=mean(delays) if delays else 0.0,
+        max_delay=max(delays, default=0.0),
+    )
+
+
+@dataclass(frozen=True)
+class MigrationTimeline:
+    """The runtime re-routing decisions of one ``"migrating"`` run."""
+
+    moves: tuple[tuple[float, str, int, int], ...]  # (time, stream, from, to)
+
+    @property
+    def count(self) -> int:
+        return len(self.moves)
+
+    @property
+    def streams_moved(self) -> frozenset[str]:
+        return frozenset(stream for _, stream, _, _ in self.moves)
+
+    def moves_off(self, edge_id: int) -> int:
+        """How many streams migrated away from ``edge_id``."""
+        return sum(1 for _, _, from_edge, _ in self.moves if from_edge == edge_id)
+
+
+def migration_timeline(events: EventLog) -> MigrationTimeline:
+    """Collect the ``stream_migrated`` events of one run, in time order."""
+    moves = tuple(
+        (
+            event.timestamp,
+            event.payload["stream"],
+            event.payload["from_edge"],
+            event.payload["to_edge"],
+        )
+        for event in events.of_kind("stream_migrated")
+    )
+    return MigrationTimeline(moves=moves)
+
+
+def stage_commit_counts(events: EventLog) -> dict[str, int]:
+    """Initial/final commit totals, straight off the per-kind index."""
+    return {
+        "initial": events.count_of_kind("initial_commit"),
+        "final": events.count_of_kind("final_commit"),
+    }

@@ -18,6 +18,7 @@ import sys
 from typing import Sequence
 
 from repro.analysis.tables import format_table
+from repro.analysis.timeline import cloud_queue_profile, migration_timeline
 from repro.cluster.router import ROUTER_POLICIES
 from repro.cluster.system import ClusterConfig, ClusterSystem
 from repro.core.baselines import run_cloud_only, run_croesus, run_edge_only
@@ -77,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_parser.add_argument(
         "--fps", type=float, default=30.0, help="capture rate of each stream (frames/second)"
+    )
+    cluster_parser.add_argument(
+        "--cloud-servers",
+        type=int,
+        default=0,
+        help="concurrent validations the cloud can serve (0 = unbounded)",
     )
     cluster_parser.add_argument(
         "--consistency",
@@ -197,6 +204,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if value <= 0:
             print(f"repro cluster: error: {name} must be positive, got {value}", file=sys.stderr)
             return 2
+    if args.cloud_servers < 0:
+        print(
+            f"repro cluster: error: --cloud-servers must be >= 0, got {args.cloud_servers}",
+            file=sys.stderr,
+        )
+        return 2
     consistency = ConsistencyLevel.MS_SR if args.consistency == "ms-sr" else ConsistencyLevel.MS_IA
     config = ClusterConfig(
         base=CroesusConfig(seed=args.seed, consistency=consistency),
@@ -204,6 +217,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         partitions_per_edge=args.partitions_per_edge,
         router_policy=args.router,
         frame_interval=1.0 / args.fps,
+        cloud_servers=args.cloud_servers or None,
     )
     system = ClusterSystem(config)
     streams = make_camera_streams(
@@ -235,12 +249,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             [
                 summary["throughput_fps"],
                 summary["mean_queue_delay_ms"],
-                f"{result.cross_partition_fraction:.1%}",
+                f"{result.cross_partition_fraction:.1%}"
+                f" ({result.cross_edge_transactions} txns)",
                 f"{result.two_phase_abort_rate:.1%}",
                 summary["f_score"],
             ]
         ],
     ))
+    cloud = cloud_queue_profile(system.events)
+    if cloud.queued:
+        print(
+            f"cloud queueing: {cloud.queued}/{cloud.validations} validations waited "
+            f"(mean over all {cloud.validations}: {cloud.mean_delay * 1000:.0f} ms, "
+            f"max {cloud.max_delay * 1000:.0f} ms)"
+        )
+    moves = migration_timeline(system.events)
+    if moves.count:
+        print(f"runtime migrations: {moves.count} ({len(moves.streams_moved)} streams)")
+        for when, stream, from_edge, to_edge in moves.moves:
+            print(f"  t={when:6.2f}s  {stream}: edge {from_edge} -> edge {to_edge}")
     return 0
 
 

@@ -5,8 +5,8 @@ transactions (paper Section 4.5).
 * :mod:`repro.cluster.node` — an edge replica owning a slice of the
   shared partitioned store;
 * :mod:`repro.cluster.router` — stream-to-edge placement policies;
-* :mod:`repro.cluster.scheduler` — frame interleaving and the per-edge
-  queueing-delay model;
+* :mod:`repro.cluster.scheduler` — frame interleaving onto one global
+  timeline (queueing is modelled by :mod:`repro.sim.engine` servers);
 * :mod:`repro.cluster.system` — the :class:`ClusterSystem` deployment
   mirroring :class:`~repro.core.system.CroesusSystem`'s run API.
 """
@@ -17,17 +17,20 @@ from repro.cluster.router import (
     ConsistentHashRouter,
     HotspotRouter,
     LeastLoadedRouter,
+    MigratingRouter,
+    MigrationTrigger,
     RoundRobinRouter,
     RoutingError,
     StreamRouter,
     make_router,
 )
-from repro.cluster.scheduler import EdgeQueue, FrameArrival, FrameScheduler
+from repro.cluster.scheduler import FrameArrival, FrameScheduler
 from repro.cluster.system import (
     ClusterConfig,
     ClusterRunResult,
     ClusterSystem,
     EdgeMetrics,
+    MigrationRecord,
     hotspot_bank_factory,
 )
 
@@ -37,7 +40,6 @@ __all__ = [
     "ClusterSystem",
     "EdgeMetrics",
     "EdgeReplica",
-    "EdgeQueue",
     "FrameArrival",
     "FrameScheduler",
     "ROUTER_POLICIES",
@@ -46,6 +48,9 @@ __all__ = [
     "ConsistentHashRouter",
     "LeastLoadedRouter",
     "HotspotRouter",
+    "MigratingRouter",
+    "MigrationTrigger",
+    "MigrationRecord",
     "RoutingError",
     "make_router",
     "hotspot_bank_factory",

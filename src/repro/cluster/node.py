@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.scheduler import EdgeQueue
 from repro.core.edge import EdgeNode
 from repro.detection.profiles import ModelProfile
 from repro.network.topology import MachineProfile
+from repro.sim.engine import Server
 from repro.storage.partition import PartitionedStore
 from repro.transactions.bank import TransactionBank
 from repro.transactions.distributed import (
@@ -68,7 +68,9 @@ class EdgeReplica:
     ) -> None:
         self.edge_id = edge_id
         self.owned_partitions = frozenset(owned_partitions)
-        self.queue = EdgeQueue()
+        #: Finite-capacity server modelling this edge's processor: every
+        #: frame stage is admitted here and served for its measured cost.
+        self.server = Server(capacity=1, name=f"edge-{edge_id}")
         self.streams: list[str] = []
 
         self.node = EdgeNode(
@@ -105,9 +107,14 @@ class EdgeReplica:
         self.streams.append(stream_name)
 
     def reset_run_state(self) -> None:
-        """Fresh queue and stream assignments for a new cluster run."""
-        self.queue = EdgeQueue()
+        """Fresh server and stream assignments for a new cluster run."""
+        self.server = Server(capacity=1, name=f"edge-{self.edge_id}")
         self.streams = []
+
+    def remove_stream(self, stream_name: str) -> None:
+        """Forget a stream that migrated away from this replica."""
+        if stream_name in self.streams:
+            self.streams.remove(stream_name)
 
     def transaction_partition_counts(
         self, exclude: frozenset[str] = frozenset()

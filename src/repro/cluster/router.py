@@ -176,8 +176,95 @@ class HotspotRouter(StreamRouter):
         return others[int(self._rng.integers(0, len(others)))]
 
 
+class MigrationTrigger:
+    """Hysteresis gate for runtime stream migration off one edge.
+
+    The trigger fires when the observed utilization crosses ``high``
+    while armed; it then disarms until utilization falls back to
+    ``low``.  Without the hysteresis band an overloaded edge — whose
+    utilization decays slowly after streams leave — would shed a stream
+    on every subsequent arrival, thrashing placements.
+    """
+
+    def __init__(self, high: float, low: float) -> None:
+        if not 0.0 < low <= high:
+            raise RoutingError(
+                f"need 0 < low <= high for the hysteresis band, got ({low}, {high})"
+            )
+        self.high = high
+        self.low = low
+        self._armed = True
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def observe(self, utilization: float) -> bool:
+        """Feed one utilization sample; returns True when migration may fire.
+
+        Observing does not consume the trigger: call :meth:`disarm` once
+        a stream actually migrates.  A saturated edge with nowhere to
+        send its streams therefore keeps asking, and starts shedding the
+        moment another edge drains.
+        """
+        if not self._armed and utilization <= self.low:
+            self._armed = True
+        return self._armed and utilization >= self.high
+
+    def disarm(self) -> None:
+        """Consume the trigger after a migration; re-arms below ``low``."""
+        self._armed = False
+
+
+class MigratingRouter(LeastLoadedRouter):
+    """Load-aware placement plus runtime stream migration.
+
+    Initial placement is the least-loaded greedy; at runtime the cluster
+    feeds the router the edges' *observed* utilizations (measured by the
+    engine's servers) on every frame arrival, and :meth:`decide` names a
+    new home for the arriving stream when its edge saturates.  This is
+    what placement-time policies cannot do: they commit before knowing
+    how long streams run or how expensive their frames turn out to be.
+    """
+
+    name = "migrating"
+
+    def __init__(
+        self,
+        num_edges: int,
+        compute_scales: Sequence[float] | None = None,
+        high: float = 0.85,
+        low: float = 0.5,
+    ) -> None:
+        super().__init__(num_edges, compute_scales=compute_scales)
+        self._triggers = [MigrationTrigger(high, low) for _ in range(num_edges)]
+        self.low = low
+
+    def trigger(self, edge_id: int) -> MigrationTrigger:
+        """The hysteresis trigger guarding ``edge_id``."""
+        return self._triggers[edge_id]
+
+    def decide(self, edge_id: int, loads: Sequence[float]) -> int | None:
+        """Target edge for a stream arriving on a saturated ``edge_id``.
+
+        ``loads`` are the observed per-edge utilizations at the decision
+        instant.  Returns ``None`` when the edge is below its trigger
+        threshold, the trigger is in its hysteresis cooldown, or no
+        other edge has real headroom (observed load at most ``low``).
+        """
+        if len(loads) != self.num_edges:
+            raise RoutingError("need one load sample per edge")
+        if not self._triggers[edge_id].observe(loads[edge_id]):
+            return None
+        target = min(range(self.num_edges), key=lambda e: (loads[e], e))
+        if target == edge_id or loads[target] > self.low:
+            return None
+        self._triggers[edge_id].disarm()
+        return target
+
+
 #: Policy names accepted by :func:`make_router` (and the CLI).
-ROUTER_POLICIES = ("round-robin", "consistent-hash", "least-loaded", "hotspot")
+ROUTER_POLICIES = ("round-robin", "consistent-hash", "least-loaded", "hotspot", "migrating")
 
 
 def make_router(
@@ -186,11 +273,14 @@ def make_router(
     rng: np.random.Generator | None = None,
     compute_scales: Sequence[float] | None = None,
     hot_fraction: float = 0.75,
+    migration_high: float = 0.85,
+    migration_low: float = 0.5,
 ) -> StreamRouter:
     """Build a router by policy name.
 
     ``rng`` is only required by the hotspot policy; ``compute_scales``
-    only informs the least-loaded policy.
+    only informs the least-loaded and migrating policies, and the
+    ``migration_*`` thresholds only the migrating policy.
     """
     if policy == "round-robin":
         return RoundRobinRouter(num_edges)
@@ -202,5 +292,9 @@ def make_router(
         if rng is None:
             raise RoutingError("the hotspot policy needs a seeded generator")
         return HotspotRouter(num_edges, rng=rng, hot_fraction=hot_fraction)
+    if policy == "migrating":
+        return MigratingRouter(
+            num_edges, compute_scales=compute_scales, high=migration_high, low=migration_low
+        )
     known = ", ".join(ROUTER_POLICIES)
     raise RoutingError(f"unknown routing policy {policy!r}; known policies: {known}")

@@ -1,21 +1,19 @@
-"""Frame interleaving and the per-edge queueing model.
+"""Frame interleaving: many camera streams onto one global timeline.
 
 Many camera streams feed one cluster concurrently.  The scheduler merges
 their frames into one global arrival order (each stream captures a frame
 every ``frame_interval`` seconds, phase-shifted so streams do not tick in
-lockstep), and each edge serves its arrivals from a FIFO queue.
-
-The queueing model is work-conserving with measured service times: a
-frame's service time is whatever its detection plus transaction
-processing actually cost on that edge, so a slow or overloaded edge
-accumulates backlog and the waiting time shows up in the latency of
-every queued frame.
+lockstep).  Each arrival becomes one process on the discrete-event
+engine (:mod:`repro.sim.engine`); the per-edge queueing itself is
+modelled by the engine's finite-capacity :class:`~repro.sim.engine.Server`
+resources, which serve each frame's measured detection + transaction
+cost, so a slow or overloaded edge accumulates backlog and the waiting
+time shows up in the latency of every queued frame.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from statistics import mean
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.video.frames import Frame
@@ -24,7 +22,14 @@ from repro.video.synthetic import SyntheticVideo
 
 @dataclass(frozen=True)
 class FrameArrival:
-    """One frame of one stream arriving at the cluster."""
+    """One frame of one stream arriving at the cluster.
+
+    ``edge_id`` is the stream's *placement-time* home.  The cluster
+    routes each arrival through its current placement map at processing
+    time, so after a runtime migration the frame may actually be served
+    by a different edge — read the serving edge off
+    :attr:`~repro.core.results.FrameTrace.edge_id`, not from here.
+    """
 
     arrival_time: float
     stream_index: int
@@ -70,55 +75,3 @@ class FrameScheduler:
                 )
         arrivals.sort(key=lambda a: (a.arrival_time, a.stream_index, a.frame.frame_id))
         return arrivals
-
-
-@dataclass
-class EdgeQueue:
-    """FIFO queue accounting for one edge node.
-
-    Tracks when the edge frees up (``busy_until``), the total busy time
-    (for utilization), and every job's waiting time (for the queue-delay
-    metrics).
-    """
-
-    busy_until: float = 0.0
-    busy_time: float = 0.0
-    waits: list[float] = field(default_factory=list)
-
-    def admit(self, now: float) -> tuple[float, float]:
-        """Admit a job arriving at ``now``; returns ``(start, wait)``.
-
-        The job starts once the edge is free; the wait is recorded for
-        the queue-delay metrics.  Call :meth:`occupy` once the job's
-        service time is known.
-        """
-        start = max(now, self.busy_until)
-        wait = start - now
-        self.waits.append(wait)
-        return start, wait
-
-    def occupy(self, start: float, service_time: float) -> None:
-        """Mark the edge busy for ``service_time`` seconds from ``start``."""
-        if service_time < 0:
-            raise ValueError("service_time must be non-negative")
-        self.busy_until = start + service_time
-        self.busy_time += service_time
-
-    @property
-    def jobs(self) -> int:
-        """Number of jobs admitted so far."""
-        return len(self.waits)
-
-    @property
-    def mean_wait(self) -> float:
-        """Mean waiting time over all admitted jobs."""
-        return mean(self.waits) if self.waits else 0.0
-
-    @property
-    def max_wait(self) -> float:
-        """Longest waiting time any job experienced."""
-        return max(self.waits) if self.waits else 0.0
-
-    def utilization(self, makespan: float) -> float:
-        """Fraction of ``makespan`` this edge spent serving jobs."""
-        return self.busy_time / makespan if makespan > 0 else 0.0

@@ -5,21 +5,32 @@ many edge replicas serving many concurrent camera streams against one
 hash-partitioned datastore (paper Section 4.5):
 
 1. a router places every stream on an edge replica (round-robin,
-   consistent-hash, least-loaded, or a deliberately skewed hotspot
-   placement);
+   consistent-hash, least-loaded, a deliberately skewed hotspot
+   placement, or the runtime-adaptive migrating policy);
 2. the scheduler interleaves all streams' frames into one global
-   timeline; each replica serves its arrivals from a FIFO queue whose
-   waiting time — driven by the replica's measured detection+transaction
-   service times — shows up in frame latency, making overload visible;
+   timeline and every frame becomes one process on the shared
+   discrete-event engine (:mod:`repro.sim.engine`); each replica is a
+   finite-capacity server whose waiting time — driven by the replica's
+   measured detection+transaction service times — shows up in frame
+   latency, making overload visible;
 3. every frame runs the full Croesus flow on its home replica (edge
    detection, initial sections, thresholding, cloud validation, final
    sections), but transactions execute through the distributed
    controllers of :mod:`repro.transactions.distributed`: lock requests
    for keys hashed to another replica's partitions are routed there, and
    commits run two-phase commit across the participating partitions;
-4. the run returns per-stream :class:`~repro.core.results.RunResult`\\ s
+4. the cloud itself can be a finite-capacity server
+   (:attr:`ClusterConfig.cloud_servers`): validated frames from every
+   edge contend for the cloud's model servers, and the time they queue
+   there is reported as ``cloud_queue_delay``;
+5. with the ``"migrating"`` router the engine's runtime visibility is
+   fed back into routing: when an edge's observed utilization crosses a
+   threshold, the arriving stream's remaining frames are re-routed to
+   the least-utilized edge (recorded as ``stream_migrated`` events);
+6. the run returns per-stream :class:`~repro.core.results.RunResult`\\ s
    plus cluster-level metrics: per-edge utilization and queue delay, the
-   cross-edge transaction fraction, and the 2PC abort rate.
+   cross-edge transaction fraction, the 2PC abort rate, cloud queueing,
+   and any migrations.
 
 Because the cloud round trip does not occupy the edge, a replica keeps
 serving other frames while a validated frame is in flight; under MS-SR
@@ -29,24 +40,23 @@ the cluster reproduces the paper's contention behaviour at scale.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field, replace
+from statistics import mean
 from typing import Callable, Sequence
 
 from repro.cluster.node import EdgeReplica
-from repro.cluster.router import ROUTER_POLICIES, make_router
+from repro.cluster.router import ROUTER_POLICIES, MigratingRouter, make_router
 from repro.cluster.scheduler import FrameArrival, FrameScheduler
 from repro.core.client import Client, ClientResponse
 from repro.core.cloud import CloudNode
 from repro.core.config import ConsistencyLevel, CroesusConfig
-from repro.core.edge import InitialStageOutcome
 from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
 from repro.core.system import LABELS_MESSAGE_BYTES, observed_labels
 from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
-from repro.detection.labels import LabelSet
 from repro.detection.metrics import aggregate_reports, evaluate_detections
 from repro.network.channel import Channel
 from repro.network.topology import MachineProfile
+from repro.sim.engine import Engine, Server
 from repro.sim.events import EventLog
 from repro.sim.rng import RngRegistry
 from repro.storage.partition import PartitionedStore
@@ -86,6 +96,21 @@ class ClusterConfig:
         Machine profiles cycled over the replicas; empty means every
         replica runs on ``base.topology.edge_machine``.  Mixing profiles
         models a heterogeneous cluster.
+    cloud_servers:
+        Number of concurrent validations the cloud can serve; ``None``
+        models an infinite cloud (no validation ever queues, the
+        original behaviour).  With a finite value, validated frames from
+        every edge contend for the cloud and their waiting time is
+        reported as ``cloud_queue_delay``.
+    migration_high, migration_low:
+        Hysteresis band of the ``"migrating"`` router: a stream migrates
+        off its edge when the edge's observed utilization reaches
+        ``migration_high``, and that edge's trigger re-arms only once
+        utilization falls back to ``migration_low``.
+    migration_window:
+        Length (seconds) of the sliding window over which the migrating
+        router observes edge utilization; a short window reacts to
+        recent overload instead of the whole run's average.
     """
 
     base: CroesusConfig = field(default_factory=CroesusConfig)
@@ -95,6 +120,10 @@ class ClusterConfig:
     hotspot_fraction: float = 0.75
     frame_interval: float = 1.0 / 30.0
     edge_machines: tuple[MachineProfile, ...] = ()
+    cloud_servers: int | None = None
+    migration_high: float = 0.85
+    migration_low: float = 0.5
+    migration_window: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_edges < 1:
@@ -110,6 +139,15 @@ class ClusterConfig:
             raise ValueError("hotspot_fraction must be in [0, 1]")
         if self.frame_interval <= 0:
             raise ValueError("frame_interval must be positive")
+        if self.cloud_servers is not None and self.cloud_servers < 1:
+            raise ValueError("cloud_servers must be at least 1 (or None for unbounded)")
+        if not 0.0 < self.migration_low <= self.migration_high:
+            raise ValueError(
+                "need 0 < migration_low <= migration_high, got "
+                f"({self.migration_low}, {self.migration_high})"
+            )
+        if self.migration_window <= 0:
+            raise ValueError("migration_window must be positive")
 
     @property
     def num_partitions(self) -> int:
@@ -128,6 +166,10 @@ class ClusterConfig:
     def with_router(self, policy: str) -> "ClusterConfig":
         """Copy of this config with a different placement policy."""
         return replace(self, router_policy=policy)
+
+    def with_cloud_servers(self, cloud_servers: int | None) -> "ClusterConfig":
+        """Copy of this config with a different cloud capacity."""
+        return replace(self, cloud_servers=cloud_servers)
 
 
 @dataclass(frozen=True)
@@ -152,9 +194,25 @@ class EdgeMetrics:
     max_queue_delay: float
 
 
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One stream re-routed at runtime by the ``"migrating"`` policy."""
+
+    time: float
+    stream: str
+    from_edge: int
+    to_edge: int
+    utilization: float
+
+
 @dataclass
 class ClusterRunResult:
-    """Aggregated outcome of one multi-stream cluster run."""
+    """Aggregated outcome of one multi-stream cluster run.
+
+    ``placements`` holds the router's placement-time assignments; when
+    the ``"migrating"`` policy re-routed streams mid-run, every move is
+    in ``migrations`` and ``final_placements`` gives the end state.
+    """
 
     router_policy: str
     placements: dict[str, int]
@@ -165,6 +223,20 @@ class ClusterRunResult:
     total_transactions: int = 0
     cross_edge_transactions: int = 0
     multi_partition_transactions: int = 0
+    cloud_servers: int | None = None
+    migrations: tuple[MigrationRecord, ...] = ()
+
+    @property
+    def final_placements(self) -> dict[str, int]:
+        """Stream placements after any runtime migrations."""
+        placements = dict(self.placements)
+        for record in self.migrations:
+            placements[record.stream] = record.to_edge
+        return placements
+
+    @property
+    def num_migrations(self) -> int:
+        return len(self.migrations)
 
     @property
     def num_edges(self) -> int:
@@ -211,6 +283,22 @@ class ClusterRunResult:
         return max((edge.utilization for edge in self.edges), default=0.0)
 
     @property
+    def mean_cloud_queue_delay(self) -> float:
+        """Mean time validated frames queued at the cloud.
+
+        Averaged over validated frames only (unvalidated frames never
+        visit the cloud); 0.0 when nothing was validated or the cloud
+        is unbounded.
+        """
+        delays = [
+            trace.latency.cloud_queue_delay
+            for result in self.per_stream.values()
+            for trace in result.traces
+            if trace.sent_to_cloud
+        ]
+        return mean(delays) if delays else 0.0
+
+    @property
     def f_score(self) -> float:
         """Corpus-level F-score over every stream's observed labels."""
         reports = [
@@ -221,7 +309,14 @@ class ClusterRunResult:
         return aggregate_reports(reports).f_score
 
     def summary(self) -> dict[str, float]:
-        """Compact dictionary of the headline cluster metrics."""
+        """Compact dictionary of the headline cluster metrics.
+
+        ``num_cross_partition_txns`` is the absolute count behind
+        ``cross_partition_fraction`` and the 2PC abort rate: a 50% abort
+        rate over two cross-partition transactions means something very
+        different from one over two thousand, so the denominator ships
+        with the rates.
+        """
         return {
             "edges": float(self.num_edges),
             "streams": float(len(self.per_stream)),
@@ -229,27 +324,27 @@ class ClusterRunResult:
             "makespan_s": self.makespan,
             "throughput_fps": self.throughput_fps,
             "mean_queue_delay_ms": self.mean_queue_delay * 1000.0,
+            "mean_cloud_queue_delay_ms": self.mean_cloud_queue_delay * 1000.0,
             "max_utilization": self.max_utilization,
             "cross_partition_fraction": self.cross_partition_fraction,
+            "num_cross_partition_txns": float(self.cross_edge_transactions),
             "two_phase_abort_rate": self.two_phase_abort_rate,
             "f_score": self.f_score,
+            "migrations": float(self.num_migrations),
         }
 
 
 @dataclass
-class _PendingFinal:
-    """A frame waiting for its final stage (cloud round trip in flight)."""
+class _RunState:
+    """Mutable execution state of one cluster run, shared by frame processes."""
 
-    arrival: FrameArrival
-    initial: InitialStageOutcome
-    cloud_labels: LabelSet
-    sent_to_cloud: bool
-    edge_transfer: float
-    queue_delay: float
-    edge_detection: float
-    cloud_transfer: float
-    cloud_detection: float
-    frame_bytes_sent: int
+    engine: Engine
+    cloud_server: Server
+    #: Current home edge of every stream (mutated by runtime migration).
+    current_edge: dict[str, int]
+    frames_on_edge: list[int]
+    makespan: float = 0.0
+    migrations: list[MigrationRecord] = field(default_factory=list)
 
 
 class ClusterSystem:
@@ -322,6 +417,8 @@ class ClusterSystem:
             rng=self.rngs.stream("router"),
             compute_scales=[replica.machine.compute_scale for replica in self.replicas],
             hot_fraction=config.hotspot_fraction,
+            migration_high=config.migration_high,
+            migration_low=config.migration_low,
         )
 
     # -- public API ---------------------------------------------------------
@@ -329,12 +426,17 @@ class ClusterSystem:
         """Run every stream to completion and return the cluster result.
 
         Streams are placed on edges by the configured router, their
-        frames interleaved onto one global timeline, and each frame runs
-        the full two-stage pipeline on its home replica.  Each call
-        starts from empty queues and a clean event log, and reports only
-        its own transactions; note that reusing a system continues the
-        random streams, so build a fresh :class:`ClusterSystem` when two
-        runs must reproduce each other bit for bit.
+        frames interleaved onto one global timeline, and every frame
+        becomes one process on the discrete-event engine: the initial
+        stage runs on the frame's (possibly migrated) home replica, the
+        cloud round trip — contending for the finite cloud servers when
+        :attr:`ClusterConfig.cloud_servers` is set — overlaps with other
+        frames on the same edge, and the final stage queues again at the
+        replica.  Each call starts from fresh servers and a clean event
+        log, and reports only its own transactions; note that reusing a
+        system continues the random streams, so build a fresh
+        :class:`ClusterSystem` when two runs must reproduce each other
+        bit for bit.
         """
         if not streams:
             raise ValueError("need at least one stream")
@@ -353,7 +455,6 @@ class ClusterSystem:
         results = {
             name: RunResult(system_name="croesus-cluster", video_key=name) for name in names
         }
-        frames_on_edge = [0] * len(self.replicas)
 
         # Snapshot controller state so repeated run() calls report only
         # this run's transactions.
@@ -363,58 +464,57 @@ class ClusterSystem:
         ]
         pre_records = [frozenset(r.controller.commit_records) for r in self.replicas]
 
-        # Event loop: frame arrivals (from the scheduler) interleave with
-        # final stages (scheduled once the cloud round trip completes).
-        heap: list[tuple[float, int, int, object]] = []
-        sequence = 0
+        # Per-run execution state shared by the frame processes.
+        state = _RunState(
+            engine=Engine(),
+            cloud_server=Server(capacity=self.config.cloud_servers, name="cloud"),
+            current_edge=dict(zip(names, placements)),
+            frames_on_edge=[0] * len(self.replicas),
+        )
         for arrival in self.scheduler.interleave(streams, placements):
-            heapq.heappush(heap, (arrival.arrival_time, sequence, 0, arrival))
-            sequence += 1
+            state.engine.spawn(
+                self._frame_process(state, arrival, clients[arrival.stream_index], results),
+                at=arrival.arrival_time,
+                name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
+            )
+        state.engine.run()
 
-        makespan = 0.0
-        while heap:
-            when, _, kind, payload = heapq.heappop(heap)
-            if kind == 0:
-                arrival = payload  # type: ignore[assignment]
-                pending = self._process_arrival(arrival, clients[arrival.stream_index])
-                frames_on_edge[arrival.edge_id] += 1
-                final_ready = (
-                    self.replicas[arrival.edge_id].queue.busy_until
-                    + pending.cloud_transfer
-                    + pending.cloud_detection
-                )
-                heapq.heappush(heap, (final_ready, sequence, 1, pending))
-                sequence += 1
-            else:
-                pending = payload  # type: ignore[assignment]
-                trace, finished_at = self._process_final(
-                    pending, when, clients[pending.arrival.stream_index]
-                )
-                results[pending.arrival.stream_name].add(trace)
-                makespan = max(makespan, finished_at)
-
-        return self._collect(names, placements, results, frames_on_edge, makespan, pre_stats, pre_records)
+        return self._collect(names, placements, results, state, pre_stats, pre_records)
 
     # -- per-frame pipeline -------------------------------------------------
-    def _process_arrival(self, arrival: FrameArrival, client: Client) -> _PendingFinal:
-        """Run a frame's edge-side initial stage; schedule its final stage."""
-        replica = self.replicas[arrival.edge_id]
+    def _frame_process(
+        self,
+        state: "_RunState",
+        arrival: FrameArrival,
+        client: Client,
+        results: dict[str, RunResult],
+    ):
+        """Engine process running one frame through the two-stage flow."""
+        engine = state.engine
+        edge_id = self._route_arrival(state, arrival)
+        replica = self.replicas[edge_id]
         frame = arrival.frame
 
-        edge_transfer = self._client_edge[arrival.edge_id].send(
+        edge_transfer = self._client_edge[edge_id].send(
             frame.size_bytes,
-            timestamp=arrival.arrival_time,
+            timestamp=engine.now,
             description=f"{arrival.stream_name}-frame-{frame.frame_id}",
         )
-        at_edge = arrival.arrival_time + edge_transfer
-        start, queue_delay = replica.queue.admit(at_edge)
+        # The frame holds its place in the edge's queue from the moment it
+        # arrives; service cannot start before the client->edge transfer
+        # lands (the admission's ready time).
+        admission = replica.server.admit(engine.now + edge_transfer)
+        queue_delay = admission.wait
 
         edge_labels_raw, edge_detection = replica.node.detect(frame)
         initial = replica.node.process_initial_stage(
-            frame, edge_labels_raw, now=start + edge_detection, detection_latency=edge_detection
+            frame,
+            edge_labels_raw,
+            now=admission.start + edge_detection,
+            detection_latency=edge_detection,
         )
-        replica.queue.occupy(start, edge_detection + initial.txn_latency)
-        initial_done = replica.queue.busy_until
+        initial_done = replica.server.complete(admission, edge_detection + initial.txn_latency)
+        state.frames_on_edge[edge_id] += 1
         client.render(
             ClientResponse(
                 frame_id=frame.frame_id,
@@ -428,7 +528,7 @@ class ClusterSystem:
             "initial_commit",
             frame_id=frame.frame_id,
             stream=arrival.stream_name,
-            edge=arrival.edge_id,
+            edge=edge_id,
         )
 
         partition = self.policy.classify_labels(initial.labels)
@@ -440,53 +540,57 @@ class ClusterSystem:
 
         cloud_transfer = 0.0
         cloud_detection = 0.0
+        cloud_queue_delay = 0.0
         frame_bytes_sent = 0
         if send_to_cloud:
-            uplink = self._edge_cloud[arrival.edge_id].send(
+            uplink, downlink = self._edge_cloud[edge_id].round_trip(
                 frame.size_bytes,
-                timestamp=initial_done,
-                description=f"{arrival.stream_name}-frame-{frame.frame_id}",
-            )
-            downlink = self._edge_cloud[arrival.edge_id].send(
                 LABELS_MESSAGE_BYTES,
                 timestamp=initial_done,
-                description=f"{arrival.stream_name}-labels-{frame.frame_id}",
+                up_description=f"{arrival.stream_name}-frame-{frame.frame_id}",
+                down_description=f"{arrival.stream_name}-labels-{frame.frame_id}",
             )
             cloud_transfer = uplink + downlink
             cloud_detection = cloud_detection_raw
             frame_bytes_sent = frame.size_bytes
+            # Request a cloud server only once the frame is actually at
+            # the cloud: frames reaching it first are served first, and a
+            # frame stuck behind a backlogged edge cannot hold a place in
+            # the cloud queue while the cloud sits idle.
+            yield engine.at(initial_done + uplink)
+            cloud_start, cloud_queue_delay = state.cloud_server.reserve(
+                engine.now, cloud_detection
+            )
+            self.events.record(
+                cloud_start,
+                "cloud_validate",
+                frame_id=frame.frame_id,
+                stream=arrival.stream_name,
+                edge=edge_id,
+                queue_delay=cloud_queue_delay,
+            )
+            # Summed in this order (waiting time last) so that with an
+            # unbounded cloud the arithmetic — and therefore every seeded
+            # run — is bit-for-bit what the pre-engine model produced.
+            final_ready = initial_done + cloud_transfer + cloud_detection + cloud_queue_delay
+        else:
+            final_ready = initial_done
 
-        return _PendingFinal(
-            arrival=arrival,
-            initial=initial,
-            cloud_labels=cloud_labels,
-            sent_to_cloud=send_to_cloud,
-            edge_transfer=edge_transfer,
-            queue_delay=queue_delay,
-            edge_detection=edge_detection,
-            cloud_transfer=cloud_transfer,
-            cloud_detection=cloud_detection,
-            frame_bytes_sent=frame_bytes_sent,
-        )
+        # Suspend until the corrected labels are back; the replica keeps
+        # serving other frames meanwhile.
+        yield engine.at(final_ready)
 
-    def _process_final(
-        self, pending: _PendingFinal, when: float, client: Client
-    ) -> tuple[FrameTrace, float]:
-        """Run a frame's final stage once the corrected labels are back."""
-        arrival = pending.arrival
-        replica = self.replicas[arrival.edge_id]
-
-        start, final_queue_delay = replica.queue.admit(when)
+        final_admission = replica.server.admit(engine.now)
         final = replica.node.process_final_stage(
-            pending.initial,
-            pending.cloud_labels if pending.sent_to_cloud else None,
-            now=start,
+            initial,
+            cloud_labels if send_to_cloud else None,
+            now=final_admission.start,
         )
-        replica.queue.occupy(start, final.txn_latency)
-        final_done = replica.queue.busy_until
+        final_done = replica.server.complete(final_admission, final.txn_latency)
+        state.makespan = max(state.makespan, final_done)
         client.render(
             ClientResponse(
-                frame_id=arrival.frame.frame_id,
+                frame_id=frame.frame_id,
                 stage="final",
                 payload=None,
                 apologies=final.apologies,
@@ -496,46 +600,91 @@ class ClusterSystem:
         self.events.record(
             final_done,
             "final_commit",
-            frame_id=arrival.frame.frame_id,
+            frame_id=frame.frame_id,
             stream=arrival.stream_name,
-            edge=arrival.edge_id,
+            edge=edge_id,
         )
 
         observed = observed_labels(
             self.policy,
-            pending.initial,
-            pending.cloud_labels,
-            pending.sent_to_cloud,
+            initial,
+            cloud_labels,
+            send_to_cloud,
             self.config.base.match_overlap,
         )
         accuracy = evaluate_detections(
-            observed, pending.cloud_labels, min_overlap=self.config.base.match_overlap
+            observed, cloud_labels, min_overlap=self.config.base.match_overlap
         )
         latency = LatencyBreakdown(
-            edge_transfer=pending.edge_transfer,
-            edge_detection=pending.edge_detection,
-            initial_txn=pending.initial.txn_latency,
-            cloud_transfer=pending.cloud_transfer,
-            cloud_detection=pending.cloud_detection,
+            edge_transfer=edge_transfer,
+            edge_detection=edge_detection,
+            initial_txn=initial.txn_latency,
+            cloud_transfer=cloud_transfer,
+            cloud_detection=cloud_detection,
             final_txn=final.txn_latency,
-            queue_delay=pending.queue_delay,
-            final_queue_delay=final_queue_delay,
+            queue_delay=queue_delay,
+            final_queue_delay=final_admission.wait,
+            cloud_queue_delay=cloud_queue_delay,
         )
-        trace = FrameTrace(
-            frame_id=arrival.frame.frame_id,
-            edge_labels=pending.initial.labels,
-            cloud_labels=pending.cloud_labels,
-            observed_labels=observed,
-            sent_to_cloud=pending.sent_to_cloud,
-            latency=latency,
-            accuracy=accuracy,
-            transactions_triggered=len(pending.initial.triggered),
-            corrections=final.corrections,
-            apologies=len(final.apologies),
-            frame_bytes_sent=pending.frame_bytes_sent,
-            edge_id=arrival.edge_id,
+        results[arrival.stream_name].add(
+            FrameTrace(
+                frame_id=frame.frame_id,
+                edge_labels=initial.labels,
+                cloud_labels=cloud_labels,
+                observed_labels=observed,
+                sent_to_cloud=send_to_cloud,
+                latency=latency,
+                accuracy=accuracy,
+                transactions_triggered=len(initial.triggered),
+                corrections=final.corrections,
+                apologies=len(final.apologies),
+                frame_bytes_sent=frame_bytes_sent,
+                edge_id=edge_id,
+            )
         )
-        return trace, final_done
+
+    # -- runtime routing ----------------------------------------------------
+    def _route_arrival(self, state: "_RunState", arrival: FrameArrival) -> int:
+        """Current home edge of the arriving frame's stream.
+
+        With the ``"migrating"`` policy this is where the engine's
+        runtime visibility feeds back into routing: the router watches
+        the observed (windowed) utilization of the stream's edge and,
+        when its hysteresis trigger fires, re-routes the stream's
+        remaining frames to the least-utilized edge.
+        """
+        edge_id = state.current_edge[arrival.stream_name]
+        if not isinstance(self.router, MigratingRouter):
+            return edge_id
+        now = state.engine.now
+        loads = [
+            replica.server.load(now, window=self.config.migration_window)
+            for replica in self.replicas
+        ]
+        target = self.router.decide(edge_id, loads)
+        if target is None:
+            return edge_id
+        state.current_edge[arrival.stream_name] = target
+        self.replicas[edge_id].remove_stream(arrival.stream_name)
+        self.replicas[target].assign_stream(arrival.stream_name)
+        state.migrations.append(
+            MigrationRecord(
+                time=now,
+                stream=arrival.stream_name,
+                from_edge=edge_id,
+                to_edge=target,
+                utilization=loads[edge_id],
+            )
+        )
+        self.events.record(
+            now,
+            "stream_migrated",
+            stream=arrival.stream_name,
+            from_edge=edge_id,
+            to_edge=target,
+            utilization=loads[edge_id],
+        )
+        return target
 
     # -- result assembly ----------------------------------------------------
     def _collect(
@@ -543,8 +692,7 @@ class ClusterSystem:
         names: list[str],
         placements: list[int],
         results: dict[str, RunResult],
-        frames_on_edge: list[int],
-        makespan: float,
+        state: _RunState,
         pre_stats: list[tuple[int, int, int]],
         pre_records: list[frozenset[str]],
     ) -> ClusterRunResult:
@@ -569,12 +717,12 @@ class ClusterSystem:
                     machine_name=replica.machine.name,
                     owned_partitions=tuple(sorted(replica.owned_partitions)),
                     streams=tuple(replica.streams),
-                    frames_processed=frames_on_edge[replica.edge_id],
-                    queue_jobs=replica.queue.jobs,
-                    busy_time=replica.queue.busy_time,
-                    utilization=replica.queue.utilization(makespan),
-                    mean_queue_delay=replica.queue.mean_wait,
-                    max_queue_delay=replica.queue.max_wait,
+                    frames_processed=state.frames_on_edge[replica.edge_id],
+                    queue_jobs=replica.server.jobs,
+                    busy_time=replica.server.busy_time,
+                    utilization=replica.server.utilization(state.makespan),
+                    mean_queue_delay=replica.server.mean_wait,
+                    max_queue_delay=replica.server.max_wait,
                 )
             )
         return ClusterRunResult(
@@ -582,11 +730,13 @@ class ClusterSystem:
             placements=dict(zip(names, placements)),
             per_stream=results,
             edges=edges,
-            makespan=makespan,
+            makespan=state.makespan,
             stats=stats,
             total_transactions=total,
             cross_edge_transactions=cross_edge,
             multi_partition_transactions=multi_partition,
+            cloud_servers=self.config.cloud_servers,
+            migrations=tuple(state.migrations),
         )
 
     # -- banks --------------------------------------------------------------

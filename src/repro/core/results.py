@@ -27,6 +27,13 @@ class LatencyBreakdown:
     the corrected labels were back.  Single-edge runs always report 0
     for both; in a :class:`~repro.cluster.system.ClusterSystem` run they
     make overload visible in the latency of every queued frame.
+
+    ``cloud_queue_delay`` is the time a validated frame queued at the
+    cloud before a cloud server picked it up.  It is 0 unless the
+    deployment caps the cloud's capacity
+    (:attr:`~repro.cluster.system.ClusterConfig.cloud_servers`), in
+    which case concurrent validations contend for the cloud just like
+    frames contend for their edge.
     """
 
     edge_transfer: float = 0.0
@@ -37,6 +44,7 @@ class LatencyBreakdown:
     final_txn: float = 0.0
     queue_delay: float = 0.0
     final_queue_delay: float = 0.0
+    cloud_queue_delay: float = 0.0
 
     @property
     def initial_latency(self) -> float:
@@ -49,6 +57,7 @@ class LatencyBreakdown:
         return (
             self.initial_latency
             + self.cloud_transfer
+            + self.cloud_queue_delay
             + self.cloud_detection
             + self.final_queue_delay
             + self.final_txn
@@ -57,7 +66,7 @@ class LatencyBreakdown:
     @property
     def cloud_total(self) -> float:
         """Cloud-side portion of the final latency."""
-        return self.cloud_transfer + self.cloud_detection
+        return self.cloud_transfer + self.cloud_queue_delay + self.cloud_detection
 
     def scaled(self, factor: float) -> "LatencyBreakdown":
         """All components multiplied by ``factor``."""
@@ -70,6 +79,7 @@ class LatencyBreakdown:
             final_txn=self.final_txn * factor,
             queue_delay=self.queue_delay * factor,
             final_queue_delay=self.final_queue_delay * factor,
+            cloud_queue_delay=self.cloud_queue_delay * factor,
         )
 
     @staticmethod
@@ -86,6 +96,7 @@ class LatencyBreakdown:
             final_txn=mean(b.final_txn for b in breakdowns),
             queue_delay=mean(b.queue_delay for b in breakdowns),
             final_queue_delay=mean(b.final_queue_delay for b in breakdowns),
+            cloud_queue_delay=mean(b.cloud_queue_delay for b in breakdowns),
         )
 
 

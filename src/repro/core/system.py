@@ -33,7 +33,7 @@ from repro.detection.labels import Detection, LabelSet
 from repro.detection.matching import match_labels
 from repro.detection.metrics import evaluate_detections
 from repro.network.channel import Channel
-from repro.sim.clock import SimClock
+from repro.sim.engine import Engine, Server
 from repro.sim.events import EventLog
 from repro.sim.rng import RngRegistry
 from repro.transactions.bank import ANY_LABEL, TransactionBank
@@ -133,6 +133,15 @@ class CroesusSystem:
     def run(self, video: SyntheticVideo, client: Client | None = None) -> RunResult:
         """Process every frame of ``video`` and return the aggregated result.
 
+        The run executes on the shared discrete-event engine
+        (:mod:`repro.sim.engine`): one process walks the video and the
+        edge and cloud are modelled as servers.  A single deployment
+        serves one stream, so the pipeline stays sequential — frame
+        ``k+1`` enters the edge only after frame ``k``'s final commit —
+        and no job ever queues; the engine's value here is that the same
+        execution substrate also drives the multi-edge cluster, where
+        contention is real.
+
         Each call starts from a clean slate: the event log and the
         transaction history are cleared so repeated ``run()`` invocations
         on one system do not accumulate records across runs.
@@ -142,102 +151,133 @@ class CroesusSystem:
         self.events.clear()
         self.history.clear()
         result = RunResult(system_name="croesus", video_key=video.name)
-        clock = SimClock()
-        for frame in client.frames():
-            trace = self._process_frame(frame, clock, client)
-            result.add(trace)
+        engine = Engine()
+        edge_server = Server(capacity=1, name="edge")
+        cloud_server = Server(capacity=None, name="cloud")
+        engine.spawn(
+            self._video_process(engine, edge_server, cloud_server, client, result),
+            name=f"video-{video.name}",
+        )
+        engine.run()
         return result
 
     # -- per-frame pipeline ---------------------------------------------------
-    def _process_frame(self, frame, clock: SimClock, client: Client) -> FrameTrace:
-        # Step 1: client -> edge transfer.
-        edge_transfer = self.client_edge.send(
-            frame.size_bytes, timestamp=clock.now, description=f"frame-{frame.frame_id}"
-        )
-        clock.advance(edge_transfer)
-
-        # Step 2: edge detection + initial sections.
-        edge_labels_raw, edge_detection = self.edge.detect(frame)
-        clock.advance(edge_detection)
-        initial = self.edge.process_initial_stage(
-            frame, edge_labels_raw, now=clock.now, detection_latency=edge_detection
-        )
-        clock.advance(initial.txn_latency)
-        initial_commit_time = clock.now
-        client.render(
-            ClientResponse(
-                frame_id=frame.frame_id,
-                stage="initial",
-                payload=[entry.initial_result for entry in initial.committed],
-                timestamp=initial_commit_time,
+    def _video_process(
+        self,
+        engine: Engine,
+        edge_server: Server,
+        cloud_server: Server,
+        client: Client,
+        result: RunResult,
+    ):
+        """Engine process running every frame through the two-stage flow."""
+        for frame in client.frames():
+            # Step 1: client -> edge transfer.
+            edge_transfer = self.client_edge.send(
+                frame.size_bytes, timestamp=engine.now, description=f"frame-{frame.frame_id}"
             )
-        )
-        self.events.record(clock.now, "initial_commit", frame_id=frame.frame_id)
+            yield edge_transfer
 
-        # Step 3: thresholding decision on the filtered labels.
-        partition = self.policy.classify_labels(initial.labels)
-        validate = partition[ConfidenceInterval.VALIDATE]
-        send_to_cloud = bool(validate)
-
-        # The cloud model always runs for ground truth; its cost is only
-        # charged when the frame is actually validated.
-        cloud_labels, cloud_detection_raw = self.cloud.detect(frame)
-
-        cloud_transfer = 0.0
-        cloud_detection = 0.0
-        frame_bytes_sent = 0
-        if send_to_cloud:
-            uplink = self.edge_cloud.send(
-                frame.size_bytes, timestamp=clock.now, description=f"frame-{frame.frame_id}"
+            # Step 2: edge detection + initial sections, as one edge job.
+            admission = edge_server.admit(engine.now)
+            queue_delay = admission.wait
+            edge_labels_raw, edge_detection = self.edge.detect(frame)
+            initial = self.edge.process_initial_stage(
+                frame,
+                edge_labels_raw,
+                now=admission.start + edge_detection,
+                detection_latency=edge_detection,
             )
-            downlink = self.edge_cloud.send(
-                LABELS_MESSAGE_BYTES, timestamp=clock.now, description=f"labels-{frame.frame_id}"
+            initial_done = edge_server.complete(admission, edge_detection + initial.txn_latency)
+            yield engine.at(initial_done)
+            client.render(
+                ClientResponse(
+                    frame_id=frame.frame_id,
+                    stage="initial",
+                    payload=[entry.initial_result for entry in initial.committed],
+                    timestamp=engine.now,
+                )
             )
-            cloud_transfer = uplink + downlink
-            cloud_detection = cloud_detection_raw
-            frame_bytes_sent = frame.size_bytes
-            clock.advance(cloud_transfer + cloud_detection)
+            self.events.record(engine.now, "initial_commit", frame_id=frame.frame_id)
 
-        # Step 4: final sections (with corrections when validated).
-        final = self.edge.process_final_stage(
-            initial, cloud_labels if send_to_cloud else None, now=clock.now
-        )
-        clock.advance(final.txn_latency)
-        client.render(
-            ClientResponse(
-                frame_id=frame.frame_id,
-                stage="final",
-                payload=None,
-                apologies=final.apologies,
-                timestamp=clock.now,
+            # Step 3: thresholding decision on the filtered labels.
+            partition = self.policy.classify_labels(initial.labels)
+            validate = partition[ConfidenceInterval.VALIDATE]
+            send_to_cloud = bool(validate)
+
+            # The cloud model always runs for ground truth; its cost is only
+            # charged when the frame is actually validated.
+            cloud_labels, cloud_detection_raw = self.cloud.detect(frame)
+
+            cloud_transfer = 0.0
+            cloud_detection = 0.0
+            cloud_queue_delay = 0.0
+            frame_bytes_sent = 0
+            if send_to_cloud:
+                uplink, downlink = self.edge_cloud.round_trip(
+                    frame.size_bytes,
+                    LABELS_MESSAGE_BYTES,
+                    timestamp=engine.now,
+                    up_description=f"frame-{frame.frame_id}",
+                    down_description=f"labels-{frame.frame_id}",
+                )
+                cloud_transfer = uplink + downlink
+                cloud_detection = cloud_detection_raw
+                frame_bytes_sent = frame.size_bytes
+                cloud_start, cloud_queue_delay = cloud_server.reserve(
+                    engine.now + uplink, cloud_detection
+                )
+                yield engine.at(cloud_start + cloud_detection + downlink)
+
+            # Step 4: final sections (with corrections when validated).
+            final_admission = edge_server.admit(engine.now)
+            final = self.edge.process_final_stage(
+                initial, cloud_labels if send_to_cloud else None, now=final_admission.start
             )
-        )
-        self.events.record(clock.now, "final_commit", frame_id=frame.frame_id)
+            final_done = edge_server.complete(final_admission, final.txn_latency)
+            yield engine.at(final_done)
+            client.render(
+                ClientResponse(
+                    frame_id=frame.frame_id,
+                    stage="final",
+                    payload=None,
+                    apologies=final.apologies,
+                    timestamp=engine.now,
+                )
+            )
+            self.events.record(engine.now, "final_commit", frame_id=frame.frame_id)
 
-        observed = self._observed_labels(initial, cloud_labels, send_to_cloud)
-        accuracy = evaluate_detections(observed, cloud_labels, min_overlap=self.config.match_overlap)
-        latency = LatencyBreakdown(
-            edge_transfer=edge_transfer,
-            edge_detection=edge_detection,
-            initial_txn=initial.txn_latency,
-            cloud_transfer=cloud_transfer,
-            cloud_detection=cloud_detection,
-            final_txn=final.txn_latency,
-        )
+            observed = self._observed_labels(initial, cloud_labels, send_to_cloud)
+            accuracy = evaluate_detections(
+                observed, cloud_labels, min_overlap=self.config.match_overlap
+            )
+            latency = LatencyBreakdown(
+                edge_transfer=edge_transfer,
+                edge_detection=edge_detection,
+                initial_txn=initial.txn_latency,
+                cloud_transfer=cloud_transfer,
+                cloud_detection=cloud_detection,
+                final_txn=final.txn_latency,
+                queue_delay=queue_delay,
+                final_queue_delay=final_admission.wait,
+                cloud_queue_delay=cloud_queue_delay,
+            )
 
-        return FrameTrace(
-            frame_id=frame.frame_id,
-            edge_labels=initial.labels,
-            cloud_labels=cloud_labels,
-            observed_labels=observed,
-            sent_to_cloud=send_to_cloud,
-            latency=latency,
-            accuracy=accuracy,
-            transactions_triggered=len(initial.triggered),
-            corrections=final.corrections,
-            apologies=len(final.apologies),
-            frame_bytes_sent=frame_bytes_sent,
-        )
+            result.add(
+                FrameTrace(
+                    frame_id=frame.frame_id,
+                    edge_labels=initial.labels,
+                    cloud_labels=cloud_labels,
+                    observed_labels=observed,
+                    sent_to_cloud=send_to_cloud,
+                    latency=latency,
+                    accuracy=accuracy,
+                    transactions_triggered=len(initial.triggered),
+                    corrections=final.corrections,
+                    apologies=len(final.apologies),
+                    frame_bytes_sent=frame_bytes_sent,
+                )
+            )
 
     # -- helpers --------------------------------------------------------------
     def _observed_labels(

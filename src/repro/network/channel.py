@@ -50,6 +50,25 @@ class Channel:
         )
         return duration
 
+    def round_trip(
+        self,
+        up_bytes: int,
+        down_bytes: int,
+        timestamp: float = 0.0,
+        up_description: str = "",
+        down_description: str = "",
+    ) -> tuple[float, float]:
+        """Record a request/response pair; returns ``(uplink, downlink)`` durations.
+
+        The two transfers draw from the channel's generator in uplink,
+        downlink order — the same order the edge-cloud validation path
+        has always used, so seeded runs are unaffected by going through
+        this helper.
+        """
+        uplink = self.send(up_bytes, timestamp=timestamp, description=up_description)
+        downlink = self.send(down_bytes, timestamp=timestamp, description=down_description)
+        return uplink, downlink
+
     @property
     def transfers(self) -> tuple[TransferRecord, ...]:
         return tuple(self._transfers)

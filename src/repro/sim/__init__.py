@@ -8,7 +8,19 @@ lets the full benchmark suite run in seconds.
 """
 
 from repro.sim.clock import SimClock
+from repro.sim.engine import Admission, At, Engine, Process, Server, SimulationError
 from repro.sim.events import Event, EventLog
 from repro.sim.rng import RngRegistry
 
-__all__ = ["SimClock", "Event", "EventLog", "RngRegistry"]
+__all__ = [
+    "Admission",
+    "At",
+    "Engine",
+    "Event",
+    "EventLog",
+    "Process",
+    "RngRegistry",
+    "Server",
+    "SimClock",
+    "SimulationError",
+]

@@ -1,0 +1,376 @@
+"""A discrete-event simulation engine.
+
+The first reproduction iterations advanced a bare :class:`~repro.sim.clock.SimClock`
+through hand-rolled loops: the single-edge pipeline marched one frame at
+a time and the cluster kept a side-channel ``busy_until`` per edge.  That
+model cannot express the paper's queueing story — a finite-capacity
+cloud, overlap between an edge's frames and in-flight cloud round trips,
+or runtime re-routing decisions — so both systems now execute on the
+engine below.
+
+Three primitives:
+
+* :class:`Engine` — a priority-queue event loop.  Events are
+  ``(time, priority, sequence)``-ordered callbacks; ties at the same
+  timestamp fire in schedule order, with ``priority`` available to jump
+  the line.
+* :class:`Process` — a generator driven by the engine.  A process yields
+  a delay in seconds (``yield 0.25``), an absolute resume time
+  (``yield engine.at(t)``) or another process (``yield other`` waits for
+  it to finish); its ``return`` value becomes :attr:`Process.value`.
+* :class:`Server` — a finite-capacity resource with FIFO or priority
+  admission.  Jobs are admitted in two phases (``admit`` when the
+  arrival instant is known, ``complete`` once the measured service time
+  is) so service times can depend on work done after admission, exactly
+  like detection + transaction processing on an edge replica.  The
+  waiting-time and busy-time statistics feed the utilization and
+  queue-delay metrics of cluster runs.
+
+Admission follows the *request order* (the order ``admit``/``reserve``
+is called in, i.e. the order jobs arrive at the system), not the order
+of their ready times: a job that arrives first but needs a network hop
+before it is ready still holds its place in the queue.  This matches the
+arrival-ordered service discipline of the original cluster model, which
+keeps seeded runs bit-for-bit reproducible across the refactor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed simulation programs (bad delays, starved servers)."""
+
+
+@dataclass(frozen=True)
+class At:
+    """Yield target for a process: resume at an absolute simulated time."""
+
+    time: float
+
+
+class Process:
+    """A generator running on an :class:`Engine`.
+
+    Created through :meth:`Engine.spawn`; do not instantiate directly.
+    """
+
+    def __init__(self, engine: "Engine", generator: Generator[Any, Any, Any], name: str) -> None:
+        self._engine = engine
+        self._generator = generator
+        self.name = name
+        self.done = False
+        #: The generator's ``return`` value once :attr:`done` is True.
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+    # -- engine internals ---------------------------------------------------
+    def _step(self) -> None:
+        """Advance the generator by one yield and schedule the next resume."""
+        engine = self._engine
+        try:
+            target = self._generator.send(None)
+        except StopIteration as stop:
+            self.done = True
+            self.value = stop.value
+            for waiter in self._waiters:
+                engine.schedule(engine.now, waiter._step)
+            self._waiters.clear()
+            return
+
+        if isinstance(target, At):
+            if target.time < engine.now - 1e-12:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a resume time in the past "
+                    f"({target.time} < {engine.now})"
+                )
+            engine.schedule(max(target.time, engine.now), self._step)
+        elif isinstance(target, Process):
+            if target.done:
+                engine.schedule(engine.now, self._step)
+            else:
+                target._waiters.append(self)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay ({target})"
+                )
+            engine.schedule(engine.now + float(target), self._step)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected a delay, "
+                "an At(...) target or another Process"
+            )
+
+
+class Engine:
+    """A priority-queue discrete-event loop.
+
+    Events are callbacks ordered by ``(time, priority, sequence)``:
+    earlier timestamps first, then lower ``priority`` values, then
+    schedule order.  :meth:`run` drains the queue and returns the
+    timestamp of the last event processed (the makespan).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("engine cannot start at a negative time")
+        self._now = float(start)
+        self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def at(self, time: float) -> At:
+        """Yield target resuming a process at the absolute time ``time``."""
+        return At(float(time))
+
+    def schedule(self, when: float, callback: Callable[[], None], priority: int = 0) -> None:
+        """Run ``callback`` at simulated time ``when``."""
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({when} < {self._now})"
+            )
+        heapq.heappush(self._heap, (max(when, self._now), priority, self._sequence, callback))
+        self._sequence += 1
+
+    def spawn(
+        self,
+        generator: Generator[Any, Any, Any],
+        at: float | None = None,
+        name: str = "process",
+        priority: int = 0,
+    ) -> Process:
+        """Create a :class:`Process` whose first step runs at ``at`` (default: now)."""
+        process = Process(self, generator, name)
+        self.schedule(self._now if at is None else at, process._step, priority=priority)
+        return process
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, _, callback = heapq.heappop(self._heap)
+        self._now = when
+        callback()
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue (or stop once ``until`` is reached).
+
+        Returns the final simulated time — with no ``until``, the
+        timestamp of the last processed event (the run's makespan).
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = float(until)
+                break
+            self.step()
+        return self._now
+
+
+@dataclass
+class Admission:
+    """One job admitted to a :class:`Server`, holding a capacity slot.
+
+    ``start`` and ``wait`` resolve lazily: with the priority discipline a
+    batch of admissions is ordered by priority at resolution time, so
+    requesting them first and reading the outcomes afterwards lets
+    higher-priority jobs overtake.  Call :meth:`Server.complete` (or use
+    :meth:`Server.reserve`) once the job's service time is known.
+    """
+
+    server: "Server"
+    ready: float
+    priority: int
+    sequence: int
+    _start: float | None = field(default=None, repr=False)
+    _completed: bool = field(default=False, repr=False)
+
+    @property
+    def start(self) -> float:
+        """Instant the job begins service (resolves the admission)."""
+        if self._start is None:
+            self.server._resolve(self)
+        assert self._start is not None
+        return self._start
+
+    @property
+    def wait(self) -> float:
+        """Time the job spent queued before service began."""
+        return self.start - self.ready
+
+
+class Server:
+    """A finite-capacity resource with FIFO or priority admission.
+
+    Parameters
+    ----------
+    capacity:
+        Number of jobs the server can run concurrently; ``None`` means
+        unbounded (an infinite server — jobs never wait).  Zero or
+        negative capacities are rejected: a server that can never serve
+        is a configuration error, not a queue.
+    discipline:
+        ``"fifo"`` admits jobs in request order; ``"priority"`` orders
+        each pending batch by ``(-priority, request order)``, so a
+        later-requested high-priority job overtakes queued lower-priority
+        ones that have not started yet.
+    """
+
+    DISCIPLINES = ("fifo", "priority")
+
+    def __init__(
+        self,
+        capacity: int | None = 1,
+        discipline: str = "fifo",
+        name: str = "server",
+        start: float = 0.0,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"capacity must be at least 1 (or None for unbounded), got {capacity}"
+            )
+        if discipline not in self.DISCIPLINES:
+            raise ValueError(
+                f"unknown discipline {discipline!r}; expected one of {self.DISCIPLINES}"
+            )
+        self.capacity = capacity
+        self.discipline = discipline
+        self.name = name
+        self._free: list[float] = [float(start)] * (capacity or 0)
+        self._pending: list[Admission] = []
+        self._sequence = 0
+        self.waits: list[float] = []
+        self.busy_time = 0.0
+        #: Completed service intervals as ``(end, start)``, kept sorted by
+        #: end time so windowed :meth:`load` queries touch only the tail.
+        self._intervals: list[tuple[float, float]] = []
+
+    # -- admission ----------------------------------------------------------
+    def admit(self, ready: float, priority: int = 0) -> Admission:
+        """Queue a job that becomes ready for service at time ``ready``.
+
+        The returned :class:`Admission` holds one capacity slot from its
+        (lazily resolved) start time until :meth:`complete` is called
+        with the job's measured service time.
+        """
+        admission = Admission(self, float(ready), priority, self._sequence)
+        self._sequence += 1
+        self._pending.append(admission)
+        return admission
+
+    def complete(self, admission: Admission, service_time: float) -> float:
+        """Finish ``admission`` after ``service_time`` seconds; returns the end time."""
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        if admission.server is not self:
+            raise SimulationError("admission belongs to a different server")
+        if admission._completed:
+            raise SimulationError("admission already completed")
+        end = admission.start + service_time
+        admission._completed = True
+        if self.capacity is not None:
+            heapq.heappush(self._free, end)
+        self.busy_time += service_time
+        insort(self._intervals, (end, admission.start))
+        return end
+
+    def reserve(self, ready: float, service_time: float, priority: int = 0) -> tuple[float, float]:
+        """One-shot admit + complete; returns ``(start, wait)``."""
+        admission = self.admit(ready, priority=priority)
+        start, wait = admission.start, admission.wait
+        self.complete(admission, service_time)
+        return start, wait
+
+    def _resolve(self, admission: Admission) -> None:
+        """Assign start times to pending jobs until ``admission`` is placed."""
+        while self._pending:
+            if self.discipline == "priority":
+                index = min(
+                    range(len(self._pending)),
+                    key=lambda i: (-self._pending[i].priority, self._pending[i].sequence),
+                )
+            else:
+                index = 0
+            job = self._pending.pop(index)
+            if self.capacity is None:
+                job._start = job.ready
+            else:
+                if not self._free:
+                    raise SimulationError(
+                        f"server {self.name!r} is saturated: all {self.capacity} "
+                        "slot(s) are held by admissions that never completed"
+                    )
+                slot_free = heapq.heappop(self._free)
+                job._start = max(job.ready, slot_free)
+            self.waits.append(job._start - job.ready)
+            if job is admission:
+                return
+        raise SimulationError("admission was already resolved or never queued")
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        """Number of jobs whose admission has been resolved."""
+        return len(self.waits)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean waiting time over all resolved jobs."""
+        return mean(self.waits) if self.waits else 0.0
+
+    @property
+    def max_wait(self) -> float:
+        """Longest waiting time any job experienced."""
+        return max(self.waits) if self.waits else 0.0
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of ``makespan`` spent serving, per capacity slot."""
+        if makespan <= 0:
+            return 0.0
+        slots = self.capacity or 1
+        return self.busy_time / (makespan * slots)
+
+    def load(self, now: float, window: float | None = None) -> float:
+        """Observed utilization over ``[now - window, now]`` (whole run if None).
+
+        This is the runtime signal the migrating router watches: unlike
+        :meth:`utilization` it can be queried mid-run, and a finite
+        ``window`` makes it responsive to recent overload rather than
+        averaging over the entire history.  The interval record is
+        sorted by end time, so a windowed query only walks the
+        intervals that can actually overlap the window instead of the
+        server's whole service history (migration queries every edge on
+        every frame arrival — a full scan there is quadratic in frames).
+        """
+        if now <= 0:
+            return 0.0
+        lo = 0.0 if window is None else max(0.0, now - window)
+        span = now - lo
+        if span <= 0:
+            return 0.0
+        # Intervals ending at or before the window start contribute nothing.
+        first = bisect_right(self._intervals, (lo, float("inf")))
+        busy = interval_overlap(
+            ((start, end) for end, start in self._intervals[first:]), lo, now
+        )
+        slots = self.capacity or 1
+        return busy / (span * slots)
+
+
+def interval_overlap(intervals: Iterable[tuple[float, float]], lo: float, hi: float) -> float:
+    """Total overlap of ``intervals`` with ``[lo, hi]`` (helper for analyses)."""
+    return sum(max(0.0, min(end, hi) - max(start, lo)) for start, end in intervals)

@@ -31,24 +31,36 @@ class Event:
 
 
 class EventLog:
-    """Append-only, time-ordered log of :class:`Event` records."""
+    """Append-only, time-ordered log of :class:`Event` records.
+
+    A per-kind index is maintained on the side, so :meth:`of_kind` is a
+    dictionary lookup instead of a scan over the whole timeline — the
+    analysis and benchmark layers call it once per kind per report, and
+    cluster runs log thousands of events.
+    """
 
     def __init__(self) -> None:
         self._events: list[Event] = []
+        self._by_kind: dict[str, list[Event]] = {}
 
     def record(self, timestamp: float, kind: str, **payload: Any) -> Event:
         """Append an event and return it."""
         event = Event(timestamp=timestamp, kind=kind, payload=dict(payload))
         self._events.append(event)
+        self._by_kind.setdefault(kind, []).append(event)
         return event
 
     def of_kind(self, kind: str) -> list[Event]:
         """Return all events with the given ``kind`` in insertion order."""
-        return [event for event in self._events if event.kind == kind]
+        return list(self._by_kind.get(kind, ()))
+
+    def count_of_kind(self, kind: str) -> int:
+        """Number of events of ``kind`` without materialising a list."""
+        return len(self._by_kind.get(kind, ()))
 
     def kinds(self) -> set[str]:
         """Return the set of event kinds seen so far."""
-        return {event.kind for event in self._events}
+        return set(self._by_kind)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
@@ -59,3 +71,4 @@ class EventLog:
     def clear(self) -> None:
         """Drop all recorded events."""
         self._events.clear()
+        self._by_kind.clear()

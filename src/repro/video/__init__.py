@@ -9,7 +9,13 @@ small and hard — which is all the detection substrate consumes.
 """
 
 from repro.video.frames import Frame
-from repro.video.library import VIDEO_LIBRARY, VideoSpec, make_video
+from repro.video.library import (
+    VIDEO_LIBRARY,
+    VideoSpec,
+    make_camera_streams,
+    make_uneven_camera_streams,
+    make_video,
+)
 from repro.video.scene import SceneObject
 from repro.video.synthetic import SyntheticVideo
 
@@ -19,5 +25,7 @@ __all__ = [
     "SyntheticVideo",
     "VideoSpec",
     "VIDEO_LIBRARY",
+    "make_camera_streams",
+    "make_uneven_camera_streams",
     "make_video",
 ]

@@ -232,3 +232,30 @@ def make_camera_streams(
         video.name = f"cam{index}-{key}"
         streams.append(video)
     return streams
+
+
+def make_uneven_camera_streams(
+    count: int,
+    long_frames: int = 40,
+    short_frames: int = 10,
+    num_long: int = 2,
+    seed: int = 0,
+    keys: Sequence[str] = ("v1", "v2", "v3", "v4", "v5"),
+) -> list[SyntheticVideo]:
+    """Camera streams where the first ``num_long`` run much longer.
+
+    Placement-time routing policies cannot know stream lengths, so the
+    edges hosting the long cameras stay busy after the rest of the
+    cluster drains — the canonical scenario for runtime stream
+    migration (and the one its tests and benchmarks share).
+    """
+    if not 0 <= num_long <= count:
+        raise ValueError(f"num_long must be in [0, {count}], got {num_long}")
+    streams: list[SyntheticVideo] = []
+    for index in range(count):
+        key = keys[index % len(keys)]
+        frames = long_frames if index < num_long else short_frames
+        video = make_video(key, num_frames=frames, seed=seed + index)
+        video.name = f"cam{index}-{key}"
+        streams.append(video)
+    return streams

@@ -4,9 +4,11 @@ import pytest
 
 from repro.analysis.sweeps import sweep_thresholds
 from repro.analysis.tables import LATENCY_BREAKDOWN_HEADERS, format_table, latency_breakdown_row
+from repro.analysis.timeline import cloud_queue_profile, migration_timeline, stage_commit_counts
 from repro.core.config import CroesusConfig
 from repro.core.optimizer import ThresholdEvaluator
 from repro.core.results import LatencyBreakdown
+from repro.sim.events import EventLog
 
 
 class TestFormatTable:
@@ -61,3 +63,42 @@ class TestThresholdSweep:
     def test_grid_values_sorted(self, sweep):
         values = sweep.grid_values()
         assert values == sorted(values)
+
+
+class TestTimeline:
+    def make_log(self):
+        log = EventLog()
+        log.record(1.0, "cloud_validate", frame_id=0, queue_delay=0.0)
+        log.record(2.0, "cloud_validate", frame_id=1, queue_delay=0.5)
+        log.record(3.0, "cloud_validate", frame_id=2, queue_delay=1.5)
+        log.record(2.5, "stream_migrated", stream="cam0", from_edge=0, to_edge=1)
+        log.record(4.0, "stream_migrated", stream="cam1", from_edge=0, to_edge=2)
+        log.record(0.5, "initial_commit", frame_id=0)
+        log.record(5.0, "final_commit", frame_id=0)
+        return log
+
+    def test_cloud_queue_profile(self):
+        profile = cloud_queue_profile(self.make_log())
+        assert profile.validations == 3
+        assert profile.queued == 2
+        assert profile.mean_delay == pytest.approx(2.0 / 3)
+        assert profile.max_delay == pytest.approx(1.5)
+        assert profile.queued_fraction == pytest.approx(2 / 3)
+
+    def test_cloud_queue_profile_of_empty_log(self):
+        profile = cloud_queue_profile(EventLog())
+        assert profile.validations == 0
+        assert profile.mean_delay == 0.0
+        assert profile.queued_fraction == 0.0
+
+    def test_migration_timeline(self):
+        timeline = migration_timeline(self.make_log())
+        assert timeline.count == 2
+        assert timeline.streams_moved == {"cam0", "cam1"}
+        assert timeline.moves_off(0) == 2
+        assert timeline.moves_off(1) == 0
+        assert timeline.moves[0] == (2.5, "cam0", 0, 1)
+
+    def test_stage_commit_counts(self):
+        counts = stage_commit_counts(self.make_log())
+        assert counts == {"initial": 1, "final": 1}

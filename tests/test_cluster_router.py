@@ -8,6 +8,8 @@ from repro.cluster.router import (
     ConsistentHashRouter,
     HotspotRouter,
     LeastLoadedRouter,
+    MigratingRouter,
+    MigrationTrigger,
     RoundRobinRouter,
     RoutingError,
     make_router,
@@ -107,3 +109,60 @@ class TestMakeRouter:
     def test_zero_edges_rejected(self):
         with pytest.raises(RoutingError):
             make_router("round-robin", num_edges=0)
+
+
+class TestMigrationTrigger:
+    def test_fires_at_the_high_watermark(self):
+        trigger = MigrationTrigger(high=0.8, low=0.4)
+        assert not trigger.observe(0.5)
+        assert trigger.observe(0.8)
+        assert trigger.observe(0.9)  # observing does not consume
+
+    def test_hysteresis_band_after_disarm(self):
+        trigger = MigrationTrigger(high=0.8, low=0.4)
+        assert trigger.observe(0.9)
+        trigger.disarm()
+        # still overloaded, but the trigger is spent until it drains
+        assert not trigger.observe(0.95)
+        assert not trigger.observe(0.6)  # above low: stays disarmed
+        assert not trigger.observe(0.4)  # re-arms, but 0.4 < high
+        assert trigger.armed
+        assert trigger.observe(0.85)  # armed again: fires
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(RoutingError):
+            MigrationTrigger(high=0.3, low=0.5)
+        with pytest.raises(RoutingError):
+            MigrationTrigger(high=0.5, low=0.0)
+
+
+class TestMigratingRouter:
+    def test_initial_placement_matches_least_loaded(self):
+        migrating = MigratingRouter(3)
+        least = LeastLoadedRouter(3)
+        assert migrating.assign(STREAMS) == least.assign(STREAMS)
+
+    def test_decides_to_migrate_off_a_saturated_edge(self):
+        router = MigratingRouter(3, high=0.8, low=0.4)
+        assert router.decide(0, [0.95, 0.3, 0.6]) == 1
+
+    def test_no_decision_below_the_threshold(self):
+        router = MigratingRouter(3, high=0.8, low=0.4)
+        assert router.decide(0, [0.7, 0.1, 0.1]) is None
+
+    def test_no_decision_without_a_drained_target(self):
+        router = MigratingRouter(3, high=0.8, low=0.4)
+        assert router.decide(0, [0.95, 0.9, 0.85]) is None
+        # the trigger was not consumed: a drained edge later still wins
+        assert router.decide(0, [0.95, 0.2, 0.85]) == 1
+
+    def test_migration_consumes_the_trigger(self):
+        router = MigratingRouter(3, high=0.8, low=0.4)
+        assert router.decide(0, [0.95, 0.2, 0.85]) == 1
+        # immediately after a migration the edge is still hot, but disarmed
+        assert router.decide(0, [0.95, 0.1, 0.85]) is None
+
+    def test_rejects_wrong_load_vector(self):
+        router = MigratingRouter(3)
+        with pytest.raises(RoutingError):
+            router.decide(0, [0.5, 0.5])

@@ -1,8 +1,9 @@
-"""Tests for frame interleaving and the per-edge queueing model."""
+"""Tests for frame interleaving and the per-edge server model."""
 
 import pytest
 
-from repro.cluster.scheduler import EdgeQueue, FrameScheduler
+from repro.cluster.scheduler import FrameScheduler
+from repro.sim.engine import Server
 from repro.video.library import make_camera_streams
 
 
@@ -48,43 +49,45 @@ class TestFrameScheduler:
             FrameScheduler(frame_interval=0.0)
 
 
-class TestEdgeQueue:
+class TestEdgeServer:
+    """The edge queueing model, now provided by the sim engine's Server."""
+
     def test_idle_edge_starts_immediately(self):
-        queue = EdgeQueue()
-        start, wait = queue.admit(1.0)
-        assert (start, wait) == (1.0, 0.0)
+        server = Server(capacity=1)
+        admission = server.admit(1.0)
+        assert (admission.start, admission.wait) == (1.0, 0.0)
 
     def test_busy_edge_queues_the_job(self):
-        queue = EdgeQueue()
-        start, _ = queue.admit(0.0)
-        queue.occupy(start, 2.0)
-        start, wait = queue.admit(0.5)
+        server = Server(capacity=1)
+        server.reserve(0.0, 2.0)
+        start, wait = server.reserve(0.5, 1.0)
         assert start == pytest.approx(2.0)
         assert wait == pytest.approx(1.5)
 
     def test_busy_time_accumulates(self):
-        queue = EdgeQueue()
-        queue.occupy(0.0, 1.0)
-        queue.occupy(1.0, 0.5)
-        assert queue.busy_time == pytest.approx(1.5)
-        assert queue.utilization(3.0) == pytest.approx(0.5)
+        server = Server(capacity=1)
+        server.reserve(0.0, 1.0)
+        server.reserve(1.0, 0.5)
+        assert server.busy_time == pytest.approx(1.5)
+        assert server.utilization(3.0) == pytest.approx(0.5)
 
     def test_wait_statistics(self):
-        queue = EdgeQueue()
-        queue.occupy(0.0, 4.0)
-        queue.admit(1.0)
-        queue.admit(3.0)
-        assert queue.jobs == 2
-        assert queue.mean_wait == pytest.approx(2.0)
-        assert queue.max_wait == pytest.approx(3.0)
+        server = Server(capacity=1)
+        server.reserve(0.0, 4.0)
+        server.reserve(1.0, 0.0)
+        server.reserve(3.0, 0.0)
+        assert server.jobs == 3
+        assert server.mean_wait == pytest.approx((0.0 + 3.0 + 1.0) / 3)
+        assert server.max_wait == pytest.approx(3.0)
 
-    def test_empty_queue_statistics(self):
-        queue = EdgeQueue()
-        assert queue.mean_wait == 0.0
-        assert queue.max_wait == 0.0
-        assert queue.utilization(0.0) == 0.0
+    def test_empty_server_statistics(self):
+        server = Server(capacity=1)
+        assert server.mean_wait == 0.0
+        assert server.max_wait == 0.0
+        assert server.utilization(0.0) == 0.0
 
     def test_negative_service_time_rejected(self):
-        queue = EdgeQueue()
+        server = Server(capacity=1)
+        admission = server.admit(0.0)
         with pytest.raises(ValueError):
-            queue.occupy(0.0, -1.0)
+            server.complete(admission, -1.0)

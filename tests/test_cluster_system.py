@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
 from repro.core.config import ConsistencyLevel, CroesusConfig
-from repro.video.library import make_camera_streams, make_video
+from repro.video.library import make_camera_streams, make_uneven_camera_streams, make_video
 
 
 def make_streams(count: int, frames: int = 8, seed: int = 7):
@@ -150,3 +150,143 @@ class TestClusterRun:
             "two_phase_abort_rate",
             "f_score",
         } <= set(summary)
+
+
+class TestCloudContention:
+    def test_unbounded_cloud_never_queues(self):
+        system = ClusterSystem(cluster_config(num_edges=2, cloud_servers=None))
+        result = system.run(make_streams(4, frames=6))
+        assert result.mean_cloud_queue_delay == 0.0
+
+    def test_single_cloud_server_queues_validations(self):
+        """Acceptance: cloud_servers=1 + enough validated frames -> nonzero delay."""
+        system = ClusterSystem(cluster_config(num_edges=2, cloud_servers=1))
+        result = system.run(make_streams(4, frames=6))
+        validated = [
+            trace
+            for run in result.per_stream.values()
+            for trace in run.traces
+            if trace.sent_to_cloud
+        ]
+        assert len(validated) > 2
+        assert result.mean_cloud_queue_delay > 0.0
+        assert any(trace.latency.cloud_queue_delay > 0.0 for trace in validated)
+        # unvalidated frames never pay cloud queueing
+        for run in result.per_stream.values():
+            for trace in run.traces:
+                if not trace.sent_to_cloud:
+                    assert trace.latency.cloud_queue_delay == 0.0
+
+    def test_more_cloud_servers_drain_the_queue(self):
+        delays = []
+        for servers in (1, 2, 4):
+            system = ClusterSystem(cluster_config(num_edges=2, cloud_servers=servers))
+            delays.append(system.run(make_streams(4, frames=6)).mean_cloud_queue_delay)
+        assert delays[0] >= delays[1] >= delays[2]
+        assert delays[0] > delays[2]
+
+    def test_cloud_validate_events_are_recorded(self):
+        system = ClusterSystem(cluster_config(num_edges=2, cloud_servers=1))
+        result = system.run(make_streams(2, frames=5))
+        events = system.events.of_kind("cloud_validate")
+        validated = sum(
+            1 for run in result.per_stream.values() for t in run.traces if t.sent_to_cloud
+        )
+        assert len(events) == validated
+        assert all("queue_delay" in event.payload for event in events)
+
+    def test_rejects_nonpositive_cloud_servers(self):
+        with pytest.raises(ValueError):
+            cluster_config(cloud_servers=0)
+
+
+def uneven_streams(seed: int = 11):
+    """Two long-running cameras plus six short ones (placement-time traps)."""
+    return make_uneven_camera_streams(8, long_frames=40, short_frames=10, seed=seed)
+
+
+class TestStreamMigration:
+    def migrating_config(self, policy: str = "migrating") -> ClusterConfig:
+        return ClusterConfig(
+            base=CroesusConfig(seed=11, consistency=ConsistencyLevel.MS_SR),
+            num_edges=4,
+            router_policy=policy,
+            frame_interval=0.2,
+        )
+
+    def test_migrations_fire_and_are_recorded(self):
+        system = ClusterSystem(
+            self.migrating_config(), bank_factory=hotspot_bank_factory(11, key_range=50)
+        )
+        result = system.run(uneven_streams())
+        assert result.num_migrations > 0
+        assert len(system.events.of_kind("stream_migrated")) == result.num_migrations
+        for record in result.migrations:
+            assert record.from_edge != record.to_edge
+            assert record.utilization > 0
+        # final placements reflect the last move of every migrated stream
+        last_move = {record.stream: record.to_edge for record in result.migrations}
+        for stream, edge in last_move.items():
+            assert result.final_placements[stream] == edge
+
+    def test_migration_reduces_max_utilization_vs_least_loaded(self):
+        """Acceptance: runtime migration beats placement-time least-loaded."""
+        outcomes = {}
+        for policy in ("least-loaded", "migrating"):
+            system = ClusterSystem(
+                self.migrating_config(policy),
+                bank_factory=hotspot_bank_factory(11, key_range=50),
+            )
+            outcomes[policy] = system.run(uneven_streams())
+        assert outcomes["migrating"].num_migrations > 0
+        assert outcomes["least-loaded"].num_migrations == 0
+        assert (
+            outcomes["migrating"].max_utilization
+            < outcomes["least-loaded"].max_utilization
+        )
+
+    def test_static_policies_never_migrate(self):
+        system = ClusterSystem(cluster_config(num_edges=2, router_policy="round-robin"))
+        result = system.run(make_streams(4, frames=6))
+        assert result.num_migrations == 0
+        assert result.final_placements == result.placements
+
+    def test_rejects_bad_migration_band(self):
+        with pytest.raises(ValueError):
+            cluster_config(migration_high=0.4, migration_low=0.6)
+        with pytest.raises(ValueError):
+            cluster_config(migration_window=0.0)
+
+
+class TestDeterminismPin:
+    """Golden summary of one seeded run.
+
+    These exact values were produced by the pre-engine implementation
+    (PR 1) for the then-existing keys and must never drift: they pin
+    both the refactor's behaviour-preservation and future changes'.
+    """
+
+    GOLDEN = {
+        "edges": 2.0,
+        "streams": 4.0,
+        "frames": 24.0,
+        "makespan_s": 3.5568000021864665,
+        "throughput_fps": 6.747638322437729,
+        "mean_queue_delay_ms": 786.8335646687067,
+        "mean_cloud_queue_delay_ms": 0.0,
+        "max_utilization": 0.6918158752054603,
+        "cross_partition_fraction": 0.7857142857142857,
+        "num_cross_partition_txns": 22.0,
+        "two_phase_abort_rate": 0.0,
+        "f_score": 0.5853658536585366,
+        "migrations": 0.0,
+    }
+
+    def test_seeded_summary_matches_golden_values(self):
+        config = ClusterConfig(base=CroesusConfig(seed=11), num_edges=2)
+        summary = ClusterSystem(config).run(
+            make_camera_streams(4, num_frames=6, seed=11)
+        ).summary()
+        assert set(summary) == set(self.GOLDEN)
+        for key, value in self.GOLDEN.items():
+            assert summary[key] == pytest.approx(value, rel=1e-12, abs=1e-12), key

@@ -107,3 +107,20 @@ class TestRunResult:
         run = RunResult("croesus", "v1")
         run.add(_trace(0, False))
         assert run.num_frames == 1
+
+
+class TestCloudQueueDelay:
+    def test_final_latency_includes_cloud_queue_delay(self):
+        plain = LatencyBreakdown(cloud_transfer=0.5, cloud_detection=0.4)
+        queued = LatencyBreakdown(cloud_transfer=0.5, cloud_detection=0.4, cloud_queue_delay=0.3)
+        assert queued.final_latency == pytest.approx(plain.final_latency + 0.3)
+        assert queued.cloud_total == pytest.approx(1.2)
+        assert queued.initial_latency == plain.initial_latency
+
+    def test_scaled_and_average_carry_cloud_queue_delay(self):
+        breakdown = LatencyBreakdown(cloud_queue_delay=0.4)
+        assert breakdown.scaled(2.0).cloud_queue_delay == pytest.approx(0.8)
+        averaged = LatencyBreakdown.average(
+            [LatencyBreakdown(cloud_queue_delay=0.2), LatencyBreakdown(cloud_queue_delay=0.6)]
+        )
+        assert averaged.cloud_queue_delay == pytest.approx(0.4)

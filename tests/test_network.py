@@ -107,3 +107,22 @@ class TestEdgeCloudTopology:
 
     def test_small_setups_use_small_edge(self):
         assert EdgeCloudTopology.small_edge_different_location().edge_machine == EDGE_SMALL
+
+
+class TestChannelRoundTrip:
+    def test_round_trip_records_both_transfers(self):
+        profile = LinkProfile(name="test", propagation_delay=0.005, bandwidth_bytes_per_sec=1e6)
+        channel = Channel(profile)
+        uplink, downlink = channel.round_trip(
+            10_000, 2_000, timestamp=1.0, up_description="frame-0", down_description="labels-0"
+        )
+        assert uplink > downlink > 0
+        assert channel.transfer_count == 2
+        assert [record.description for record in channel.transfers] == ["frame-0", "labels-0"]
+        assert channel.total_bytes == 12_000
+
+    def test_round_trip_matches_two_sends(self):
+        profile = LinkProfile(name="test", propagation_delay=0.005, bandwidth_bytes_per_sec=1e6, jitter=0.001)
+        paired = Channel(profile, np.random.default_rng(3))
+        split = Channel(profile, np.random.default_rng(3))
+        assert paired.round_trip(10_000, 2_000) == (split.send(10_000), split.send(2_000))

@@ -1,0 +1,205 @@
+"""Tests for the discrete-event engine primitives."""
+
+import pytest
+
+from repro.sim.engine import At, Engine, Server, SimulationError
+
+
+class TestEngineOrdering:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(1.0, lambda tag=tag: order.append(tag))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_priority_jumps_same_time_ties(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("late"), priority=1)
+        engine.schedule(1.0, lambda: order.append("early"), priority=0)
+        engine.schedule(1.0, lambda: order.append("urgent"), priority=-1)
+        engine.run()
+        assert order == ["urgent", "early", "late"]
+
+    def test_run_returns_makespan(self):
+        engine = Engine()
+        engine.schedule(4.5, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        assert engine.run() == pytest.approx(4.5)
+
+    def test_run_until_stops_the_clock(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        assert engine.run(until=5.0) == pytest.approx(5.0)
+        assert fired == [1]
+
+    def test_rejects_scheduling_in_the_past(self):
+        engine = Engine(start=5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda: None)
+
+
+class TestProcess:
+    def test_process_yields_delays(self):
+        engine = Engine()
+        seen = []
+
+        def worker():
+            seen.append(engine.now)
+            yield 1.5
+            seen.append(engine.now)
+            yield 0.5
+            seen.append(engine.now)
+
+        engine.spawn(worker())
+        engine.run()
+        assert seen == pytest.approx([0.0, 1.5, 2.0])
+
+    def test_process_yields_absolute_times(self):
+        engine = Engine()
+        seen = []
+
+        def worker():
+            yield engine.at(3.0)
+            seen.append(engine.now)
+
+        engine.spawn(worker(), at=1.0)
+        engine.run()
+        assert seen == [3.0]
+
+    def test_process_return_value_and_join(self):
+        engine = Engine()
+        seen = []
+
+        def producer():
+            yield 2.0
+            return "payload"
+
+        def consumer(proc):
+            yield proc
+            seen.append((engine.now, proc.value))
+
+        proc = engine.spawn(producer())
+        engine.spawn(consumer(proc))
+        engine.run()
+        assert seen == [(2.0, "payload")]
+
+    def test_negative_delay_is_an_error(self):
+        engine = Engine()
+
+        def worker():
+            yield -1.0
+
+        engine.spawn(worker())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_bogus_yield_is_an_error(self):
+        engine = Engine()
+
+        def worker():
+            yield "soon"
+
+        engine.spawn(worker())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestServer:
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            Server(capacity=0)
+        with pytest.raises(ValueError):
+            Server(capacity=-1)
+
+    def test_unknown_discipline_is_rejected(self):
+        with pytest.raises(ValueError):
+            Server(discipline="lifo")
+
+    def test_unbounded_server_never_queues(self):
+        server = Server(capacity=None)
+        for ready in (0.0, 0.1, 0.2):
+            start, wait = server.reserve(ready, 10.0)
+            assert start == ready
+            assert wait == 0.0
+
+    def test_saturated_server_queues_jobs(self):
+        server = Server(capacity=1)
+        assert server.reserve(0.0, 10.0) == (0.0, 0.0)
+        start, wait = server.reserve(1.0, 2.0)
+        assert (start, wait) == (10.0, 9.0)
+        start, wait = server.reserve(1.5, 1.0)
+        assert (start, wait) == (12.0, 10.5)
+
+    def test_multiple_slots_serve_concurrently(self):
+        server = Server(capacity=2)
+        assert server.reserve(0.0, 5.0) == (0.0, 0.0)
+        assert server.reserve(1.0, 5.0) == (1.0, 0.0)
+        # both slots busy: third job waits for the earliest slot (t=5)
+        assert server.reserve(2.0, 1.0) == (5.0, 3.0)
+
+    def test_saturated_by_open_admissions_raises(self):
+        """Jobs holding every slot without a declared service time starve the queue."""
+        server = Server(capacity=1)
+        held = server.admit(0.0)
+        assert held.start == 0.0
+        stuck = server.admit(1.0)
+        with pytest.raises(SimulationError):
+            _ = stuck.start
+
+    def test_priority_discipline_overtakes_pending_jobs(self):
+        server = Server(capacity=1, discipline="priority")
+        server.reserve(0.0, 10.0)  # occupy the slot
+        low = server.admit(1.0, priority=0)
+        high = server.admit(2.0, priority=5)
+        # resolution happens lazily: the high-priority job gets the slot first
+        assert high.start == 10.0
+        server.complete(high, 10.0)
+        assert low.start == 20.0
+        server.complete(low, 1.0)
+
+    def test_fifo_discipline_keeps_request_order(self):
+        server = Server(capacity=1, discipline="fifo")
+        server.reserve(0.0, 10.0)
+        first = server.admit(1.0, priority=0)
+        second = server.admit(2.0, priority=5)
+        # priority is ignored: the earlier request starts first
+        assert first.start == 10.0
+        server.complete(first, 5.0)
+        assert second.start == 15.0
+        server.complete(second, 1.0)
+
+    def test_double_completion_is_rejected(self):
+        server = Server(capacity=1)
+        admission = server.admit(0.0)
+        server.complete(admission, 1.0)
+        with pytest.raises(SimulationError):
+            server.complete(admission, 1.0)
+
+    def test_windowed_load_observes_recent_busy_time(self):
+        server = Server(capacity=1)
+        server.reserve(0.0, 1.0)  # busy over [0, 1]
+        assert server.load(2.0) == pytest.approx(0.5)  # whole history
+        assert server.load(2.0, window=1.0) == pytest.approx(0.0)  # idle lately
+        server.reserve(2.0, 4.0)  # busy over [2, 6]
+        assert server.load(3.0, window=1.0) == pytest.approx(1.0)
+        # future-scheduled service does not count before it happens
+        assert server.load(2.0, window=1.0) == pytest.approx(0.0)
+
+    def test_utilization_accounts_for_all_slots(self):
+        server = Server(capacity=2)
+        server.reserve(0.0, 4.0)
+        assert server.utilization(4.0) == pytest.approx(0.5)
