@@ -10,6 +10,15 @@ sweeps exercise the engine-level additions: a cloud-contention sweep
 comparison (``migrating`` vs ``least-loaded`` on a hotspot workload with
 unequal stream lengths).
 
+All three grids run through the declarative experiment layer: each is a
+registered :class:`repro.experiments.Sweep` (``cluster-scaleout``,
+``cloud-contention``, ``migration-policies``) and every cell is a
+:class:`repro.experiments.RunReport`, so the benchmark harness and the
+programmatic API share one schema.  ``results/BENCH_cluster.json``
+serialises the full report of every cell (plus the legacy summary keys,
+so existing consumers of the perf trajectory keep working) and every
+report is schema-validated before it lands in the artifact.
+
 Qualitative shape asserted:
 * adding edges raises throughput and drains queueing delay under
   uniform placement (the scale-out story);
@@ -21,9 +30,6 @@ Qualitative shape asserted:
   never queues;
 * runtime migration sheds load off saturated edges, beating
   placement-time least-loaded on max edge utilization.
-
-Every sweep cell also lands in ``results/BENCH_cluster.json`` so the
-cluster's performance trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
@@ -34,10 +40,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.tables import format_table
-from repro.analysis.timeline import migration_timeline
-from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
-from repro.core.config import ConsistencyLevel, CroesusConfig
-from repro.video.library import make_camera_streams, make_uneven_camera_streams
+from repro.experiments import RunReport, get_scenario, get_sweep, run, validate_report
 
 from bench_common import BENCH_SEED
 
@@ -45,46 +48,33 @@ EDGE_COUNTS = (1, 2, 4, 8)
 PLACEMENTS = ("round-robin", "hotspot")
 NUM_STREAMS = 8
 FRAMES_PER_STREAM = 10
-HOT_KEY_RANGE = 50
 CLOUD_SERVER_COUNTS = (1, 2, 4)
 ARTIFACT_PATH = Path(__file__).parent / "results" / "BENCH_cluster.json"
 
 
-def _make_streams(seed: int) -> list:
-    return make_camera_streams(NUM_STREAMS, num_frames=FRAMES_PER_STREAM, seed=seed)
+def _cell(report: RunReport) -> dict:
+    """One artifact cell: the legacy summary keys plus the full report."""
+    validate_report(report.to_dict())
+    return {**report.cluster_summary(), "report": report.to_dict()}
 
 
-def _make_uneven_streams(seed: int) -> list:
-    """Two long-running cameras plus six short ones.
-
-    Placement-time policies cannot know stream lengths, so whichever
-    edges host the long streams stay busy after the rest of the cluster
-    drains — the scenario runtime migration exists for.
-    """
-    return make_uneven_camera_streams(
-        NUM_STREAMS, long_frames=40, short_frames=10, seed=seed
+def _run_cell(num_edges: int, placement: str, seed: int) -> dict:
+    """One standalone sweep cell (used by the timing benchmark)."""
+    spec = get_scenario("cluster-uniform").with_(
+        num_edges=num_edges, router=placement, seed=seed
     )
-
-
-def _run_cell(num_edges: int, placement: str, seed: int) -> dict[str, float]:
-    """One sweep cell: a full multi-stream cluster run."""
-    config = ClusterConfig(
-        base=CroesusConfig(seed=seed, consistency=ConsistencyLevel.MS_SR),
-        num_edges=num_edges,
-        router_policy=placement,
-    )
-    system = ClusterSystem(config, bank_factory=hotspot_bank_factory(seed, key_range=HOT_KEY_RANGE))
-    result = system.run(_make_streams(seed))
-    assert result.num_frames == NUM_STREAMS * FRAMES_PER_STREAM
-    return result.summary()
+    report = run(spec)
+    assert report.frames == NUM_STREAMS * FRAMES_PER_STREAM
+    return _cell(report)
 
 
 @pytest.fixture(scope="module")
 def scaleout_results(report_writer):
+    sweep = get_sweep("cluster-scaleout")
+    assert sweep.base.seed == BENCH_SEED, "registered sweep must share the bench seed"
     results = {
-        (num_edges, placement): _run_cell(num_edges, placement, BENCH_SEED)
-        for num_edges in EDGE_COUNTS
-        for placement in PLACEMENTS
+        (cell.assignment["num_edges"], cell.assignment["router"]): _cell(cell.report)
+        for cell in sweep.run()
     }
     rows = [
         [
@@ -119,18 +109,10 @@ def scaleout_results(report_writer):
 @pytest.fixture(scope="module")
 def cloud_contention_results(report_writer):
     """Cloud-capacity sweep: 1→4 cloud servers plus the unbounded baseline."""
-    results = {}
-    for servers in CLOUD_SERVER_COUNTS + (None,):
-        config = ClusterConfig(
-            base=CroesusConfig(seed=BENCH_SEED, consistency=ConsistencyLevel.MS_SR),
-            num_edges=4,
-            router_policy="round-robin",
-            cloud_servers=servers,
-        )
-        system = ClusterSystem(
-            config, bank_factory=hotspot_bank_factory(BENCH_SEED, key_range=HOT_KEY_RANGE)
-        )
-        results[servers] = system.run(_make_streams(BENCH_SEED)).summary()
+    results = {
+        cell.assignment["cloud_servers"]: _cell(cell.report)
+        for cell in get_sweep("cloud-contention").run()
+    }
     rows = [
         [
             "unbounded" if servers is None else servers,
@@ -154,20 +136,10 @@ def cloud_contention_results(report_writer):
 def migration_results(report_writer):
     """Least-loaded vs migrating placement on the uneven hotspot workload."""
     results = {}
-    timelines = {}
-    for policy in ("least-loaded", "migrating"):
-        config = ClusterConfig(
-            base=CroesusConfig(seed=BENCH_SEED, consistency=ConsistencyLevel.MS_SR),
-            num_edges=4,
-            router_policy=policy,
-            frame_interval=0.2,
-        )
-        system = ClusterSystem(
-            config, bank_factory=hotspot_bank_factory(BENCH_SEED, key_range=HOT_KEY_RANGE)
-        )
-        results[policy] = system.run(_make_uneven_streams(BENCH_SEED)).summary()
-        timelines[policy] = migration_timeline(system.events)
-        results[policy]["timeline_migrations"] = float(timelines[policy].count)
+    for cell in get_sweep("migration-policies").run():
+        policy = cell.assignment["router"]
+        results[policy] = _cell(cell.report)
+        results[policy]["timeline_migrations"] = float(len(cell.report.migration_events))
     rows = [
         [
             policy,
@@ -191,6 +163,13 @@ def migration_results(report_writer):
 def test_every_cell_completes(scaleout_results):
     for cell in scaleout_results.values():
         assert cell["frames"] == NUM_STREAMS * FRAMES_PER_STREAM
+
+
+def test_every_cell_round_trips_through_the_schema(scaleout_results):
+    """Acceptance: each cell's report parses back into an identical report."""
+    for cell in scaleout_results.values():
+        rebuilt = RunReport.from_dict(cell["report"])
+        assert rebuilt.to_dict() == cell["report"]
 
 
 def test_uniform_placement_scales_throughput(scaleout_results):
@@ -246,9 +225,11 @@ def test_emit_bench_cluster_artifact(
 ):
     """Write every sweep cell to ``results/BENCH_cluster.json``.
 
-    The artifact is the machine-readable start of the cluster's perf
-    trajectory: CI uploads it per commit so throughput/queueing drift is
-    diffable across PRs.
+    The artifact is the machine-readable perf trajectory CI uploads per
+    commit.  Every cell keeps the legacy summary keys *and* embeds the
+    full ``RunReport`` (including the originating ``ScenarioSpec``), so
+    any recorded cell can be replayed bit-for-bit via
+    ``run(ScenarioSpec.from_dict(cell["report"]["scenario"]))``.
     """
     payload = {
         "seed": BENCH_SEED,
@@ -268,7 +249,10 @@ def test_emit_bench_cluster_artifact(
     }
     ARTIFACT_PATH.parent.mkdir(exist_ok=True)
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    assert json.loads(ARTIFACT_PATH.read_text())["scaleout"]
+    recorded = json.loads(ARTIFACT_PATH.read_text())
+    assert recorded["scaleout"]
+    for cell in recorded["scaleout"]:
+        validate_report(cell["report"])
 
 
 def test_benchmark_two_edge_cluster_run(benchmark, scaleout_results):

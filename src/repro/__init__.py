@@ -40,6 +40,23 @@ from repro.video.library import VIDEO_LIBRARY, make_camera_streams, make_video
 from repro.cluster.router import make_router  # noqa: E402
 from repro.cluster.system import ClusterConfig, ClusterRunResult, ClusterSystem  # noqa: E402
 
+# The declarative experiment layer sits on top of both deployments, so
+# it must import last.
+from repro.experiments import (  # noqa: E402
+    RunReport,
+    ScenarioSpec,
+    Sweep,
+    SweepAxis,
+    get_scenario,
+    get_sweep,
+    list_scenarios,
+    list_sweeps,
+    register_scenario,
+    register_sweep,
+    run_scenario,
+    validate_report,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -72,5 +89,17 @@ __all__ = [
     "VIDEO_LIBRARY",
     "make_video",
     "make_camera_streams",
+    "ScenarioSpec",
+    "RunReport",
+    "run_scenario",
+    "Sweep",
+    "SweepAxis",
+    "validate_report",
+    "register_scenario",
+    "register_sweep",
+    "get_scenario",
+    "get_sweep",
+    "list_scenarios",
+    "list_sweeps",
     "__version__",
 ]

@@ -1,10 +1,24 @@
-"""Parameter sweeps over threshold pairs (Figure 3 / Figure 5)."""
+"""Parameter sweeps over threshold pairs (Figure 3 / Figure 5).
+
+:class:`ThresholdSweep` is the fast threshold-only grid: it scores pairs
+against one profiled video without re-running any detector, which is why
+the optimiser and the heatmap benchmarks use it.  For sweeps over *any*
+scenario field — cluster sizes, routers, cloud capacity, or thresholds
+across full end-to-end runs — use the generalised
+:class:`repro.experiments.Sweep`, which shares the heatmap/series
+accessor style introduced here.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.optimizer import ThresholdEvaluator, ThresholdScore
+
+#: Decimal places threshold grid values are rounded to for indexing;
+#: matches the evaluator's own cache-key rounding.
+_GRID_DECIMALS = 6
 
 
 @dataclass(frozen=True)
@@ -14,6 +28,14 @@ class ThresholdSweep:
     step: float
     scores: tuple[ThresholdScore, ...]
 
+    @cached_property
+    def _index(self) -> dict[tuple[float, float], ThresholdScore]:
+        """Scores keyed by rounded (lower, upper), so lookups are O(1)."""
+        return {
+            (round(score.lower, _GRID_DECIMALS), round(score.upper, _GRID_DECIMALS)): score
+            for score in self.scores
+        }
+
     def grid_values(self) -> list[float]:
         """Sorted distinct threshold values in the sweep."""
         values = sorted({score.lower for score in self.scores} | {score.upper for score in self.scores})
@@ -21,10 +43,9 @@ class ThresholdSweep:
 
     def score_at(self, lower: float, upper: float) -> ThresholdScore | None:
         """Score of one pair, or None when the pair was not in the sweep."""
-        for score in self.scores:
-            if abs(score.lower - lower) < 1e-9 and abs(score.upper - upper) < 1e-9:
-                return score
-        return None
+        return self._index.get(
+            (round(lower, _GRID_DECIMALS), round(upper, _GRID_DECIMALS))
+        )
 
     def heatmap(self, metric: str) -> dict[tuple[float, float], float]:
         """Mapping of (θL, θU) to a metric (``"bu"`` or ``"f_score"``)."""

@@ -6,25 +6,45 @@ Usage (after ``pip install -e .``)::
     python -m repro tune --video v2 --target 0.85 --method gradient
     python -m repro compare --video v4 --frames 60
     python -m repro cluster --edges 4 --streams 8 --router hotspot
+    python -m repro scenario fig2-v4
+    python -m repro scenario --list
+    python -m repro sweep cluster-scaleout
+    python -m repro sweep --base cluster-uniform --axis num_edges=1,2,4,8
     python -m repro videos
 
-Every command prints a small table and exits with status 0 on success.
+Every command is a thin spec-builder over the declarative experiment
+layer (:mod:`repro.experiments`): it constructs a
+:class:`~repro.experiments.spec.ScenarioSpec`, hands it to the unified
+runner, and renders the returned
+:class:`~repro.experiments.report.RunReport`.  Every command accepts
+``--json`` (emit the machine-readable report instead of tables) and
+``--output FILE`` (write wherever the output would have been printed);
+invalid inputs exit with status 2, success with 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Sequence
 
 from repro.analysis.tables import format_table
-from repro.analysis.timeline import cloud_queue_profile, migration_timeline
 from repro.cluster.router import ROUTER_POLICIES
-from repro.cluster.system import ClusterConfig, ClusterSystem
-from repro.core.baselines import run_cloud_only, run_croesus, run_edge_only
-from repro.core.config import ConsistencyLevel, CroesusConfig
 from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
-from repro.video.library import VIDEO_LIBRARY, make_camera_streams
+from repro.experiments import (
+    ScenarioSpec,
+    Sweep,
+    build_single_config,
+    get_scenario,
+    get_sweep,
+    list_scenarios,
+    list_sweeps,
+    run as run_scenario,
+)
+from repro.experiments.report import RunReport
+from repro.video.library import VIDEO_LIBRARY
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,9 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Croesus: multi-stage edge-cloud video analytics (ICDE 2022 reproduction)",
     )
+    # Global output contract, shared by every subcommand.
+    output = argparse.ArgumentParser(add_help=False)
+    output.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
+    )
+    output.add_argument(
+        "--output", metavar="FILE", default=None, help="write the output to FILE instead of stdout"
+    )
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="run Croesus on one video")
+    run_parser = subparsers.add_parser(
+        "run", parents=[output], help="run Croesus on one video"
+    )
     _add_common_arguments(run_parser)
     run_parser.add_argument("--lower", type=float, default=0.3, help="lower threshold θL")
     run_parser.add_argument("--upper", type=float, default=0.7, help="upper threshold θU")
@@ -46,7 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-stage safety level",
     )
 
-    tune_parser = subparsers.add_parser("tune", help="find optimal bandwidth thresholds")
+    tune_parser = subparsers.add_parser(
+        "tune", parents=[output], help="find optimal bandwidth thresholds"
+    )
     _add_common_arguments(tune_parser)
     tune_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
     tune_parser.add_argument(
@@ -57,13 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     compare_parser = subparsers.add_parser(
-        "compare", help="compare Croesus against the edge-only and cloud-only baselines"
+        "compare",
+        parents=[output],
+        help="compare Croesus against the edge-only and cloud-only baselines",
     )
     _add_common_arguments(compare_parser)
     compare_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
 
     cluster_parser = subparsers.add_parser(
-        "cluster", help="run many camera streams on a multi-edge cluster"
+        "cluster", parents=[output], help="run many camera streams on a multi-edge cluster"
     )
     cluster_parser.add_argument("--edges", type=int, default=2, help="number of edge replicas")
     cluster_parser.add_argument(
@@ -93,7 +128,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
-    subparsers.add_parser("videos", help="list the available video workloads")
+    scenario_parser = subparsers.add_parser(
+        "scenario", parents=[output], help="run a registered scenario by name"
+    )
+    scenario_parser.add_argument("name", nargs="?", help="registered scenario name")
+    scenario_parser.add_argument(
+        "--list", action="store_true", help="list the registered scenarios"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", parents=[output], help="run a sweep over any ScenarioSpec axes"
+    )
+    sweep_parser.add_argument("name", nargs="?", help="registered sweep name")
+    sweep_parser.add_argument("--list", action="store_true", help="list the registered sweeps")
+    sweep_parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="sweep axis (repeat for cross products), e.g. --axis num_edges=1,2,4,8",
+    )
+    sweep_parser.add_argument(
+        "--base",
+        metavar="SCENARIO",
+        default=None,
+        help="registered scenario the axes sweep over (for --axis sweeps)",
+    )
+
+    subparsers.add_parser("videos", parents=[output], help="list the available video workloads")
     return parser
 
 
@@ -106,91 +168,163 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "videos":
-        return _cmd_videos()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "tune":
-        return _cmd_tune(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "cluster":
-        return _cmd_cluster(args)
-    return 1  # pragma: no cover - argparse enforces the choices
+    handlers = {
+        "videos": _cmd_videos,
+        "run": _cmd_run,
+        "tune": _cmd_tune,
+        "compare": _cmd_compare,
+        "cluster": _cmd_cluster,
+        "scenario": _cmd_scenario,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
 
 
-def _cmd_videos() -> int:
-    rows = [
-        [spec.key, spec.query_class, spec.description]
-        for spec in sorted(VIDEO_LIBRARY.values(), key=lambda s: s.key)
-    ]
-    print(format_table(["key", "query", "description"], rows))
+# -- output plumbing ----------------------------------------------------------
+def _fail(command: str, message: str) -> int:
+    """Report one usage error on stderr and return exit status 2."""
+    print(f"repro {command}: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _emit(args: argparse.Namespace, text: str, payload: Any = None) -> int:
+    """Write the command's output honouring ``--json`` / ``--output``.
+
+    ``payload`` is the machine-readable form; when ``--json`` is given it
+    replaces the human tables.  ``--output FILE`` redirects either form
+    to a file.
+    """
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        try:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+        except OSError as error:
+            return _fail(args.command, f"cannot write --output {args.output}: {error}")
+    else:
+        print(text)
     return 0
+
+
+# -- subcommands --------------------------------------------------------------
+def _cmd_videos(args: argparse.Namespace) -> int:
+    specs = sorted(VIDEO_LIBRARY.values(), key=lambda s: s.key)
+    rows = [[spec.key, spec.query_class, spec.description] for spec in specs]
+    payload = [
+        {"key": spec.key, "query": spec.query_class, "description": spec.description}
+        for spec in specs
+    ]
+    return _emit(args, format_table(["key", "query", "description"], rows), payload)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    consistency = ConsistencyLevel.MS_SR if args.consistency == "ms-sr" else ConsistencyLevel.MS_IA
-    config = CroesusConfig(
-        seed=args.seed,
-        lower_threshold=args.lower,
-        upper_threshold=args.upper,
-        consistency=consistency,
-    )
-    result = run_croesus(config, args.video, num_frames=args.frames)
-    print(
-        format_table(
-            ["video", "F-score", "initial latency (ms)", "final latency (ms)", "BU"],
-            [
-                [
-                    args.video,
-                    result.f_score,
-                    result.average_initial_latency * 1000,
-                    result.average_final_latency * 1000,
-                    result.bandwidth_utilization,
-                ]
-            ],
+    # Spec validation covers the numeric arguments (frames > 0,
+    # 0 <= lower <= upper < 1); the except below turns it into exit 2.
+    try:
+        spec = ScenarioSpec(
+            deployment="single",
+            video=args.video,
+            frames=args.frames,
+            seed=args.seed,
+            lower_threshold=args.lower,
+            upper_threshold=args.upper,
+            consistency=args.consistency,
         )
+    except ValueError as error:
+        return _fail("run", str(error))
+    report = run_scenario(spec)
+    table = format_table(
+        ["video", "F-score", "initial latency (ms)", "final latency (ms)", "BU"],
+        [
+            [
+                args.video,
+                report.f_score,
+                report.latency["initial_ms"],
+                report.latency["final_ms"],
+                report.bandwidth_utilization,
+            ]
+        ],
     )
-    return 0
+    return _emit(args, table, report.to_dict())
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    config = CroesusConfig(seed=args.seed)
-    evaluator = ThresholdEvaluator.profile(config, args.video, num_frames=args.frames)
+    if args.frames <= 0:
+        return _fail("tune", f"--frames must be positive, got {args.frames}")
+    if not 0.0 < args.target <= 1.0:
+        return _fail("tune", f"--target must be in (0, 1], got {args.target}")
+    spec = ScenarioSpec(deployment="single", video=args.video, frames=args.frames, seed=args.seed)
+    evaluator = ThresholdEvaluator.profile(
+        build_single_config(spec), spec.video, num_frames=spec.frames
+    )
     rows = []
+    methods: dict[str, Any] = {}
     if args.method in ("brute", "both"):
         brute = brute_force_search(evaluator, target_f_score=args.target)
         rows.append(
             ["brute force", str(brute.thresholds), brute.best.bandwidth_utilization, brute.best.f_score, brute.evaluations]
         )
+        methods["brute"] = brute
     if args.method in ("gradient", "both"):
         gradient = gradient_step_search(evaluator, target_f_score=args.target)
         rows.append(
             ["gradient step", str(gradient.thresholds), gradient.best.bandwidth_utilization, gradient.best.f_score, gradient.evaluations]
         )
-    print(format_table(["method", "(θL, θU)", "BU", "F-score", "evaluations"], rows))
-    return 0
+        methods["gradient"] = gradient
+    table = format_table(["method", "(θL, θU)", "BU", "F-score", "evaluations"], rows)
+    payload = {
+        "scenario": spec.to_dict(),
+        "target_f_score": args.target,
+        "methods": {
+            name: {
+                "thresholds": list(result.thresholds),
+                "bandwidth_utilization": result.best.bandwidth_utilization,
+                "f_score": result.best.f_score,
+                "evaluations": result.evaluations,
+                "feasible": result.feasible,
+            }
+            for name, result in methods.items()
+        },
+    }
+    return _emit(args, table, payload)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    config = CroesusConfig(seed=args.seed)
-    evaluator = ThresholdEvaluator.profile(config, args.video, num_frames=args.frames)
-    optimum = brute_force_search(evaluator, target_f_score=args.target)
-    tuned = config.with_thresholds(*optimum.thresholds)
-
-    croesus = run_croesus(tuned, args.video, num_frames=args.frames)
-    edge = run_edge_only(config, args.video, num_frames=args.frames)
-    cloud = run_cloud_only(config, args.video, num_frames=args.frames)
-    rows = [
-        [name, result.f_score, result.average_initial_latency * 1000, result.average_final_latency * 1000, result.bandwidth_utilization]
-        for name, result in (("croesus", croesus), ("edge-only", edge), ("cloud-only", cloud))
-    ]
-    print(
-        format_table(
-            ["system", "F-score", "initial latency (ms)", "final latency (ms)", "BU"], rows
-        )
+    if args.frames <= 0:
+        return _fail("compare", f"--frames must be positive, got {args.frames}")
+    if not 0.0 < args.target <= 1.0:
+        return _fail("compare", f"--target must be in (0, 1], got {args.target}")
+    base = ScenarioSpec(deployment="single", video=args.video, frames=args.frames, seed=args.seed)
+    evaluator = ThresholdEvaluator.profile(
+        build_single_config(base), base.video, num_frames=base.frames
     )
-    return 0
+    optimum = brute_force_search(evaluator, target_f_score=args.target)
+    lower, upper = optimum.thresholds
+
+    reports = [
+        run_scenario(base.with_(lower_threshold=lower, upper_threshold=upper)),
+        run_scenario(base.with_(system="edge-only")),
+        run_scenario(base.with_(system="cloud-only")),
+    ]
+    rows = [
+        [
+            report.system,
+            report.f_score,
+            report.latency["initial_ms"],
+            report.latency["final_ms"],
+            report.bandwidth_utilization,
+        ]
+        for report in reports
+    ]
+    table = format_table(
+        ["system", "F-score", "initial latency (ms)", "final latency (ms)", "BU"], rows
+    )
+    payload = {
+        "target_f_score": args.target,
+        "tuned_thresholds": [lower, upper],
+        "reports": [report.to_dict() for report in reports],
+    }
+    return _emit(args, table, payload)
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -202,73 +336,207 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ("--fps", args.fps),
     ):
         if value <= 0:
-            print(f"repro cluster: error: {name} must be positive, got {value}", file=sys.stderr)
-            return 2
+            return _fail("cluster", f"{name} must be positive, got {value}")
     if args.cloud_servers < 0:
-        print(
-            f"repro cluster: error: --cloud-servers must be >= 0, got {args.cloud_servers}",
-            file=sys.stderr,
+        return _fail("cluster", f"--cloud-servers must be >= 0, got {args.cloud_servers}")
+    try:
+        spec = ScenarioSpec(
+            deployment="cluster",
+            seed=args.seed,
+            consistency=args.consistency,
+            streams=args.streams,
+            frames=args.frames,
+            num_edges=args.edges,
+            partitions_per_edge=args.partitions_per_edge,
+            router=args.router,
+            fps=args.fps,
+            cloud_servers=args.cloud_servers or None,
         )
-        return 2
-    consistency = ConsistencyLevel.MS_SR if args.consistency == "ms-sr" else ConsistencyLevel.MS_IA
-    config = ClusterConfig(
-        base=CroesusConfig(seed=args.seed, consistency=consistency),
-        num_edges=args.edges,
-        partitions_per_edge=args.partitions_per_edge,
-        router_policy=args.router,
-        frame_interval=1.0 / args.fps,
-        cloud_servers=args.cloud_servers or None,
-    )
-    system = ClusterSystem(config)
-    streams = make_camera_streams(
-        args.streams,
-        num_frames=args.frames,
-        seed=args.seed,
-        keys=sorted(VIDEO_LIBRARY),
-    )
-    result = system.run(streams)
+    except ValueError as error:
+        return _fail("cluster", str(error))
+    report = run_scenario(spec)
+    return _emit(args, _cluster_text(report), report.to_dict())
 
+
+def _cluster_text(report: RunReport) -> str:
+    """The cluster command's human-readable output, from one report."""
     edge_rows = [
         [
-            edge.edge_id,
-            edge.machine_name,
-            len(edge.streams),
-            edge.frames_processed,
-            f"{edge.utilization:.1%}",
-            edge.mean_queue_delay * 1000,
+            edge["edge_id"],
+            edge["machine"],
+            len(edge["streams"]),
+            edge["frames_processed"],
+            f"{edge['utilization']:.1%}",
+            edge["mean_queue_delay_ms"],
         ]
-        for edge in result.edges
+        for edge in report.edges
     ]
-    print(format_table(
-        ["edge", "machine", "streams", "frames", "utilization", "queue delay (ms)"], edge_rows
-    ))
-    summary = result.summary()
-    print(format_table(
-        ["throughput (fps)", "queue delay (ms)", "cross-partition", "2PC abort rate", "F-score"],
-        [
+    blocks = [
+        format_table(
+            ["edge", "machine", "streams", "frames", "utilization", "queue delay (ms)"], edge_rows
+        ),
+        format_table(
+            ["throughput (fps)", "queue delay (ms)", "cross-partition", "2PC abort rate", "F-score"],
             [
-                summary["throughput_fps"],
-                summary["mean_queue_delay_ms"],
-                f"{result.cross_partition_fraction:.1%}"
-                f" ({result.cross_edge_transactions} txns)",
-                f"{result.two_phase_abort_rate:.1%}",
-                summary["f_score"],
-            ]
-        ],
-    ))
-    cloud = cloud_queue_profile(system.events)
-    if cloud.queued:
-        print(
-            f"cloud queueing: {cloud.queued}/{cloud.validations} validations waited "
-            f"(mean over all {cloud.validations}: {cloud.mean_delay * 1000:.0f} ms, "
-            f"max {cloud.max_delay * 1000:.0f} ms)"
+                [
+                    report.throughput_fps,
+                    report.queue_delay_ms,
+                    f"{report.cross_partition_fraction:.1%}"
+                    f" ({report.cross_partition_txns} txns)",
+                    f"{report.abort_rate:.1%}",
+                    report.f_score,
+                ]
+            ],
+        ),
+    ]
+    cloud = report.cloud_queue or {}
+    if cloud.get("queued"):
+        blocks.append(
+            f"cloud queueing: {cloud['queued']}/{cloud['validations']} validations waited "
+            f"(mean over all {cloud['validations']}: {cloud['mean_delay_ms']:.0f} ms, "
+            f"max {cloud['max_delay_ms']:.0f} ms)"
         )
-    moves = migration_timeline(system.events)
-    if moves.count:
-        print(f"runtime migrations: {moves.count} ({len(moves.streams_moved)} streams)")
-        for when, stream, from_edge, to_edge in moves.moves:
-            print(f"  t={when:6.2f}s  {stream}: edge {from_edge} -> edge {to_edge}")
-    return 0
+    if report.migration_events:
+        moved = {event["stream"] for event in report.migration_events}
+        blocks.append(
+            f"runtime migrations: {len(report.migration_events)} ({len(moved)} streams)"
+        )
+        for event in report.migration_events:
+            blocks.append(
+                f"  t={event['time_s']:6.2f}s  {event['stream']}: "
+                f"edge {event['from_edge']} -> edge {event['to_edge']}"
+            )
+    return "\n".join(blocks)
+
+
+_REPORT_HEADERS = [
+    "scenario",
+    "deployment",
+    "frames",
+    "F-score",
+    "BU",
+    "initial (ms)",
+    "final (ms)",
+    "throughput (fps)",
+    "queue delay (ms)",
+]
+
+
+def _report_row(name: str, report: RunReport) -> list[Any]:
+    return [
+        name,
+        report.deployment,
+        report.frames,
+        report.f_score,
+        report.bandwidth_utilization,
+        report.latency["initial_ms"],
+        report.latency["final_ms"],
+        report.throughput_fps,
+        report.queue_delay_ms,
+    ]
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.list:
+        entries = list_scenarios()
+        table = format_table(
+            ["name", "deployment", "description"],
+            [[entry.name, entry.build().deployment, entry.description] for entry in entries],
+        )
+        payload = [
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "scenario": entry.build().to_dict(),
+            }
+            for entry in entries
+        ]
+        return _emit(args, table, payload)
+    if not args.name:
+        return _fail("scenario", "a scenario name is required (or use --list)")
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        return _fail("scenario", str(error.args[0]))
+    report = run_scenario(spec)
+    table = format_table(_REPORT_HEADERS, [_report_row(args.name, report)])
+    if report.deployment == "cluster":
+        table += "\n" + _cluster_text(report)
+    return _emit(args, table, report.to_dict())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        entries = list_sweeps()
+        table = format_table(
+            ["name", "description"], [[entry.name, entry.description] for entry in entries]
+        )
+        payload = [{"name": entry.name, "description": entry.description} for entry in entries]
+        return _emit(args, table, payload)
+
+    if args.name:
+        if args.axis or args.base:
+            return _fail("sweep", "give either a registered sweep name or --base/--axis, not both")
+        try:
+            sweep = get_sweep(args.name)
+        except KeyError as error:
+            return _fail("sweep", str(error.args[0]))
+    else:
+        if not args.axis:
+            return _fail("sweep", "an --axis (or a registered sweep name) is required")
+        try:
+            axes = [_parse_axis(text) for text in args.axis]
+            base = get_scenario(args.base) if args.base else None
+            # Ad-hoc grids may cross into invalid combinations (e.g. a
+            # full threshold grid); skip those cells instead of dying.
+            sweep = Sweep(base=base, axes=axes, skip_invalid=True)
+        except KeyError as error:
+            return _fail("sweep", str(error.args[0]))
+        except ValueError as error:
+            return _fail("sweep", str(error))
+
+    try:
+        result = sweep.run()
+    except (ValueError, TypeError) as error:
+        return _fail("sweep", str(error))
+    if not result.cells:
+        return _fail(
+            "sweep",
+            f"no valid cells: all {len(result.skipped)} axis combinations failed validation",
+        )
+    axis_fields = [axis.field for axis in sweep.axes]
+    rows = [
+        [str(cell.assignment[field]) for field in axis_fields]
+        + _report_row("-", cell.report)[2:]
+        for cell in result.cells
+    ]
+    table = format_table(axis_fields + _REPORT_HEADERS[2:], rows)
+    if result.skipped:
+        table += f"\nskipped {len(result.skipped)} invalid combinations"
+    return _emit(args, table, result.to_dict())
+
+
+def _parse_axis(text: str):
+    """Parse one ``--axis FIELD=V1,V2,...`` argument into a SweepAxis."""
+    from repro.experiments.sweep import SweepAxis
+
+    field, separator, values_text = text.partition("=")
+    if not separator or not field or not values_text:
+        raise ValueError(f"--axis must look like FIELD=V1,V2,..., got {text!r}")
+    return SweepAxis(field, tuple(_parse_value(value) for value in values_text.split(",")))
+
+
+def _parse_value(text: str):
+    """Coerce one axis value: None, int, float, or string."""
+    lowered = text.strip().lower()
+    if lowered in ("none", "null", "unbounded"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
 
 
 if __name__ == "__main__":  # pragma: no cover

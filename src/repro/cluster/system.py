@@ -283,6 +283,22 @@ class ClusterRunResult:
         return max((edge.utilization for edge in self.edges), default=0.0)
 
     @property
+    def bandwidth_utilization(self) -> float:
+        """Cluster-wide fraction of frames validated at the cloud (the
+        paper's BU, aggregated over every stream's traces)."""
+        traces = [trace for result in self.per_stream.values() for trace in result.traces]
+        if not traces:
+            return 0.0
+        return sum(1 for trace in traces if trace.sent_to_cloud) / len(traces)
+
+    @property
+    def average_latency(self) -> LatencyBreakdown:
+        """Component-wise mean breakdown over every stream's frames."""
+        return LatencyBreakdown.average(
+            [trace.latency for result in self.per_stream.values() for trace in result.traces]
+        )
+
+    @property
     def mean_cloud_queue_delay(self) -> float:
         """Mean time validated frames queued at the cloud.
 

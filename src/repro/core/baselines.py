@@ -38,7 +38,13 @@ PREPROCESSING_LATENCY = 0.003
 
 @dataclass(frozen=True)
 class BaselineResult:
-    """Aggregate metrics of one baseline run (same fields the figures use)."""
+    """Aggregate metrics of one baseline run (same fields the figures use).
+
+    ``num_frames`` and ``transactions`` carry the run's counts forward so
+    the experiment layer can normalise a baseline run into the shared
+    :class:`~repro.experiments.report.RunReport` schema without re-running
+    anything.
+    """
 
     name: str
     video_key: str
@@ -47,6 +53,8 @@ class BaselineResult:
     average_final_latency: float
     bandwidth_utilization: float
     average_breakdown: LatencyBreakdown
+    num_frames: int = 0
+    transactions: int = 0
 
     def summary(self) -> dict[str, float]:
         return {
@@ -141,6 +149,8 @@ def run_cloud_only(
         average_final_latency=run.average_final_latency,
         bandwidth_utilization=1.0,
         average_breakdown=run.average_latency,
+        num_frames=run.num_frames,
+        transactions=run.total_transactions,
     )
 
 
@@ -222,4 +232,6 @@ def _from_run(name: str, run: RunResult) -> BaselineResult:
         average_final_latency=run.average_final_latency,
         bandwidth_utilization=run.bandwidth_utilization,
         average_breakdown=run.average_latency,
+        num_frames=run.num_frames,
+        transactions=run.total_transactions,
     )

@@ -68,6 +68,25 @@ class LatencyBreakdown:
         """Cloud-side portion of the final latency."""
         return self.cloud_transfer + self.cloud_queue_delay + self.cloud_detection
 
+    def to_dict(self) -> dict[str, float]:
+        """Component name -> seconds, in breakdown order.
+
+        The canonical serialisation of a breakdown — the experiment
+        layer's ``RunReport`` derives its millisecond latency schema
+        from these names.
+        """
+        return {
+            "edge_transfer": self.edge_transfer,
+            "edge_detection": self.edge_detection,
+            "initial_txn": self.initial_txn,
+            "cloud_transfer": self.cloud_transfer,
+            "cloud_detection": self.cloud_detection,
+            "final_txn": self.final_txn,
+            "queue_delay": self.queue_delay,
+            "final_queue_delay": self.final_queue_delay,
+            "cloud_queue_delay": self.cloud_queue_delay,
+        }
+
     def scaled(self, factor: float) -> "LatencyBreakdown":
         """All components multiplied by ``factor``."""
         return LatencyBreakdown(

@@ -1,0 +1,273 @@
+"""Named scenarios and sweeps — the paper's evaluation grid, by name.
+
+``python -m repro scenario fig2-v4`` or ``get_scenario("fig2-v4")``
+resolve a registered name to a :class:`ScenarioSpec`; registered sweeps
+do the same for whole evaluation grids (the cluster scale-out matrix,
+the cloud-contention series, the threshold heatmap).  New workloads cost
+one ``@register_scenario`` entry instead of a new CLI subcommand or a
+bespoke benchmark loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.spec import ScenarioSpec
+from repro.experiments.sweep import Sweep, SweepAxis
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One named scenario: how to build its spec, and why it exists."""
+
+    name: str
+    description: str
+    build: Callable[[], ScenarioSpec]
+
+
+@dataclass(frozen=True)
+class RegisteredSweep:
+    """One named sweep (a whole evaluation grid)."""
+
+    name: str
+    description: str
+    build: Callable[[], Sweep]
+
+
+_SCENARIOS: dict[str, RegisteredScenario] = {}
+_SWEEPS: dict[str, RegisteredSweep] = {}
+
+
+def _first_doc_line(build: Callable) -> str:
+    """Description fallback: the builder's first docstring line, or ``""``
+    (an undocumented lambda must still register)."""
+    lines = (build.__doc__ or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def register_scenario(name: str, description: str = ""):
+    """Decorator registering a zero-argument spec builder under ``name``."""
+
+    def decorate(build: Callable[[], ScenarioSpec]) -> Callable[[], ScenarioSpec]:
+        if name in _SCENARIOS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        doc = description or _first_doc_line(build)
+        _SCENARIOS[name] = RegisteredScenario(name=name, description=doc, build=build)
+        return build
+
+    return decorate
+
+
+def register_sweep(name: str, description: str = ""):
+    """Decorator registering a zero-argument sweep builder under ``name``."""
+
+    def decorate(build: Callable[[], Sweep]) -> Callable[[], Sweep]:
+        if name in _SWEEPS:
+            raise ValueError(f"sweep {name!r} is already registered")
+        doc = description or _first_doc_line(build)
+        _SWEEPS[name] = RegisteredSweep(name=name, description=doc, build=build)
+        return build
+
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Spec of one registered scenario (KeyError names the known ones)."""
+    try:
+        entry = _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+    # Built outside the except so a builder's own KeyError propagates
+    # instead of being misreported as an unknown name.
+    return entry.build()
+
+
+def get_sweep(name: str) -> Sweep:
+    """One registered sweep (KeyError names the known ones)."""
+    try:
+        entry = _SWEEPS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SWEEPS))
+        raise KeyError(f"unknown sweep {name!r}; known sweeps: {known}") from None
+    return entry.build()
+
+
+def list_scenarios() -> list[RegisteredScenario]:
+    """Every registered scenario, sorted by name."""
+    return [_SCENARIOS[name] for name in sorted(_SCENARIOS)]
+
+
+def list_sweeps() -> list[RegisteredSweep]:
+    """Every registered sweep, sorted by name."""
+    return [_SWEEPS[name] for name in sorted(_SWEEPS)]
+
+
+# -- the paper's figure/table scenarios --------------------------------------
+def _register_figure_scenarios() -> None:
+    for video in ("v1", "v2", "v3", "v4"):
+        name = f"fig2-{video}"
+
+        def build(video: str = video) -> ScenarioSpec:
+            return ScenarioSpec(video=video, frames=80)
+
+        register_scenario(
+            name,
+            f"Figure 2: Croesus latency/accuracy on video {video} "
+            "(80 frames, default thresholds)",
+        )(build)
+
+    for video in ("v1", "v2", "v3", "v4"):
+        for system in ("edge-only", "cloud-only"):
+            name = f"table1-{system}-{video}"
+
+            def build(video: str = video, system: str = system) -> ScenarioSpec:
+                return ScenarioSpec(system=system, video=video, frames=80)
+
+            register_scenario(
+                name,
+                f"Table 1 baseline: {system} on video {video} (80 frames)",
+            )(build)
+
+
+_register_figure_scenarios()
+
+
+@register_scenario("fig4-ms-ia", "Figure 4: Croesus under MS-IA on video v1 (80 frames)")
+def _fig4_ms_ia() -> ScenarioSpec:
+    return ScenarioSpec(video="v1", frames=80, consistency="ms-ia")
+
+
+@register_scenario("fig4-ms-sr", "Figure 4: Croesus under MS-SR on video v1 (80 frames)")
+def _fig4_ms_sr() -> ScenarioSpec:
+    return ScenarioSpec(video="v1", frames=80, consistency="ms-sr")
+
+
+@register_scenario(
+    "fig6c-compression",
+    "Figure 6c hybrid: Croesus with compressed uplink frames on video v4",
+)
+def _fig6c_compression() -> ScenarioSpec:
+    return ScenarioSpec(system="croesus-compression", video="v4", frames=80)
+
+
+@register_scenario(
+    "fig6c-difference",
+    "Figure 6c hybrid: Croesus with compression + difference communication on video v4",
+)
+def _fig6c_difference() -> ScenarioSpec:
+    return ScenarioSpec(system="croesus-difference", video="v4", frames=80)
+
+
+# -- cluster scenarios --------------------------------------------------------
+#: Seed shared with the benchmark harness (bench_common.BENCH_SEED).
+_BENCH_SEED = 2022
+
+
+def _bench_cluster(**overrides) -> ScenarioSpec:
+    """One cell of the benchmark harness's contention-heavy cluster grid."""
+    base = dict(
+        deployment="cluster",
+        streams=8,
+        frames=10,
+        seed=_BENCH_SEED,
+        consistency="ms-sr",
+        workload="hotspot",
+        hot_key_range=50,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@register_scenario(
+    "cluster-small",
+    "Smoke-sized cluster: 2 edges x 4 streams x 6 frames (the golden-pin seed)",
+)
+def _cluster_small() -> ScenarioSpec:
+    return ScenarioSpec(deployment="cluster", num_edges=2, streams=4, frames=6, seed=11)
+
+
+@register_scenario(
+    "cluster-uniform", "Benchmark cell: 4 edges, round-robin placement, hotspot contention"
+)
+def _cluster_uniform() -> ScenarioSpec:
+    return _bench_cluster(num_edges=4, router="round-robin")
+
+
+@register_scenario(
+    "cluster-hotspot", "Benchmark cell: 4 edges, skewed hotspot placement, hotspot contention"
+)
+def _cluster_hotspot() -> ScenarioSpec:
+    return _bench_cluster(num_edges=4, router="hotspot")
+
+
+@register_scenario(
+    "cluster-finite-cloud",
+    "Benchmark cell: 4 edges with only 2 cloud servers (cloud queueing visible)",
+)
+def _cluster_finite_cloud() -> ScenarioSpec:
+    return _bench_cluster(num_edges=4, router="round-robin", cloud_servers=2)
+
+
+@register_scenario(
+    "cluster-migration",
+    "Runtime migration: 4 edges, migrating router, 2 long + 6 short streams at 5 fps",
+)
+def _cluster_migration() -> ScenarioSpec:
+    return _bench_cluster(num_edges=4, router="migrating", fps=5.0, long_frames=40)
+
+
+# -- the cluster sweeps -------------------------------------------------------
+@register_sweep(
+    "cluster-scaleout",
+    "Scale-out grid: 1/2/4/8 edges x round-robin/hotspot placement (MS-SR, hot keys)",
+)
+def _cluster_scaleout() -> Sweep:
+    return Sweep(
+        base=_bench_cluster(),
+        axes=(
+            SweepAxis("num_edges", (1, 2, 4, 8)),
+            SweepAxis("router", ("round-robin", "hotspot")),
+        ),
+    )
+
+
+@register_sweep(
+    "cloud-contention",
+    "Cloud-capacity series: 1/2/4 cloud servers plus the unbounded baseline, 4 edges",
+)
+def _cloud_contention() -> Sweep:
+    return Sweep(
+        base=_bench_cluster(num_edges=4, router="round-robin"),
+        axis="cloud_servers",
+        values=(1, 2, 4, None),
+    )
+
+
+@register_sweep(
+    "migration-policies",
+    "Placement-time least-loaded vs runtime migrating router on the uneven workload",
+)
+def _migration_policies() -> Sweep:
+    return Sweep(
+        base=_bench_cluster(num_edges=4, fps=5.0, long_frames=40),
+        axis="router",
+        values=("least-loaded", "migrating"),
+    )
+
+
+@register_sweep(
+    "threshold-grid",
+    "Threshold heatmap: (lower, upper) cross product on video v2 (invalid pairs skipped)",
+)
+def _threshold_grid() -> Sweep:
+    values = (0.0, 0.2, 0.4, 0.6, 0.8)
+    return Sweep(
+        base=ScenarioSpec(video="v2", frames=40),
+        axes=(
+            SweepAxis("lower_threshold", values),
+            SweepAxis("upper_threshold", values),
+        ),
+        skip_invalid=True,
+    )

@@ -1,0 +1,242 @@
+"""The shared result schema of every experiment run.
+
+Both deployments — a single-edge baseline run and a multi-edge cluster
+run — are normalised into one :class:`RunReport`, so the CLI's
+``--json`` output, the benchmark harness's ``BENCH_cluster.json``
+trajectory, and the programmatic API all speak the same schema: shared
+metric names (``f_score``, the latency breakdown, ``throughput_fps``,
+queue/cloud delays, aborts, migrations) regardless of where the numbers
+came from.  :func:`validate_report` is the schema's executable contract;
+CI pipes the CLI's JSON through it on every commit.
+
+Metrics a deployment cannot produce are reported as their zero value
+rather than omitted (a single-edge run has no makespan, queueing, 2PC
+aborts, or migrations), so consumers never branch on key presence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.experiments.spec import ScenarioSpec
+
+#: Keys of the per-frame latency breakdown, all in milliseconds.
+LATENCY_KEYS = (
+    "initial_ms",
+    "final_ms",
+    "edge_transfer_ms",
+    "edge_detection_ms",
+    "initial_txn_ms",
+    "cloud_transfer_ms",
+    "cloud_detection_ms",
+    "final_txn_ms",
+    "queue_delay_ms",
+    "final_queue_delay_ms",
+    "cloud_queue_delay_ms",
+)
+
+#: Keys of each entry in a cluster report's ``edges`` list.
+EDGE_KEYS = (
+    "edge_id",
+    "machine",
+    "streams",
+    "frames_processed",
+    "queue_jobs",
+    "utilization",
+    "mean_queue_delay_ms",
+    "max_queue_delay_ms",
+)
+
+#: Top-level keys every report must carry, with their required types.
+REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
+    "scenario": dict,
+    "deployment": str,
+    "system": str,
+    "frames": int,
+    "streams": int,
+    "f_score": (int, float),
+    "bandwidth_utilization": (int, float),
+    "latency": dict,
+    "throughput_fps": (int, float),
+    "queue_delay_ms": (int, float),
+    "cloud_queue_delay_ms": (int, float),
+    "transactions": int,
+    "aborts": int,
+    "abort_rate": (int, float),
+    "cross_partition_txns": int,
+    "cross_partition_fraction": (int, float),
+    "migrations": int,
+    "makespan_s": (int, float),
+    "edges": list,
+    "migration_events": list,
+}
+
+
+class ReportSchemaError(ValueError):
+    """A payload does not satisfy the :class:`RunReport` schema."""
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Normalised outcome of running one :class:`ScenarioSpec`.
+
+    ``scenario`` embeds the originating spec (as ``to_dict()`` output),
+    making every report self-describing: a stored JSON report can be
+    re-run bit-for-bit via ``run(ScenarioSpec.from_dict(report["scenario"]))``.
+    """
+
+    scenario: dict[str, Any]
+    deployment: str
+    system: str
+    frames: int
+    streams: int
+    f_score: float
+    bandwidth_utilization: float
+    latency: dict[str, float]
+    throughput_fps: float
+    queue_delay_ms: float
+    cloud_queue_delay_ms: float
+    transactions: int
+    aborts: int
+    abort_rate: float
+    cross_partition_txns: int
+    cross_partition_fraction: float
+    migrations: int
+    makespan_s: float
+    edges: tuple[dict[str, Any], ...] = ()
+    migration_events: tuple[dict[str, Any], ...] = ()
+    cloud_queue: dict[str, float] | None = None
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The originating scenario, rebuilt from the embedded dict."""
+        return ScenarioSpec.from_dict(self.scenario)
+
+    @property
+    def max_utilization(self) -> float:
+        """Utilization of the busiest edge (0.0 without edge metrics)."""
+        return max((edge["utilization"] for edge in self.edges), default=0.0)
+
+    def cluster_summary(self) -> dict[str, float]:
+        """The legacy ``ClusterRunResult.summary()`` dictionary.
+
+        Kept so existing consumers of the benchmark trajectory
+        (``BENCH_cluster.json``) keep reading the key names they always
+        have; every value is a plain re-projection of report fields.
+        """
+        return {
+            "edges": float(len(self.edges)),
+            "streams": float(self.streams),
+            "frames": float(self.frames),
+            "makespan_s": self.makespan_s,
+            "throughput_fps": self.throughput_fps,
+            "mean_queue_delay_ms": self.queue_delay_ms,
+            "mean_cloud_queue_delay_ms": self.cloud_queue_delay_ms,
+            "max_utilization": self.max_utilization,
+            "cross_partition_fraction": self.cross_partition_fraction,
+            "num_cross_partition_txns": float(self.cross_partition_txns),
+            "two_phase_abort_rate": self.abort_rate,
+            "f_score": self.f_score,
+            "migrations": float(self.migrations),
+        }
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": dict(self.scenario),
+            "deployment": self.deployment,
+            "system": self.system,
+            "frames": self.frames,
+            "streams": self.streams,
+            "f_score": self.f_score,
+            "bandwidth_utilization": self.bandwidth_utilization,
+            "latency": dict(self.latency),
+            "throughput_fps": self.throughput_fps,
+            "queue_delay_ms": self.queue_delay_ms,
+            "cloud_queue_delay_ms": self.cloud_queue_delay_ms,
+            "transactions": self.transactions,
+            "aborts": self.aborts,
+            "abort_rate": self.abort_rate,
+            "cross_partition_txns": self.cross_partition_txns,
+            "cross_partition_fraction": self.cross_partition_fraction,
+            "migrations": self.migrations,
+            "makespan_s": self.makespan_s,
+            "edges": [dict(edge) for edge in self.edges],
+            "migration_events": [dict(event) for event in self.migration_events],
+            "cloud_queue": dict(self.cloud_queue) if self.cloud_queue is not None else None,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic JSON: sorted keys, no whitespace drift."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunReport":
+        """Rebuild a report from validated :meth:`to_dict` output."""
+        validate_report(payload)
+        return cls(
+            scenario=dict(payload["scenario"]),
+            deployment=payload["deployment"],
+            system=payload["system"],
+            frames=payload["frames"],
+            streams=payload["streams"],
+            f_score=payload["f_score"],
+            bandwidth_utilization=payload["bandwidth_utilization"],
+            latency=dict(payload["latency"]),
+            throughput_fps=payload["throughput_fps"],
+            queue_delay_ms=payload["queue_delay_ms"],
+            cloud_queue_delay_ms=payload["cloud_queue_delay_ms"],
+            transactions=payload["transactions"],
+            aborts=payload["aborts"],
+            abort_rate=payload["abort_rate"],
+            cross_partition_txns=payload["cross_partition_txns"],
+            cross_partition_fraction=payload["cross_partition_fraction"],
+            migrations=payload["migrations"],
+            makespan_s=payload["makespan_s"],
+            edges=tuple(dict(edge) for edge in payload["edges"]),
+            migration_events=tuple(dict(event) for event in payload["migration_events"]),
+            cloud_queue=(
+                dict(payload["cloud_queue"]) if payload.get("cloud_queue") is not None else None
+            ),
+        )
+
+
+def validate_report(payload: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Check a payload against the report schema; return it unchanged.
+
+    Raises :class:`ReportSchemaError` naming every violation at once, so
+    a failing CI schema check reports the full damage in one run.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, Mapping):
+        raise ReportSchemaError(f"report must be a mapping, got {type(payload).__name__}")
+    for key, expected in REQUIRED_KEYS.items():
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(payload[key], expected) or isinstance(payload[key], bool):
+            problems.append(
+                f"key {key!r} must be {expected}, got {type(payload[key]).__name__}"
+            )
+    if isinstance(payload.get("latency"), dict):
+        for key in LATENCY_KEYS:
+            if key not in payload["latency"]:
+                problems.append(f"latency breakdown is missing {key!r}")
+    if isinstance(payload.get("edges"), list):
+        for index, edge in enumerate(payload["edges"]):
+            if not isinstance(edge, Mapping):
+                problems.append(f"edges[{index}] must be a mapping")
+                continue
+            for key in EDGE_KEYS:
+                if key not in edge:
+                    problems.append(f"edges[{index}] is missing {key!r}")
+    if isinstance(payload.get("scenario"), Mapping):
+        try:
+            ScenarioSpec.from_dict(payload["scenario"])
+        except (ValueError, TypeError) as error:
+            problems.append(f"embedded scenario does not parse: {error}")
+    if problems:
+        raise ReportSchemaError("; ".join(problems))
+    return payload

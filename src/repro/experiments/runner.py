@@ -1,0 +1,201 @@
+"""One runner for both deployments.
+
+:func:`run` takes a :class:`~repro.experiments.spec.ScenarioSpec` and
+returns a :class:`~repro.experiments.report.RunReport`, dispatching to
+the single-edge pipeline (``CroesusSystem`` via the baseline runners) or
+the multi-edge :class:`~repro.cluster.system.ClusterSystem` and
+normalising their disjoint result objects into the one shared schema.
+
+Every run builds a fresh system from the spec's seed, so two ``run()``
+calls of the same spec produce bit-for-bit identical reports — the
+property the golden-summary determinism pins rely on.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+from repro.analysis.timeline import cloud_queue_profile, migration_timeline
+from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
+from repro.core.baselines import (
+    BaselineResult,
+    run_cloud_only,
+    run_croesus,
+    run_edge_only,
+    run_hybrid_cloud,
+    run_hybrid_croesus,
+)
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.results import LatencyBreakdown
+from repro.experiments.report import RunReport
+from repro.experiments.spec import ScenarioSpec
+from repro.video.library import make_camera_streams, make_uneven_camera_streams
+from repro.video.synthetic import SyntheticVideo
+
+#: Single-edge pipeline variants, by spec ``system`` name.
+_SINGLE_RUNNERS: dict[str, Callable[..., BaselineResult]] = {
+    "croesus": run_croesus,
+    "edge-only": run_edge_only,
+    "cloud-only": run_cloud_only,
+    "cloud-compression": partial(run_hybrid_cloud, use_difference=False),
+    "cloud-difference": partial(run_hybrid_cloud, use_difference=True),
+    "croesus-compression": partial(run_hybrid_croesus, use_difference=False),
+    "croesus-difference": partial(run_hybrid_croesus, use_difference=True),
+}
+
+
+def build_single_config(spec: ScenarioSpec) -> CroesusConfig:
+    """The ``CroesusConfig`` a single-edge scenario translates to."""
+    return CroesusConfig(
+        seed=spec.seed,
+        lower_threshold=spec.lower_threshold,
+        upper_threshold=spec.upper_threshold,
+        consistency=_consistency(spec),
+    )
+
+
+def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
+    """The ``ClusterConfig`` a cluster scenario translates to."""
+    return ClusterConfig(
+        base=build_single_config(spec),
+        num_edges=spec.num_edges,
+        partitions_per_edge=spec.partitions_per_edge,
+        router_policy=spec.router,
+        frame_interval=spec.frame_interval,
+        cloud_servers=spec.cloud_servers,
+    )
+
+
+def build_streams(spec: ScenarioSpec) -> list[SyntheticVideo]:
+    """The camera streams a cluster scenario runs."""
+    if spec.long_frames is None:
+        return make_camera_streams(spec.streams, num_frames=spec.frames, seed=spec.seed)
+    return make_uneven_camera_streams(
+        spec.streams,
+        long_frames=spec.long_frames,
+        short_frames=spec.frames,
+        num_long=spec.num_long,
+        seed=spec.seed,
+    )
+
+
+def run(spec: ScenarioSpec) -> RunReport:
+    """Execute one scenario and return its normalised report."""
+    if spec.deployment == "single":
+        return _run_single(spec)
+    return _run_cluster(spec)
+
+
+# -- single edge -------------------------------------------------------------
+def _run_single(spec: ScenarioSpec) -> RunReport:
+    runner = _SINGLE_RUNNERS[spec.system]
+    result = runner(build_single_config(spec), spec.video, num_frames=spec.frames)
+    breakdown = result.average_breakdown
+    latency = _latency_ms(breakdown)
+    # The baselines report their own initial/final averages (the cloud
+    # baseline's initial latency IS its final latency, which the raw
+    # breakdown cannot express), so those override the derived sums.
+    latency["initial_ms"] = result.average_initial_latency * 1000.0
+    latency["final_ms"] = result.average_final_latency * 1000.0
+    return RunReport(
+        scenario=spec.to_dict(),
+        deployment="single",
+        system=result.name,
+        frames=result.num_frames,
+        streams=1,
+        f_score=result.f_score,
+        bandwidth_utilization=result.bandwidth_utilization,
+        latency=latency,
+        throughput_fps=0.0,
+        queue_delay_ms=breakdown.queue_delay * 1000.0,
+        cloud_queue_delay_ms=breakdown.cloud_queue_delay * 1000.0,
+        transactions=result.transactions,
+        aborts=0,
+        abort_rate=0.0,
+        cross_partition_txns=0,
+        cross_partition_fraction=0.0,
+        migrations=0,
+        makespan_s=0.0,
+    )
+
+
+# -- cluster -----------------------------------------------------------------
+def _run_cluster(spec: ScenarioSpec) -> RunReport:
+    config = build_cluster_config(spec)
+    bank_factory = None
+    if spec.workload == "hotspot":
+        bank_factory = hotspot_bank_factory(spec.seed, key_range=spec.hot_key_range)
+    system = ClusterSystem(config, bank_factory=bank_factory)
+    result = system.run(build_streams(spec))
+
+    latency = _latency_ms(result.average_latency)
+
+    edges = tuple(
+        {
+            "edge_id": edge.edge_id,
+            "machine": edge.machine_name,
+            "streams": list(edge.streams),
+            "frames_processed": edge.frames_processed,
+            "queue_jobs": edge.queue_jobs,
+            "utilization": edge.utilization,
+            "mean_queue_delay_ms": edge.mean_queue_delay * 1000.0,
+            "max_queue_delay_ms": edge.max_queue_delay * 1000.0,
+        }
+        for edge in result.edges
+    )
+    migration_events = tuple(
+        {
+            "time_s": when,
+            "stream": stream,
+            "from_edge": from_edge,
+            "to_edge": to_edge,
+        }
+        for when, stream, from_edge, to_edge in migration_timeline(system.events).moves
+    )
+    cloud = cloud_queue_profile(system.events)
+    cloud_queue = {
+        "validations": cloud.validations,
+        "queued": cloud.queued,
+        "mean_delay_ms": cloud.mean_delay * 1000.0,
+        "max_delay_ms": cloud.max_delay * 1000.0,
+    }
+
+    return RunReport(
+        scenario=spec.to_dict(),
+        deployment="cluster",
+        system="croesus-cluster",
+        frames=result.num_frames,
+        streams=len(result.per_stream),
+        f_score=result.f_score,
+        bandwidth_utilization=result.bandwidth_utilization,
+        latency=latency,
+        throughput_fps=result.throughput_fps,
+        queue_delay_ms=result.mean_queue_delay * 1000.0,
+        cloud_queue_delay_ms=result.mean_cloud_queue_delay * 1000.0,
+        transactions=result.total_transactions,
+        aborts=result.stats.aborts,
+        abort_rate=result.two_phase_abort_rate,
+        cross_partition_txns=result.cross_edge_transactions,
+        cross_partition_fraction=result.cross_partition_fraction,
+        migrations=result.num_migrations,
+        makespan_s=result.makespan,
+        edges=edges,
+        migration_events=migration_events,
+        cloud_queue=cloud_queue,
+    )
+
+
+# -- shared ------------------------------------------------------------------
+def _consistency(spec: ScenarioSpec) -> ConsistencyLevel:
+    return ConsistencyLevel.MS_SR if spec.consistency == "ms-sr" else ConsistencyLevel.MS_IA
+
+
+def _latency_ms(breakdown: LatencyBreakdown) -> dict[str, float]:
+    """Millisecond latency dict of the shared schema, from one breakdown."""
+    components = {
+        f"{name}_ms": value * 1000.0 for name, value in breakdown.to_dict().items()
+    }
+    components["initial_ms"] = breakdown.initial_latency * 1000.0
+    components["final_ms"] = breakdown.final_latency * 1000.0
+    return components

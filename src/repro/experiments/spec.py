@@ -1,0 +1,217 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is the single front door to both deployments:
+it names everything that defines one experiment run — which deployment
+(``"single"`` or ``"cluster"``), which pipeline variant, which video or
+camera streams, the bandwidth thresholds, the safety level, the router,
+the cloud capacity, the seed — as one frozen, hashable value with a
+lossless ``to_dict()``/``from_dict()`` round trip.
+
+The spec is deliberately a *description*, not a configuration object:
+:func:`repro.experiments.runner.run` translates it into the concrete
+``CroesusConfig``/``ClusterConfig`` the systems consume, so adding a new
+axis to the evaluation grid means adding a field here instead of a new
+CLI subcommand or benchmark loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.cluster.router import ROUTER_POLICIES
+from repro.video.library import VIDEO_LIBRARY
+
+#: The two deployment shapes the runner knows how to execute.
+DEPLOYMENTS = ("single", "cluster")
+
+#: Single-edge pipeline variants (Croesus plus the paper's baselines and
+#: the Figure 6c hybrid pre-processing techniques).
+SINGLE_SYSTEMS = (
+    "croesus",
+    "edge-only",
+    "cloud-only",
+    "cloud-compression",
+    "cloud-difference",
+    "croesus-compression",
+    "croesus-difference",
+)
+
+#: Transaction workloads a cluster scenario can attach to detections.
+WORKLOADS = ("ycsb", "hotspot")
+
+#: Multi-stage safety levels, by their paper names.
+CONSISTENCY_LEVELS = ("ms-ia", "ms-sr")
+
+#: Spec fields that only affect ``deployment="cluster"`` runs.
+CLUSTER_FIELDS = frozenset(
+    {
+        "streams",
+        "num_edges",
+        "partitions_per_edge",
+        "router",
+        "fps",
+        "cloud_servers",
+        "workload",
+        "hot_key_range",
+        "long_frames",
+        "num_long",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything that defines one experiment scenario.
+
+    Attributes
+    ----------
+    deployment:
+        ``"single"`` (one edge node, one video) or ``"cluster"`` (many
+        edge replicas, many camera streams).
+    system:
+        Single-edge pipeline variant (see :data:`SINGLE_SYSTEMS`);
+        ignored by cluster runs, which always execute Croesus.
+    video:
+        Video preset key (``"v1"``..``"v5"``) of a single-edge run.
+        Cluster runs cycle every preset over their camera streams.
+    frames:
+        Frames per stream (the *short* stream length when
+        ``long_frames`` is set).
+    seed:
+        Master seed of the run.
+    lower_threshold, upper_threshold:
+        The bandwidth-thresholding pair ``(θL, θU)``.
+    consistency:
+        ``"ms-ia"`` or ``"ms-sr"``.
+    streams:
+        Number of concurrent camera streams (cluster only).
+    num_edges, partitions_per_edge, router, fps, cloud_servers:
+        Cluster topology: replica count, store partitions per replica,
+        placement policy, per-stream capture rate, and the cloud's
+        concurrent-validation capacity (``None`` = unbounded).
+    workload, hot_key_range:
+        Transaction workload each detection triggers on the cluster:
+        ``"ycsb"`` (independent per-replica YCSB-A, the default) or
+        ``"hotspot"`` (every replica hammers the same ``hot_key_range``
+        hot keys, the paper's contention scenario).
+    long_frames, num_long:
+        When ``long_frames`` is set, the first ``num_long`` streams run
+        for ``long_frames`` frames while the rest run for ``frames`` —
+        the uneven workload runtime stream migration exists for.
+    """
+
+    deployment: str = "single"
+    system: str = "croesus"
+    video: str = "v1"
+    frames: int = 80
+    seed: int = 0
+    lower_threshold: float = 0.3
+    upper_threshold: float = 0.7
+    consistency: str = "ms-ia"
+    streams: int = 4
+    num_edges: int = 2
+    partitions_per_edge: int = 1
+    router: str = "round-robin"
+    fps: float = 30.0
+    cloud_servers: int | None = None
+    workload: str = "ycsb"
+    hot_key_range: int = 50
+    long_frames: int | None = None
+    num_long: int = 2
+
+    def __post_init__(self) -> None:
+        if self.deployment not in DEPLOYMENTS:
+            raise ValueError(
+                f"unknown deployment {self.deployment!r}; expected one of {DEPLOYMENTS}"
+            )
+        if self.system not in SINGLE_SYSTEMS:
+            known = ", ".join(SINGLE_SYSTEMS)
+            raise ValueError(f"unknown system {self.system!r}; known systems: {known}")
+        if self.video not in VIDEO_LIBRARY:
+            known = ", ".join(sorted(VIDEO_LIBRARY))
+            raise ValueError(f"unknown video {self.video!r}; known videos: {known}")
+        if self.frames <= 0:
+            raise ValueError(f"frames must be positive, got {self.frames}")
+        if not 0.0 <= self.lower_threshold <= self.upper_threshold < 1.0 + 1e-9:
+            raise ValueError(
+                "thresholds must satisfy 0 <= lower <= upper < 1, got "
+                f"({self.lower_threshold}, {self.upper_threshold})"
+            )
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"unknown consistency {self.consistency!r}; expected one of {CONSISTENCY_LEVELS}"
+            )
+        if self.streams <= 0:
+            raise ValueError(f"streams must be positive, got {self.streams}")
+        if self.num_edges < 1:
+            raise ValueError(f"num_edges must be at least 1, got {self.num_edges}")
+        if self.partitions_per_edge < 1:
+            raise ValueError(
+                f"partitions_per_edge must be at least 1, got {self.partitions_per_edge}"
+            )
+        if self.router not in ROUTER_POLICIES:
+            known = ", ".join(ROUTER_POLICIES)
+            raise ValueError(f"unknown router {self.router!r}; known policies: {known}")
+        if self.fps <= 0:
+            raise ValueError(f"fps must be positive, got {self.fps}")
+        if self.cloud_servers is not None and self.cloud_servers < 1:
+            raise ValueError(
+                "cloud_servers must be at least 1 (or None for unbounded), got "
+                f"{self.cloud_servers}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; expected one of {WORKLOADS}"
+            )
+        if self.hot_key_range < 1:
+            raise ValueError(f"hot_key_range must be at least 1, got {self.hot_key_range}")
+        if self.long_frames is not None and self.long_frames <= 0:
+            raise ValueError(f"long_frames must be positive, got {self.long_frames}")
+        if not 0 <= self.num_long <= self.streams:
+            raise ValueError(
+                f"num_long must be in [0, streams], got {self.num_long} with "
+                f"{self.streams} streams"
+            )
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def thresholds(self) -> tuple[float, float]:
+        return (self.lower_threshold, self.upper_threshold)
+
+    @property
+    def frame_interval(self) -> float:
+        """Seconds between consecutive frames of one stream."""
+        return 1.0 / self.fps
+
+    # -- evolution -----------------------------------------------------------
+    def with_(self, **overrides: Any) -> "ScenarioSpec":
+        """Copy of this spec with some fields replaced (and re-validated)."""
+        return replace(self, **overrides)
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON dictionary of every field (losslessly invertible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a typo'd axis name must not silently
+        run the default scenario); missing keys take their defaults, so
+        hand-written partial dictionaries work too.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec field(s) {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(payload))
+
+
+def spec_field_names() -> tuple[str, ...]:
+    """All :class:`ScenarioSpec` field names (the sweepable axes)."""
+    return tuple(spec_field.name for spec_field in fields(ScenarioSpec))

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.report import REQUIRED_KEYS, validate_report
 
 
 class TestParser:
@@ -15,10 +18,17 @@ class TestParser:
         assert args.video == "v1"
         assert args.lower == 0.3
         assert args.consistency == "ms-ia"
+        assert args.json is False
+        assert args.output is None
 
     def test_unknown_video_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--video", "v99"])
+
+    def test_every_command_accepts_the_output_flags(self):
+        for command in ("run", "tune", "compare", "cluster", "scenario", "sweep", "videos"):
+            args = build_parser().parse_args([command, "--json"])
+            assert args.json is True, command
 
 
 class TestCommands:
@@ -59,3 +69,159 @@ class TestCommands:
         output = capsys.readouterr().out
         for name in ("croesus", "edge-only", "cloud-only"):
             assert name in output
+
+    def test_cluster_prints_edge_table(self, capsys):
+        assert main(
+            ["cluster", "--edges", "2", "--streams", "2", "--frames", "4", "--seed", "5"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "machine" in output
+        assert "throughput (fps)" in output
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2-v1" in output
+        assert "cluster-small" in output
+
+    def test_scenario_runs_by_name(self, capsys):
+        assert main(["scenario", "cluster-small"]) == 0
+        output = capsys.readouterr().out
+        assert "cluster-small" in output
+        assert "F-score" in output
+
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "cluster-scaleout" in output
+
+    def test_sweep_over_an_axis(self, capsys):
+        assert main(
+            ["sweep", "--base", "cluster-small", "--axis", "num_edges=1,2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "num_edges" in output
+        assert "throughput (fps)" in output
+
+    def test_sweep_skips_invalid_combinations(self, capsys):
+        """An ad-hoc grid with some invalid cells runs the valid ones."""
+        assert main(
+            ["sweep", "--base", "cluster-small", "--axis", "frames=0,4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "skipped 1 invalid combinations" in output
+
+
+class TestJsonOutput:
+    """--json must parse and carry the shared report schema's keys."""
+
+    def test_run_json_is_a_valid_report(self, capsys):
+        assert main(["run", "--video", "v1", "--frames", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["deployment"] == "single"
+        assert set(REQUIRED_KEYS) <= set(payload)
+
+    def test_cluster_json_is_a_valid_report(self, capsys):
+        assert main(
+            ["cluster", "--edges", "2", "--streams", "2", "--frames", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["deployment"] == "cluster"
+        assert len(payload["edges"]) == 2
+
+    def test_scenario_json_is_a_valid_report(self, capsys):
+        assert main(["scenario", "cluster-small", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["scenario"]["seed"] == 11
+
+    def test_compare_json_carries_three_reports(self, capsys):
+        assert main(
+            ["compare", "--video", "v1", "--frames", "10", "--target", "0.7", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["reports"]) == 3
+        for report in payload["reports"]:
+            validate_report(report)
+        assert len(payload["tuned_thresholds"]) == 2
+
+    def test_tune_json_carries_methods(self, capsys):
+        assert main(
+            ["tune", "--video", "v1", "--frames", "15", "--method", "gradient",
+             "--target", "0.7", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "gradient" in payload["methods"]
+        assert len(payload["methods"]["gradient"]["thresholds"]) == 2
+
+    def test_videos_json_lists_workloads(self, capsys):
+        assert main(["videos", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["key"] for entry in payload} == {"v1", "v2", "v3", "v4", "v5"}
+
+    def test_scenario_list_json(self, capsys):
+        assert main(["scenario", "--list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in payload}
+        assert "cluster-small" in names
+
+    def test_sweep_json_serialises_cells(self, capsys):
+        assert main(
+            ["sweep", "--base", "cluster-small", "--axis", "num_edges=1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["cells"]) == 1
+        validate_report(payload["cells"][0]["report"])
+
+    def test_output_writes_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(
+            ["run", "--video", "v1", "--frames", "8", "--json", "--output", str(target)]
+        ) == 0
+        assert capsys.readouterr().out == ""
+        validate_report(json.loads(target.read_text()))
+
+
+class TestInvalidInput:
+    """Bad arguments exit 2 with a message instead of raising a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--frames", "0"],
+            ["run", "--frames", "-5"],
+            ["run", "--lower", "0.8", "--upper", "0.2"],
+            ["run", "--lower", "-0.1", "--upper", "0.5"],
+            ["run", "--upper", "1.5"],
+            ["tune", "--frames", "0"],
+            ["tune", "--target", "0"],
+            ["tune", "--target", "1.5"],
+            ["tune", "--target", "-0.3"],
+            ["compare", "--frames", "-1"],
+            ["compare", "--target", "2.0"],
+            ["cluster", "--edges", "0"],
+            ["cluster", "--streams", "-1"],
+            ["cluster", "--frames", "0"],
+            ["cluster", "--fps", "0"],
+            ["cluster", "--cloud-servers", "-1"],
+            ["scenario"],
+            ["scenario", "no-such-scenario"],
+            ["sweep"],
+            ["sweep", "no-such-sweep"],
+            ["sweep", "--axis", "not_a_field=1"],
+            ["sweep", "--axis", "num_edges"],
+            ["sweep", "--base", "no-such-scenario", "--axis", "num_edges=1"],
+            ["sweep", "cluster-scaleout", "--axis", "num_edges=1"],
+            ["sweep", "--base", "cluster-small", "--axis", "num_edges=two"],
+            ["sweep", "--base", "cluster-small", "--axis", "frames=0,-1"],
+            ["sweep", "--base", "fig2-v1", "--axis", "num_edges=1,2"],
+            ["videos", "--output", "/no/such/dir/out.txt"],
+        ],
+    )
+    def test_exits_2_with_a_message(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert captured.out == ""
