@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""CI gate: diff the new ``BENCH_cluster.json`` against the previous one.
+
+Usage::
+
+    python benchmarks/compare_reports.py \
+        --baseline /path/to/previous/BENCH_cluster.json \
+        --candidate benchmarks/results/BENCH_cluster.json \
+        [--threshold 0.2]
+
+Exits 1 when any gated metric (cluster throughput, mean queue delay)
+drifts more than ``--threshold`` relative to the baseline on a matching
+cell, 0 otherwise.  A missing baseline file is not an error — the first
+run of a branch has nothing to compare against — the gate reports that
+and passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.regression import DEFAULT_THRESHOLD, compare_artifact_files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="previous BENCH_cluster.json")
+    parser.add_argument("--candidate", required=True, help="freshly generated BENCH_cluster.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated relative drift per gated metric (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    if not Path(args.baseline).is_file():
+        print(f"no baseline artifact at {args.baseline}; nothing to gate against — PASS")
+        return 0
+    if not Path(args.candidate).is_file():
+        print(f"candidate artifact {args.candidate} is missing — FAIL", file=sys.stderr)
+        return 1
+
+    result = compare_artifact_files(args.baseline, args.candidate, threshold=args.threshold)
+    print(result.describe())
+    return 0 if result.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

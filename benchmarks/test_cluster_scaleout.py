@@ -6,9 +6,13 @@ For every cluster size the sweep runs both a uniform (round-robin) and a
 skewed (hotspot) placement and records throughput, queueing delay, the
 cross-partition transaction fraction, and the 2PC abort rate.  Two more
 sweeps exercise the engine-level additions: a cloud-contention sweep
-(1→4 cloud servers against an unbounded baseline) and a runtime-migration
+(1→4 cloud servers against an unbounded baseline), a runtime-migration
 comparison (``migrating`` vs ``least-loaded`` on a hotspot workload with
-unequal stream lengths).
+unequal stream lengths), and a transaction-policy grid (immediate vs
+batched vs async 2PC, asserting that batching amortises coordinator
+round trips and async hides prepare latency).  Grids run on a process
+pool (``Sweep.run(max_workers=...)``); bit-identity to serial execution
+is pinned by ``test_parallel_sweep_matches_serial_execution``.
 
 All three grids run through the declarative experiment layer: each is a
 registered :class:`repro.experiments.Sweep` (``cluster-scaleout``,
@@ -42,7 +46,7 @@ import pytest
 from repro.analysis.tables import format_table
 from repro.experiments import RunReport, get_scenario, get_sweep, run, validate_report
 
-from bench_common import BENCH_SEED
+from bench_common import BENCH_SEED  # noqa: E402  (benchmarks path setup)
 
 EDGE_COUNTS = (1, 2, 4, 8)
 PLACEMENTS = ("round-robin", "hotspot")
@@ -72,9 +76,11 @@ def _run_cell(num_edges: int, placement: str, seed: int) -> dict:
 def scaleout_results(report_writer):
     sweep = get_sweep("cluster-scaleout")
     assert sweep.base.seed == BENCH_SEED, "registered sweep must share the bench seed"
+    # Sweep cells are independent seeded runs: fan the 8-cell grid over a
+    # process pool (identity to serial execution is pinned below).
     results = {
         (cell.assignment["num_edges"], cell.assignment["router"]): _cell(cell.report)
-        for cell in sweep.run()
+        for cell in sweep.run(max_workers=2)
     }
     rows = [
         [
@@ -160,9 +166,87 @@ def migration_results(report_writer):
     return results
 
 
+@pytest.fixture(scope="module")
+def txn_policy_results(report_writer):
+    """Immediate vs batched vs async 2PC on the contention cluster."""
+    results = {
+        cell.assignment["transaction_policy"]: _cell(cell.report)
+        for cell in get_sweep("txn-policies").run(max_workers=2)
+    }
+    rows = [
+        [
+            policy,
+            int(cell["report"]["coordinator_round_trips"]),
+            f"{_round_trips_per_txn(cell):.2f}",
+            int(cell["report"]["coordinator_batches"]),
+            f"{cell['report']['overlap_saved_ms']:.1f}",
+            f"{cell['report']['latency']['commit_protocol_ms']:.2f}",
+            f"{cell['report']['latency']['final_ms']:.0f}",
+        ]
+        for policy, cell in results.items()
+    ]
+    report_writer(
+        "cluster_txn_policies",
+        format_table(
+            [
+                "policy",
+                "coordinator RTs",
+                "RTs / cross-edge txn",
+                "batches",
+                "overlap saved (ms)",
+                "commit protocol (ms)",
+                "final latency (ms)",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
+def _round_trips_per_txn(cell: dict) -> float:
+    report = cell["report"]
+    txns = report["cross_partition_txns"]
+    return report["coordinator_round_trips"] / txns if txns else 0.0
+
+
 def test_every_cell_completes(scaleout_results):
     for cell in scaleout_results.values():
         assert cell["frames"] == NUM_STREAMS * FRAMES_PER_STREAM
+
+
+def test_parallel_sweep_matches_serial_execution(scaleout_results):
+    """Acceptance: the process-pool grid is bit-identical to serial cells."""
+    for num_edges, placement in ((1, "round-robin"), (4, "hotspot")):
+        spec = get_scenario("cluster-uniform").with_(num_edges=num_edges, router=placement)
+        serial = run(spec)
+        assert scaleout_results[(num_edges, placement)]["report"] == serial.to_dict()
+
+
+def test_batched_2pc_amortises_coordinator_round_trips(txn_policy_results):
+    """Acceptance: batched 2PC reduces mean coordinator round trips per
+    cross-edge transaction versus immediate 2PC."""
+    immediate = _round_trips_per_txn(txn_policy_results["immediate-2pc"])
+    batched = _round_trips_per_txn(txn_policy_results["batched-2pc"])
+    assert immediate > 0.0
+    assert batched < immediate
+    assert txn_policy_results["batched-2pc"]["report"]["coordinator_batches"] > 0
+
+
+def test_async_2pc_hides_prepare_latency(txn_policy_results):
+    report = txn_policy_results["async-2pc"]["report"]
+    assert report["overlap_saved_ms"] > 0.0
+    assert (
+        report["coordinator_round_trips"]
+        == txn_policy_results["immediate-2pc"]["report"]["coordinator_round_trips"]
+    )
+
+
+def test_policies_agree_on_everything_but_the_coordinator(txn_policy_results):
+    baseline = txn_policy_results["immediate-2pc"]
+    for cell in txn_policy_results.values():
+        assert cell["f_score"] == baseline["f_score"]
+        assert cell["frames"] == baseline["frames"]
+        assert cell["num_cross_partition_txns"] == baseline["num_cross_partition_txns"]
 
 
 def test_every_cell_round_trips_through_the_schema(scaleout_results):
@@ -221,7 +305,7 @@ def test_migration_reduces_max_edge_utilization(migration_results):
 
 
 def test_emit_bench_cluster_artifact(
-    scaleout_results, cloud_contention_results, migration_results
+    scaleout_results, cloud_contention_results, migration_results, txn_policy_results
 ):
     """Write every sweep cell to ``results/BENCH_cluster.json``.
 
@@ -245,6 +329,10 @@ def test_emit_bench_cluster_artifact(
         ],
         "migration": [
             {"placement": policy, **cell} for policy, cell in migration_results.items()
+        ],
+        "txn_policies": [
+            {"transaction_policy": policy, **cell}
+            for policy, cell in txn_policy_results.items()
         ],
     }
     ARTIFACT_PATH.parent.mkdir(exist_ok=True)

@@ -1,0 +1,151 @@
+"""Perf-regression gating over benchmark artifacts.
+
+``benchmarks/results/BENCH_cluster.json`` is the machine-readable perf
+trajectory CI uploads per commit.  :func:`compare_artifacts` diffs two
+of those artifacts — the previous run's and the candidate's — cell by
+cell and reports every gated metric whose relative drift exceeds a
+threshold, so a commit that silently halves cluster throughput or blows
+up queueing delay fails CI instead of landing.
+
+Cells are matched by section and axis assignment (``scaleout`` cells by
+``(edges, placement)``, ``cloud_contention`` by ``cloud_servers``, and
+so on); cells present in only one artifact are reported as added/removed
+but never fail the gate — growing the grid is not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+#: Artifact sections and the axis keys that identify a cell within them.
+SECTION_KEYS: dict[str, tuple[str, ...]] = {
+    "scaleout": ("edges", "placement"),
+    "cloud_contention": ("cloud_servers",),
+    "migration": ("placement",),
+    "txn_policies": ("transaction_policy",),
+}
+
+#: Metrics the gate watches, all read from the legacy summary keys every
+#: cell carries.  Throughput regressions are drops; delay regressions are
+#: rises — :func:`compare_artifacts` treats drift in either direction as
+#: suspect, since a seeded benchmark should not move at all without a
+#: behavioural change.
+GATED_METRICS = ("throughput_fps", "mean_queue_delay_ms")
+
+#: Default tolerated relative drift (20%).
+DEFAULT_THRESHOLD = 0.2
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One gated metric moving between two artifacts."""
+
+    section: str
+    cell: tuple[Any, ...]
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative_drift(self) -> float:
+        """|candidate - baseline| / |baseline| (1.0 when baseline is 0)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.candidate == 0.0 else 1.0
+        return abs(self.candidate - self.baseline) / abs(self.baseline)
+
+    def describe(self) -> str:
+        return (
+            f"{self.section}{list(self.cell)}: {self.metric} "
+            f"{self.baseline:.3f} -> {self.candidate:.3f} "
+            f"({self.relative_drift:+.1%} drift)"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of diffing a candidate artifact against a baseline."""
+
+    threshold: float
+    compared_cells: int = 0
+    regressions: list[MetricDrift] = field(default_factory=list)
+    added_cells: list[str] = field(default_factory=list)
+    removed_cells: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [
+            f"compared {self.compared_cells} cells at {self.threshold:.0%} drift threshold"
+        ]
+        for drift in self.regressions:
+            lines.append(f"REGRESSION {drift.describe()}")
+        for name in self.added_cells:
+            lines.append(f"new cell (not gated): {name}")
+        for name in self.removed_cells:
+            lines.append(f"cell dropped from candidate: {name}")
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def _index_cells(
+    artifact: Mapping[str, Any]
+) -> dict[tuple[str, tuple[Any, ...]], Mapping[str, Any]]:
+    cells: dict[tuple[str, tuple[Any, ...]], Mapping[str, Any]] = {}
+    for section, keys in SECTION_KEYS.items():
+        for cell in artifact.get(section, ()):
+            identity = tuple(cell.get(key) for key in keys)
+            cells[(section, identity)] = cell
+    return cells
+
+
+def compare_artifacts(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    metrics: Sequence[str] = GATED_METRICS,
+) -> ComparisonResult:
+    """Diff two ``BENCH_cluster.json`` payloads; collect gated drifts."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    result = ComparisonResult(threshold=threshold)
+    base_cells = _index_cells(baseline)
+    cand_cells = _index_cells(candidate)
+
+    for key in sorted(set(base_cells) - set(cand_cells), key=repr):
+        result.removed_cells.append(f"{key[0]}{list(key[1])}")
+    for key in sorted(set(cand_cells) - set(base_cells), key=repr):
+        result.added_cells.append(f"{key[0]}{list(key[1])}")
+
+    for key in sorted(set(base_cells) & set(cand_cells), key=repr):
+        section, identity = key
+        base_cell, cand_cell = base_cells[key], cand_cells[key]
+        result.compared_cells += 1
+        for metric in metrics:
+            if metric not in base_cell or metric not in cand_cell:
+                continue
+            drift = MetricDrift(
+                section=section,
+                cell=identity,
+                metric=metric,
+                baseline=float(base_cell[metric]),
+                candidate=float(cand_cell[metric]),
+            )
+            if drift.relative_drift > threshold:
+                result.regressions.append(drift)
+    return result
+
+
+def compare_artifact_files(
+    baseline_path: str | Path,
+    candidate_path: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonResult:
+    """File-level wrapper around :func:`compare_artifacts`."""
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    candidate = json.loads(Path(candidate_path).read_text(encoding="utf-8"))
+    return compare_artifacts(baseline, candidate, threshold=threshold)

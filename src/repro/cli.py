@@ -32,6 +32,7 @@ from typing import Any, Sequence
 
 from repro.analysis.tables import format_table
 from repro.cluster.router import ROUTER_POLICIES
+from repro.transactions.policy import TXN_POLICIES
 from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
 from repro.experiments import (
     ScenarioSpec,
@@ -75,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["ms-ia", "ms-sr"],
         default="ms-ia",
         help="multi-stage safety level",
+    )
+    run_parser.add_argument(
+        "--txn-policy",
+        choices=list(TXN_POLICIES),
+        default="immediate-2pc",
+        help="commit policy of the consistency layer",
     )
 
     tune_parser = subparsers.add_parser(
@@ -126,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="ms-ia",
         help="multi-stage safety level",
     )
+    cluster_parser.add_argument(
+        "--txn-policy",
+        choices=list(TXN_POLICIES),
+        default="immediate-2pc",
+        help="commit policy of the consistency layer",
+    )
+    cluster_parser.add_argument(
+        "--discipline",
+        choices=["fifo", "priority"],
+        default="fifo",
+        help="edge-server admission discipline (priority lets initial stages preempt finals)",
+    )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
     scenario_parser = subparsers.add_parser(
@@ -134,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument("name", nargs="?", help="registered scenario name")
     scenario_parser.add_argument(
         "--list", action="store_true", help="list the registered scenarios"
+    )
+    scenario_parser.add_argument(
+        "--txn-policy",
+        choices=list(TXN_POLICIES),
+        default=None,
+        help="override the scenario's commit policy",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -153,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCENARIO",
         default=None,
         help="registered scenario the axes sweep over (for --axis sweeps)",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run sweep cells on a process pool of this size (cells are "
+        "independent seeded runs; results are identical to serial)",
     )
 
     subparsers.add_parser("videos", parents=[output], help="list the available video workloads")
@@ -229,6 +261,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             lower_threshold=args.lower,
             upper_threshold=args.upper,
             consistency=args.consistency,
+            transaction_policy=args.txn_policy,
         )
     except ValueError as error:
         return _fail("run", str(error))
@@ -351,6 +384,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             router=args.router,
             fps=args.fps,
             cloud_servers=args.cloud_servers or None,
+            transaction_policy=args.txn_policy,
+            edge_discipline=args.discipline,
         )
     except ValueError as error:
         return _fail("cluster", str(error))
@@ -389,6 +424,18 @@ def _cluster_text(report: RunReport) -> str:
             ],
         ),
     ]
+    if report.coordinator_round_trips:
+        line = (
+            f"transaction policy: {report.transaction_policy} — "
+            f"{report.coordinator_round_trips} coordinator round trips over "
+            f"{report.cross_partition_txns} cross-partition txns "
+            f"({report.round_trips_per_cross_partition_txn:.2f}/txn)"
+        )
+        if report.coordinator_batches:
+            line += f", {report.coordinator_batches} batches"
+        if report.overlap_saved_ms:
+            line += f", {report.overlap_saved_ms:.1f} ms prepare overlap saved"
+        blocks.append(line)
     cloud = report.cloud_queue or {}
     if cloud.get("queued"):
         blocks.append(
@@ -458,6 +505,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         spec = get_scenario(args.name)
     except KeyError as error:
         return _fail("scenario", str(error.args[0]))
+    if args.txn_policy is not None:
+        spec = spec.with_(transaction_policy=args.txn_policy)
     report = run_scenario(spec)
     table = format_table(_REPORT_HEADERS, [_report_row(args.name, report)])
     if report.deployment == "cluster":
@@ -495,8 +544,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ValueError as error:
             return _fail("sweep", str(error))
 
+    if args.workers < 1:
+        return _fail("sweep", f"--workers must be at least 1, got {args.workers}")
     try:
-        result = sweep.run()
+        result = sweep.run(max_workers=args.workers)
     except (ValueError, TypeError) as error:
         return _fail("sweep", str(error))
     if not result.cells:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.edge import EdgeNode
 from repro.detection.profiles import ModelProfile
+from repro.network.channel import Channel
 from repro.network.topology import MachineProfile
 from repro.sim.engine import Server
 from repro.storage.partition import PartitionedStore
@@ -26,6 +27,7 @@ from repro.transactions.distributed import (
     DistributedTwoStage2PL,
 )
 from repro.transactions.ms_sr import ControllerStats
+from repro.transactions.policy import TransactionPolicy, make_policy
 
 
 class EdgeReplica:
@@ -51,6 +53,15 @@ class EdgeReplica:
         remote: their locks and writes route to the owning replica.
     consistency:
         ``"ms-sr"`` or ``"ms-ia"``; selects the distributed controller.
+    transaction_policy:
+        Commit policy wrapped around the controller (see
+        :data:`repro.transactions.policy.TXN_POLICIES`).  The batched
+        and async policies need ``coordinator_channel`` to draw their
+        round-trip durations from.
+    discipline:
+        Admission discipline of this replica's server: ``"fifo"`` (the
+        default) or ``"priority"``, under which initial stages overtake
+        queued final stages.
     """
 
     def __init__(
@@ -65,14 +76,34 @@ class EdgeReplica:
         consistency: str = "ms-ia",
         min_confidence: float = 0.05,
         match_overlap: float = 0.10,
+        transaction_policy: str = "immediate-2pc",
+        coordinator_channel: Channel | None = None,
+        discipline: str = "fifo",
     ) -> None:
         self.edge_id = edge_id
         self.owned_partitions = frozenset(owned_partitions)
+        self.discipline = discipline
         #: Finite-capacity server modelling this edge's processor: every
         #: frame stage is admitted here and served for its measured cost.
-        self.server = Server(capacity=1, name=f"edge-{edge_id}")
+        self.server = Server(capacity=1, name=f"edge-{edge_id}", discipline=discipline)
         self.streams: list[str] = []
 
+        # The replica's consistency stack: a distributed controller over
+        # the shared store — same process_initial / process_final
+        # interface as the node's private controller, but lock requests
+        # route to the owning partitions and commits run 2PC — wrapped in
+        # the selected transaction policy.  The node delegates every
+        # section through the policy seam.
+        if consistency == "ms-sr":
+            controller: DistributedMSIAController = DistributedTwoStage2PL(store)
+        else:
+            controller = DistributedMSIAController(store)
+        self.policy: TransactionPolicy = make_policy(
+            transaction_policy,
+            controller,
+            owned_partitions=self.owned_partitions,
+            channel=coordinator_channel,
+        )
         self.node = EdgeNode(
             profile=profile,
             machine=machine,
@@ -81,16 +112,8 @@ class EdgeReplica:
             min_confidence=min_confidence,
             match_overlap=match_overlap,
             consistency=consistency,
+            policy=self.policy,
         )
-        # Swap the node's private single-partition controller for a
-        # distributed one over the shared store: same process_initial /
-        # process_final interface, but lock requests route to the owning
-        # partitions and commits run 2PC.
-        if consistency == "ms-sr":
-            self.controller: DistributedMSIAController = DistributedTwoStage2PL(store)
-        else:
-            self.controller = DistributedMSIAController(store)
-        self.node.controller = self.controller  # type: ignore[assignment]
 
     @property
     def machine(self) -> MachineProfile:
@@ -98,9 +121,14 @@ class EdgeReplica:
         return self.node.machine
 
     @property
+    def controller(self) -> DistributedMSIAController:
+        """The raw distributed controller behind the policy."""
+        return self.policy.controller
+
+    @property
     def stats(self) -> ControllerStats:
         """Commit/abort counters of this replica's controller."""
-        return self.controller.stats
+        return self.policy.stats
 
     def assign_stream(self, stream_name: str) -> None:
         """Record that a stream was placed on this replica."""
@@ -108,8 +136,14 @@ class EdgeReplica:
 
     def reset_run_state(self) -> None:
         """Fresh server and stream assignments for a new cluster run."""
-        self.server = Server(capacity=1, name=f"edge-{self.edge_id}")
+        self.server = Server(
+            capacity=1, name=f"edge-{self.edge_id}", discipline=self.discipline
+        )
         self.streams = []
+        # Discard frame charges, open batches, and issued prepares left
+        # over from an interrupted run; the new run must not be billed
+        # for them.
+        self.policy.reset()
 
     def remove_stream(self, stream_name: str) -> None:
         """Forget a stream that migrated away from this replica."""

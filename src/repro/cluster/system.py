@@ -55,6 +55,7 @@ from repro.core.system import LABELS_MESSAGE_BYTES, observed_labels
 from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
 from repro.detection.metrics import aggregate_reports, evaluate_detections
 from repro.network.channel import Channel
+from repro.network.latency import SAME_REGION
 from repro.network.topology import MachineProfile
 from repro.sim.engine import Engine, Server
 from repro.sim.events import EventLog
@@ -62,6 +63,7 @@ from repro.sim.rng import RngRegistry
 from repro.storage.partition import PartitionedStore
 from repro.transactions.bank import ANY_LABEL, TransactionBank
 from repro.transactions.ms_sr import ControllerStats
+from repro.transactions.policy import PolicyStats
 from repro.video.synthetic import SyntheticVideo
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.ycsb import YCSBWorkload
@@ -111,6 +113,15 @@ class ClusterConfig:
         Length (seconds) of the sliding window over which the migrating
         router observes edge utilization; a short window reacts to
         recent overload instead of the whole run's average.
+    edge_discipline:
+        Admission discipline of the edge servers: ``"fifo"`` (the
+        default, arrival-ordered) or ``"priority"``, under which a
+        frame's initial stage overtakes queued final stages — the
+        fast-response path the engine's priority servers exist for.
+
+    The commit policy of the consistency layer comes from
+    ``base.transaction_policy`` (see
+    :data:`repro.transactions.policy.TXN_POLICIES`).
     """
 
     base: CroesusConfig = field(default_factory=CroesusConfig)
@@ -124,6 +135,7 @@ class ClusterConfig:
     migration_high: float = 0.85
     migration_low: float = 0.5
     migration_window: float = 1.0
+    edge_discipline: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.num_edges < 1:
@@ -148,6 +160,11 @@ class ClusterConfig:
             )
         if self.migration_window <= 0:
             raise ValueError("migration_window must be positive")
+        if self.edge_discipline not in Server.DISCIPLINES:
+            known = ", ".join(Server.DISCIPLINES)
+            raise ValueError(
+                f"unknown edge_discipline {self.edge_discipline!r}; expected one of {known}"
+            )
 
     @property
     def num_partitions(self) -> int:
@@ -158,6 +175,11 @@ class ClusterConfig:
     def seed(self) -> int:
         """Master seed of the cluster (the base config's seed)."""
         return self.base.seed
+
+    @property
+    def transaction_policy(self) -> str:
+        """Commit policy of the consistency layer (from the base config)."""
+        return self.base.transaction_policy
 
     def with_edges(self, num_edges: int) -> "ClusterConfig":
         """Copy of this config with a different cluster size."""
@@ -225,6 +247,8 @@ class ClusterRunResult:
     multi_partition_transactions: int = 0
     cloud_servers: int | None = None
     migrations: tuple[MigrationRecord, ...] = ()
+    transaction_policy: str = "immediate-2pc"
+    policy_stats: PolicyStats = field(default_factory=PolicyStats)
 
     @property
     def final_placements(self) -> dict[str, int]:
@@ -263,6 +287,35 @@ class ClusterRunResult:
     def two_phase_abort_rate(self) -> float:
         """Fraction of attempted transactions aborted cluster-wide."""
         return self.stats.abort_rate
+
+    @property
+    def coordinator_round_trips(self) -> int:
+        """Modelled coordinator round trips across all replicas."""
+        return self.policy_stats.coordinator_round_trips
+
+    @property
+    def round_trips_per_cross_edge_txn(self) -> float:
+        """Mean coordinator round trips per cross-edge transaction —
+        the number the batched policy exists to drive down."""
+        if not self.cross_edge_transactions:
+            return 0.0
+        return self.policy_stats.coordinator_round_trips / self.cross_edge_transactions
+
+    def policy_summary(self) -> dict[str, float]:
+        """Headline coordinator metrics of the active transaction policy.
+
+        Kept out of :meth:`summary` — whose key set is pinned by the
+        golden determinism tests — so policy experiments get their
+        numbers without disturbing the legacy trajectory schema.
+        """
+        return {
+            "coordinator_round_trips": float(self.policy_stats.coordinator_round_trips),
+            "cross_partition_commits": float(self.policy_stats.cross_partition_commits),
+            "commit_batches": float(self.policy_stats.commit_batches),
+            "coordinator_time_ms": self.policy_stats.coordinator_time_s * 1000.0,
+            "overlap_saved_ms": self.policy_stats.overlap_saved_s * 1000.0,
+            "round_trips_per_cross_edge_txn": self.round_trips_per_cross_edge_txn,
+        }
 
     @property
     def mean_queue_delay(self) -> float:
@@ -401,20 +454,29 @@ class ClusterSystem:
                     (edge_id + 1) * config.partitions_per_edge,
                 )
             )
-            self.replicas.append(
-                EdgeReplica(
-                    edge_id=edge_id,
-                    profile=base.edge_profile,
-                    machine=machines[edge_id % len(machines)],
-                    bank=bank_factory(edge_id),
-                    rng=self.rngs.stream(f"edge-model-{edge_id}"),
-                    store=self.store,
-                    owned_partitions=owned,
-                    consistency=consistency,
-                    min_confidence=base.min_confidence,
-                    match_overlap=base.match_overlap,
-                )
+            replica = EdgeReplica(
+                edge_id=edge_id,
+                profile=base.edge_profile,
+                machine=machines[edge_id % len(machines)],
+                bank=bank_factory(edge_id),
+                rng=self.rngs.stream(f"edge-model-{edge_id}"),
+                store=self.store,
+                owned_partitions=owned,
+                consistency=consistency,
+                min_confidence=base.min_confidence,
+                match_overlap=base.match_overlap,
+                transaction_policy=base.transaction_policy,
+                # Coordinator <-> participant messaging rides an
+                # intra-cluster (same-region) link with its own stream,
+                # so policies that model it never perturb the seeded
+                # draws of the frame pipeline.
+                coordinator_channel=Channel(
+                    SAME_REGION, self.rngs.stream(f"txn-coordinator-{edge_id}")
+                ),
+                discipline=config.edge_discipline,
             )
+            replica.policy.on_flush = self._make_flush_recorder(edge_id)
+            self.replicas.append(replica)
             self._client_edge.append(
                 Channel(base.topology.client_edge_link, self.rngs.stream(f"client-edge-{edge_id}"))
             )
@@ -436,6 +498,21 @@ class ClusterSystem:
             migration_high=config.migration_high,
             migration_low=config.migration_low,
         )
+
+    def _make_flush_recorder(self, edge_id: int):
+        """Event-log hook for one replica's batched-coordinator flushes."""
+
+        def record(when: float, transactions: int, remote: frozenset[int], duration: float) -> None:
+            self.events.record(
+                when,
+                "txn_batch_flush",
+                edge=edge_id,
+                transactions=transactions,
+                participants=len(remote),
+                duration=duration,
+            )
+
+        return record
 
     # -- public API ---------------------------------------------------------
     def run(self, streams: Sequence[SyntheticVideo]) -> ClusterRunResult:
@@ -479,6 +556,7 @@ class ClusterSystem:
             for r in self.replicas
         ]
         pre_records = [frozenset(r.controller.commit_records) for r in self.replicas]
+        pre_policy = [r.policy.policy_stats.snapshot() for r in self.replicas]
 
         # Per-run execution state shared by the frame processes.
         state = _RunState(
@@ -494,8 +572,14 @@ class ClusterSystem:
                 name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
             )
         state.engine.run()
+        # Flush any coordinator batches still open at the end of the run
+        # (latency lands in the policy stats; no frame is left waiting).
+        for replica in self.replicas:
+            replica.policy.commit(now=state.makespan)
 
-        return self._collect(names, placements, results, state, pre_stats, pre_records)
+        return self._collect(
+            names, placements, results, state, pre_stats, pre_records, pre_policy
+        )
 
     # -- per-frame pipeline -------------------------------------------------
     def _frame_process(
@@ -518,8 +602,14 @@ class ClusterSystem:
         )
         # The frame holds its place in the edge's queue from the moment it
         # arrives; service cannot start before the client->edge transfer
-        # lands (the admission's ready time).
-        admission = replica.server.admit(engine.now + edge_transfer)
+        # lands (the admission's ready time).  Under the priority
+        # discipline, initial stages reserve eagerly (priority 1) while
+        # final stages defer their admission until the server is really
+        # free — so an arriving initial always overtakes queued finals.
+        priority_serving = replica.server.discipline == "priority"
+        admission = replica.server.admit(
+            engine.now + edge_transfer, priority=1 if priority_serving else 0
+        )
         queue_delay = admission.wait
 
         edge_labels_raw, edge_detection = replica.node.detect(frame)
@@ -529,7 +619,10 @@ class ClusterSystem:
             now=admission.start + edge_detection,
             detection_latency=edge_detection,
         )
-        initial_done = replica.server.complete(admission, edge_detection + initial.txn_latency)
+        initial_charge, _ = replica.policy.drain_frame_costs()
+        initial_done = replica.server.complete(
+            admission, edge_detection + initial.txn_latency + initial_charge
+        )
         state.frames_on_edge[edge_id] += 1
         client.render(
             ClientResponse(
@@ -596,13 +689,26 @@ class ClusterSystem:
         # serving other frames meanwhile.
         yield engine.at(final_ready)
 
-        final_admission = replica.server.admit(engine.now)
+        final_ready_at = engine.now
+        if priority_serving:
+            # A queued final does not hold a reservation: it sleeps until
+            # the server's next free instant and contends again, waking
+            # at low event priority so that same-instant initial-stage
+            # events reserve first.  Every initial that arrives while the
+            # edge is backlogged therefore preempts this final; the time
+            # lost shows up in the final queue delay below.
+            while replica.server.next_free() > engine.now:
+                yield engine.at(replica.server.next_free(), priority=1)
+        final_admission = replica.server.admit(final_ready_at, priority=0)
         final = replica.node.process_final_stage(
             initial,
             cloud_labels if send_to_cloud else None,
             now=final_admission.start,
         )
-        final_done = replica.server.complete(final_admission, final.txn_latency)
+        final_charge, overlap_saved = replica.policy.drain_frame_costs()
+        final_done = replica.server.complete(
+            final_admission, final.txn_latency + final_charge
+        )
         state.makespan = max(state.makespan, final_done)
         client.render(
             ClientResponse(
@@ -641,6 +747,8 @@ class ClusterSystem:
             queue_delay=queue_delay,
             final_queue_delay=final_admission.wait,
             cloud_queue_delay=cloud_queue_delay,
+            commit_protocol=initial_charge + final_charge,
+            commit_overlap_saved=overlap_saved,
         )
         results[arrival.stream_name].add(
             FrameTrace(
@@ -711,16 +819,19 @@ class ClusterSystem:
         state: _RunState,
         pre_stats: list[tuple[int, int, int]],
         pre_records: list[frozenset[str]],
+        pre_policy: list[PolicyStats],
     ) -> ClusterRunResult:
         stats = ControllerStats()
+        policy_stats = PolicyStats()
         total = cross_edge = multi_partition = 0
         edges: list[EdgeMetrics] = []
-        for replica, (initial0, final0, aborts0), seen in zip(
-            self.replicas, pre_stats, pre_records
+        for replica, (initial0, final0, aborts0), seen, policy0 in zip(
+            self.replicas, pre_stats, pre_records, pre_policy
         ):
             stats.initial_commits += replica.stats.initial_commits - initial0
             stats.final_commits += replica.stats.final_commits - final0
             stats.aborts += replica.stats.aborts - aborts0
+            policy_stats.merge(replica.policy.policy_stats.since(policy0))
             replica_total, replica_cross, replica_multi = (
                 replica.transaction_partition_counts(exclude=seen)
             )
@@ -753,6 +864,8 @@ class ClusterSystem:
             multi_partition_transactions=multi_partition,
             cloud_servers=self.config.cloud_servers,
             migrations=tuple(state.migrations),
+            transaction_policy=self.config.transaction_policy,
+            policy_stats=policy_stats,
         )
 
     # -- banks --------------------------------------------------------------

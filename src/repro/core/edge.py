@@ -33,6 +33,7 @@ from repro.transactions.history import History
 from repro.transactions.model import MultiStageTransaction
 from repro.transactions.ms_ia import MSIAController
 from repro.transactions.ms_sr import TwoStage2PL
+from repro.transactions.policy import ImmediatePolicy, TransactionPolicy
 from repro.video.frames import Frame
 
 
@@ -88,6 +89,7 @@ class EdgeNode:
         consistency: str = "ms-ia",
         history: History | None = None,
         enable_feedback: bool = False,
+        policy: TransactionPolicy | None = None,
     ) -> None:
         self._machine = machine
         self._detector = SimulatedDetector(profile, rng, latency_scale=machine.compute_scale)
@@ -98,12 +100,22 @@ class EdgeNode:
         self.smoother = TemporalSmoother() if enable_feedback else None
         self.store = KeyValueStore()
         self.locks = LockManager()
-        if consistency == "ms-sr":
-            self.controller: TwoStage2PL | MSIAController = TwoStage2PL(
-                self.store, self.locks, history=history
-            )
-        else:
-            self.controller = MSIAController(self.store, self.locks, history=history)
+        # All transaction processing goes through the policy seam: when no
+        # policy is given, the node builds the consistency level's plain
+        # controller behind the default immediate policy — bit-for-bit the
+        # legacy behaviour.  A caller-supplied policy (a distributed
+        # controller behind batched/async 2PC, say) replaces the whole
+        # stack; the node keeps delegating blindly either way.
+        if policy is None:
+            if consistency == "ms-sr":
+                controller: TwoStage2PL | MSIAController = TwoStage2PL(
+                    self.store, self.locks, history=history
+                )
+            else:
+                controller = MSIAController(self.store, self.locks, history=history)
+            policy = ImmediatePolicy(controller)
+        self.policy = policy
+        self.controller = policy.controller
 
     @property
     def model_name(self) -> str:
@@ -159,7 +171,7 @@ class EdgeNode:
         for transaction, detection in triggered_pairs:
             entry = TriggeredTransaction(transaction=transaction, trigger_detection=detection)
             try:
-                entry.initial_result = self.controller.process_initial(
+                entry.initial_result = self.policy.process_initial(
                     transaction, labels=detection, now=now
                 )
             except TransactionAborted:
@@ -210,8 +222,8 @@ class EdgeNode:
         missed_pairs = self._bank.transactions_for(report.unmatched_cloud, auxiliary_input=False)
         for transaction, detection in missed_pairs:
             try:
-                self.controller.process_initial(transaction, labels=detection, now=now)
-                self.controller.process_final(transaction, labels=detection, now=now)
+                self.policy.process_initial(transaction, labels=detection, now=now)
+                self.policy.process_final(transaction, labels=detection, now=now)
                 outcome.new_transactions += 1
                 outcome.txn_latency += self._transaction_cost(transaction)
             except TransactionAborted:
@@ -226,7 +238,7 @@ class EdgeNode:
         now: float,
     ) -> None:
         try:
-            self.controller.process_final(entry.transaction, labels=corrected, now=now)
+            self.policy.process_final(entry.transaction, labels=corrected, now=now)
         except TransactionAborted:
             return
         outcome.apologies = outcome.apologies + entry.transaction.apologies

@@ -34,6 +34,13 @@ class LatencyBreakdown:
     (:attr:`~repro.cluster.system.ClusterConfig.cloud_servers`), in
     which case concurrent validations contend for the cloud just like
     frames contend for their edge.
+
+    ``commit_protocol`` is the coordinator messaging time the frame's
+    transactions were charged by the active transaction policy (always 0
+    under the default immediate policy, whose commits are free), and
+    ``commit_overlap_saved`` the prepare time the ``async-2pc`` policy
+    hid under the frame's cloud round trip — informational, it is *not*
+    part of :attr:`final_latency`.
     """
 
     edge_transfer: float = 0.0
@@ -45,6 +52,8 @@ class LatencyBreakdown:
     queue_delay: float = 0.0
     final_queue_delay: float = 0.0
     cloud_queue_delay: float = 0.0
+    commit_protocol: float = 0.0
+    commit_overlap_saved: float = 0.0
 
     @property
     def initial_latency(self) -> float:
@@ -61,6 +70,7 @@ class LatencyBreakdown:
             + self.cloud_detection
             + self.final_queue_delay
             + self.final_txn
+            + self.commit_protocol
         )
 
     @property
@@ -85,6 +95,8 @@ class LatencyBreakdown:
             "queue_delay": self.queue_delay,
             "final_queue_delay": self.final_queue_delay,
             "cloud_queue_delay": self.cloud_queue_delay,
+            "commit_protocol": self.commit_protocol,
+            "commit_overlap_saved": self.commit_overlap_saved,
         }
 
     def scaled(self, factor: float) -> "LatencyBreakdown":
@@ -99,6 +111,8 @@ class LatencyBreakdown:
             queue_delay=self.queue_delay * factor,
             final_queue_delay=self.final_queue_delay * factor,
             cloud_queue_delay=self.cloud_queue_delay * factor,
+            commit_protocol=self.commit_protocol * factor,
+            commit_overlap_saved=self.commit_overlap_saved * factor,
         )
 
     @staticmethod
@@ -116,6 +130,8 @@ class LatencyBreakdown:
             queue_delay=mean(b.queue_delay for b in breakdowns),
             final_queue_delay=mean(b.final_queue_delay for b in breakdowns),
             cloud_queue_delay=mean(b.cloud_queue_delay for b in breakdowns),
+            commit_protocol=mean(b.commit_protocol for b in breakdowns),
+            commit_overlap_saved=mean(b.commit_overlap_saved for b in breakdowns),
         )
 
 

@@ -33,11 +33,18 @@ from repro.detection.labels import Detection, LabelSet
 from repro.detection.matching import match_labels
 from repro.detection.metrics import evaluate_detections
 from repro.network.channel import Channel
+from repro.network.latency import SAME_REGION
 from repro.sim.engine import Engine, Server
 from repro.sim.events import EventLog
 from repro.sim.rng import RngRegistry
+from repro.storage.partition import PartitionedStore
 from repro.transactions.bank import ANY_LABEL, TransactionBank
+from repro.transactions.distributed import (
+    DistributedMSIAController,
+    DistributedTwoStage2PL,
+)
 from repro.transactions.history import History
+from repro.transactions.policy import TransactionPolicy, make_policy
 from repro.video.synthetic import SyntheticVideo
 from repro.workloads.ycsb import YCSBWorkload
 
@@ -120,6 +127,7 @@ class CroesusSystem:
             consistency=consistency,
             history=self.history,
             enable_feedback=config.enable_feedback,
+            policy=self._build_policy(consistency),
         )
         self.cloud = CloudNode(
             profile=config.cloud_profile,
@@ -128,6 +136,36 @@ class CroesusSystem:
         )
         self.client_edge = Channel(config.topology.client_edge_link, self.rngs.stream("client-edge"))
         self.edge_cloud = Channel(config.topology.edge_cloud_link, self.rngs.stream("edge-cloud"))
+
+    def _build_policy(self, consistency: str) -> TransactionPolicy | None:
+        """Commit policy of this deployment, or ``None`` for the default.
+
+        Under the default ``"immediate-2pc"`` the edge node builds its
+        plain single-node controller exactly as it always has.  The
+        batched/async policies need a controller with coordinator
+        hooks, so they run the distributed controllers over a
+        one-partition store (sharing this system's transaction history,
+        so the MS-SR/MS-IA checkers still audit the run) — everything
+        stays local, which makes both policies well-defined (zero
+        remote participants) on a single-edge deployment.  Note the
+        node's committed state then lives in that partitioned store
+        (``system.edge.controller.store``), not in ``edge.store``.
+        """
+        if self.config.transaction_policy == "immediate-2pc":
+            return None
+        store = PartitionedStore(1)
+        if consistency == "ms-sr":
+            controller: DistributedMSIAController = DistributedTwoStage2PL(
+                store, history=self.history
+            )
+        else:
+            controller = DistributedMSIAController(store, history=self.history)
+        return make_policy(
+            self.config.transaction_policy,
+            controller,
+            owned_partitions=frozenset(range(store.num_partitions)),
+            channel=Channel(SAME_REGION, self.rngs.stream("txn-coordinator")),
+        )
 
     # -- public API ---------------------------------------------------------
     def run(self, video: SyntheticVideo, client: Client | None = None) -> RunResult:
@@ -158,7 +196,10 @@ class CroesusSystem:
             self._video_process(engine, edge_server, cloud_server, client, result),
             name=f"video-{video.name}",
         )
-        engine.run()
+        makespan = engine.run()
+        # Flush any coordinator work the commit policy deferred (a no-op
+        # under the default immediate policy).
+        self.edge.policy.commit(now=makespan)
         return result
 
     # -- per-frame pipeline ---------------------------------------------------
@@ -188,7 +229,10 @@ class CroesusSystem:
                 now=admission.start + edge_detection,
                 detection_latency=edge_detection,
             )
-            initial_done = edge_server.complete(admission, edge_detection + initial.txn_latency)
+            initial_charge, _ = self.edge.policy.drain_frame_costs()
+            initial_done = edge_server.complete(
+                admission, edge_detection + initial.txn_latency + initial_charge
+            )
             yield engine.at(initial_done)
             client.render(
                 ClientResponse(
@@ -234,7 +278,10 @@ class CroesusSystem:
             final = self.edge.process_final_stage(
                 initial, cloud_labels if send_to_cloud else None, now=final_admission.start
             )
-            final_done = edge_server.complete(final_admission, final.txn_latency)
+            final_charge, overlap_saved = self.edge.policy.drain_frame_costs()
+            final_done = edge_server.complete(
+                final_admission, final.txn_latency + final_charge
+            )
             yield engine.at(final_done)
             client.render(
                 ClientResponse(
@@ -261,6 +308,8 @@ class CroesusSystem:
                 queue_delay=queue_delay,
                 final_queue_delay=final_admission.wait,
                 cloud_queue_delay=cloud_queue_delay,
+                commit_protocol=initial_charge + final_charge,
+                commit_overlap_saved=overlap_saved,
             )
 
             result.add(

@@ -218,6 +218,29 @@ def _cluster_migration() -> ScenarioSpec:
     return _bench_cluster(num_edges=4, router="migrating", fps=5.0, long_frames=40)
 
 
+@register_scenario(
+    "cluster-priority",
+    "Priority serving: initial stages preempt queued finals on a saturated 2-edge cluster "
+    "with sustained 5 fps arrivals",
+)
+def _cluster_priority() -> ScenarioSpec:
+    # Sustained arrivals matter here: with the default 30 fps burst every
+    # initial is queued before the first final returns, so there is
+    # nothing to preempt.  At 5 fps over 20 frames, finals come back
+    # while initials are still arriving and the discipline is visible.
+    return _bench_cluster(
+        num_edges=2, router="round-robin", fps=5.0, frames=20, edge_discipline="priority"
+    )
+
+
+@register_scenario(
+    "cluster-batched-2pc",
+    "Batched 2PC: coordinator round trips amortised per window on the contention cluster",
+)
+def _cluster_batched_2pc() -> ScenarioSpec:
+    return _bench_cluster(num_edges=4, router="round-robin", transaction_policy="batched-2pc")
+
+
 # -- the cluster sweeps -------------------------------------------------------
 @register_sweep(
     "cluster-scaleout",
@@ -254,6 +277,18 @@ def _migration_policies() -> Sweep:
         base=_bench_cluster(num_edges=4, fps=5.0, long_frames=40),
         axis="router",
         values=("least-loaded", "migrating"),
+    )
+
+
+@register_sweep(
+    "txn-policies",
+    "Transaction-policy grid: immediate vs batched vs async 2PC on the contention cluster",
+)
+def _txn_policies() -> Sweep:
+    return Sweep(
+        base=_bench_cluster(num_edges=4, router="round-robin"),
+        axis="transaction_policy",
+        values=("immediate-2pc", "batched-2pc", "async-2pc"),
     )
 
 

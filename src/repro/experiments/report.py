@@ -35,6 +35,8 @@ LATENCY_KEYS = (
     "queue_delay_ms",
     "final_queue_delay_ms",
     "cloud_queue_delay_ms",
+    "commit_protocol_ms",
+    "commit_overlap_saved_ms",
 )
 
 #: Keys of each entry in a cluster report's ``edges`` list.
@@ -69,6 +71,10 @@ REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
     "cross_partition_fraction": (int, float),
     "migrations": int,
     "makespan_s": (int, float),
+    "transaction_policy": str,
+    "coordinator_round_trips": int,
+    "coordinator_batches": int,
+    "overlap_saved_ms": (int, float),
     "edges": list,
     "migration_events": list,
 }
@@ -105,6 +111,10 @@ class RunReport:
     cross_partition_fraction: float
     migrations: int
     makespan_s: float
+    transaction_policy: str = "immediate-2pc"
+    coordinator_round_trips: int = 0
+    coordinator_batches: int = 0
+    overlap_saved_ms: float = 0.0
     edges: tuple[dict[str, Any], ...] = ()
     migration_events: tuple[dict[str, Any], ...] = ()
     cloud_queue: dict[str, float] | None = None
@@ -119,6 +129,14 @@ class RunReport:
     def max_utilization(self) -> float:
         """Utilization of the busiest edge (0.0 without edge metrics)."""
         return max((edge["utilization"] for edge in self.edges), default=0.0)
+
+    @property
+    def round_trips_per_cross_partition_txn(self) -> float:
+        """Mean coordinator round trips per cross-partition transaction —
+        the metric the ``txn-policies`` sweep compares across policies."""
+        if not self.cross_partition_txns:
+            return 0.0
+        return self.coordinator_round_trips / self.cross_partition_txns
 
     def cluster_summary(self) -> dict[str, float]:
         """The legacy ``ClusterRunResult.summary()`` dictionary.
@@ -164,6 +182,10 @@ class RunReport:
             "cross_partition_fraction": self.cross_partition_fraction,
             "migrations": self.migrations,
             "makespan_s": self.makespan_s,
+            "transaction_policy": self.transaction_policy,
+            "coordinator_round_trips": self.coordinator_round_trips,
+            "coordinator_batches": self.coordinator_batches,
+            "overlap_saved_ms": self.overlap_saved_ms,
             "edges": [dict(edge) for edge in self.edges],
             "migration_events": [dict(event) for event in self.migration_events],
             "cloud_queue": dict(self.cloud_queue) if self.cloud_queue is not None else None,
@@ -196,6 +218,10 @@ class RunReport:
             cross_partition_fraction=payload["cross_partition_fraction"],
             migrations=payload["migrations"],
             makespan_s=payload["makespan_s"],
+            transaction_policy=payload["transaction_policy"],
+            coordinator_round_trips=payload["coordinator_round_trips"],
+            coordinator_batches=payload["coordinator_batches"],
+            overlap_saved_ms=payload["overlap_saved_ms"],
             edges=tuple(dict(edge) for edge in payload["edges"]),
             migration_events=tuple(dict(event) for event in payload["migration_events"]),
             cloud_queue=(

@@ -52,6 +52,7 @@ def build_single_config(spec: ScenarioSpec) -> CroesusConfig:
         lower_threshold=spec.lower_threshold,
         upper_threshold=spec.upper_threshold,
         consistency=_consistency(spec),
+        transaction_policy=spec.transaction_policy,
     )
 
 
@@ -64,6 +65,7 @@ def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
         router_policy=spec.router,
         frame_interval=spec.frame_interval,
         cloud_servers=spec.cloud_servers,
+        edge_discipline=spec.edge_discipline,
     )
 
 
@@ -117,6 +119,12 @@ def _run_single(spec: ScenarioSpec) -> RunReport:
         cross_partition_fraction=0.0,
         migrations=0,
         makespan_s=0.0,
+        transaction_policy=spec.transaction_policy,
+        # A single-edge deployment has no remote partitions, so every
+        # commit policy is coordinator-free there.
+        coordinator_round_trips=0,
+        coordinator_batches=0,
+        overlap_saved_ms=0.0,
     )
 
 
@@ -180,6 +188,10 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         cross_partition_fraction=result.cross_partition_fraction,
         migrations=result.num_migrations,
         makespan_s=result.makespan,
+        transaction_policy=result.transaction_policy,
+        coordinator_round_trips=result.policy_stats.coordinator_round_trips,
+        coordinator_batches=result.policy_stats.commit_batches,
+        overlap_saved_ms=result.policy_stats.overlap_saved_s * 1000.0,
         edges=edges,
         migration_events=migration_events,
         cloud_queue=cloud_queue,

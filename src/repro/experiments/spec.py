@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Mapping
 
 from repro.cluster.router import ROUTER_POLICIES
+from repro.transactions.policy import TXN_POLICIES
 from repro.video.library import VIDEO_LIBRARY
 
 #: The two deployment shapes the runner knows how to execute.
@@ -43,6 +44,9 @@ WORKLOADS = ("ycsb", "hotspot")
 #: Multi-stage safety levels, by their paper names.
 CONSISTENCY_LEVELS = ("ms-ia", "ms-sr")
 
+#: Edge-server admission disciplines a cluster scenario can run.
+EDGE_DISCIPLINES = ("fifo", "priority")
+
 #: Spec fields that only affect ``deployment="cluster"`` runs.
 CLUSTER_FIELDS = frozenset(
     {
@@ -56,6 +60,7 @@ CLUSTER_FIELDS = frozenset(
         "hot_key_range",
         "long_frames",
         "num_long",
+        "edge_discipline",
     }
 )
 
@@ -99,6 +104,16 @@ class ScenarioSpec:
         When ``long_frames`` is set, the first ``num_long`` streams run
         for ``long_frames`` frames while the rest run for ``frames`` —
         the uneven workload runtime stream migration exists for.
+    transaction_policy:
+        Commit policy of the consistency layer (sweepable like any
+        axis): ``"immediate-2pc"`` (the default, synchronous and free),
+        ``"batched-2pc"`` (coordinator round trips amortised per
+        window), or ``"async-2pc"`` (prepare overlaps cloud
+        validation).  Applies to both deployments.
+    edge_discipline:
+        Cluster edge-server admission: ``"fifo"`` (default) or
+        ``"priority"``, under which initial stages preempt queued final
+        stages for a faster initial response.
     """
 
     deployment: str = "single"
@@ -119,6 +134,8 @@ class ScenarioSpec:
     hot_key_range: int = 50
     long_frames: int | None = None
     num_long: int = 2
+    transaction_policy: str = "immediate-2pc"
+    edge_discipline: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.deployment not in DEPLOYMENTS:
@@ -172,6 +189,17 @@ class ScenarioSpec:
             raise ValueError(
                 f"num_long must be in [0, streams], got {self.num_long} with "
                 f"{self.streams} streams"
+            )
+        if self.transaction_policy not in TXN_POLICIES:
+            known = ", ".join(TXN_POLICIES)
+            raise ValueError(
+                f"unknown transaction_policy {self.transaction_policy!r}; "
+                f"known policies: {known}"
+            )
+        if self.edge_discipline not in EDGE_DISCIPLINES:
+            raise ValueError(
+                f"unknown edge_discipline {self.edge_discipline!r}; "
+                f"expected one of {EDGE_DISCIPLINES}"
             )
 
     # -- derived -------------------------------------------------------------

@@ -19,6 +19,7 @@ JSON output is just many runs of the one shared schema.
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from itertools import product
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -136,10 +137,24 @@ class Sweep:
             for combination in product(*(sweep_axis.values for sweep_axis in self.axes))
         ]
 
-    def run(self, runner: Callable[[ScenarioSpec], RunReport] | None = None) -> "SweepResult":
-        """Run every cell and return the indexed result."""
+    def run(
+        self,
+        runner: Callable[[ScenarioSpec], RunReport] | None = None,
+        max_workers: int | None = None,
+    ) -> "SweepResult":
+        """Run every cell and return the indexed result.
+
+        ``max_workers`` > 1 executes the cells on a
+        :class:`~concurrent.futures.ProcessPoolExecutor`: every cell is
+        an independent seeded run, so fanning them out changes nothing
+        but the wall clock.  Cells are *submitted and collected in the
+        cross-product order*, so the resulting ``SweepResult`` — cell
+        order, reports, JSON — is identical to a serial run of the same
+        sweep (a custom ``runner`` must be picklable to cross the
+        process boundary).
+        """
         execute = runner if runner is not None else _runner.run
-        cells: list[SweepCell] = []
+        valid: list[tuple[dict[str, Any], ScenarioSpec]] = []
         skipped: list[dict[str, Any]] = []
         for assignment in self.points():
             try:
@@ -152,7 +167,18 @@ class Sweep:
                     skipped.append(assignment)
                     continue
                 raise
-            cells.append(SweepCell(assignment=assignment, spec=spec, report=execute(spec)))
+            valid.append((assignment, spec))
+
+        if max_workers is not None and max_workers > 1 and len(valid) > 1:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                reports = list(pool.map(execute, [spec for _, spec in valid]))
+        else:
+            reports = [execute(spec) for _, spec in valid]
+
+        cells = [
+            SweepCell(assignment=assignment, spec=spec, report=report)
+            for (assignment, spec), report in zip(valid, reports)
+        ]
         return SweepResult(
             base=self.base,
             axes=self.axes,

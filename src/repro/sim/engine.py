@@ -49,9 +49,17 @@ class SimulationError(RuntimeError):
 
 @dataclass(frozen=True)
 class At:
-    """Yield target for a process: resume at an absolute simulated time."""
+    """Yield target for a process: resume at an absolute simulated time.
+
+    ``priority`` orders events that fire at the same timestamp (lower
+    runs first, like :meth:`Engine.schedule`); a process that yields a
+    high-``priority`` resume politely steps aside for same-instant
+    default-priority events — how final stages let initial stages
+    overtake under priority serving.
+    """
 
     time: float
+    priority: int = 0
 
 
 class Process:
@@ -93,7 +101,7 @@ class Process:
                     f"process {self.name!r} yielded a resume time in the past "
                     f"({target.time} < {engine.now})"
                 )
-            engine.schedule(max(target.time, engine.now), self._step)
+            engine.schedule(max(target.time, engine.now), self._step, priority=target.priority)
         elif isinstance(target, Process):
             if target.done:
                 engine.schedule(engine.now, self._step)
@@ -133,9 +141,9 @@ class Engine:
         """Current simulated time in seconds."""
         return self._now
 
-    def at(self, time: float) -> At:
+    def at(self, time: float, priority: int = 0) -> At:
         """Yield target resuming a process at the absolute time ``time``."""
-        return At(float(time))
+        return At(float(time), priority)
 
     def schedule(self, when: float, callback: Callable[[], None], priority: int = 0) -> None:
         """Run ``callback`` at simulated time ``when``."""
@@ -320,6 +328,19 @@ class Server:
             if job is admission:
                 return
         raise SimulationError("admission was already resolved or never queued")
+
+    def next_free(self) -> float:
+        """Earliest instant a capacity slot is (or was) free.
+
+        The runtime signal deferred admissions poll: a job that should
+        *not* reserve ahead of time — a final stage yielding to initial
+        stages under priority serving — sleeps until this instant and
+        contends again, instead of holding a future slot while
+        higher-priority work arrives.  Always 0.0 for unbounded servers.
+        """
+        if self.capacity is None:
+            return 0.0
+        return self._free[0]
 
     # -- statistics ---------------------------------------------------------
     @property

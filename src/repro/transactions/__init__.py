@@ -14,7 +14,10 @@ This package provides:
 * an execution-history recorder and checkers for the MS-SR / MS-IA
   ordering conditions,
 * a single-threaded batch :class:`Sequencer` (the paper's abort-free
-  MS-IA configuration).
+  MS-IA configuration),
+* the pluggable commit-policy layer (:mod:`repro.transactions.policy`):
+  one :class:`TransactionPolicy` protocol over every controller, with
+  immediate, batched, and async 2PC policies selectable by name.
 """
 
 from repro.transactions.bank import ANY_LABEL, TransactionBank, TriggerRule
@@ -39,6 +42,16 @@ from repro.transactions.model import (
 from repro.transactions.ms_ia import MSIAController
 from repro.transactions.ms_sr import TwoStage2PL
 from repro.transactions.ops import Operation, OperationKind
+from repro.transactions.policy import (
+    TXN_POLICIES,
+    AsyncTwoPhasePolicy,
+    BatchedTwoPhasePolicy,
+    ImmediatePolicy,
+    PolicyStats,
+    StagedPolicy,
+    TransactionPolicy,
+    make_policy,
+)
 from repro.transactions.sequencer import Sequencer
 from repro.transactions.staged import StagedController, StagedTransaction
 
@@ -64,6 +77,14 @@ __all__ = [
     "StagedController",
     "DistributedMSIAController",
     "DistributedTwoStage2PL",
+    "TransactionPolicy",
+    "ImmediatePolicy",
+    "StagedPolicy",
+    "BatchedTwoPhasePolicy",
+    "AsyncTwoPhasePolicy",
+    "PolicyStats",
+    "make_policy",
+    "TXN_POLICIES",
     "TransactionAborted",
     "InvariantViolation",
     "SectionOrderError",

@@ -19,11 +19,12 @@ and applying them through the :class:`TwoPhaseCommitCoordinator`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.storage.locks import LockMode
 from repro.storage.partition import PartitionedStore, TwoPhaseCommitCoordinator
 from repro.transactions.exceptions import SectionOrderError, TransactionAborted
+from repro.transactions.history import History
 from repro.transactions.model import MultiStageTransaction, SectionKind, TransactionStatus
 from repro.transactions.ms_sr import ControllerStats
 from repro.transactions.ops import Operation, OperationKind, ReadWriteSet
@@ -115,16 +116,26 @@ class DistributedMSIAController:
 
     name = "distributed-MS-IA"
 
-    def __init__(self, store: PartitionedStore) -> None:
+    def __init__(self, store: PartitionedStore, history: History | None = None) -> None:
         self._store = store
         self._coordinator = TwoPhaseCommitCoordinator(store)
         self._pending: dict[str, Any] = {}
+        self._history = history
         self.stats = ControllerStats()
         self.commit_records: dict[str, DistributedCommitRecord] = {}
+        #: Observer of every atomic-commitment round, called with
+        #: ``(transaction_id, participants)``.  The transaction-policy
+        #: layer hooks in here to count and schedule coordinator round
+        #: trips without the controller knowing which policy runs it.
+        self.commit_listener: Callable[[str, frozenset[int]], None] | None = None
 
     @property
     def store(self) -> PartitionedStore:
         return self._store
+
+    @property
+    def history(self) -> History | None:
+        return self._history
 
     def process_initial(
         self, transaction: MultiStageTransaction, labels: Any = None, now: float = 0.0
@@ -151,6 +162,8 @@ class DistributedMSIAController:
 
         transaction.mark_initial_committed(result, context.handoff, now)
         self.stats.initial_commits += 1
+        if self._history is not None:
+            self._history.record_section(holder, SectionKind.INITIAL, now, context.operations)
         self._pending[holder] = labels
         return result
 
@@ -183,6 +196,8 @@ class DistributedMSIAController:
 
         transaction.mark_committed(result, context.apologies, now)
         self.stats.final_commits += 1
+        if self._history is not None:
+            self._history.record_section(holder, SectionKind.FINAL, now, context.operations)
         return result
 
     # -- internals ---------------------------------------------------------
@@ -213,6 +228,8 @@ class DistributedMSIAController:
     def _record_round(self, holder: str, participants: frozenset[int]) -> None:
         record = self.commit_records.setdefault(holder, DistributedCommitRecord(holder))
         record.rounds.append(participants)
+        if self.commit_listener is not None:
+            self.commit_listener(holder, participants)
 
 
 class DistributedTwoStage2PL(DistributedMSIAController):
@@ -222,8 +239,8 @@ class DistributedTwoStage2PL(DistributedMSIAController):
 
     name = "distributed-MS-SR"
 
-    def __init__(self, store: PartitionedStore) -> None:
-        super().__init__(store)
+    def __init__(self, store: PartitionedStore, history: History | None = None) -> None:
+        super().__init__(store, history=history)
         self._buffered_writes: dict[str, dict[str, Any]] = {}
 
     def process_initial(
@@ -246,6 +263,8 @@ class DistributedTwoStage2PL(DistributedMSIAController):
 
         transaction.mark_initial_committed(result, context.handoff, now)
         self.stats.initial_commits += 1
+        if self._history is not None:
+            self._history.record_section(holder, SectionKind.INITIAL, now, context.operations)
         self._pending[holder] = labels
         self._buffered_writes[holder] = context.pending_writes
         return result
@@ -281,4 +300,6 @@ class DistributedTwoStage2PL(DistributedMSIAController):
 
         transaction.mark_committed(result, context.apologies, now)
         self.stats.final_commits += 1
+        if self._history is not None:
+            self._history.record_section(holder, SectionKind.FINAL, now, context.operations)
         return result

@@ -1,0 +1,123 @@
+"""Tests for the benchmark perf-regression gate (analysis/regression.py)."""
+
+import json
+
+import pytest
+
+from repro.analysis.regression import (
+    DEFAULT_THRESHOLD,
+    compare_artifact_files,
+    compare_artifacts,
+)
+
+
+def _artifact(throughput: float, queue_delay: float, edges: int = 2) -> dict:
+    return {
+        "seed": 2022,
+        "scaleout": [
+            {
+                "edges": edges,
+                "placement": "round-robin",
+                "throughput_fps": throughput,
+                "mean_queue_delay_ms": queue_delay,
+                "f_score": 0.9,
+            }
+        ],
+        "cloud_contention": [
+            {"cloud_servers": 2, "throughput_fps": throughput, "mean_queue_delay_ms": queue_delay}
+        ],
+    }
+
+
+class TestCompareArtifacts:
+    def test_identical_artifacts_pass(self):
+        artifact = _artifact(10.0, 500.0)
+        result = compare_artifacts(artifact, artifact)
+        assert result.passed
+        assert result.compared_cells == 2
+        assert "PASS" in result.describe()
+
+    def test_small_drift_within_threshold_passes(self):
+        result = compare_artifacts(_artifact(10.0, 500.0), _artifact(9.0, 550.0))
+        assert result.passed
+
+    def test_throughput_collapse_fails(self):
+        result = compare_artifacts(_artifact(10.0, 500.0), _artifact(5.0, 500.0))
+        assert not result.passed
+        assert any(d.metric == "throughput_fps" for d in result.regressions)
+        assert "FAIL" in result.describe()
+
+    def test_queue_delay_blowup_fails(self):
+        result = compare_artifacts(_artifact(10.0, 500.0), _artifact(10.0, 800.0))
+        assert not result.passed
+        drift = result.regressions[0]
+        assert drift.metric == "mean_queue_delay_ms"
+        assert drift.relative_drift == pytest.approx(0.6)
+
+    def test_custom_threshold(self):
+        baseline, candidate = _artifact(10.0, 500.0), _artifact(8.9, 500.0)
+        assert compare_artifacts(baseline, candidate, threshold=0.2).passed
+        assert not compare_artifacts(baseline, candidate, threshold=0.1).passed
+        with pytest.raises(ValueError):
+            compare_artifacts(baseline, candidate, threshold=0.0)
+
+    def test_added_and_removed_cells_do_not_fail_the_gate(self):
+        """Growing (or pruning) the grid is not a perf regression."""
+        result = compare_artifacts(_artifact(10.0, 500.0, edges=2), _artifact(10.0, 500.0, edges=4))
+        assert result.passed
+        assert result.added_cells and result.removed_cells
+        assert result.compared_cells == 1  # the cloud_contention cell still matches
+
+    def test_zero_baseline_is_only_flagged_when_candidate_moves(self):
+        baseline = _artifact(0.0, 0.0)
+        assert compare_artifacts(baseline, _artifact(0.0, 0.0)).passed
+        assert not compare_artifacts(baseline, _artifact(3.0, 0.0)).passed
+
+    def test_file_level_wrapper(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        candidate_path = tmp_path / "candidate.json"
+        baseline_path.write_text(json.dumps(_artifact(10.0, 500.0)))
+        candidate_path.write_text(json.dumps(_artifact(10.0, 500.0)))
+        result = compare_artifact_files(baseline_path, candidate_path)
+        assert result.passed
+        assert result.threshold == DEFAULT_THRESHOLD
+
+
+class TestCompareReportsScript:
+    """The CI entry point in benchmarks/compare_reports.py."""
+
+    @pytest.fixture()
+    def script_main(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "benchmarks" / "compare_reports.py"
+        module_spec = importlib.util.spec_from_file_location("compare_reports", path)
+        module = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(module)
+        return module.main
+
+    def test_missing_baseline_passes(self, script_main, tmp_path, capsys):
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(_artifact(10.0, 500.0)))
+        code = script_main(
+            ["--baseline", str(tmp_path / "absent.json"), "--candidate", str(candidate)]
+        )
+        assert code == 0
+        assert "nothing to gate" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, script_main, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        baseline.write_text(json.dumps(_artifact(10.0, 500.0)))
+        candidate.write_text(json.dumps(_artifact(4.0, 500.0)))
+        code = script_main(["--baseline", str(baseline), "--candidate", str(candidate)])
+        assert code == 1
+
+    def test_clean_candidate_exits_zero(self, script_main, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        baseline.write_text(json.dumps(_artifact(10.0, 500.0)))
+        candidate.write_text(json.dumps(_artifact(10.5, 480.0)))
+        code = script_main(["--baseline", str(baseline), "--candidate", str(candidate)])
+        assert code == 0

@@ -369,6 +369,19 @@ class TestSweep:
         with pytest.raises(ValueError):
             sweep.run()
 
+    def test_parallel_run_is_identical_to_serial(self):
+        """Acceptance: a process-pool sweep reproduces the serial result
+        cell for cell, byte for byte."""
+        sweep = Sweep(base=cluster_spec(frames=3), axis="num_edges", values=[1, 2, 3])
+        serial = sweep.run()
+        parallel = sweep.run(max_workers=2)
+        assert parallel.to_json() == serial.to_json()
+        assert [cell.assignment for cell in parallel] == [cell.assignment for cell in serial]
+
+    def test_max_workers_one_stays_serial(self):
+        sweep = Sweep(base=cluster_spec(frames=3), axis="num_edges", values=[1])
+        assert sweep.run(max_workers=1).to_json() == sweep.run().to_json()
+
     def test_to_dict_serialises_every_cell(self):
         result = Sweep(base=cluster_spec(frames=3), axis="num_edges", values=[1]).run()
         payload = json.loads(result.to_json())
