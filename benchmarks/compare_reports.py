@@ -8,11 +8,19 @@ Usage::
         --candidate benchmarks/results/BENCH_cluster.json \
         [--threshold 0.2]
 
-Exits 1 when any gated metric (cluster throughput, mean queue delay)
-drifts more than ``--threshold`` relative to the baseline on a matching
-cell, 0 otherwise.  A missing baseline file is not an error — the first
-run of a branch has nothing to compare against — the gate reports that
-and passes.
+Exits 1 when any gated metric (cluster throughput, mean queue delay,
+recovery time) drifts more than ``--threshold`` relative to the baseline
+on a matching cell, 0 otherwise.  Baselines that cannot be gated against
+are not errors — the gate reports why and passes:
+
+* a missing baseline file (first run of a branch);
+* a baseline that is unreadable or not valid JSON (a corrupted cache
+  entry);
+* a baseline whose ``artifact_schema`` stamp differs from the
+  candidate's (the artifact layout changed under it).
+
+A broken *candidate* — the artifact this very run just produced — is a
+real failure and exits 1 with a clear message.
 """
 
 from __future__ import annotations
@@ -21,7 +29,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.regression import DEFAULT_THRESHOLD, compare_artifact_files
+from repro.analysis.regression import (
+    DEFAULT_THRESHOLD,
+    ArtifactError,
+    artifact_schema,
+    compare_artifacts,
+    load_artifact,
+    validate_artifact_cells,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,14 +51,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    try:
+        candidate = load_artifact(args.candidate)
+        validate_artifact_cells(candidate)
+    except ArtifactError as error:
+        print(f"candidate artifact is unusable: {error} — FAIL", file=sys.stderr)
+        return 1
+
     if not Path(args.baseline).is_file():
         print(f"no baseline artifact at {args.baseline}; nothing to gate against — PASS")
         return 0
-    if not Path(args.candidate).is_file():
-        print(f"candidate artifact {args.candidate} is missing — FAIL", file=sys.stderr)
-        return 1
+    try:
+        baseline = load_artifact(args.baseline)
+    except ArtifactError as error:
+        print(f"cached baseline is unusable ({error}); nothing to gate against — PASS")
+        return 0
 
-    result = compare_artifact_files(args.baseline, args.candidate, threshold=args.threshold)
+    base_schema, cand_schema = artifact_schema(baseline), artifact_schema(candidate)
+    if base_schema != cand_schema:
+        print(
+            f"baseline artifact schema v{base_schema} != candidate v{cand_schema} "
+            "(the artifact layout changed); nothing to gate against — PASS"
+        )
+        return 0
+
+    try:
+        result = compare_artifacts(baseline, candidate, threshold=args.threshold)
+    except ArtifactError as error:
+        print(f"cached baseline is unusable ({error}); nothing to gate against — PASS")
+        return 0
     print(result.describe())
     return 0 if result.passed else 1
 

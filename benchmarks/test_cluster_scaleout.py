@@ -43,6 +43,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.regression import ARTIFACT_SCHEMA
 from repro.analysis.tables import format_table
 from repro.experiments import RunReport, get_scenario, get_sweep, run, validate_report
 
@@ -203,6 +204,75 @@ def txn_policy_results(report_writer):
     return results
 
 
+@pytest.fixture(scope="module")
+def failure_recovery_results(report_writer):
+    """Recovery time vs checkpoint interval, one mid-run edge failure."""
+    results = {}
+    for cell in get_sweep("failure-recovery").run(max_workers=2):
+        interval = cell.assignment["checkpoint_interval_s"]
+        entry = _cell(cell.report)
+        # Hoist the gated availability metrics to the cell's top level so
+        # the regression gate tracks recovery-time drift per interval.
+        entry["recovery_time_ms"] = cell.report.recovery_time_ms
+        entry["downtime_ms"] = cell.report.downtime_ms
+        entry["frames_replayed"] = float(cell.report.frames_replayed)
+        entry["txns_aborted_by_failure"] = float(cell.report.txns_aborted_by_failure)
+        results[interval] = entry
+    rows = [
+        [
+            "none" if interval is None else f"{interval:.1f}",
+            f"{cell['recovery_time_ms']:.1f}",
+            f"{cell['downtime_ms']:.0f}",
+            int(cell["frames_replayed"]),
+            int(cell["txns_aborted_by_failure"]),
+            f"{cell['throughput_fps']:.2f}",
+        ]
+        for interval, cell in results.items()
+    ]
+    report_writer(
+        "cluster_failure_recovery",
+        format_table(
+            [
+                "checkpoint interval (s)",
+                "recovery time (ms)",
+                "downtime (ms)",
+                "txns replayed",
+                "txns aborted",
+                "throughput (fps)",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
+@pytest.fixture(scope="module")
+def resharding_results(report_writer):
+    """0, 1, and 2 scheduled runtime partition moves."""
+    results = {}
+    for cell in get_sweep("resharding").run():
+        moves = len(cell.assignment["resharding"])
+        entry = _cell(cell.report)
+        entry["reshards"] = float(len(cell.report.reshard_events))
+        results[moves] = entry
+    rows = [
+        [
+            moves,
+            int(cell["reshards"]),
+            f"{cell['throughput_fps']:.2f}",
+            f"{cell['cross_partition_fraction']:.0%}",
+        ]
+        for moves, cell in results.items()
+    ]
+    report_writer(
+        "cluster_resharding",
+        format_table(
+            ["scheduled moves", "executed", "throughput (fps)", "cross-partition"], rows
+        ),
+    )
+    return results
+
+
 def _round_trips_per_txn(cell: dict) -> float:
     report = cell["report"]
     txns = report["cross_partition_txns"]
@@ -289,6 +359,37 @@ def test_adding_cloud_servers_drains_the_cloud_queue(cloud_contention_results):
     assert cloud_contention_results[None]["mean_cloud_queue_delay_ms"] == 0.0
 
 
+def test_failure_recovery_cells_complete_their_frames(failure_recovery_results):
+    """Acceptance: a replica fails mid-run, streams migrate, the WAL is
+    replayed on recovery, and every frame still completes."""
+    for interval, cell in failure_recovery_results.items():
+        report = cell["report"]
+        assert cell["frames"] == NUM_STREAMS * 30, interval
+        assert len(report["failure_events"]) == 1, interval
+        event = report["failure_events"][0]
+        assert event["streams_migrated"] > 0, interval
+        assert cell["downtime_ms"] > 0.0, interval
+        assert cell["recovery_time_ms"] > 0.0, interval
+
+
+def test_checkpoints_bound_the_recovery_replay(failure_recovery_results):
+    """Acceptance: recovering with no checkpoints replays the whole log,
+    so it is slower than recovering from the most frequent checkpoints."""
+    no_checkpoints = failure_recovery_results[None]
+    frequent = failure_recovery_results[0.5]
+    assert no_checkpoints["recovery_time_ms"] > frequent["recovery_time_ms"]
+    assert (
+        no_checkpoints["report"]["failure_events"][0]["records_replayed"]
+        > frequent["report"]["failure_events"][0]["records_replayed"]
+    )
+
+
+def test_resharding_moves_execute(resharding_results):
+    for moves, cell in resharding_results.items():
+        assert cell["reshards"] == float(moves)
+        assert cell["frames"] == NUM_STREAMS * 30
+
+
 def test_migration_events_match_summary_counts(migration_results):
     for cell in migration_results.values():
         assert cell["timeline_migrations"] == cell["migrations"]
@@ -305,7 +406,12 @@ def test_migration_reduces_max_edge_utilization(migration_results):
 
 
 def test_emit_bench_cluster_artifact(
-    scaleout_results, cloud_contention_results, migration_results, txn_policy_results
+    scaleout_results,
+    cloud_contention_results,
+    migration_results,
+    txn_policy_results,
+    failure_recovery_results,
+    resharding_results,
 ):
     """Write every sweep cell to ``results/BENCH_cluster.json``.
 
@@ -316,6 +422,7 @@ def test_emit_bench_cluster_artifact(
     ``run(ScenarioSpec.from_dict(cell["report"]["scenario"]))``.
     """
     payload = {
+        "artifact_schema": ARTIFACT_SCHEMA,
         "seed": BENCH_SEED,
         "streams": NUM_STREAMS,
         "frames_per_stream": FRAMES_PER_STREAM,
@@ -334,13 +441,24 @@ def test_emit_bench_cluster_artifact(
             {"transaction_policy": policy, **cell}
             for policy, cell in txn_policy_results.items()
         ],
+        "failure_recovery": [
+            {"checkpoint_interval_s": interval, **cell}
+            for interval, cell in failure_recovery_results.items()
+        ],
+        "resharding": [
+            {"moves": moves, **cell} for moves, cell in resharding_results.items()
+        ],
     }
     ARTIFACT_PATH.parent.mkdir(exist_ok=True)
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     recorded = json.loads(ARTIFACT_PATH.read_text())
+    assert recorded["artifact_schema"] == ARTIFACT_SCHEMA
     assert recorded["scaleout"]
-    for cell in recorded["scaleout"]:
-        validate_report(cell["report"])
+    assert recorded["failure_recovery"]
+    assert recorded["resharding"]
+    for section in ("scaleout", "failure_recovery", "resharding"):
+        for cell in recorded[section]:
+            validate_report(cell["report"])
 
 
 def test_benchmark_two_edge_cluster_run(benchmark, scaleout_results):

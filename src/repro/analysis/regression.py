@@ -26,14 +26,27 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "cloud_contention": ("cloud_servers",),
     "migration": ("placement",),
     "txn_policies": ("transaction_policy",),
+    "failure_recovery": ("checkpoint_interval_s",),
+    "resharding": ("moves",),
 }
 
-#: Metrics the gate watches, all read from the legacy summary keys every
-#: cell carries.  Throughput regressions are drops; delay regressions are
-#: rises — :func:`compare_artifacts` treats drift in either direction as
-#: suspect, since a seeded benchmark should not move at all without a
-#: behavioural change.
-GATED_METRICS = ("throughput_fps", "mean_queue_delay_ms")
+#: Version stamp of the ``BENCH_cluster.json`` layout.  Bumped when the
+#: cell schema changes incompatibly; the CI gate treats a baseline with
+#: a different stamp like a missing baseline (nothing to compare
+#: against) instead of failing on spurious diffs.
+ARTIFACT_SCHEMA = 2
+
+
+class ArtifactError(ValueError):
+    """A benchmark artifact cannot be read or does not look like one."""
+
+#: Metrics the gate watches.  ``throughput_fps`` and
+#: ``mean_queue_delay_ms`` come from the legacy summary keys every cell
+#: carries; ``recovery_time_ms`` only exists on ``failure_recovery``
+#: cells (cells missing a metric are simply not gated on it).  Drift in
+#: either direction is suspect, since a seeded benchmark should not move
+#: at all without a behavioural change.
+GATED_METRICS = ("throughput_fps", "mean_queue_delay_ms", "recovery_time_ms")
 
 #: Default tolerated relative drift (20%).
 DEFAULT_THRESHOLD = 0.2
@@ -95,9 +108,21 @@ class ComparisonResult:
 def _index_cells(
     artifact: Mapping[str, Any]
 ) -> dict[tuple[str, tuple[Any, ...]], Mapping[str, Any]]:
+    if not isinstance(artifact, Mapping):
+        raise ArtifactError(
+            f"artifact must be a JSON object, got {type(artifact).__name__}"
+        )
     cells: dict[tuple[str, tuple[Any, ...]], Mapping[str, Any]] = {}
     for section, keys in SECTION_KEYS.items():
-        for cell in artifact.get(section, ()):
+        entries = artifact.get(section, ())
+        if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+            raise ArtifactError(f"artifact section {section!r} must be a list")
+        for index, cell in enumerate(entries):
+            if not isinstance(cell, Mapping):
+                raise ArtifactError(
+                    f"artifact cell {section}[{index}] must be an object, "
+                    f"got {type(cell).__name__}"
+                )
             identity = tuple(cell.get(key) for key in keys)
             cells[(section, identity)] = cell
     return cells
@@ -140,12 +165,48 @@ def compare_artifacts(
     return result
 
 
+def load_artifact(path: str | Path) -> Mapping[str, Any]:
+    """Read one benchmark artifact; :class:`ArtifactError` on anything bad.
+
+    Folds the whole failure surface (unreadable file, invalid JSON, a
+    payload that is not an object) into one typed error so callers — the
+    CI gate above all — can report it cleanly instead of dying on a
+    traceback.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"artifact {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, Mapping):
+        raise ArtifactError(
+            f"artifact {path} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def validate_artifact_cells(payload: Mapping[str, Any]) -> None:
+    """Structural check of an artifact's gated sections.
+
+    Raises :class:`ArtifactError` when a known section is not a list of
+    cell objects; unknown sections are ignored.
+    """
+    _index_cells(payload)
+
+
+def artifact_schema(payload: Mapping[str, Any]) -> int:
+    """Schema stamp of an artifact (1 for artifacts that predate stamps)."""
+    stamp = payload.get("artifact_schema", 1)
+    return stamp if isinstance(stamp, int) and not isinstance(stamp, bool) else 1
+
+
 def compare_artifact_files(
     baseline_path: str | Path,
     candidate_path: str | Path,
     threshold: float = DEFAULT_THRESHOLD,
 ) -> ComparisonResult:
     """File-level wrapper around :func:`compare_artifacts`."""
-    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
-    candidate = json.loads(Path(candidate_path).read_text(encoding="utf-8"))
+    baseline = load_artifact(baseline_path)
+    candidate = load_artifact(candidate_path)
     return compare_artifacts(baseline, candidate, threshold=threshold)

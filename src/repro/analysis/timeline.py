@@ -81,3 +81,90 @@ def stage_commit_counts(events: EventLog) -> dict[str, int]:
         "initial": events.count_of_kind("initial_commit"),
         "final": events.count_of_kind("final_commit"),
     }
+
+
+@dataclass(frozen=True)
+class BatchFlushProfile:
+    """How the batched coordinator's windows flushed in one run."""
+
+    flushes: int
+    transactions: int
+    mean_duration: float
+    max_participants: int
+
+    @property
+    def transactions_per_flush(self) -> float:
+        """Mean commits amortised per flush (what batching exists for)."""
+        return self.transactions / self.flushes if self.flushes else 0.0
+
+
+def batch_flush_profile(events: EventLog) -> BatchFlushProfile:
+    """Summarise the ``txn_batch_flush`` events of one run."""
+    flushes = events.of_kind("txn_batch_flush")
+    durations = [event.payload["duration"] for event in flushes]
+    return BatchFlushProfile(
+        flushes=len(flushes),
+        transactions=sum(event.payload["transactions"] for event in flushes),
+        mean_duration=mean(durations) if durations else 0.0,
+        max_participants=max(
+            (event.payload["participants"] for event in flushes), default=0
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class AvailabilityTimeline:
+    """Failure/recovery cycles of one run, off the event log.
+
+    ``cycles`` holds, per completed failure,
+    ``(edge, failed_at, recovered_at, records_replayed)``; a failure
+    whose recovery never happened (run ended first) appears with
+    ``recovered_at = None``.
+    """
+
+    cycles: tuple[tuple[int, float, float | None, int], ...]
+    checkpoints: int
+
+    @property
+    def count(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def total_downtime(self) -> float:
+        """Summed downtime of the completed failure/recovery cycles."""
+        return sum(
+            recovered - failed
+            for _, failed, recovered, _ in self.cycles
+            if recovered is not None
+        )
+
+    def downtime_of(self, edge_id: int) -> float:
+        """Downtime one edge accumulated across its completed cycles."""
+        return sum(
+            recovered - failed
+            for edge, failed, recovered, _ in self.cycles
+            if edge == edge_id and recovered is not None
+        )
+
+
+def availability_timeline(events: EventLog) -> AvailabilityTimeline:
+    """Pair the ``edge_failed``/``edge_recovered`` events of one run."""
+    recoveries: dict[int, list] = {}
+    for event in events.of_kind("edge_recovered"):
+        recoveries.setdefault(event.payload["edge"], []).append(event)
+    cycles = []
+    for event in events.of_kind("edge_failed"):
+        edge = event.payload["edge"]
+        pending = recoveries.get(edge, [])
+        recovery = pending.pop(0) if pending else None
+        cycles.append(
+            (
+                edge,
+                event.timestamp,
+                recovery.timestamp if recovery else None,
+                recovery.payload["records_replayed"] if recovery else 0,
+            )
+        )
+    return AvailabilityTimeline(
+        cycles=tuple(cycles), checkpoints=events.count_of_kind("checkpoint")
+    )

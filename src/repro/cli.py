@@ -145,6 +145,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="fifo",
         help="edge-server admission discipline (priority lets initial stages preempt finals)",
     )
+    cluster_parser.add_argument(
+        "--fail",
+        action="append",
+        default=[],
+        metavar="EDGE:FAIL_AT:RECOVER_AT",
+        help="schedule a replica failure (repeatable), e.g. --fail 1:2.5:4.0",
+    )
+    cluster_parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="periodic WAL checkpoint interval (0 = no periodic checkpoints)",
+    )
+    cluster_parser.add_argument(
+        "--reshard",
+        action="append",
+        default=[],
+        metavar="AT:PARTITION:TO_EDGE",
+        help="schedule a runtime partition move (repeatable), e.g. --reshard 2.0:0:1",
+    )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
     scenario_parser = subparsers.add_parser(
@@ -372,6 +393,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             return _fail("cluster", f"{name} must be positive, got {value}")
     if args.cloud_servers < 0:
         return _fail("cluster", f"--cloud-servers must be >= 0, got {args.cloud_servers}")
+    if args.checkpoint_interval < 0:
+        return _fail(
+            "cluster", f"--checkpoint-interval must be >= 0, got {args.checkpoint_interval}"
+        )
     try:
         spec = ScenarioSpec(
             deployment="cluster",
@@ -386,6 +411,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             cloud_servers=args.cloud_servers or None,
             transaction_policy=args.txn_policy,
             edge_discipline=args.discipline,
+            failure_schedule=tuple(_parse_triple(text, "--fail") for text in args.fail),
+            checkpoint_interval_s=args.checkpoint_interval or None,
+            resharding=tuple(_parse_triple(text, "--reshard") for text in args.reshard),
         )
     except ValueError as error:
         return _fail("cluster", str(error))
@@ -443,6 +471,14 @@ def _cluster_text(report: RunReport) -> str:
             f"(mean over all {cloud['validations']}: {cloud['mean_delay_ms']:.0f} ms, "
             f"max {cloud['max_delay_ms']:.0f} ms)"
         )
+    if report.batch_flushes:
+        flushes = report.batch_flushes
+        blocks.append(
+            f"coordinator batches: {flushes['flushes']} flushes covering "
+            f"{flushes['transactions']} commits "
+            f"({flushes['transactions_per_flush']:.1f}/flush, "
+            f"mean {flushes['mean_duration_ms']:.1f} ms)"
+        )
     if report.migration_events:
         moved = {event["stream"] for event in report.migration_events}
         blocks.append(
@@ -452,6 +488,32 @@ def _cluster_text(report: RunReport) -> str:
             blocks.append(
                 f"  t={event['time_s']:6.2f}s  {event['stream']}: "
                 f"edge {event['from_edge']} -> edge {event['to_edge']}"
+            )
+    if report.checkpoints:
+        blocks.append(f"checkpoints: {report.checkpoints}")
+    if report.failure_events:
+        blocks.append(
+            f"failures: {len(report.failure_events)} — total downtime "
+            f"{report.downtime_ms:.0f} ms, WAL replay {report.recovery_time_ms:.0f} ms, "
+            f"{report.frames_replayed} transactions replayed, "
+            f"{report.txns_aborted_by_failure} txns aborted by failure"
+        )
+        for event in report.failure_events:
+            blocks.append(
+                f"  t={event['failed_at_s']:6.2f}s  edge {event['edge']} failed "
+                f"({event['streams_migrated']} streams migrated, "
+                f"{event['txns_aborted']} in-flight txns aborted); "
+                f"rejoined t={event['recovered_at_s']:.2f}s after replaying "
+                f"{event['records_replayed']} records"
+            )
+    if report.reshard_events:
+        blocks.append(f"re-shards: {len(report.reshard_events)}")
+        for event in report.reshard_events:
+            blocks.append(
+                f"  t={event['time_s']:6.2f}s  partition {event['partition']}: "
+                f"edge {event['from_edge']} -> edge {event['to_edge']} "
+                f"({event['keys_copied']} keys copied, "
+                f"{event['records_shipped']} log records shipped)"
             )
     return "\n".join(blocks)
 
@@ -565,6 +627,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if result.skipped:
         table += f"\nskipped {len(result.skipped)} invalid combinations"
     return _emit(args, table, result.to_dict())
+
+
+def _parse_triple(text: str, option: str) -> tuple[float, float, float]:
+    """Parse one ``A:B:C`` schedule argument (``--fail`` / ``--reshard``)."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ValueError(f"{option} must look like A:B:C, got {text!r}")
+    try:
+        return tuple(float(part) for part in parts)  # type: ignore[return-value]
+    except ValueError:
+        raise ValueError(f"{option} needs three numbers, got {text!r}") from None
 
 
 def _parse_axis(text: str):

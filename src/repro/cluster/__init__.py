@@ -8,9 +8,18 @@ transactions (paper Section 4.5).
 * :mod:`repro.cluster.scheduler` — frame interleaving onto one global
   timeline (queueing is modelled by :mod:`repro.sim.engine` servers);
 * :mod:`repro.cluster.system` — the :class:`ClusterSystem` deployment
-  mirroring :class:`~repro.core.system.CroesusSystem`'s run API.
+  mirroring :class:`~repro.core.system.CroesusSystem`'s run API;
+* :mod:`repro.cluster.failure` — scheduled replica failure/recovery and
+  runtime partition re-sharding, executed as engine events over the
+  write-ahead-log durability seam of :mod:`repro.storage`.
 """
 
+from repro.cluster.failure import (
+    FailureRecord,
+    FailureSpec,
+    ReshardRecord,
+    ReshardSpec,
+)
 from repro.cluster.node import EdgeReplica
 from repro.cluster.router import (
     ROUTER_POLICIES,
@@ -54,4 +63,8 @@ __all__ = [
     "RoutingError",
     "make_router",
     "hotspot_bank_factory",
+    "FailureSpec",
+    "FailureRecord",
+    "ReshardSpec",
+    "ReshardRecord",
 ]

@@ -79,10 +79,12 @@ class EdgeReplica:
         transaction_policy: str = "immediate-2pc",
         coordinator_channel: Channel | None = None,
         discipline: str = "fifo",
+        vote_channel_for=None,
     ) -> None:
         self.edge_id = edge_id
         self.owned_partitions = frozenset(owned_partitions)
         self.discipline = discipline
+        self._store = store
         #: Finite-capacity server modelling this edge's processor: every
         #: frame stage is admitted here and served for its measured cost.
         self.server = Server(capacity=1, name=f"edge-{edge_id}", discipline=discipline)
@@ -103,6 +105,7 @@ class EdgeReplica:
             controller,
             owned_partitions=self.owned_partitions,
             channel=coordinator_channel,
+            vote_channel_for=vote_channel_for,
         )
         self.node = EdgeNode(
             profile=profile,
@@ -149,6 +152,49 @@ class EdgeReplica:
         """Forget a stream that migrated away from this replica."""
         if stream_name in self.streams:
             self.streams.remove(stream_name)
+
+    # -- failure/recovery ---------------------------------------------------
+    def fail(self, now: float = 0.0) -> tuple[str, ...]:
+        """Crash this replica: resolve in-flight work, lose volatile state.
+
+        In-flight transactions resolve through the policy seam
+        (prepared-but-uncommitted participants abort or await the
+        coordinator per policy) and every owned partition loses its
+        in-memory store — only the write-ahead logs survive.  Returns the
+        ids of the transactions the failure aborted.
+        """
+        aborted = self.policy.on_edge_failure(now=now)
+        for partition_id in self.owned_partitions:
+            self._store.partition(partition_id).crash()
+        return aborted
+
+    def recover(self) -> tuple[int, int, int]:
+        """Rebuild every owned partition from checkpoint + log replay.
+
+        Returns ``(keys_restored, records_replayed, transactions_replayed)``
+        summed over the owned partitions; the caller turns those volumes
+        into the replay duration the replica is down for.
+        """
+        keys = records = transactions = 0
+        for partition_id in sorted(self.owned_partitions):
+            outcome = self._store.partition(partition_id).recover()
+            keys += outcome.keys_restored
+            records += outcome.records_replayed
+            transactions += outcome.transactions_replayed
+        return keys, records, transactions
+
+    # -- re-sharding --------------------------------------------------------
+    def release_partition(self, partition_id: int) -> None:
+        """Hand a partition to another replica (re-sharding)."""
+        if partition_id not in self.owned_partitions:
+            raise ValueError(f"edge {self.edge_id} does not own partition {partition_id}")
+        self.owned_partitions = self.owned_partitions - {partition_id}
+        self.policy.update_owned(self.owned_partitions)
+
+    def adopt_partition(self, partition_id: int) -> None:
+        """Take ownership of a partition moved to this replica."""
+        self.owned_partitions = self.owned_partitions | {partition_id}
+        self.policy.update_owned(self.owned_partitions)
 
     def transaction_partition_counts(
         self, exclude: frozenset[str] = frozenset()

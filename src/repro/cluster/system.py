@@ -44,12 +44,23 @@ from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Callable, Sequence
 
+from repro.cluster.failure import (
+    FailureRecord,
+    FailureSpec,
+    ReshardRecord,
+    ReshardSpec,
+    normalize_failure_schedule,
+    normalize_resharding,
+    recovery_time,
+    validate_failure_schedule,
+)
 from repro.cluster.node import EdgeReplica
 from repro.cluster.router import ROUTER_POLICIES, MigratingRouter, make_router
 from repro.cluster.scheduler import FrameArrival, FrameScheduler
 from repro.core.client import Client, ClientResponse
 from repro.core.cloud import CloudNode
 from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.edge import FinalStageOutcome
 from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
 from repro.core.system import LABELS_MESSAGE_BYTES, observed_labels
 from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
@@ -118,6 +129,24 @@ class ClusterConfig:
         default, arrival-ordered) or ``"priority"``, under which a
         frame's initial stage overtakes queued final stages — the
         fast-response path the engine's priority servers exist for.
+    failure_schedule:
+        Scheduled replica failures, as
+        :class:`~repro.cluster.failure.FailureSpec` entries or plain
+        ``(edge_id, fail_at, recover_at)`` tuples.  At ``fail_at`` the
+        edge's streams re-route, its in-flight transactions resolve
+        through the transaction-policy seam, and its partitions lose
+        their volatile stores; at ``recover_at`` the replica replays
+        its write-ahead logs and rejoins once the replay is done.
+    checkpoint_interval_s:
+        Period of the cluster-wide checkpointer; ``None`` (the default)
+        takes no periodic checkpoints, so a recovery replays the whole
+        log.  Shorter intervals buy faster recovery with more
+        checkpoint work — the availability sweeps' axis.
+    resharding:
+        Scheduled runtime partition moves, as
+        :class:`~repro.cluster.failure.ReshardSpec` entries or plain
+        ``(at, partition_id, to_edge)`` tuples; each move is a
+        checkpoint-copy plus a log-shipped tail.
 
     The commit policy of the consistency layer comes from
     ``base.transaction_policy`` (see
@@ -136,6 +165,9 @@ class ClusterConfig:
     migration_low: float = 0.5
     migration_window: float = 1.0
     edge_discipline: str = "fifo"
+    failure_schedule: tuple[FailureSpec, ...] = ()
+    checkpoint_interval_s: float | None = None
+    resharding: tuple[ReshardSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_edges < 1:
@@ -164,6 +196,28 @@ class ClusterConfig:
             known = ", ".join(Server.DISCIPLINES)
             raise ValueError(
                 f"unknown edge_discipline {self.edge_discipline!r}; expected one of {known}"
+            )
+        # The schedules arrive as plain tuples from the spec layer; the
+        # dataclass is frozen, so normalisation goes through __setattr__.
+        object.__setattr__(
+            self, "failure_schedule", normalize_failure_schedule(self.failure_schedule)
+        )
+        object.__setattr__(self, "resharding", normalize_resharding(self.resharding))
+        validate_failure_schedule(self.failure_schedule, self.num_edges)
+        for move in self.resharding:
+            if move.partition_id >= self.num_partitions:
+                raise ValueError(
+                    f"resharding names partition {move.partition_id}, but there are "
+                    f"{self.num_partitions} partitions"
+                )
+            if move.to_edge >= self.num_edges:
+                raise ValueError(
+                    f"resharding names edge {move.to_edge}, but there are {self.num_edges} edges"
+                )
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError(
+                f"checkpoint_interval_s must be positive (or None), got "
+                f"{self.checkpoint_interval_s}"
             )
 
     @property
@@ -249,6 +303,14 @@ class ClusterRunResult:
     migrations: tuple[MigrationRecord, ...] = ()
     transaction_policy: str = "immediate-2pc"
     policy_stats: PolicyStats = field(default_factory=PolicyStats)
+    failures: tuple[FailureRecord, ...] = ()
+    reshards: tuple[ReshardRecord, ...] = ()
+    downtime_s: float = 0.0
+    recovery_time_s: float = 0.0
+    wal_records_replayed: int = 0
+    transactions_replayed: int = 0
+    txns_aborted_by_failure: int = 0
+    checkpoints: int = 0
 
     @property
     def final_placements(self) -> dict[str, int]:
@@ -314,7 +376,35 @@ class ClusterRunResult:
             "commit_batches": float(self.policy_stats.commit_batches),
             "coordinator_time_ms": self.policy_stats.coordinator_time_s * 1000.0,
             "overlap_saved_ms": self.policy_stats.overlap_saved_s * 1000.0,
+            "prepare_vote_time_ms": self.policy_stats.prepare_vote_time_s * 1000.0,
             "round_trips_per_cross_edge_txn": self.round_trips_per_cross_edge_txn,
+        }
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.failures)
+
+    @property
+    def frames_replayed(self) -> int:
+        """Committed transactions re-applied from the WAL during recoveries."""
+        return self.transactions_replayed
+
+    def availability_summary(self) -> dict[str, float]:
+        """Failure/recovery/re-sharding metrics of one run.
+
+        A separate dictionary for the same reason as
+        :meth:`policy_summary`: the legacy :meth:`summary` key set is
+        pinned by the golden determinism tests.
+        """
+        return {
+            "failures": float(self.num_failures),
+            "downtime_ms": self.downtime_s * 1000.0,
+            "recovery_time_ms": self.recovery_time_s * 1000.0,
+            "wal_records_replayed": float(self.wal_records_replayed),
+            "frames_replayed": float(self.frames_replayed),
+            "txns_aborted_by_failure": float(self.txns_aborted_by_failure),
+            "checkpoints": float(self.checkpoints),
+            "reshards": float(len(self.reshards)),
         }
 
     @property
@@ -414,6 +504,22 @@ class _RunState:
     frames_on_edge: list[int]
     makespan: float = 0.0
     migrations: list[MigrationRecord] = field(default_factory=list)
+    #: Per-edge failure flag (True from fail_at until the replica rejoins).
+    failed: list[bool] = field(default_factory=list)
+    #: Next instant a process waiting on a failed edge should re-check:
+    #: the scheduled restart at first, then the computed rejoin time.
+    wake_at: list[float] = field(default_factory=list)
+    #: Frames whose final stage has not finished yet (stops the checkpointer).
+    frames_remaining: int = 0
+    #: Ids of transactions aborted by a failure; frames skip their finals.
+    aborted_txns: set[str] = field(default_factory=set)
+    failures: list[FailureRecord] = field(default_factory=list)
+    reshards: list[ReshardRecord] = field(default_factory=list)
+    downtime: float = 0.0
+    recovery_time: float = 0.0
+    records_replayed: int = 0
+    transactions_replayed: int = 0
+    checkpoints: int = 0
 
 
 class ClusterSystem:
@@ -444,6 +550,23 @@ class ClusterSystem:
         if bank_factory is None:
             bank_factory = self._default_bank_factory
 
+        # Coordinator <-> participant messaging rides an intra-cluster
+        # (same-region) link with its own stream per replica, so policies
+        # that model it never perturb the seeded draws of the frame
+        # pipeline.  All channels are built up front: a prepare phase
+        # draws each participant's *voting* latency from the participant
+        # replica's own channel (resolved through the partition-home map,
+        # which re-sharding updates at runtime).
+        self._coordinator_channels = [
+            Channel(SAME_REGION, self.rngs.stream(f"txn-coordinator-{edge_id}"))
+            for edge_id in range(config.num_edges)
+        ]
+        #: partition id -> edge currently hosting it (mutated by re-sharding).
+        self._partition_home = {
+            partition_id: partition_id // config.partitions_per_edge
+            for partition_id in range(config.num_partitions)
+        }
+
         self.replicas: list[EdgeReplica] = []
         self._client_edge: list[Channel] = []
         self._edge_cloud: list[Channel] = []
@@ -466,14 +589,9 @@ class ClusterSystem:
                 min_confidence=base.min_confidence,
                 match_overlap=base.match_overlap,
                 transaction_policy=base.transaction_policy,
-                # Coordinator <-> participant messaging rides an
-                # intra-cluster (same-region) link with its own stream,
-                # so policies that model it never perturb the seeded
-                # draws of the frame pipeline.
-                coordinator_channel=Channel(
-                    SAME_REGION, self.rngs.stream(f"txn-coordinator-{edge_id}")
-                ),
+                coordinator_channel=self._coordinator_channels[edge_id],
                 discipline=config.edge_discipline,
+                vote_channel_for=self._vote_channel_for,
             )
             replica.policy.on_flush = self._make_flush_recorder(edge_id)
             self.replicas.append(replica)
@@ -498,6 +616,18 @@ class ClusterSystem:
             migration_high=config.migration_high,
             migration_low=config.migration_low,
         )
+
+    def _vote_channel_for(self, partition_id: int) -> Channel | None:
+        """Channel of the replica hosting ``partition_id`` (vote latency).
+
+        Participant-side prepare votes are drawn from the *participant's*
+        link, not the coordinator's; the partition-home map keeps the
+        resolution correct across runtime re-shards.
+        """
+        edge_id = self._partition_home.get(partition_id)
+        if edge_id is None:
+            return None
+        return self._coordinator_channels[edge_id]
 
     def _make_flush_recorder(self, edge_id: int):
         """Event-log hook for one replica's batched-coordinator flushes."""
@@ -529,7 +659,11 @@ class ClusterSystem:
         log, and reports only its own transactions; note that reusing a
         system continues the random streams, so build a fresh
         :class:`ClusterSystem` when two runs must reproduce each other
-        bit for bit.
+        bit for bit.  The *durable* state — the partitioned store and
+        its write-ahead logs — intentionally persists across runs: a
+        crash in a later run recovers everything earlier runs committed,
+        so that run's replay metrics cover the accumulated log tail, and
+        a re-shard that already ran is a no-op the second time.
         """
         if not streams:
             raise ValueError("need at least one stream")
@@ -557,6 +691,7 @@ class ClusterSystem:
         ]
         pre_records = [frozenset(r.controller.commit_records) for r in self.replicas]
         pre_policy = [r.policy.policy_stats.snapshot() for r in self.replicas]
+        pre_failure_aborts = self.store.failure_aborts
 
         # Per-run execution state shared by the frame processes.
         state = _RunState(
@@ -564,12 +699,32 @@ class ClusterSystem:
             cloud_server=Server(capacity=self.config.cloud_servers, name="cloud"),
             current_edge=dict(zip(names, placements)),
             frames_on_edge=[0] * len(self.replicas),
+            failed=[False] * len(self.replicas),
+            wake_at=[0.0] * len(self.replicas),
         )
-        for arrival in self.scheduler.interleave(streams, placements):
+        arrivals = list(self.scheduler.interleave(streams, placements))
+        state.frames_remaining = len(arrivals)
+        for arrival in arrivals:
             state.engine.spawn(
                 self._frame_process(state, arrival, clients[arrival.stream_index], results),
                 at=arrival.arrival_time,
                 name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
+            )
+        for spec in self.config.failure_schedule:
+            state.engine.spawn(
+                self._failure_process(state, spec),
+                at=spec.fail_at,
+                name=f"failure-edge-{spec.edge_id}",
+            )
+        for move in self.config.resharding:
+            state.engine.schedule(
+                move.at, lambda move=move: self._apply_reshard(state, move)
+            )
+        if self.config.checkpoint_interval_s is not None:
+            state.engine.spawn(
+                self._checkpoint_process(state),
+                at=self.config.checkpoint_interval_s,
+                name="checkpointer",
             )
         state.engine.run()
         # Flush any coordinator batches still open at the end of the run
@@ -578,7 +733,14 @@ class ClusterSystem:
             replica.policy.commit(now=state.makespan)
 
         return self._collect(
-            names, placements, results, state, pre_stats, pre_records, pre_policy
+            names,
+            placements,
+            results,
+            state,
+            pre_stats,
+            pre_records,
+            pre_policy,
+            pre_failure_aborts,
         )
 
     # -- per-frame pipeline -------------------------------------------------
@@ -689,27 +851,82 @@ class ClusterSystem:
         # serving other frames meanwhile.
         yield engine.at(final_ready)
 
-        final_ready_at = engine.now
-        if priority_serving:
-            # A queued final does not hold a reservation: it sleeps until
-            # the server's next free instant and contends again, waking
-            # at low event priority so that same-instant initial-stage
-            # events reserve first.  Every initial that arrives while the
-            # edge is backlogged therefore preempts this final; the time
-            # lost shows up in the final queue delay below.
-            while replica.server.next_free() > engine.now:
-                yield engine.at(replica.server.next_free(), priority=1)
-        final_admission = replica.server.admit(final_ready_at, priority=0)
-        final = replica.node.process_final_stage(
-            initial,
-            cloud_labels if send_to_cloud else None,
-            now=final_admission.start,
-        )
-        final_charge, overlap_saved = replica.policy.drain_frame_costs()
-        final_done = replica.server.complete(
-            final_admission, final.txn_latency + final_charge
-        )
-        state.makespan = max(state.makespan, final_done)
+        # Resolve failure-aborted transactions before the final sections
+        # run: the crash removed their pending finals from the controller,
+        # and each carries the apology the failure recorded.
+        failure_apologies: tuple[str, ...] = ()
+        if state.aborted_txns:
+            aborted_here = [
+                entry
+                for entry in initial.triggered
+                if not entry.aborted
+                and entry.transaction.transaction_id in state.aborted_txns
+            ]
+            for entry in aborted_here:
+                entry.aborted = True
+            failure_apologies = tuple(
+                apology
+                for entry in aborted_here
+                for apology in entry.transaction.apologies
+            )
+
+        if state.failed[edge_id] and not initial.committed:
+            # Home replica down and nothing left to finalise (the failure
+            # aborted this frame's transactions, or it triggered none):
+            # the client gets the apologies now instead of a correction.
+            final = FinalStageOutcome(
+                frame_id=frame.frame_id, match_report=None, apologies=failure_apologies
+            )
+            final_wait = 0.0
+            final_charge = 0.0
+            overlap_saved = 0.0
+            final_done = engine.now
+            state.makespan = max(state.makespan, final_done)
+            self.events.record(
+                final_done,
+                "final_aborted",
+                frame_id=frame.frame_id,
+                stream=arrival.stream_name,
+                edge=edge_id,
+            )
+        else:
+            while state.failed[edge_id]:
+                # This frame's finals await the coordinator (async-2pc):
+                # park until the replica has replayed its log and
+                # rejoined.  Low event priority lets the same-instant
+                # recovery event flip the flag first.
+                yield engine.at(max(engine.now, state.wake_at[edge_id]), priority=2)
+            final_ready_at = engine.now
+            if priority_serving:
+                # A queued final does not hold a reservation: it sleeps until
+                # the server's next free instant and contends again, waking
+                # at low event priority so that same-instant initial-stage
+                # events reserve first.  Every initial that arrives while the
+                # edge is backlogged therefore preempts this final; the time
+                # lost shows up in the final queue delay below.
+                while replica.server.next_free() > engine.now:
+                    yield engine.at(replica.server.next_free(), priority=1)
+            final_admission = replica.server.admit(final_ready_at, priority=0)
+            final = replica.node.process_final_stage(
+                initial,
+                cloud_labels if send_to_cloud else None,
+                now=final_admission.start,
+            )
+            if failure_apologies:
+                final.apologies = final.apologies + failure_apologies
+            final_charge, overlap_saved = replica.policy.drain_frame_costs()
+            final_done = replica.server.complete(
+                final_admission, final.txn_latency + final_charge
+            )
+            final_wait = final_admission.wait
+            state.makespan = max(state.makespan, final_done)
+            self.events.record(
+                final_done,
+                "final_commit",
+                frame_id=frame.frame_id,
+                stream=arrival.stream_name,
+                edge=edge_id,
+            )
         client.render(
             ClientResponse(
                 frame_id=frame.frame_id,
@@ -718,13 +935,6 @@ class ClusterSystem:
                 apologies=final.apologies,
                 timestamp=final_done,
             )
-        )
-        self.events.record(
-            final_done,
-            "final_commit",
-            frame_id=frame.frame_id,
-            stream=arrival.stream_name,
-            edge=edge_id,
         )
 
         observed = observed_labels(
@@ -745,7 +955,7 @@ class ClusterSystem:
             cloud_detection=cloud_detection,
             final_txn=final.txn_latency,
             queue_delay=queue_delay,
-            final_queue_delay=final_admission.wait,
+            final_queue_delay=final_wait,
             cloud_queue_delay=cloud_queue_delay,
             commit_protocol=initial_charge + final_charge,
             commit_overlap_saved=overlap_saved,
@@ -766,6 +976,191 @@ class ClusterSystem:
                 edge_id=edge_id,
             )
         )
+        state.frames_remaining -= 1
+
+    # -- failure, recovery, re-sharding -------------------------------------
+    def _failure_process(self, state: "_RunState", spec: FailureSpec):
+        """Engine process driving one scheduled failure/recovery cycle."""
+        engine = state.engine
+        # One failure at a time.  The schedule validation keeps the
+        # *scheduled* windows disjoint, but a replica stays failed past
+        # its recover_at while it replays its log — if that replay is
+        # still running, postpone this failure until the cluster is
+        # whole again (low event priority lets the same-instant rejoin
+        # flip the flag first).
+        while True:
+            still_failed = [
+                edge
+                for edge in range(len(self.replicas))
+                if edge != spec.edge_id and state.failed[edge]
+            ]
+            if not still_failed:
+                break
+            wake = max(state.wake_at[edge] for edge in still_failed)
+            yield engine.at(max(engine.now, wake), priority=1)
+        failed_at = engine.now
+        state.failed[spec.edge_id] = True
+        state.wake_at[spec.edge_id] = spec.recover_at
+        replica = self.replicas[spec.edge_id]
+
+        # Streams homed here fail over to the least-loaded live edge
+        # through the migration machinery (their in-flight frames stay
+        # tied to this replica and resolve below).
+        migrated = 0
+        for stream in list(replica.streams):
+            target = self._failover_target(state, engine.now)
+            replica.remove_stream(stream)
+            self.replicas[target].assign_stream(stream)
+            state.current_edge[stream] = target
+            state.migrations.append(
+                MigrationRecord(
+                    time=engine.now,
+                    stream=stream,
+                    from_edge=spec.edge_id,
+                    to_edge=target,
+                    utilization=replica.server.load(
+                        engine.now, window=self.config.migration_window
+                    ),
+                )
+            )
+            self.events.record(
+                engine.now,
+                "stream_migrated",
+                stream=stream,
+                from_edge=spec.edge_id,
+                to_edge=target,
+                utilization=state.migrations[-1].utilization,
+                reason="edge_failed",
+            )
+            migrated += 1
+
+        # In-flight transactions resolve through the policy seam; the
+        # owned partitions lose their volatile stores (the WAL survives).
+        aborted = replica.fail(now=engine.now)
+        state.aborted_txns.update(aborted)
+        self.events.record(
+            engine.now,
+            "edge_failed",
+            edge=spec.edge_id,
+            streams_migrated=migrated,
+            txns_aborted=len(aborted),
+        )
+
+        yield engine.at(spec.recover_at)
+
+        # Restart: rebuild every owned partition from its latest
+        # checkpoint plus the replayed log tail; the replica only rejoins
+        # once the replay is done.
+        keys, records, transactions = replica.recover()
+        for partition_id in replica.owned_partitions:
+            self.store.partition(partition_id).available = False
+        replay = recovery_time(keys, records)
+        state.wake_at[spec.edge_id] = engine.now + replay
+        yield replay
+
+        for partition_id in replica.owned_partitions:
+            self.store.partition(partition_id).available = True
+        state.failed[spec.edge_id] = False
+        rejoined_at = engine.now
+        record = FailureRecord(
+            edge_id=spec.edge_id,
+            failed_at=failed_at,
+            recovered_at=rejoined_at,
+            downtime=rejoined_at - failed_at,
+            recovery_time=replay,
+            records_replayed=records,
+            transactions_replayed=transactions,
+            txns_aborted=len(aborted),
+            streams_migrated=migrated,
+        )
+        state.failures.append(record)
+        state.downtime += record.downtime
+        state.recovery_time += replay
+        state.records_replayed += records
+        state.transactions_replayed += transactions
+        self.events.record(
+            rejoined_at,
+            "edge_recovered",
+            edge=spec.edge_id,
+            records_replayed=records,
+            transactions_replayed=transactions,
+            recovery_time=replay,
+            downtime=record.downtime,
+        )
+
+    def _failover_target(self, state: "_RunState", now: float) -> int:
+        """Least-loaded live edge (ties to the lowest id)."""
+        candidates = [
+            edge_id
+            for edge_id in range(len(self.replicas))
+            if not state.failed[edge_id]
+        ]
+        if not candidates:
+            raise RuntimeError("no live edge to fail streams over to")
+        return min(
+            candidates,
+            key=lambda edge_id: (
+                self.replicas[edge_id].server.load(
+                    now, window=self.config.migration_window
+                ),
+                edge_id,
+            ),
+        )
+
+    def _apply_reshard(self, state: "_RunState", move: ReshardSpec) -> None:
+        """Move one partition between edges: checkpoint-copy + log tail."""
+        from_edge = self._partition_home[move.partition_id]
+        if from_edge == move.to_edge:
+            return
+        if state.failed[from_edge] or state.failed[move.to_edge]:
+            # A failed endpoint cannot ship or receive the partition; the
+            # scheduled move is dropped (visible as a missing event).
+            return
+        outcome = self.store.transfer_partition(move.partition_id)
+        self.replicas[from_edge].release_partition(move.partition_id)
+        self.replicas[move.to_edge].adopt_partition(move.partition_id)
+        self._partition_home[move.partition_id] = move.to_edge
+        now = state.engine.now
+        record = ReshardRecord(
+            time=now,
+            partition_id=move.partition_id,
+            from_edge=from_edge,
+            to_edge=move.to_edge,
+            keys_copied=outcome.keys_copied,
+            records_shipped=outcome.records_shipped,
+        )
+        state.reshards.append(record)
+        self.events.record(
+            now,
+            "partition_resharded",
+            partition=move.partition_id,
+            from_edge=from_edge,
+            to_edge=move.to_edge,
+            keys_copied=outcome.keys_copied,
+            records_shipped=outcome.records_shipped,
+        )
+
+    def _checkpoint_process(self, state: "_RunState"):
+        """Periodic cluster-wide checkpointer (bounds recovery replay)."""
+        interval = self.config.checkpoint_interval_s
+        while state.frames_remaining > 0:
+            partitions = keys = 0
+            for partition_id in self.store.partition_ids():
+                partition = self.store.partition(partition_id)
+                if not partition.available:
+                    continue
+                checkpoint = partition.take_checkpoint()
+                partitions += 1
+                keys += checkpoint.num_keys
+            state.checkpoints += 1
+            self.events.record(
+                state.engine.now,
+                "checkpoint",
+                partitions=partitions,
+                keys=keys,
+                interval=interval,
+            )
+            yield interval
 
     # -- runtime routing ----------------------------------------------------
     def _route_arrival(self, state: "_RunState", arrival: FrameArrival) -> int:
@@ -781,8 +1176,13 @@ class ClusterSystem:
         if not isinstance(self.router, MigratingRouter):
             return edge_id
         now = state.engine.now
+        # A failed edge's drained server reports a near-zero load; it
+        # must never look like a migration target, so its load is
+        # reported as saturated until it rejoins.
         loads = [
-            replica.server.load(now, window=self.config.migration_window)
+            float("inf")
+            if state.failed[replica.edge_id]
+            else replica.server.load(now, window=self.config.migration_window)
             for replica in self.replicas
         ]
         target = self.router.decide(edge_id, loads)
@@ -820,6 +1220,7 @@ class ClusterSystem:
         pre_stats: list[tuple[int, int, int]],
         pre_records: list[frozenset[str]],
         pre_policy: list[PolicyStats],
+        pre_failure_aborts: int,
     ) -> ClusterRunResult:
         stats = ControllerStats()
         policy_stats = PolicyStats()
@@ -866,6 +1267,15 @@ class ClusterSystem:
             migrations=tuple(state.migrations),
             transaction_policy=self.config.transaction_policy,
             policy_stats=policy_stats,
+            failures=tuple(state.failures),
+            reshards=tuple(state.reshards),
+            downtime_s=state.downtime,
+            recovery_time_s=state.recovery_time,
+            wal_records_replayed=state.records_replayed,
+            transactions_replayed=state.transactions_replayed,
+            txns_aborted_by_failure=len(state.aborted_txns)
+            + (self.store.failure_aborts - pre_failure_aborts),
+            checkpoints=state.checkpoints,
         )
 
     # -- banks --------------------------------------------------------------

@@ -241,6 +241,41 @@ def _cluster_batched_2pc() -> ScenarioSpec:
     return _bench_cluster(num_edges=4, router="round-robin", transaction_policy="batched-2pc")
 
 
+@register_scenario(
+    "failure-recovery",
+    "Availability: edge 1 fails at t=2.5s and recovers at t=4s by WAL replay "
+    "(1s checkpoints, 4 edges, sustained 5 fps arrivals)",
+)
+def _failure_recovery() -> ScenarioSpec:
+    # Sustained arrivals keep finals in flight when the edge dies, so the
+    # failure visibly aborts transactions, migrates streams, and leaves a
+    # log tail for recovery to replay.
+    return _bench_cluster(
+        num_edges=4,
+        router="round-robin",
+        fps=5.0,
+        frames=30,
+        checkpoint_interval_s=1.0,
+        failure_schedule=((1, 2.5, 4.0),),
+    )
+
+
+@register_scenario(
+    "resharding",
+    "Elasticity: partition 0 moves from edge 0 to edge 1 at t=2s by "
+    "checkpoint-copy plus a log-shipped tail",
+)
+def _resharding() -> ScenarioSpec:
+    return _bench_cluster(
+        num_edges=4,
+        router="round-robin",
+        fps=5.0,
+        frames=30,
+        checkpoint_interval_s=1.0,
+        resharding=((2.0, 0, 1),),
+    )
+
+
 # -- the cluster sweeps -------------------------------------------------------
 @register_sweep(
     "cluster-scaleout",
@@ -289,6 +324,31 @@ def _txn_policies() -> Sweep:
         base=_bench_cluster(num_edges=4, router="round-robin"),
         axis="transaction_policy",
         values=("immediate-2pc", "batched-2pc", "async-2pc"),
+    )
+
+
+@register_sweep(
+    "failure-recovery",
+    "Recovery-time series: checkpoint interval 0.5/1/2 s and no checkpoints at all, "
+    "one mid-run edge failure",
+)
+def _failure_recovery_sweep() -> Sweep:
+    return Sweep(
+        base=_failure_recovery(),
+        axis="checkpoint_interval_s",
+        values=(0.5, 1.0, 2.0, None),
+    )
+
+
+@register_sweep(
+    "resharding",
+    "Elasticity series: 0, 1, and 2 scheduled partition moves on the contention cluster",
+)
+def _resharding_sweep() -> Sweep:
+    return Sweep(
+        base=_resharding(),
+        axis="resharding",
+        values=((), ((2.0, 0, 1),), ((2.0, 0, 1), (3.0, 2, 3))),
     )
 
 

@@ -75,8 +75,15 @@ REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
     "coordinator_round_trips": int,
     "coordinator_batches": int,
     "overlap_saved_ms": (int, float),
+    "downtime_ms": (int, float),
+    "recovery_time_ms": (int, float),
+    "frames_replayed": int,
+    "txns_aborted_by_failure": int,
+    "checkpoints": int,
     "edges": list,
     "migration_events": list,
+    "failure_events": list,
+    "reshard_events": list,
 }
 
 
@@ -115,9 +122,17 @@ class RunReport:
     coordinator_round_trips: int = 0
     coordinator_batches: int = 0
     overlap_saved_ms: float = 0.0
+    downtime_ms: float = 0.0
+    recovery_time_ms: float = 0.0
+    frames_replayed: int = 0
+    txns_aborted_by_failure: int = 0
+    checkpoints: int = 0
     edges: tuple[dict[str, Any], ...] = ()
     migration_events: tuple[dict[str, Any], ...] = ()
+    failure_events: tuple[dict[str, Any], ...] = ()
+    reshard_events: tuple[dict[str, Any], ...] = ()
     cloud_queue: dict[str, float] | None = None
+    batch_flushes: dict[str, float] | None = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -186,9 +201,19 @@ class RunReport:
             "coordinator_round_trips": self.coordinator_round_trips,
             "coordinator_batches": self.coordinator_batches,
             "overlap_saved_ms": self.overlap_saved_ms,
+            "downtime_ms": self.downtime_ms,
+            "recovery_time_ms": self.recovery_time_ms,
+            "frames_replayed": self.frames_replayed,
+            "txns_aborted_by_failure": self.txns_aborted_by_failure,
+            "checkpoints": self.checkpoints,
             "edges": [dict(edge) for edge in self.edges],
             "migration_events": [dict(event) for event in self.migration_events],
+            "failure_events": [dict(event) for event in self.failure_events],
+            "reshard_events": [dict(event) for event in self.reshard_events],
             "cloud_queue": dict(self.cloud_queue) if self.cloud_queue is not None else None,
+            "batch_flushes": (
+                dict(self.batch_flushes) if self.batch_flushes is not None else None
+            ),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -222,10 +247,22 @@ class RunReport:
             coordinator_round_trips=payload["coordinator_round_trips"],
             coordinator_batches=payload["coordinator_batches"],
             overlap_saved_ms=payload["overlap_saved_ms"],
+            downtime_ms=payload["downtime_ms"],
+            recovery_time_ms=payload["recovery_time_ms"],
+            frames_replayed=payload["frames_replayed"],
+            txns_aborted_by_failure=payload["txns_aborted_by_failure"],
+            checkpoints=payload["checkpoints"],
             edges=tuple(dict(edge) for edge in payload["edges"]),
             migration_events=tuple(dict(event) for event in payload["migration_events"]),
+            failure_events=tuple(dict(event) for event in payload["failure_events"]),
+            reshard_events=tuple(dict(event) for event in payload["reshard_events"]),
             cloud_queue=(
                 dict(payload["cloud_queue"]) if payload.get("cloud_queue") is not None else None
+            ),
+            batch_flushes=(
+                dict(payload["batch_flushes"])
+                if payload.get("batch_flushes") is not None
+                else None
             ),
         )
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Callable
 
-from repro.analysis.timeline import cloud_queue_profile, migration_timeline
+from repro.analysis.timeline import batch_flush_profile, cloud_queue_profile, migration_timeline
 from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
 from repro.core.baselines import (
     BaselineResult,
@@ -66,6 +66,9 @@ def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
         frame_interval=spec.frame_interval,
         cloud_servers=spec.cloud_servers,
         edge_discipline=spec.edge_discipline,
+        failure_schedule=spec.failure_schedule,
+        checkpoint_interval_s=spec.checkpoint_interval_s,
+        resharding=spec.resharding,
     )
 
 
@@ -161,6 +164,31 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         }
         for when, stream, from_edge, to_edge in migration_timeline(system.events).moves
     )
+    failure_events = tuple(
+        {
+            "edge": record.edge_id,
+            "failed_at_s": record.failed_at,
+            "recovered_at_s": record.recovered_at,
+            "downtime_ms": record.downtime * 1000.0,
+            "recovery_ms": record.recovery_time * 1000.0,
+            "records_replayed": record.records_replayed,
+            "frames_replayed": record.transactions_replayed,
+            "txns_aborted": record.txns_aborted,
+            "streams_migrated": record.streams_migrated,
+        }
+        for record in result.failures
+    )
+    reshard_events = tuple(
+        {
+            "time_s": record.time,
+            "partition": record.partition_id,
+            "from_edge": record.from_edge,
+            "to_edge": record.to_edge,
+            "keys_copied": record.keys_copied,
+            "records_shipped": record.records_shipped,
+        }
+        for record in result.reshards
+    )
     cloud = cloud_queue_profile(system.events)
     cloud_queue = {
         "validations": cloud.validations,
@@ -168,6 +196,17 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         "mean_delay_ms": cloud.mean_delay * 1000.0,
         "max_delay_ms": cloud.max_delay * 1000.0,
     }
+    flushes = batch_flush_profile(system.events)
+    batch_flushes = (
+        {
+            "flushes": flushes.flushes,
+            "transactions": flushes.transactions,
+            "transactions_per_flush": flushes.transactions_per_flush,
+            "mean_duration_ms": flushes.mean_duration * 1000.0,
+        }
+        if flushes.flushes
+        else None
+    )
 
     return RunReport(
         scenario=spec.to_dict(),
@@ -192,9 +231,17 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         coordinator_round_trips=result.policy_stats.coordinator_round_trips,
         coordinator_batches=result.policy_stats.commit_batches,
         overlap_saved_ms=result.policy_stats.overlap_saved_s * 1000.0,
+        downtime_ms=result.downtime_s * 1000.0,
+        recovery_time_ms=result.recovery_time_s * 1000.0,
+        frames_replayed=result.frames_replayed,
+        txns_aborted_by_failure=result.txns_aborted_by_failure,
+        checkpoints=result.checkpoints,
         edges=edges,
         migration_events=migration_events,
+        failure_events=failure_events,
+        reshard_events=reshard_events,
         cloud_queue=cloud_queue,
+        batch_flushes=batch_flushes,
     )
 
 

@@ -19,6 +19,11 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Mapping
 
+from repro.cluster.failure import (
+    normalize_failure_schedule,
+    normalize_resharding,
+    validate_failure_schedule,
+)
 from repro.cluster.router import ROUTER_POLICIES
 from repro.transactions.policy import TXN_POLICIES
 from repro.video.library import VIDEO_LIBRARY
@@ -61,6 +66,9 @@ CLUSTER_FIELDS = frozenset(
         "long_frames",
         "num_long",
         "edge_discipline",
+        "failure_schedule",
+        "checkpoint_interval_s",
+        "resharding",
     }
 )
 
@@ -114,6 +122,21 @@ class ScenarioSpec:
         Cluster edge-server admission: ``"fifo"`` (default) or
         ``"priority"``, under which initial stages preempt queued final
         stages for a faster initial response.
+    failure_schedule:
+        Scheduled replica failures (cluster only): a tuple of
+        ``(edge_id, fail_at_s, recover_at_s)`` triples.  A failing edge
+        drains, its streams fail over, its in-flight transactions
+        resolve through the transaction-policy seam, and recovery
+        replays the write-ahead log from the last checkpoint before the
+        replica rejoins.
+    checkpoint_interval_s:
+        Period of the cluster's checkpointer (``None`` = no periodic
+        checkpoints, so recovery replays the whole log) — the axis the
+        ``failure-recovery`` sweep turns.
+    resharding:
+        Scheduled runtime partition moves (cluster only): a tuple of
+        ``(at_s, partition_id, to_edge)`` triples, each executed as a
+        checkpoint-copy plus a log-shipped tail.
     """
 
     deployment: str = "single"
@@ -136,6 +159,9 @@ class ScenarioSpec:
     num_long: int = 2
     transaction_policy: str = "immediate-2pc"
     edge_discipline: str = "fifo"
+    failure_schedule: tuple[tuple[int, float, float], ...] = ()
+    checkpoint_interval_s: float | None = None
+    resharding: tuple[tuple[float, int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.deployment not in DEPLOYMENTS:
@@ -200,6 +226,33 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown edge_discipline {self.edge_discipline!r}; "
                 f"expected one of {EDGE_DISCIPLINES}"
+            )
+        # The schedules accept lists (a JSON round trip yields lists) and
+        # are normalised to plain float/int tuples, so ``from_dict`` of a
+        # serialised spec compares equal to the original.
+        failures = normalize_failure_schedule(self.failure_schedule)
+        validate_failure_schedule(failures, self.num_edges)
+        object.__setattr__(
+            self, "failure_schedule", tuple(spec.to_tuple() for spec in failures)
+        )
+        moves = normalize_resharding(self.resharding)
+        num_partitions = self.num_edges * self.partitions_per_edge
+        for move in moves:
+            if move.partition_id >= num_partitions:
+                raise ValueError(
+                    f"resharding names partition {move.partition_id}, but there are "
+                    f"{num_partitions} partitions"
+                )
+            if move.to_edge >= self.num_edges:
+                raise ValueError(
+                    f"resharding names edge {move.to_edge}, but there are "
+                    f"{self.num_edges} edges"
+                )
+        object.__setattr__(self, "resharding", tuple(move.to_tuple() for move in moves))
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError(
+                "checkpoint_interval_s must be positive (or None), got "
+                f"{self.checkpoint_interval_s}"
             )
 
     # -- derived -------------------------------------------------------------

@@ -3,15 +3,22 @@
 The edge node "hosts the main copy of its partition's data" (paper §3.1)
 and processes transactions against it.  This package provides the
 versioned key-value store, the lock manager used by both concurrency
-controllers, undo logging for apologies/retractions, and a partitioned
-store with a two-phase-commit coordinator for multi-partition
-transactions (paper §4.5).
+controllers, undo logging for apologies/retractions, the per-partition
+redo write-ahead log with checkpoints that failure recovery replays,
+and a partitioned store with a two-phase-commit coordinator plus
+runtime split/merge/transfer re-sharding (paper §4.5).
 """
 
 from repro.storage.kvstore import KeyValueStore, Version
 from repro.storage.locks import LockManager, LockMode, LockRequestDenied
-from repro.storage.partition import PartitionedStore, TwoPhaseCommitCoordinator
-from repro.storage.wal import UndoLog, UndoRecord
+from repro.storage.partition import (
+    Partition,
+    PartitionedStore,
+    RecoveryOutcome,
+    ReshardOutcome,
+    TwoPhaseCommitCoordinator,
+)
+from repro.storage.wal import Checkpoint, LogRecord, UndoLog, UndoRecord, WriteAheadLog
 
 __all__ = [
     "KeyValueStore",
@@ -21,6 +28,12 @@ __all__ = [
     "LockRequestDenied",
     "UndoLog",
     "UndoRecord",
+    "WriteAheadLog",
+    "LogRecord",
+    "Checkpoint",
+    "Partition",
     "PartitionedStore",
+    "RecoveryOutcome",
+    "ReshardOutcome",
     "TwoPhaseCommitCoordinator",
 ]

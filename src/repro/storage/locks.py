@@ -142,6 +142,24 @@ class LockManager:
             self.release(holder, key, now=now)
         self._held_by.pop(holder, None)
 
+    def transfer_key(self, key: str, target: "LockManager") -> bool:
+        """Move the live grant on ``key`` (if any) to ``target``.
+
+        Used when a key changes partitions at runtime (re-sharding): the
+        grant — holders and acquire times — moves wholesale so in-flight
+        transactions keep their locks across the move.  Completed-tenure
+        records stay with this manager.  Returns ``True`` when a grant
+        was moved.
+        """
+        entry = self._table.pop(key, None)
+        if entry is None:
+            return False
+        target._table[key] = entry
+        for holder in entry.holders:
+            self._held_by.get(holder, set()).discard(key)
+            target._held_by.setdefault(holder, set()).add(key)
+        return True
+
     def holds(self, holder: str, key: str) -> bool:
         """True when ``holder`` currently holds a lock on ``key``."""
         entry = self._table.get(key)

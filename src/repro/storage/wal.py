@@ -1,10 +1,21 @@
-"""Undo logging for apologies and retractions.
+"""Durability logging: the undo log and the per-partition redo log.
 
-MS-IA's apply-then-check pattern means an initial section may later turn
-out to have been triggered erroneously.  The undo log records, per
-transaction, what each write replaced so that the final section (or a
-cascading retraction) can restore the prior state and so that the
-apology message can describe what was undone.
+Two logs with two different jobs live here:
+
+* :class:`UndoLog` — MS-IA's apology machinery.  The apply-then-check
+  pattern means an initial section may later turn out to have been
+  triggered erroneously; the undo log records, per transaction, what
+  each write replaced so the final section (or a cascading retraction)
+  can restore the prior state and describe what was undone.
+* :class:`WriteAheadLog` — the redo log a partition's durability hangs
+  on.  Every *committed* write is appended with a monotonically
+  increasing log sequence number (LSN) before it lands in the store;
+  periodic :class:`Checkpoint` snapshots bound how much of the log a
+  recovery has to replay.  When an edge replica crashes, its partitions'
+  in-memory stores are lost but their logs survive; recovery rebuilds
+  the store from the latest checkpoint and replays the log tail
+  (:meth:`WriteAheadLog.replay_into`), exactly the redo protocol the
+  failure/recovery scenarios of :mod:`repro.cluster` simulate.
 """
 
 from __future__ import annotations
@@ -80,3 +91,116 @@ class UndoLog:
             if any(record.key in keys for record in records):
                 dependent_ids.add(other_id)
         return frozenset(dependent_ids)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One committed write in the redo log."""
+
+    lsn: int
+    transaction_id: str
+    key: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A consistent snapshot of a partition's live state.
+
+    ``lsn`` is the last log sequence number the snapshot covers: a
+    recovery restores ``state`` and replays only the records *after*
+    ``lsn``.
+    """
+
+    lsn: int
+    state: dict[str, Any]
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.state)
+
+
+class WriteAheadLog:
+    """Append-only redo log with LSNs and checkpoint snapshots.
+
+    The log is the durable half of a partition: callers append every
+    committed write *before* applying it to the in-memory store, so a
+    crashed partition can always be reconstructed as
+    ``latest checkpoint + replay of the tail``.  LSNs start at 1 and
+    increase by 1 per record; checkpoints do not consume LSNs.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._checkpoints: list[Checkpoint] = []
+
+    # -- appending -----------------------------------------------------------
+    def append(self, transaction_id: str, key: str, value: Any) -> LogRecord:
+        """Log one committed write and return its record."""
+        record = LogRecord(
+            lsn=len(self._records) + 1, transaction_id=transaction_id, key=key, value=value
+        )
+        self._records.append(record)
+        return record
+
+    def take_checkpoint(self, state: dict[str, Any]) -> Checkpoint:
+        """Snapshot ``state`` as covering everything up to the last LSN."""
+        checkpoint = Checkpoint(lsn=self.last_lsn, state=dict(state))
+        self._checkpoints.append(checkpoint)
+        return checkpoint
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record (0 when the log is empty)."""
+        return len(self._records)
+
+    @property
+    def latest_checkpoint(self) -> Checkpoint | None:
+        """The newest checkpoint, or ``None`` if none was ever taken."""
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    @property
+    def num_checkpoints(self) -> int:
+        return len(self._checkpoints)
+
+    def records_since(self, lsn: int) -> tuple[LogRecord, ...]:
+        """Records with LSN strictly greater than ``lsn``, in log order.
+
+        LSNs are dense (record ``i`` has LSN ``i+1``), so the tail is a
+        direct slice of the record list rather than a scan.
+        """
+        return tuple(self._records[max(int(lsn), 0) :])
+
+    def records(self) -> tuple[LogRecord, ...]:
+        """Every record in the log, oldest first."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- recovery ------------------------------------------------------------
+    def replay_into(self, store: KeyValueStore, after_lsn: int = 0) -> tuple[LogRecord, ...]:
+        """Re-apply records after ``after_lsn`` to ``store``; returns them.
+
+        Writes carry their original transaction id as the writer, so a
+        recovered store attributes every value to the transaction that
+        committed it.
+        """
+        tail = self.records_since(after_lsn)
+        for record in tail:
+            store.write(record.key, record.value, writer=record.transaction_id)
+        return tail
+
+
+def restore_from_checkpoint(checkpoint: Checkpoint | None) -> KeyValueStore:
+    """A fresh :class:`KeyValueStore` holding a checkpoint's state.
+
+    ``None`` (no checkpoint ever taken) yields an empty store — recovery
+    then replays the whole log from LSN 0.
+    """
+    store = KeyValueStore()
+    if checkpoint is not None:
+        for key in sorted(checkpoint.state):
+            store.write(key, checkpoint.state[key], writer="checkpoint")
+    return store

@@ -119,7 +119,8 @@ class DistributedMSIAController:
     def __init__(self, store: PartitionedStore, history: History | None = None) -> None:
         self._store = store
         self._coordinator = TwoPhaseCommitCoordinator(store)
-        self._pending: dict[str, Any] = {}
+        #: holder -> (transaction, initial labels) awaiting the final section.
+        self._pending: dict[str, tuple[MultiStageTransaction, Any]] = {}
         self._history = history
         self.stats = ControllerStats()
         self.commit_records: dict[str, DistributedCommitRecord] = {}
@@ -164,7 +165,7 @@ class DistributedMSIAController:
         self.stats.initial_commits += 1
         if self._history is not None:
             self._history.record_section(holder, SectionKind.INITIAL, now, context.operations)
-        self._pending[holder] = labels
+        self._pending[holder] = (transaction, labels)
         return result
 
     def process_final(
@@ -173,7 +174,7 @@ class DistributedMSIAController:
         holder = transaction.transaction_id
         if holder not in self._pending:
             raise SectionOrderError(f"transaction {holder} has no pending final section")
-        initial_labels = self._pending.pop(holder)
+        _, initial_labels = self._pending.pop(holder)
 
         self._acquire_section_locks(holder, transaction.final.rwset, now)
         context = _BufferedSectionContext(
@@ -191,7 +192,7 @@ class DistributedMSIAController:
         if not committed:
             # The final section must commit; surface the contention so the
             # caller can retry after the conflicting holder finishes.
-            self._pending[holder] = initial_labels
+            self._pending[holder] = (transaction, initial_labels)
             raise TransactionAborted(holder, "final-section atomic commit failed; retry later")
 
         transaction.mark_committed(result, context.apologies, now)
@@ -200,12 +201,51 @@ class DistributedMSIAController:
             self._history.record_section(holder, SectionKind.FINAL, now, context.operations)
         return result
 
+    @property
+    def pending_finals(self) -> tuple[str, ...]:
+        """Ids of transactions whose final section has not run yet."""
+        return tuple(self._pending)
+
+    def abort_pending(self, now: float = 0.0) -> tuple[str, ...]:
+        """Abort every prepared-but-uncommitted final (replica crash path).
+
+        Called through the transaction-policy seam when the hosting edge
+        fails: pending finals are failure-aborted (each records an
+        apology), any locks they still hold are released, and the
+        aborts land in the controller stats.  Returns the aborted ids.
+        """
+        aborted: list[str] = []
+        for holder, (transaction, _labels) in list(self._pending.items()):
+            del self._pending[holder]
+            self._release_pending_state(holder, transaction, now)
+            transaction.mark_aborted_by_failure()
+            self.stats.aborts += 1
+            aborted.append(holder)
+        return tuple(aborted)
+
+    def _release_pending_state(
+        self, holder: str, transaction: MultiStageTransaction, now: float
+    ) -> None:
+        """Drop whatever a pending final still holds (MS-IA: nothing —
+        locks were released when the initial section committed)."""
+
     # -- internals ---------------------------------------------------------
     def _acquire_section_locks(self, holder: str, rwset: ReadWriteSet, now: float) -> None:
-        """Route lock requests to the owning partitions (all-or-nothing)."""
+        """Route lock requests to the owning partitions (all-or-nothing).
+
+        A partition whose hosting replica is failed denies every request:
+        the transaction aborts and is counted against the failure.
+        """
         acquired: list[tuple[int, str]] = []
         for key, mode in rwset.lock_requests():
             partition = self._store.partition_for(key)
+            if not partition.available:
+                for partition_id, acquired_key in acquired:
+                    self._store.partition(partition_id).locks.release(holder, acquired_key, now=now)
+                self._store.record_failure_abort()
+                raise TransactionAborted(
+                    holder, f"partition {partition.partition_id} unavailable (edge failed)"
+                )
             if partition.locks.try_acquire(holder, key, mode, now=now):
                 acquired.append((partition.partition_id, key))
             else:
@@ -243,6 +283,14 @@ class DistributedTwoStage2PL(DistributedMSIAController):
         super().__init__(store, history=history)
         self._buffered_writes: dict[str, dict[str, Any]] = {}
 
+    def _release_pending_state(
+        self, holder: str, transaction: MultiStageTransaction, now: float
+    ) -> None:
+        """A failure-aborted MS-SR final releases the locks held since the
+        initial section and discards its buffered (never-applied) writes."""
+        self._release_section_locks(holder, transaction.combined_rwset(), now)
+        self._buffered_writes.pop(holder, None)
+
     def process_initial(
         self, transaction: MultiStageTransaction, labels: Any = None, now: float = 0.0
     ) -> Any:
@@ -265,7 +313,7 @@ class DistributedTwoStage2PL(DistributedMSIAController):
         self.stats.initial_commits += 1
         if self._history is not None:
             self._history.record_section(holder, SectionKind.INITIAL, now, context.operations)
-        self._pending[holder] = labels
+        self._pending[holder] = (transaction, labels)
         self._buffered_writes[holder] = context.pending_writes
         return result
 
@@ -275,7 +323,7 @@ class DistributedTwoStage2PL(DistributedMSIAController):
         holder = transaction.transaction_id
         if holder not in self._pending:
             raise SectionOrderError(f"transaction {holder} has no pending final section")
-        initial_labels = self._pending.pop(holder)
+        _, initial_labels = self._pending.pop(holder)
 
         context = _BufferedSectionContext(
             holder,
@@ -290,13 +338,15 @@ class DistributedTwoStage2PL(DistributedMSIAController):
         result = transaction.final.body(context)
 
         writes = {**self._buffered_writes.pop(holder, {}), **context.pending_writes}
-        # The locks for every touched key are already held, so prepare
-        # cannot be denied and the single 2PC round at the end of the final
-        # section must succeed.
+        # The locks for every touched key are already held, so prepare can
+        # only be denied when a participating partition failed between the
+        # sections — the one way the single 2PC round at the end of the
+        # final section does not succeed.
         self._release_section_locks(holder, transaction.combined_rwset(), now)
         committed = self._atomic_commit(holder, writes, now)
-        if not committed:  # pragma: no cover - cannot happen while locks were held
-            raise TransactionAborted(holder, "final atomic commit failed")
+        if not committed:
+            self.stats.aborts += 1
+            raise TransactionAborted(holder, "final atomic commit failed: participant unavailable")
 
         transaction.mark_committed(result, context.apologies, now)
         self.stats.final_commits += 1

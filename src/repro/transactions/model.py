@@ -242,6 +242,23 @@ class MultiStageTransaction:
             )
         self.status = TransactionStatus.ABORTED
 
+    def mark_aborted_by_failure(self, reason: str = "edge failed") -> None:
+        """Abort an in-flight transaction whose replica crashed.
+
+        Unlike :meth:`mark_aborted`, this transition is legal from
+        ``INITIAL_COMMITTED``: a crash can strand a transaction between
+        its sections, and resolving it (per the active transaction
+        policy) aborts the prepared-but-uncommitted final.  The client
+        already saw the initial result, so an apology is recorded.
+        """
+        if self.status is TransactionStatus.COMMITTED:
+            raise SectionOrderError("a committed transaction cannot be failure-aborted")
+        if self.status is TransactionStatus.INITIAL_COMMITTED:
+            self.apologies = self.apologies + (
+                f"{self.transaction_id} final section aborted: {reason}",
+            )
+        self.status = TransactionStatus.ABORTED
+
     # -- convenience -------------------------------------------------------
     @property
     def is_committed(self) -> bool:

@@ -70,6 +70,13 @@ ACK_MESSAGE_BYTES = 128
 FlushListener = Callable[[float, int, frozenset[int], float], None]
 
 
+#: Resolves a partition id to the channel of the replica hosting it, so a
+#: prepare phase can draw the participant-side voting latency from the
+#: *participant's* link rather than modelling votes as instantaneous.
+#: ``None`` (or a resolver returning ``None``) keeps votes free.
+VoteChannelResolver = Callable[[int], "Channel | None"]
+
+
 def _coordinator_phase(
     channel: Channel,
     now: float,
@@ -77,27 +84,43 @@ def _coordinator_phase(
     up_bytes: int,
     down_bytes: int,
     label: str,
-) -> float:
+    vote_channel_for: VoteChannelResolver | None = None,
+) -> tuple[float, float]:
     """Duration of one commit-protocol phase over the coordinator channel.
 
     The coordinator fans out to every remote participant in parallel, so
     the phase lasts as long as its slowest participant's round trip.
-    Participants are visited in sorted order so the channel's jitter
-    draws are deterministic per seed.
+    For prepare phases a :data:`VoteChannelResolver` adds each
+    participant's *voting* latency — the time the participant spends
+    forming and sending its vote, drawn from that participant's own
+    channel — between the request and the reply legs.  Participants are
+    visited in sorted order so every channel's jitter draws are
+    deterministic per seed.
+
+    Returns ``(phase duration, total participant voting time)``.
     """
-    durations = [
-        sum(
-            channel.round_trip(
-                up_bytes,
-                down_bytes,
-                timestamp=now,
-                up_description=f"{label}-p{partition}",
-                down_description=f"{label}-ack-p{partition}",
-            )
+    durations: list[float] = []
+    vote_total = 0.0
+    for partition in sorted(remote):
+        uplink, downlink = channel.round_trip(
+            up_bytes,
+            down_bytes,
+            timestamp=now,
+            up_description=f"{label}-p{partition}",
+            down_description=f"{label}-ack-p{partition}",
         )
-        for partition in sorted(remote)
-    ]
-    return max(durations, default=0.0)
+        vote = 0.0
+        if vote_channel_for is not None:
+            participant = vote_channel_for(partition)
+            if participant is not None:
+                vote = participant.send(
+                    VOTE_MESSAGE_BYTES,
+                    timestamp=now,
+                    description=f"{label}-vote-p{partition}",
+                )
+        durations.append(uplink + vote + downlink)
+        vote_total += vote
+    return max(durations, default=0.0), vote_total
 
 
 @dataclass
@@ -119,6 +142,7 @@ class PolicyStats:
     commit_batches: int = 0
     coordinator_time_s: float = 0.0
     overlap_saved_s: float = 0.0
+    prepare_vote_time_s: float = 0.0
 
     @property
     def round_trips_per_cross_partition_commit(self) -> float:
@@ -140,6 +164,7 @@ class PolicyStats:
             commit_batches=self.commit_batches - earlier.commit_batches,
             coordinator_time_s=self.coordinator_time_s - earlier.coordinator_time_s,
             overlap_saved_s=self.overlap_saved_s - earlier.overlap_saved_s,
+            prepare_vote_time_s=self.prepare_vote_time_s - earlier.prepare_vote_time_s,
         )
 
     def merge(self, other: "PolicyStats") -> None:
@@ -149,6 +174,7 @@ class PolicyStats:
         self.commit_batches += other.commit_batches
         self.coordinator_time_s += other.coordinator_time_s
         self.overlap_saved_s += other.overlap_saved_s
+        self.prepare_vote_time_s += other.prepare_vote_time_s
 
 
 class TransactionPolicy:
@@ -232,6 +258,26 @@ class TransactionPolicy:
         """
         self._frame_charge = 0.0
         self._frame_saving = 0.0
+
+    def on_edge_failure(self, now: float = 0.0) -> tuple[str, ...]:
+        """Resolve in-flight transactions when this policy's edge crashes.
+
+        The default (immediate/batched 2PC) resolution aborts every
+        prepared-but-uncommitted final through the wrapped controller —
+        the coordinator died, so participants presume abort — and drops
+        any open coordinator state (unbilled charges, open batches).
+        Returns the aborted transaction ids; :class:`AsyncTwoPhasePolicy`
+        overrides this with the await-the-coordinator resolution.
+        """
+        self.reset()
+        abort = getattr(self._controller, "abort_pending", None)
+        if abort is None:
+            return ()
+        return tuple(abort(now))
+
+    def update_owned(self, owned_partitions: frozenset[int]) -> None:
+        """Re-point the local/remote partition split (runtime re-shard)."""
+        self._owned = frozenset(owned_partitions)
 
     # -- frame accounting ----------------------------------------------------
     def drain_frame_costs(self) -> tuple[float, float]:
@@ -354,6 +400,7 @@ class BatchedTwoPhasePolicy(TransactionPolicy):
         owned_partitions: frozenset[int] | None,
         channel: Channel,
         batch_window: float = DEFAULT_BATCH_WINDOW,
+        vote_channel_for: VoteChannelResolver | None = None,
     ) -> None:
         if not hasattr(controller, "commit_listener"):
             raise TypeError(
@@ -365,6 +412,7 @@ class BatchedTwoPhasePolicy(TransactionPolicy):
         super().__init__(controller, owned_partitions)
         self._channel = channel
         self._batch_window = batch_window
+        self._vote_channel_for = vote_channel_for
         self._pending_remote: set[int] = set()
         self._pending_commits = 0
         self._deadline: float | None = None
@@ -401,16 +449,23 @@ class BatchedTwoPhasePolicy(TransactionPolicy):
         if not self._pending_commits:
             return 0.0
         remote = frozenset(self._pending_remote)
-        prepare = _coordinator_phase(
-            self._channel, now, remote, PREPARE_MESSAGE_BYTES, VOTE_MESSAGE_BYTES, "prepare"
+        prepare, vote_time = _coordinator_phase(
+            self._channel,
+            now,
+            remote,
+            PREPARE_MESSAGE_BYTES,
+            VOTE_MESSAGE_BYTES,
+            "prepare",
+            vote_channel_for=self._vote_channel_for,
         )
-        decide = _coordinator_phase(
+        decide, _ = _coordinator_phase(
             self._channel, now, remote, COMMIT_MESSAGE_BYTES, ACK_MESSAGE_BYTES, "commit"
         )
         duration = prepare + decide
         self.policy_stats.coordinator_round_trips += 2 * len(remote)
         self.policy_stats.commit_batches += 1
         self.policy_stats.coordinator_time_s += duration
+        self.policy_stats.prepare_vote_time_s += vote_time
         flushed = self._pending_commits
         self._pending_remote.clear()
         self._pending_commits = 0
@@ -442,6 +497,7 @@ class AsyncTwoPhasePolicy(TransactionPolicy):
         controller: Any,
         owned_partitions: frozenset[int] | None,
         channel: Channel,
+        vote_channel_for: VoteChannelResolver | None = None,
     ) -> None:
         if not hasattr(controller, "commit_listener"):
             raise TypeError(
@@ -450,6 +506,7 @@ class AsyncTwoPhasePolicy(TransactionPolicy):
             )
         super().__init__(controller, owned_partitions)
         self._channel = channel
+        self._vote_channel_for = vote_channel_for
         #: txn id -> (prepare issue time, prepare duration, remote participants)
         self._prepared: dict[str, tuple[float, float, frozenset[int]]] = {}
 
@@ -472,9 +529,16 @@ class AsyncTwoPhasePolicy(TransactionPolicy):
         remote = self._final_commit_remote(transaction)
         if not remote:
             return
-        prepare = _coordinator_phase(
-            self._channel, now, remote, PREPARE_MESSAGE_BYTES, VOTE_MESSAGE_BYTES, "prepare"
+        prepare, vote_time = _coordinator_phase(
+            self._channel,
+            now,
+            remote,
+            PREPARE_MESSAGE_BYTES,
+            VOTE_MESSAGE_BYTES,
+            "prepare",
+            vote_channel_for=self._vote_channel_for,
         )
+        self.policy_stats.prepare_vote_time_s += vote_time
         self._prepared[transaction.transaction_id] = (now, prepare, remote)
 
     def _after_final(self, transaction: MultiStageTransaction, now: float) -> None:
@@ -483,13 +547,29 @@ class AsyncTwoPhasePolicy(TransactionPolicy):
             return
         issued_at, prepare, remote = entry
         hidden = min(prepare, max(0.0, now - issued_at))
-        decide = _coordinator_phase(
+        decide, _ = _coordinator_phase(
             self._channel, now, remote, COMMIT_MESSAGE_BYTES, ACK_MESSAGE_BYTES, "commit"
         )
         self.policy_stats.coordinator_time_s += prepare + decide
         self.policy_stats.overlap_saved_s += hidden
         self._frame_charge += (prepare - hidden) + decide
         self._frame_saving += hidden
+
+    def on_edge_failure(self, now: float = 0.0) -> tuple[str, ...]:
+        """Async 2PC's resolution: prepared participants *await* the
+        coordinator.
+
+        Prepares were issued (and durably logged by the participants)
+        the moment the initial sections committed, so a crashed
+        coordinator's in-flight finals are not aborted — participants
+        hold their votes until the replica recovers and drives the
+        decision.  Only unbilled frame charges are dropped; issued
+        prepares stay issued so post-recovery finals still report their
+        overlap.
+        """
+        self._frame_charge = 0.0
+        self._frame_saving = 0.0
+        return ()
 
     def reset(self) -> None:
         super().reset()
@@ -502,6 +582,7 @@ def make_policy(
     owned_partitions: frozenset[int] | None = None,
     channel: Channel | None = None,
     batch_window: float = DEFAULT_BATCH_WINDOW,
+    vote_channel_for: VoteChannelResolver | None = None,
 ) -> TransactionPolicy:
     """Build a registered commit policy over ``controller``.
 
@@ -509,7 +590,9 @@ def make_policy(
     (``None`` means everything is local — a single-node store);
     ``channel`` models the coordinator↔participant link and is required
     by the batched and async policies, which draw their round-trip
-    durations from it.
+    durations from it.  ``vote_channel_for`` optionally resolves a
+    partition id to its hosting replica's channel so prepare phases can
+    charge the participant-side voting latency.
     """
     if name == "immediate-2pc":
         return ImmediatePolicy(controller, owned_partitions)
@@ -517,11 +600,17 @@ def make_policy(
         if channel is None:
             raise ValueError("batched-2pc needs a coordinator channel")
         return BatchedTwoPhasePolicy(
-            controller, owned_partitions, channel, batch_window=batch_window
+            controller,
+            owned_partitions,
+            channel,
+            batch_window=batch_window,
+            vote_channel_for=vote_channel_for,
         )
     if name == "async-2pc":
         if channel is None:
             raise ValueError("async-2pc needs a coordinator channel")
-        return AsyncTwoPhasePolicy(controller, owned_partitions, channel)
+        return AsyncTwoPhasePolicy(
+            controller, owned_partitions, channel, vote_channel_for=vote_channel_for
+        )
     known = ", ".join(TXN_POLICIES)
     raise ValueError(f"unknown transaction policy {name!r}; known policies: {known}")

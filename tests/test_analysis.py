@@ -4,7 +4,13 @@ import pytest
 
 from repro.analysis.sweeps import sweep_thresholds
 from repro.analysis.tables import LATENCY_BREAKDOWN_HEADERS, format_table, latency_breakdown_row
-from repro.analysis.timeline import cloud_queue_profile, migration_timeline, stage_commit_counts
+from repro.analysis.timeline import (
+    availability_timeline,
+    batch_flush_profile,
+    cloud_queue_profile,
+    migration_timeline,
+    stage_commit_counts,
+)
 from repro.core.config import CroesusConfig
 from repro.core.optimizer import ThresholdEvaluator
 from repro.core.results import LatencyBreakdown
@@ -102,3 +108,34 @@ class TestTimeline:
     def test_stage_commit_counts(self):
         counts = stage_commit_counts(self.make_log())
         assert counts == {"initial": 1, "final": 1}
+
+    def test_batch_flush_profile(self):
+        log = EventLog()
+        log.record(1.0, "txn_batch_flush", edge=0, transactions=3, participants=2, duration=0.01)
+        log.record(2.0, "txn_batch_flush", edge=1, transactions=5, participants=3, duration=0.03)
+        profile = batch_flush_profile(log)
+        assert profile.flushes == 2
+        assert profile.transactions == 8
+        assert profile.transactions_per_flush == pytest.approx(4.0)
+        assert profile.mean_duration == pytest.approx(0.02)
+        assert profile.max_participants == 3
+
+    def test_batch_flush_profile_of_empty_log(self):
+        profile = batch_flush_profile(EventLog())
+        assert profile.flushes == 0
+        assert profile.transactions_per_flush == 0.0
+
+    def test_availability_timeline_pairs_cycles(self):
+        log = EventLog()
+        log.record(1.0, "edge_failed", edge=1, streams_migrated=2, txns_aborted=3)
+        log.record(2.5, "edge_recovered", edge=1, records_replayed=7)
+        log.record(4.0, "edge_failed", edge=0, streams_migrated=1, txns_aborted=0)
+        log.record(0.5, "checkpoint", partitions=4, keys=10)
+        timeline = availability_timeline(log)
+        assert timeline.count == 2
+        assert timeline.cycles[0] == (1, 1.0, 2.5, 7)
+        assert timeline.cycles[1] == (0, 4.0, None, 0)  # run ended mid-outage
+        assert timeline.total_downtime == pytest.approx(1.5)
+        assert timeline.downtime_of(1) == pytest.approx(1.5)
+        assert timeline.downtime_of(0) == 0.0
+        assert timeline.checkpoints == 1

@@ -78,6 +78,40 @@ class TestCommands:
         assert "machine" in output
         assert "throughput (fps)" in output
 
+    def test_cluster_with_failure_prints_the_availability_timeline(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--edges", "3",
+                "--streams", "4",
+                "--frames", "8",
+                "--fps", "5",
+                "--fail", "1:1.0:2.0",
+                "--checkpoint-interval", "0.5",
+                "--seed", "11",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "failures: 1" in output
+        assert "edge 1 failed" in output
+        assert "checkpoints:" in output
+
+    def test_cluster_with_reshard_prints_the_move(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--edges", "3",
+                "--streams", "4",
+                "--frames", "6",
+                "--fps", "5",
+                "--reshard", "1.0:0:2",
+                "--seed", "11",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "re-shards: 1" in output
+        assert "partition 0: edge 0 -> edge 2" in output
+
     def test_scenario_list(self, capsys):
         assert main(["scenario", "--list"]) == 0
         output = capsys.readouterr().out
@@ -206,6 +240,13 @@ class TestInvalidInput:
             ["cluster", "--frames", "0"],
             ["cluster", "--fps", "0"],
             ["cluster", "--cloud-servers", "-1"],
+            ["cluster", "--fail", "1:2.0"],
+            ["cluster", "--fail", "1:2.0:1.0"],
+            ["cluster", "--fail", "one:2.0:3.0"],
+            ["cluster", "--edges", "2", "--fail", "5:1.0:2.0"],
+            ["cluster", "--checkpoint-interval", "-1"],
+            ["cluster", "--reshard", "1.0:0"],
+            ["cluster", "--edges", "2", "--reshard", "1.0:9:0"],
             ["scenario"],
             ["scenario", "no-such-scenario"],
             ["sweep"],

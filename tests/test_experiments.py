@@ -88,11 +88,30 @@ class TestScenarioSpec:
             {"hot_key_range": 0},
             {"long_frames": -1},
             {"num_long": 99},
+            {"failure_schedule": ((0, 2.0, 1.0),)},
+            {"failure_schedule": ((9, 1.0, 2.0),)},
+            {"failure_schedule": ((0, 1.0),)},
+            {"num_edges": 1, "failure_schedule": ((0, 1.0, 2.0),)},
+            {"checkpoint_interval_s": 0.0},
+            {"resharding": ((1.0, 9, 0),)},
+            {"resharding": ((1.0, 0, 9),)},
         ],
     )
     def test_rejects_bad_values(self, overrides):
         with pytest.raises(ValueError):
             ScenarioSpec(**overrides)
+
+    def test_failure_axes_round_trip_through_json(self):
+        spec = cluster_spec(
+            failure_schedule=((1, 1.0, 2.0),),
+            checkpoint_interval_s=0.5,
+            resharding=((1.5, 0, 1),),
+        )
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        # JSON lists normalise back into the same tuple-of-tuples shape.
+        assert rebuilt.failure_schedule == ((1, 1.0, 2.0),)
+        assert rebuilt.resharding == ((1.5, 0, 1),)
 
     def test_with_revalidates(self):
         spec = ScenarioSpec()

@@ -10,6 +10,7 @@ from repro.detection.metrics import AccuracyReport, f_score
 from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
 from repro.storage.kvstore import KeyValueStore
 from repro.storage.locks import LockManager, LockMode
+from repro.storage.partition import PartitionedStore
 from repro.storage.wal import UndoLog
 from repro.transactions.checker import check_ms_ia, check_ms_sr
 from repro.transactions.history import History
@@ -235,3 +236,48 @@ def test_sequencer_waves_are_always_conflict_free(key_pairs):
         for i, left in enumerate(wave):
             for right in wave[i + 1:]:
                 assert not left.conflicts_with(right)
+
+
+# -- durability (checkpoint + WAL replay) --------------------------------------
+
+#: One step of a durability history: a committed write, or a checkpoint
+#: of every partition (None).
+_durability_steps = st.lists(
+    st.one_of(
+        st.tuples(
+            st.sampled_from([f"key-{i}" for i in range(12)]),
+            st.integers(-1000, 1000),
+        ),
+        st.none(),
+    ),
+    max_size=40,
+)
+
+
+@given(steps=_durability_steps, partitions=st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_checkpoint_plus_replay_reconstructs_the_store_exactly(steps, partitions):
+    """Crash-recovering every partition — from whatever mix of committed
+    writes and checkpoint points preceded the crash — must reconstruct
+    the partitioned store's live state exactly."""
+    store = PartitionedStore(num_partitions=partitions)
+    expected: dict[str, int] = {}
+    for txn_index, step in enumerate(steps):
+        if step is None:
+            store.checkpoint_all()
+            continue
+        key, value = step
+        store.write(key, value, writer=f"t{txn_index}")
+        expected[key] = value
+
+    for partition_id in store.partition_ids():
+        store.partition(partition_id).crash()
+        outcome = store.partition(partition_id).recover()
+        assert outcome.records_replayed >= 0
+
+    recovered = {
+        key: store.read(key) for key in expected
+    }
+    assert recovered == expected
+    for partition_id in store.partition_ids():
+        assert store.partition(partition_id).available

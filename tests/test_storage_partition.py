@@ -1,4 +1,4 @@
-"""Tests for the partitioned store and two-phase commit."""
+"""Tests for the partitioned store, two-phase commit, and durability."""
 
 import pytest
 
@@ -86,3 +86,169 @@ class TestTwoPhaseCommit:
         coordinator = TwoPhaseCommitCoordinator(store)
         result = coordinator.commit("t1", {"only-one-key": 1})
         assert len(result.participants) == 1
+
+    def test_unavailable_participant_votes_no(self):
+        store = PartitionedStore(num_partitions=2)
+        coordinator = TwoPhaseCommitCoordinator(store)
+        writes = {f"key-{i}": i for i in range(10)}
+        participants = store.partitions_touched(writes)
+        assert len(participants) == 2
+        store.partition(0).crash()
+
+        result = coordinator.commit("t1", writes)
+        assert not result.committed
+        assert result.votes[0] is VoteOutcome.NO
+        assert store.failure_aborts == 1
+        # Atomicity: nothing was applied to the live partition either.
+        assert all(store.read(key, default=None) is None for key in writes)
+
+
+class TestPartitionDurability:
+    def test_committed_writes_are_logged(self):
+        store = PartitionedStore(num_partitions=1)
+        store.write("a", 1, writer="t1")
+        store.write("b", 2, writer="t2")
+        wal = store.partition(0).wal
+        assert len(wal) == 2
+        assert [record.transaction_id for record in wal.records()] == ["t1", "t2"]
+
+    def test_crash_loses_volatile_state_but_keeps_the_log(self):
+        store = PartitionedStore(num_partitions=1)
+        store.write("a", 1)
+        partition = store.partition(0)
+        partition.crash()
+        assert not partition.available
+        assert partition.store.read("a", default=None) is None
+        assert len(partition.wal) == 1
+
+    def test_recover_without_checkpoint_replays_the_whole_log(self):
+        store = PartitionedStore(num_partitions=1)
+        for index in range(5):
+            store.write(f"k{index}", index, writer=f"t{index}")
+        partition = store.partition(0)
+        partition.crash()
+        outcome = partition.recover()
+        assert outcome.records_replayed == 5
+        assert outcome.transactions_replayed == 5
+        assert outcome.keys_restored == 0
+        assert partition.available
+        assert partition.store.snapshot() == {f"k{i}": i for i in range(5)}
+
+    def test_recover_from_checkpoint_replays_only_the_tail(self):
+        store = PartitionedStore(num_partitions=1)
+        store.write("a", 1, writer="t1")
+        store.write("b", 2, writer="t1")
+        partition = store.partition(0)
+        checkpoint = partition.take_checkpoint()
+        store.write("c", 3, writer="t2")
+
+        partition.crash()
+        outcome = partition.recover()
+        assert outcome.checkpoint_lsn == checkpoint.lsn
+        assert outcome.keys_restored == 2
+        assert outcome.records_replayed == 1
+        assert outcome.transactions_replayed == 1
+        assert partition.store.snapshot() == {"a": 1, "b": 2, "c": 3}
+
+    def test_checkpoint_all_skips_unavailable_partitions(self):
+        store = PartitionedStore(num_partitions=2)
+        store.partition(1).crash()
+        checkpoints = store.checkpoint_all()
+        assert set(checkpoints) == {0}
+
+
+class TestResharding:
+    def _spanning_keys(self, store, count=40):
+        keys = [f"key-{i}" for i in range(count)]
+        for key in keys:
+            store.write(key, key.upper(), writer="seed")
+        return keys
+
+    def test_transfer_partition_preserves_values(self):
+        store = PartitionedStore(num_partitions=2)
+        keys = self._spanning_keys(store)
+        partition = store.partition(0)
+        partition.take_checkpoint()
+        store.write(keys[0], "tail-value", writer="late")
+
+        outcome = store.transfer_partition(0)
+        assert outcome.keys_copied > 0
+        for key in keys:
+            expected = "tail-value" if key == keys[0] else key.upper()
+            assert store.read(key) == expected
+
+    def test_transfer_ships_the_log_tail(self):
+        store = PartitionedStore(num_partitions=1)
+        store.write("a", 1)
+        store.partition(0).take_checkpoint()
+        store.write("b", 2)
+        outcome = store.transfer_partition(0)
+        assert outcome.records_shipped == 1
+
+    def test_split_moves_slots_and_keys(self):
+        # A split needs a partition owning >= 2 hash slots, which only a
+        # previous merge produces: merge both slots onto partition 1,
+        # then split it back apart.
+        store = PartitionedStore(num_partitions=2)
+        keys = self._spanning_keys(store)
+        before = {key: store.read(key) for key in keys}
+        store.merge(0, 1)
+
+        new_partition = store.split(1)
+        assert store.num_partitions == 2
+        assert new_partition.partition_id == 2
+        assert store.slots_of(2)
+        assert store.slots_of(1)
+        # Every key still reads its value, wherever it landed.
+        assert {key: store.read(key) for key in keys} == before
+        # The split actually moved keys onto the new partition.
+        assert any(store.partition_for(k).partition_id == 2 for k in keys)
+
+    def test_split_requires_two_slots(self):
+        store = PartitionedStore(num_partitions=2)
+        with pytest.raises(PartitionError):
+            store.split(0)  # one slot per partition initially
+
+    def test_merge_absorbs_the_source(self):
+        store = PartitionedStore(num_partitions=2)
+        keys = self._spanning_keys(store)
+        before = {key: store.read(key) for key in keys}
+
+        outcome = store.merge(0, 1)
+        assert store.num_partitions == 1
+        assert store.partition_ids() == (1,)
+        assert outcome.keys_copied > 0
+        assert {key: store.read(key) for key in keys} == before
+        assert store.partitions_touched(keys) == frozenset({1})
+
+    def test_merge_moves_live_locks(self):
+        store = PartitionedStore(num_partitions=2)
+        keys = self._spanning_keys(store)
+        locked = next(k for k in keys if store.partition_for(k).partition_id == 0)
+        store.partition(0).locks.try_acquire("holder", locked, LockMode.EXCLUSIVE)
+
+        store.merge(0, 1)
+        assert store.partition(1).locks.holds("holder", locked)
+
+    def test_merge_moves_locks_on_unwritten_keys(self):
+        """MS-SR holds locks on keys whose writes are still buffered: a
+        grant with no committed write must survive the move too."""
+        store = PartitionedStore(num_partitions=2)
+        unwritten = "never-written-key"
+        owner = store.partition_for(unwritten).partition_id
+        other = 1 - owner
+        store.partition(owner).locks.try_acquire("t1", unwritten, LockMode.EXCLUSIVE)
+
+        store.merge(owner, other)
+        assert store.partition(other).locks.holds("t1", unwritten)
+        # No second exclusive grant is possible on the moved key.
+        assert not store.partition(other).locks.try_acquire(
+            "t2", unwritten, LockMode.EXCLUSIVE
+        )
+
+    def test_merge_rejects_self_and_unknown(self):
+        store = PartitionedStore(num_partitions=2)
+        with pytest.raises(PartitionError):
+            store.merge(0, 0)
+        with pytest.raises(PartitionError):
+            store.merge(5, 0)

@@ -1,7 +1,7 @@
-"""Tests for the undo log."""
+"""Tests for the undo log and the redo write-ahead log."""
 
 from repro.storage.kvstore import KeyValueStore
-from repro.storage.wal import UndoLog
+from repro.storage.wal import UndoLog, WriteAheadLog, restore_from_checkpoint
 
 
 class TestUndoLog:
@@ -67,3 +67,57 @@ class TestUndoLog:
         log.log_write("t1", "a", 1)
         log.log_write("t1", "b", 2)
         assert [r.key for r in log.records_for("t1")] == ["a", "b"]
+
+
+class TestWriteAheadLog:
+    def test_lsns_are_dense_and_monotonic(self):
+        wal = WriteAheadLog()
+        records = [wal.append(f"t{i}", f"k{i}", i) for i in range(5)]
+        assert [record.lsn for record in records] == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+        assert len(wal) == 5
+
+    def test_records_since_returns_the_tail(self):
+        wal = WriteAheadLog()
+        for index in range(5):
+            wal.append("t", f"k{index}", index)
+        tail = wal.records_since(3)
+        assert [record.lsn for record in tail] == [4, 5]
+        assert wal.records_since(5) == ()
+        assert len(wal.records_since(0)) == 5
+
+    def test_checkpoint_covers_the_current_lsn(self):
+        wal = WriteAheadLog()
+        wal.append("t1", "a", 1)
+        checkpoint = wal.take_checkpoint({"a": 1})
+        assert checkpoint.lsn == 1
+        assert checkpoint.num_keys == 1
+        assert wal.latest_checkpoint is checkpoint
+        wal.append("t2", "b", 2)
+        # Checkpoints do not consume LSNs.
+        assert wal.last_lsn == 2
+
+    def test_replay_into_applies_only_the_tail(self):
+        wal = WriteAheadLog()
+        wal.append("t1", "a", 1)
+        checkpoint = wal.take_checkpoint({"a": 1})
+        wal.append("t2", "a", 2)
+        wal.append("t3", "b", 3)
+
+        store = restore_from_checkpoint(checkpoint)
+        replayed = wal.replay_into(store, after_lsn=checkpoint.lsn)
+        assert len(replayed) == 2
+        assert store.snapshot() == {"a": 2, "b": 3}
+        # Replayed writes are attributed to their original transactions.
+        assert store.read_version("b").writer == "t3"
+
+    def test_restore_from_no_checkpoint_is_empty(self):
+        store = restore_from_checkpoint(None)
+        assert len(store) == 0
+
+    def test_checkpoint_state_is_copied(self):
+        wal = WriteAheadLog()
+        state = {"a": 1}
+        checkpoint = wal.take_checkpoint(state)
+        state["a"] = 99
+        assert checkpoint.state == {"a": 1}
