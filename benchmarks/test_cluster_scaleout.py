@@ -273,6 +273,67 @@ def resharding_results(report_writer):
     return results
 
 
+@pytest.fixture(scope="module")
+def open_loop_results(report_writer):
+    """Open-loop traffic cells: overload control vs the uncontrolled baseline.
+
+    The ``sustained-overload`` scenario offers ~2x the cluster's measured
+    service capacity.  Four cells bracket the acceptance criteria — the
+    controlled configuration at one and two arrival horizons (its p99 must
+    stay bounded and its goodput near capacity) and the no-control
+    baseline at the same horizons (its p99 grows with run length) — plus
+    the ``flash-crowd`` and ``diurnal`` shapes for the trajectory.
+    """
+    control = get_scenario("sustained-overload")
+    baseline = control.with_(admission="none", apology_budget=None)
+    specs = {
+        "control": control,
+        "control-long": control.with_(duration_s=control.duration_s * 2),
+        "baseline": baseline,
+        "baseline-long": baseline.with_(duration_s=baseline.duration_s * 2),
+        "flash-crowd": get_scenario("flash-crowd"),
+        "diurnal": get_scenario("diurnal"),
+    }
+    results = {}
+    for label, spec in specs.items():
+        report = run(spec)
+        entry = _cell(report)
+        # Hoist the gated open-loop metrics to the cell's top level so
+        # the regression gate tracks goodput/shed-rate drift per cell.
+        entry["goodput_fps"] = report.goodput_fps
+        entry["shed_rate"] = report.shed_rate
+        entry["offered_load_fps"] = report.offered_load_fps
+        entry["admitted_load_fps"] = report.admitted_load_fps
+        entry["p99_latency_ms"] = report.p99_latency_ms
+        results[label] = entry
+    rows = [
+        [
+            label,
+            f"{cell['offered_load_fps']:.2f}",
+            f"{cell['admitted_load_fps']:.2f}",
+            f"{cell['goodput_fps']:.2f}",
+            f"{cell['shed_rate']:.1%}",
+            f"{cell['p99_latency_ms']:.0f}",
+        ]
+        for label, cell in results.items()
+    ]
+    report_writer(
+        "cluster_open_loop",
+        format_table(
+            [
+                "cell",
+                "offered (fps)",
+                "admitted (fps)",
+                "goodput (fps)",
+                "shed rate",
+                "p99 latency (ms)",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
 def _round_trips_per_txn(cell: dict) -> float:
     report = cell["report"]
     txns = report["cross_partition_txns"]
@@ -390,6 +451,40 @@ def test_resharding_moves_execute(resharding_results):
         assert cell["frames"] == NUM_STREAMS * 30
 
 
+def test_open_loop_offers_at_least_twice_capacity(open_loop_results):
+    """Acceptance: the sustained-overload scenario is a genuine >=2x
+    overload of the measured single-run service capacity."""
+    spec = get_scenario("sustained-overload")
+    steady_offered = spec.offered_rate * spec.frames  # fps at 2 fps/stream
+    capacity = open_loop_results["baseline-long"]["goodput_fps"]
+    assert steady_offered >= 2.0 * capacity
+
+
+def test_overload_control_sustains_goodput_near_capacity(open_loop_results):
+    """Acceptance: under 2x overload, admission + shedding keep goodput
+    within 15% of the measured capacity."""
+    capacity = open_loop_results["baseline-long"]["goodput_fps"]
+    assert open_loop_results["control-long"]["goodput_fps"] >= 0.85 * capacity
+
+
+def test_overload_control_bounds_tail_latency(open_loop_results):
+    """Acceptance: doubling the arrival horizon leaves the controlled
+    p99 bounded while the uncontrolled baseline's p99 keeps growing."""
+    assert (
+        open_loop_results["control-long"]["p99_latency_ms"]
+        <= 1.5 * open_loop_results["control"]["p99_latency_ms"]
+    )
+    assert (
+        open_loop_results["baseline-long"]["p99_latency_ms"]
+        >= 1.5 * open_loop_results["baseline"]["p99_latency_ms"]
+    )
+
+
+def test_open_loop_control_sheds_but_baseline_does_not(open_loop_results):
+    assert open_loop_results["control-long"]["shed_rate"] > 0.0
+    assert open_loop_results["baseline-long"]["shed_rate"] == 0.0
+
+
 def test_migration_events_match_summary_counts(migration_results):
     for cell in migration_results.values():
         assert cell["timeline_migrations"] == cell["migrations"]
@@ -412,6 +507,7 @@ def test_emit_bench_cluster_artifact(
     txn_policy_results,
     failure_recovery_results,
     resharding_results,
+    open_loop_results,
 ):
     """Write every sweep cell to ``results/BENCH_cluster.json``.
 
@@ -448,6 +544,9 @@ def test_emit_bench_cluster_artifact(
         "resharding": [
             {"moves": moves, **cell} for moves, cell in resharding_results.items()
         ],
+        "open_loop": [
+            {"label": label, **cell} for label, cell in open_loop_results.items()
+        ],
     }
     ARTIFACT_PATH.parent.mkdir(exist_ok=True)
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -456,7 +555,8 @@ def test_emit_bench_cluster_artifact(
     assert recorded["scaleout"]
     assert recorded["failure_recovery"]
     assert recorded["resharding"]
-    for section in ("scaleout", "failure_recovery", "resharding"):
+    assert recorded["open_loop"]
+    for section in ("scaleout", "failure_recovery", "resharding", "open_loop"):
         for cell in recorded[section]:
             validate_report(cell["report"])
 

@@ -1,0 +1,110 @@
+"""Open-loop traffic: flash crowds, admission control, and apology budgets.
+
+Closed-loop runs hand the cluster a finite stream list and wait for it
+to drain.  The open-loop traffic subsystem instead keeps minting camera
+streams at a rate that does not care whether the cluster keeps up — the
+heavy-traffic regime the paper's motivation describes.  This example
+drives a two-edge cluster through a flash crowd (a rate spike to 4x the
+baseline) twice: once with no overload control, once with
+queue-threshold admission plus apology-budgeted load shedding.  Then it
+sweeps the apology budget alone to show the shedding dial: a bigger
+budget sheds more initial-stage frames into apologies, which keeps the
+latency tail shorter.
+
+Run with::
+
+    PYTHONPATH=src python examples/open_loop_traffic.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import ScenarioSpec, Sweep, run_scenario
+
+
+def describe(label: str, report) -> list[str]:
+    traffic = report.traffic or {}
+    return [
+        label,
+        f"{report.offered_load_fps:.1f}",
+        f"{report.admitted_load_fps:.1f}",
+        f"{report.goodput_fps:.2f}",
+        f"{100.0 * report.shed_rate:.1f}%",
+        str(int(traffic.get("rejected_streams", 0))),
+        f"{report.p99_latency_ms:.0f}",
+    ]
+
+
+HEADERS = [
+    "config",
+    "offered (fps)",
+    "admitted (fps)",
+    "goodput (fps)",
+    "shed rate",
+    "rejected",
+    "p99 (ms)",
+]
+
+
+def main() -> None:
+    base = ScenarioSpec(
+        deployment="cluster",
+        num_edges=2,
+        frames=10,
+        fps=2.0,
+        seed=2022,
+        traffic="flash-crowd",
+        offered_rate=1.2,
+        peak_factor=4.0,
+        duration_s=16.0,
+    )
+    print(
+        f"flash crowd on {base.num_edges} edges: offered rate averages "
+        f"{base.offered_rate:.1f} streams/s with a {base.peak_factor:.0f}x "
+        f"spike mid-run (seed {base.seed})\n"
+    )
+
+    # Part 1: the same flash crowd with and without overload control.
+    uncontrolled = run_scenario(base)
+    controlled = run_scenario(
+        base.with_(
+            admission="queue-threshold",
+            apology_budget=2.0,
+        )
+    )
+    print(
+        format_table(
+            HEADERS,
+            [
+                describe("no control", uncontrolled),
+                describe("admission + shedding", controlled),
+            ],
+        )
+    )
+    print(
+        "\nWithout control every arrival is admitted and the spike piles up\n"
+        "in the edge queues; with queue-threshold admission the cluster\n"
+        "rejects streams it cannot serve and sheds initial-stage frames\n"
+        "into apologies, keeping the latency tail bounded.\n"
+    )
+
+    # Part 2: the apology budget is a spec field, so comparing shedding
+    # aggressiveness is a one-axis sweep.  None disables shedding.
+    result = Sweep(
+        base=base.with_(admission="queue-threshold"),
+        axis="apology_budget",
+        values=(None, 0.5, 2.0, 8.0),
+    ).run()
+    rows = []
+    for cell in result:
+        budget = cell.assignment["apology_budget"]
+        label = "no shedding" if budget is None else f"budget {budget:.1f}/s"
+        rows.append(describe(label, cell.report))
+    print(format_table(HEADERS, rows))
+    print(
+        "\nThe apology budget caps how fast degradation may be spent: a\n"
+        "larger budget sheds more of the spike into apologies (lower tail\n"
+        "latency), a smaller one holds quality at the cost of queueing."
+    )
+
+
+if __name__ == "__main__":
+    main()

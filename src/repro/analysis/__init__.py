@@ -10,19 +10,23 @@ from repro.analysis.tables import format_table, latency_breakdown_row
 from repro.analysis.timeline import (
     CloudQueueProfile,
     MigrationTimeline,
+    TrafficProfile,
     cloud_queue_profile,
     migration_timeline,
     stage_commit_counts,
+    traffic_profile,
 )
 
 __all__ = [
     "CloudQueueProfile",
     "MigrationTimeline",
     "ThresholdSweep",
+    "TrafficProfile",
     "cloud_queue_profile",
     "format_table",
     "latency_breakdown_row",
     "migration_timeline",
     "stage_commit_counts",
     "sweep_thresholds",
+    "traffic_profile",
 ]

@@ -28,13 +28,14 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "txn_policies": ("transaction_policy",),
     "failure_recovery": ("checkpoint_interval_s",),
     "resharding": ("moves",),
+    "open_loop": ("label",),
 }
 
 #: Version stamp of the ``BENCH_cluster.json`` layout.  Bumped when the
 #: cell schema changes incompatibly; the CI gate treats a baseline with
 #: a different stamp like a missing baseline (nothing to compare
 #: against) instead of failing on spurious diffs.
-ARTIFACT_SCHEMA = 2
+ARTIFACT_SCHEMA = 3
 
 
 class ArtifactError(ValueError):
@@ -43,10 +44,17 @@ class ArtifactError(ValueError):
 #: Metrics the gate watches.  ``throughput_fps`` and
 #: ``mean_queue_delay_ms`` come from the legacy summary keys every cell
 #: carries; ``recovery_time_ms`` only exists on ``failure_recovery``
-#: cells (cells missing a metric are simply not gated on it).  Drift in
+#: cells, ``goodput_fps`` and ``shed_rate`` only on ``open_loop`` cells
+#: (cells missing a metric are simply not gated on it).  Drift in
 #: either direction is suspect, since a seeded benchmark should not move
 #: at all without a behavioural change.
-GATED_METRICS = ("throughput_fps", "mean_queue_delay_ms", "recovery_time_ms")
+GATED_METRICS = (
+    "throughput_fps",
+    "mean_queue_delay_ms",
+    "recovery_time_ms",
+    "goodput_fps",
+    "shed_rate",
+)
 
 #: Default tolerated relative drift (20%).
 DEFAULT_THRESHOLD = 0.2

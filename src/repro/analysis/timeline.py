@@ -147,6 +147,67 @@ class AvailabilityTimeline:
         )
 
 
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Open-loop arrivals and shedding of one run, off the event log.
+
+    ``arrivals`` holds ``(time, stream, frames, admitted)`` per offered
+    stream; ``sheds`` holds ``(time, stream, edge)`` per frame the load
+    shedder degraded to an apology.
+    """
+
+    arrivals: tuple[tuple[float, str, int, bool], ...]
+    sheds: tuple[tuple[float, str, int], ...]
+
+    @property
+    def offered(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for _, _, _, ok in self.arrivals if ok)
+
+    @property
+    def rejected(self) -> int:
+        return self.offered - self.admitted
+
+    @property
+    def shed_frames(self) -> int:
+        return len(self.sheds)
+
+    def arrival_rate(self, t0: float, t1: float) -> float:
+        """Offered streams/s inside the window ``[t0, t1)``."""
+        if t1 <= t0:
+            return 0.0
+        inside = sum(1 for when, _, _, _ in self.arrivals if t0 <= when < t1)
+        return inside / (t1 - t0)
+
+    def sheds_by_edge(self) -> dict[int, int]:
+        """Shed-frame counts per serving edge (which edges saturated)."""
+        counts: dict[int, int] = {}
+        for _, _, edge in self.sheds:
+            counts[edge] = counts.get(edge, 0) + 1
+        return counts
+
+
+def traffic_profile(events: EventLog) -> TrafficProfile:
+    """Collect the ``stream_arrival``/``frame_shed`` events of one run."""
+    arrivals = tuple(
+        (
+            event.timestamp,
+            event.payload["stream"],
+            event.payload["frames"],
+            event.payload["admitted"],
+        )
+        for event in events.of_kind("stream_arrival")
+    )
+    sheds = tuple(
+        (event.timestamp, event.payload["stream"], event.payload["edge"])
+        for event in events.of_kind("frame_shed")
+    )
+    return TrafficProfile(arrivals=arrivals, sheds=sheds)
+
+
 def availability_timeline(events: EventLog) -> AvailabilityTimeline:
     """Pair the ``edge_failed``/``edge_recovered`` events of one run."""
     recoveries: dict[int, list] = {}

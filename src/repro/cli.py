@@ -32,6 +32,8 @@ from typing import Any, Sequence
 
 from repro.analysis.tables import format_table
 from repro.cluster.router import ROUTER_POLICIES
+from repro.traffic.admission import ADMISSION_POLICIES
+from repro.traffic.arrivals import ARRIVAL_PROCESSES
 from repro.transactions.policy import TXN_POLICIES
 from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
 from repro.experiments import (
@@ -165,6 +167,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="AT:PARTITION:TO_EDGE",
         help="schedule a runtime partition move (repeatable), e.g. --reshard 2.0:0:1",
+    )
+    cluster_parser.add_argument(
+        "--traffic",
+        choices=["none", *ARRIVAL_PROCESSES],
+        default="none",
+        help="open-loop arrival process injecting streams at runtime "
+        "(none = the closed-loop finite workload of --streams x --frames)",
+    )
+    cluster_parser.add_argument(
+        "--offered-rate",
+        type=float,
+        default=1.0,
+        metavar="STREAMS_PER_S",
+        help="time-averaged arrival rate of the open-loop traffic",
+    )
+    cluster_parser.add_argument(
+        "--duration",
+        type=float,
+        default=8.0,
+        metavar="SECONDS",
+        help="arrival horizon of the open-loop traffic",
+    )
+    cluster_parser.add_argument(
+        "--admission",
+        choices=list(ADMISSION_POLICIES),
+        default="none",
+        help="stream admission control of open-loop runs",
+    )
+    cluster_parser.add_argument(
+        "--apology-budget",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="apologies/s the load shedder may spend degrading frames "
+        "under overload (omit = no shedding)",
     )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
@@ -414,6 +451,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             failure_schedule=tuple(_parse_triple(text, "--fail") for text in args.fail),
             checkpoint_interval_s=args.checkpoint_interval or None,
             resharding=tuple(_parse_triple(text, "--reshard") for text in args.reshard),
+            traffic=None if args.traffic == "none" else args.traffic,
+            offered_rate=args.offered_rate,
+            duration_s=args.duration,
+            admission=args.admission,
+            apology_budget=args.apology_budget,
         )
     except ValueError as error:
         return _fail("cluster", str(error))
@@ -452,6 +494,25 @@ def _cluster_text(report: RunReport) -> str:
             ],
         ),
     ]
+    if report.traffic:
+        traffic = report.traffic
+        blocks.append(
+            f"open-loop traffic: {traffic['offered_streams']:.0f} streams offered "
+            f"({traffic['offered_load_fps']:.2f} fps), "
+            f"{traffic['admitted_streams']:.0f} admitted, "
+            f"{traffic['rejected_streams']:.0f} rejected — "
+            f"goodput {traffic['goodput_fps']:.2f} fps"
+        )
+        if traffic["shed_frames"]:
+            blocks.append(
+                f"load shedding: {traffic['shed_frames']:.0f} frames degraded to "
+                f"apologies ({traffic['shed_rate']:.1%} of admitted frames)"
+            )
+        blocks.append(
+            f"final latency: p50 {traffic['p50_latency_ms']:.0f} ms, "
+            f"p95 {traffic['p95_latency_ms']:.0f} ms, "
+            f"p99 {traffic['p99_latency_ms']:.0f} ms"
+        )
     if report.coordinator_round_trips:
         line = (
             f"transaction policy: {report.transaction_policy} — "

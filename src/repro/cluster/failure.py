@@ -18,15 +18,20 @@ The availability scenarios are driven by two declarative schedules on
 
 Both schedules are plain tuples of numbers at the
 :class:`~repro.experiments.spec.ScenarioSpec` level, so failure sweeps
-are ordinary sweeps.  The :class:`FailureInjector` turns the schedules
-into engine processes; everything it does is deterministic, so a seeded
-failure run is exactly as reproducible as a healthy one.
+are ordinary sweeps.  The :class:`FailureInjector` decides which
+failures a run executes: either the explicit schedule as given, or — in
+its seeded hazard-rate mode — failures drawn probabilistically from an
+exponential hazard.  Either way the result is a plain schedule executed
+by the cluster's failure processes, so a seeded failure run is exactly
+as reproducible as a healthy one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+import numpy as np
 
 #: Fixed restart overhead of a recovering replica (seconds).
 RECOVERY_BASE_SECONDS = 0.02
@@ -162,6 +167,70 @@ def recovery_time(keys_restored: int, records_replayed: int) -> float:
         + keys_restored * CHECKPOINT_RESTORE_SECONDS_PER_KEY
         + records_replayed * REPLAY_SECONDS_PER_RECORD
     )
+
+
+@dataclass(frozen=True)
+class FailureInjector:
+    """Produces the failure schedule a cluster run executes.
+
+    Two modes:
+
+    * **Scheduled** (``hazard_rate is None``): the explicit
+      ``schedule`` passes through untouched — the declarative mode the
+      availability scenarios have always used.
+    * **Hazard** (``hazard_rate`` set): failures are drawn
+      probabilistically from a seeded exponential hazard.  Inter-failure
+      gaps are ``Exp(hazard_rate)``, the failing edge is uniform over
+      the cluster, and every outage lasts ``outage_s`` before the
+      restart begins.  The hazard clock pauses during an outage (one
+      failure at a time, matching :func:`validate_failure_schedule`),
+      and no failure fires at or after ``horizon``.
+
+    Draws come from a dedicated named RNG stream, so enabling the
+    hazard never perturbs the seeded draws of the frame pipeline — and
+    a run with ``hazard_rate=None`` performs no draws at all.
+    """
+
+    schedule: tuple[FailureSpec, ...] = ()
+    hazard_rate: float | None = None
+    outage_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.hazard_rate is not None:
+            if self.hazard_rate <= 0:
+                raise ValueError(
+                    f"hazard_rate must be positive (or None), got {self.hazard_rate}"
+                )
+            if self.schedule:
+                raise ValueError(
+                    "hazard_rate and an explicit failure schedule are mutually "
+                    "exclusive (one failure source per run)"
+                )
+        if self.outage_s <= 0:
+            raise ValueError(f"outage_s must be positive, got {self.outage_s}")
+
+    def draw_schedule(
+        self, num_edges: int, horizon: float, rng: np.random.Generator
+    ) -> tuple[FailureSpec, ...]:
+        """The schedule of one run: pass-through or seeded hazard draws."""
+        if self.hazard_rate is None:
+            return self.schedule
+        if horizon <= 0:
+            return ()
+        specs: list[FailureSpec] = []
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(1.0 / self.hazard_rate))
+            if clock >= horizon:
+                break
+            edge_id = int(rng.integers(num_edges))
+            specs.append(
+                FailureSpec(edge_id=edge_id, fail_at=clock, recover_at=clock + self.outage_s)
+            )
+            clock += self.outage_s
+        schedule = tuple(specs)
+        validate_failure_schedule(schedule, num_edges)
+        return schedule
 
 
 @dataclass(frozen=True)

@@ -75,3 +75,29 @@ class FrameScheduler:
                 )
         arrivals.sort(key=lambda a: (a.arrival_time, a.stream_index, a.frame.frame_id))
         return arrivals
+
+    def stream_arrivals(
+        self,
+        video: SyntheticVideo,
+        start: float,
+        edge_id: int,
+        stream_index: int = 0,
+    ) -> list[FrameArrival]:
+        """Arrivals of one stream that starts capturing at ``start``.
+
+        The open-loop counterpart of :meth:`interleave`: a stream minted
+        at runtime (by a :class:`~repro.traffic.source.TrafficSource`)
+        ticks from its own arrival instant, frame ``k`` arriving at
+        ``start + k * frame_interval``.  No phase offset is needed —
+        the arrival process already staggers streams in time.
+        """
+        return [
+            FrameArrival(
+                arrival_time=start + frame.frame_id * self.frame_interval,
+                stream_index=stream_index,
+                stream_name=video.name,
+                edge_id=edge_id,
+                frame=frame,
+            )
+            for frame in video.frames()
+        ]

@@ -45,6 +45,7 @@ from statistics import mean
 from typing import Callable, Sequence
 
 from repro.cluster.failure import (
+    FailureInjector,
     FailureRecord,
     FailureSpec,
     ReshardRecord,
@@ -55,7 +56,12 @@ from repro.cluster.failure import (
     validate_failure_schedule,
 )
 from repro.cluster.node import EdgeReplica
-from repro.cluster.router import ROUTER_POLICIES, MigratingRouter, make_router
+from repro.cluster.router import (
+    ROUTER_POLICIES,
+    MigratingRouter,
+    MigrationTrigger,
+    make_router,
+)
 from repro.cluster.scheduler import FrameArrival, FrameScheduler
 from repro.core.client import Client, ClientResponse
 from repro.core.cloud import CloudNode
@@ -72,6 +78,9 @@ from repro.sim.engine import Engine, Server
 from repro.sim.events import EventLog
 from repro.sim.rng import RngRegistry
 from repro.storage.partition import PartitionedStore
+from repro.traffic.admission import AdmissionController, make_admission
+from repro.traffic.shedding import SHED_APOLOGY, ApologyBudget, LoadShedder
+from repro.traffic.source import TrafficConfig, TrafficSource, TrafficStats, percentile
 from repro.transactions.bank import ANY_LABEL, TransactionBank
 from repro.transactions.ms_sr import ControllerStats
 from repro.transactions.policy import PolicyStats
@@ -147,6 +156,20 @@ class ClusterConfig:
         :class:`~repro.cluster.failure.ReshardSpec` entries or plain
         ``(at, partition_id, to_edge)`` tuples; each move is a
         checkpoint-copy plus a log-shipped tail.
+    failback:
+        When True, streams that failed over away from a crashed edge
+        migrate *back* once it rejoins, paced by the migration
+        machinery's hysteresis (a stream returns only when its interim
+        host is hot and the recovered edge has headroom).  Off by
+        default so existing seeded failure runs stay bit-for-bit.
+    failure_hazard_rate:
+        Expected failures per second of the probabilistic failure mode
+        (see :class:`~repro.cluster.failure.FailureInjector`); ``None``
+        (the default) uses only the explicit ``failure_schedule``.
+        Mutually exclusive with a non-empty schedule.
+    failure_outage_s:
+        Outage length of each hazard-drawn failure (the gap between
+        ``fail_at`` and the scheduled restart).
 
     The commit policy of the consistency layer comes from
     ``base.transaction_policy`` (see
@@ -168,6 +191,9 @@ class ClusterConfig:
     failure_schedule: tuple[FailureSpec, ...] = ()
     checkpoint_interval_s: float | None = None
     resharding: tuple[ReshardSpec, ...] = ()
+    failback: bool = False
+    failure_hazard_rate: float | None = None
+    failure_outage_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_edges < 1:
@@ -218,6 +244,23 @@ class ClusterConfig:
             raise ValueError(
                 f"checkpoint_interval_s must be positive (or None), got "
                 f"{self.checkpoint_interval_s}"
+            )
+        if self.failure_hazard_rate is not None:
+            if self.num_edges < 2:
+                raise ValueError(
+                    "failure_hazard_rate needs at least 2 edges "
+                    "(streams must have a live edge to fail over to)"
+                )
+            # Range/exclusivity checks (including outage_s) live in the
+            # injector, which both failure modes flow through.
+            FailureInjector(
+                schedule=self.failure_schedule,
+                hazard_rate=self.failure_hazard_rate,
+                outage_s=self.failure_outage_s,
+            )
+        elif self.failure_outage_s <= 0:
+            raise ValueError(
+                f"failure_outage_s must be positive, got {self.failure_outage_s}"
             )
 
     @property
@@ -311,6 +354,9 @@ class ClusterRunResult:
     transactions_replayed: int = 0
     txns_aborted_by_failure: int = 0
     checkpoints: int = 0
+    #: Offered/admitted/shed accounting of an open-loop run (None for
+    #: the closed-loop path, which serves everything it is given).
+    traffic: TrafficStats | None = None
 
     @property
     def final_placements(self) -> dict[str, int]:
@@ -405,6 +451,69 @@ class ClusterRunResult:
             "txns_aborted_by_failure": float(self.txns_aborted_by_failure),
             "checkpoints": float(self.checkpoints),
             "reshards": float(len(self.reshards)),
+        }
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of per-frame final latency, in milliseconds.
+
+        Computed over every served frame's arrival-to-final-commit time;
+        the tail (p99) is the number overload control exists to bound —
+        a mean hides exactly the frames that queued.
+        """
+        totals = [
+            trace.latency.final_latency * 1000.0
+            for result in self.per_stream.values()
+            for trace in result.traces
+        ]
+        return {
+            "p50_ms": percentile(totals, 50.0),
+            "p95_ms": percentile(totals, 95.0),
+            "p99_ms": percentile(totals, 99.0),
+        }
+
+    @property
+    def goodput_fps(self) -> float:
+        """Frames fully served per second of simulated time.
+
+        For a closed-loop run this equals :attr:`throughput_fps`; in an
+        open-loop run shed and rejected frames are excluded — goodput is
+        what the clients actually got, not what the system touched.
+        """
+        if self.makespan <= 0:
+            return 0.0
+        if self.traffic is None:
+            return self.throughput_fps
+        return self.traffic.completed_frames / self.makespan
+
+    def traffic_summary(self) -> dict[str, float]:
+        """Offered-vs-admitted load, goodput, shedding and tail latency.
+
+        A separate dictionary for the same reason as
+        :meth:`policy_summary`: the legacy :meth:`summary` key set is
+        pinned by the golden determinism tests.  Empty when the run was
+        closed-loop.
+        """
+        if self.traffic is None:
+            return {}
+        span = self.makespan
+        percentiles = self.latency_percentiles()
+        return {
+            "offered_streams": float(self.traffic.offered_streams),
+            "admitted_streams": float(self.traffic.admitted_streams),
+            "rejected_streams": float(self.traffic.rejected_streams),
+            "offered_frames": float(self.traffic.offered_frames),
+            "admitted_frames": float(self.traffic.admitted_frames),
+            "shed_frames": float(self.traffic.shed_frames),
+            "completed_frames": float(self.traffic.completed_frames),
+            "offered_load_fps": self.traffic.offered_frames / span if span > 0 else 0.0,
+            "admitted_load_fps": self.traffic.admitted_frames / span if span > 0 else 0.0,
+            "goodput_fps": self.goodput_fps,
+            "shed_rate": self.traffic.shed_rate,
+            "rejection_rate": self.traffic.rejection_rate,
+            "apologies_spent": float(self.traffic.apologies_spent),
+            "p50_latency_ms": percentiles["p50_ms"],
+            "p95_latency_ms": percentiles["p95_ms"],
+            "p99_latency_ms": percentiles["p99_ms"],
         }
 
     @property
@@ -520,6 +629,16 @@ class _RunState:
     records_replayed: int = 0
     transactions_replayed: int = 0
     checkpoints: int = 0
+    #: Frames each stream has not finished yet (failback skips drained streams).
+    frames_left: dict[str, int] = field(default_factory=dict)
+    #: True while an open-loop traffic source may still mint streams.
+    source_active: bool = False
+    #: Open-loop accounting; None on the closed-loop path.
+    traffic: TrafficStats | None = None
+    #: Per-stream admission control of an open-loop run.
+    admission: AdmissionController | None = None
+    #: Per-frame load shedder of an open-loop run (None: never shed).
+    shedder: LoadShedder | None = None
 
 
 class ClusterSystem:
@@ -683,15 +802,7 @@ class ClusterSystem:
             name: RunResult(system_name="croesus-cluster", video_key=name) for name in names
         }
 
-        # Snapshot controller state so repeated run() calls report only
-        # this run's transactions.
-        pre_stats = [
-            (r.stats.initial_commits, r.stats.final_commits, r.stats.aborts)
-            for r in self.replicas
-        ]
-        pre_records = [frozenset(r.controller.commit_records) for r in self.replicas]
-        pre_policy = [r.policy.policy_stats.snapshot() for r in self.replicas]
-        pre_failure_aborts = self.store.failure_aborts
+        pre_stats, pre_records, pre_policy, pre_failure_aborts = self._pre_snapshot()
 
         # Per-run execution state shared by the frame processes.
         state = _RunState(
@@ -702,6 +813,7 @@ class ClusterSystem:
             failed=[False] * len(self.replicas),
             wake_at=[0.0] * len(self.replicas),
         )
+        state.frames_left = {video.name: video.num_frames for video in streams}
         arrivals = list(self.scheduler.interleave(streams, placements))
         state.frames_remaining = len(arrivals)
         for arrival in arrivals:
@@ -710,22 +822,8 @@ class ClusterSystem:
                 at=arrival.arrival_time,
                 name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
             )
-        for spec in self.config.failure_schedule:
-            state.engine.spawn(
-                self._failure_process(state, spec),
-                at=spec.fail_at,
-                name=f"failure-edge-{spec.edge_id}",
-            )
-        for move in self.config.resharding:
-            state.engine.schedule(
-                move.at, lambda move=move: self._apply_reshard(state, move)
-            )
-        if self.config.checkpoint_interval_s is not None:
-            state.engine.spawn(
-                self._checkpoint_process(state),
-                at=self.config.checkpoint_interval_s,
-                name="checkpointer",
-            )
+        horizon = arrivals[-1].arrival_time if arrivals else 0.0
+        self._spawn_run_processes(state, horizon)
         state.engine.run()
         # Flush any coordinator batches still open at the end of the run
         # (latency lands in the policy stats; no frame is left waiting).
@@ -743,6 +841,182 @@ class ClusterSystem:
             pre_failure_aborts,
         )
 
+    def run_open_loop(self, traffic: TrafficConfig) -> ClusterRunResult:
+        """Serve an open-loop arrival process instead of a finite list.
+
+        A :class:`~repro.traffic.source.TrafficSource` runs as one more
+        engine process, minting camera streams at seeded arrival
+        instants until ``traffic.duration_s`` (stop-at-time: streams
+        admitted before the horizon run to completion, nothing new
+        arrives after it).  Each arriving stream passes the configured
+        admission controller — rejected streams never touch an edge —
+        and each admitted frame may still be shed at its edge by the
+        apology-budgeted load shedder when the edge is saturated.  The
+        result's :attr:`~ClusterRunResult.traffic` carries the
+        offered/admitted/shed accounting; everything else reads exactly
+        like a closed-loop result.
+        """
+        self.events.clear()
+        for replica in self.replicas:
+            replica.reset_run_state()
+
+        names: list[str] = []
+        placements: list[int] = []
+        clients: dict[str, Client] = {}
+        results: dict[str, RunResult] = {}
+
+        pre_stats, pre_records, pre_policy, pre_failure_aborts = self._pre_snapshot()
+
+        state = _RunState(
+            engine=Engine(),
+            cloud_server=Server(capacity=self.config.cloud_servers, name="cloud"),
+            current_edge={},
+            frames_on_edge=[0] * len(self.replicas),
+            failed=[False] * len(self.replicas),
+            wake_at=[0.0] * len(self.replicas),
+        )
+        state.traffic = TrafficStats()
+        state.source_active = True
+        state.admission = make_admission(traffic.admission, rate=traffic.admission_rate)
+        if traffic.apology_budget is not None:
+            state.shedder = LoadShedder(
+                traffic.shed_threshold, ApologyBudget(traffic.apology_budget)
+            )
+
+        source = TrafficSource(traffic, self.rngs)
+
+        def deliver(video: SyntheticVideo) -> None:
+            self._admit_stream(state, video, names, placements, clients, results)
+
+        def source_process():
+            yield from source.drive(state.engine, deliver)
+            state.source_active = False
+
+        state.engine.spawn(source_process(), at=0.0, name="traffic-source")
+        self._spawn_run_processes(state, horizon=traffic.duration_s)
+        state.engine.run()
+        for replica in self.replicas:
+            replica.policy.commit(now=state.makespan)
+
+        return self._collect(
+            names,
+            placements,
+            results,
+            state,
+            pre_stats,
+            pre_records,
+            pre_policy,
+            pre_failure_aborts,
+        )
+
+    # -- shared run setup ---------------------------------------------------
+    def _pre_snapshot(self):
+        """Snapshot controller state so a run reports only its own work."""
+        pre_stats = [
+            (r.stats.initial_commits, r.stats.final_commits, r.stats.aborts)
+            for r in self.replicas
+        ]
+        pre_records = [frozenset(r.controller.commit_records) for r in self.replicas]
+        pre_policy = [r.policy.policy_stats.snapshot() for r in self.replicas]
+        return pre_stats, pre_records, pre_policy, self.store.failure_aborts
+
+    def _spawn_run_processes(self, state: "_RunState", horizon: float) -> None:
+        """Spawn the failure/reshard/checkpoint processes of one run.
+
+        ``horizon`` bounds the hazard-mode failure draws: the last frame
+        arrival of a closed-loop run, or the traffic source's
+        ``duration_s`` in an open-loop one.
+        """
+        injector = FailureInjector(
+            schedule=self.config.failure_schedule,
+            hazard_rate=self.config.failure_hazard_rate,
+            outage_s=self.config.failure_outage_s,
+        )
+        schedule = injector.draw_schedule(
+            num_edges=self.config.num_edges,
+            horizon=horizon,
+            rng=(
+                self.rngs.stream("failure-hazard")
+                if self.config.failure_hazard_rate is not None
+                else None
+            ),
+        )
+        for spec in schedule:
+            state.engine.spawn(
+                self._failure_process(state, spec),
+                at=spec.fail_at,
+                name=f"failure-edge-{spec.edge_id}",
+            )
+        for move in self.config.resharding:
+            state.engine.schedule(
+                move.at, lambda move=move: self._apply_reshard(state, move)
+            )
+        if self.config.checkpoint_interval_s is not None:
+            state.engine.spawn(
+                self._checkpoint_process(state),
+                at=self.config.checkpoint_interval_s,
+                name="checkpointer",
+            )
+
+    def _admit_stream(
+        self,
+        state: "_RunState",
+        video: SyntheticVideo,
+        names: list[str],
+        placements: list[int],
+        clients: dict[str, Client],
+        results: dict[str, RunResult],
+    ) -> None:
+        """Admission-control one arriving stream; spawn its frames if it enters."""
+        engine = state.engine
+        stats = state.traffic
+        now = engine.now
+        frames = video.num_frames
+        stats.offered_streams += 1
+        stats.offered_frames += frames
+        # Best-case backlog: the wait a frame would face at the least
+        # backlogged live edge right now (the queue-threshold signal).
+        backlog = min(
+            (
+                replica.server.backlog(now)
+                for replica in self.replicas
+                if not state.failed[replica.edge_id]
+            ),
+            default=float("inf"),
+        )
+        admitted = state.admission.admit(now, backlog)
+        self.events.record(
+            now,
+            "stream_arrival",
+            stream=video.name,
+            frames=frames,
+            admitted=admitted,
+            backlog_s=backlog,
+        )
+        if not admitted:
+            stats.rejected_streams += 1
+            return
+        edge_id = self.router.place(video.name)
+        if state.failed[edge_id]:
+            edge_id = self._failover_target(state, now)
+        self.replicas[edge_id].assign_stream(video.name)
+        names.append(video.name)
+        placements.append(edge_id)
+        state.current_edge[video.name] = edge_id
+        state.frames_left[video.name] = frames
+        state.frames_remaining += frames
+        stats.admitted_streams += 1
+        stats.admitted_frames += frames
+        client = Client(video)
+        clients[video.name] = client
+        results[video.name] = RunResult(system_name="croesus-cluster", video_key=video.name)
+        for arrival in self.scheduler.stream_arrivals(video, start=now, edge_id=edge_id):
+            engine.spawn(
+                self._frame_process(state, arrival, client, results),
+                at=arrival.arrival_time,
+                name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
+            )
+
     # -- per-frame pipeline -------------------------------------------------
     def _frame_process(
         self,
@@ -756,6 +1030,36 @@ class ClusterSystem:
         edge_id = self._route_arrival(state, arrival)
         replica = self.replicas[edge_id]
         frame = arrival.frame
+
+        if state.shedder is not None:
+            # Overload control: on a saturated edge, degrade this frame's
+            # initial stage to an apology (if the budget pays for it)
+            # instead of queueing it.  The client hears back immediately;
+            # the edge never sees the frame.
+            load = replica.server.load(engine.now, window=self.config.migration_window)
+            if state.shedder.should_shed(engine.now, load):
+                state.traffic.shed_frames += 1
+                state.traffic.apologies_spent += 1
+                self.events.record(
+                    engine.now,
+                    "frame_shed",
+                    frame_id=frame.frame_id,
+                    stream=arrival.stream_name,
+                    edge=edge_id,
+                    load=load,
+                )
+                client.render(
+                    ClientResponse(
+                        frame_id=frame.frame_id,
+                        stage="final",
+                        payload=None,
+                        apologies=(SHED_APOLOGY,),
+                        timestamp=engine.now,
+                    )
+                )
+                state.makespan = max(state.makespan, engine.now)
+                self._finish_frame(state, arrival.stream_name)
+                return
 
         edge_transfer = self._client_edge[edge_id].send(
             frame.size_bytes,
@@ -870,10 +1174,12 @@ class ClusterSystem:
                 for apology in entry.transaction.apologies
             )
 
+        frame_aborted = False
         if state.failed[edge_id] and not initial.committed:
             # Home replica down and nothing left to finalise (the failure
             # aborted this frame's transactions, or it triggered none):
             # the client gets the apologies now instead of a correction.
+            frame_aborted = True
             final = FinalStageOutcome(
                 frame_id=frame.frame_id, match_report=None, apologies=failure_apologies
             )
@@ -976,7 +1282,16 @@ class ClusterSystem:
                 edge_id=edge_id,
             )
         )
+        if state.traffic is not None and not frame_aborted:
+            state.traffic.completed_frames += 1
+        self._finish_frame(state, arrival.stream_name)
+
+    def _finish_frame(self, state: "_RunState", stream_name: str) -> None:
+        """Bookkeeping shared by served, shed, and aborted frames."""
         state.frames_remaining -= 1
+        left = state.frames_left.get(stream_name)
+        if left is not None:
+            state.frames_left[stream_name] = left - 1
 
     # -- failure, recovery, re-sharding -------------------------------------
     def _failure_process(self, state: "_RunState", spec: FailureSpec):
@@ -1007,6 +1322,7 @@ class ClusterSystem:
         # through the migration machinery (their in-flight frames stay
         # tied to this replica and resolve below).
         migrated = 0
+        failed_over: list[str] = []
         for stream in list(replica.streams):
             target = self._failover_target(state, engine.now)
             replica.remove_stream(stream)
@@ -1033,6 +1349,7 @@ class ClusterSystem:
                 reason="edge_failed",
             )
             migrated += 1
+            failed_over.append(stream)
 
         # In-flight transactions resolve through the policy seam; the
         # owned partitions lose their volatile stores (the WAL survives).
@@ -1087,6 +1404,72 @@ class ClusterSystem:
             recovery_time=replay,
             downtime=record.downtime,
         )
+        if self.config.failback and failed_over:
+            state.engine.spawn(
+                self._failback_process(state, spec.edge_id, failed_over),
+                at=rejoined_at,
+                name=f"failback-edge-{spec.edge_id}",
+            )
+
+    def _failback_process(self, state: "_RunState", edge_id: int, streams: list[str]):
+        """Return failed-over streams to their recovered home edge.
+
+        Reuses the migration machinery's hysteresis: each displaced
+        stream gets its own :class:`~repro.cluster.router.MigrationTrigger`
+        over its *interim host's* observed load, polled every migration
+        window.  A stream migrates home only when its host is hot
+        (``migration_high``) and the recovered edge has headroom
+        (``migration_low``) — the same band that pulls streams off
+        overloaded edges, pointed back at the rejoined replica, so an
+        idle cluster never churns streams around for nothing.
+        """
+        engine = state.engine
+        window = self.config.migration_window
+        triggers = {
+            stream: MigrationTrigger(
+                high=self.config.migration_high, low=self.config.migration_low
+            )
+            for stream in streams
+        }
+        pending = list(streams)
+        while pending and (state.frames_remaining > 0 or state.source_active):
+            if state.failed[edge_id]:
+                # Failed again: the next recovery spawns a fresh failback.
+                return
+            home_load = self.replicas[edge_id].server.load(engine.now, window=window)
+            for stream in list(pending):
+                host = state.current_edge.get(stream)
+                if host is None or host == edge_id or state.frames_left.get(stream, 0) <= 0:
+                    pending.remove(stream)
+                    continue
+                host_load = self.replicas[host].server.load(engine.now, window=window)
+                if home_load > self.config.migration_low:
+                    break  # no headroom at home; nobody returns this round
+                if not triggers[stream].observe(host_load):
+                    continue
+                self.replicas[host].remove_stream(stream)
+                self.replicas[edge_id].assign_stream(stream)
+                state.current_edge[stream] = edge_id
+                state.migrations.append(
+                    MigrationRecord(
+                        time=engine.now,
+                        stream=stream,
+                        from_edge=host,
+                        to_edge=edge_id,
+                        utilization=host_load,
+                    )
+                )
+                self.events.record(
+                    engine.now,
+                    "stream_migrated",
+                    stream=stream,
+                    from_edge=host,
+                    to_edge=edge_id,
+                    utilization=host_load,
+                    reason="edge_recovered",
+                )
+                pending.remove(stream)
+            yield window
 
     def _failover_target(self, state: "_RunState", now: float) -> int:
         """Least-loaded live edge (ties to the lowest id)."""
@@ -1143,7 +1526,7 @@ class ClusterSystem:
     def _checkpoint_process(self, state: "_RunState"):
         """Periodic cluster-wide checkpointer (bounds recovery replay)."""
         interval = self.config.checkpoint_interval_s
-        while state.frames_remaining > 0:
+        while state.frames_remaining > 0 or state.source_active:
             partitions = keys = 0
             for partition_id in self.store.partition_ids():
                 partition = self.store.partition(partition_id)
@@ -1276,6 +1659,7 @@ class ClusterSystem:
             txns_aborted_by_failure=len(state.aborted_txns)
             + (self.store.failure_aborts - pre_failure_aborts),
             checkpoints=state.checkpoints,
+            traffic=state.traffic,
         )
 
     # -- banks --------------------------------------------------------------

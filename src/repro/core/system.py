@@ -23,6 +23,8 @@ latency and bandwidth are only charged for validated frames).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.core.client import Client, ClientResponse
 from repro.core.cloud import CloudNode
 from repro.core.config import ConsistencyLevel, CroesusConfig
@@ -38,6 +40,8 @@ from repro.sim.engine import Engine, Server
 from repro.sim.events import EventLog
 from repro.sim.rng import RngRegistry
 from repro.storage.partition import PartitionedStore
+from repro.traffic.admission import make_admission
+from repro.traffic.source import TrafficConfig, TrafficSource, TrafficStats, percentile
 from repro.transactions.bank import ANY_LABEL, TransactionBank
 from repro.transactions.distributed import (
     DistributedMSIAController,
@@ -78,6 +82,35 @@ def observed_labels(
             corrected.append(match.corrected_label)
     corrected.extend(report.unmatched_cloud)
     return LabelSet(initial.frame_id, tuple(corrected), model_name="croesus-observed")
+
+
+@dataclass
+class OpenLoopRunResult:
+    """Outcome of one open-loop run on a single-edge deployment."""
+
+    per_stream: dict[str, RunResult] = field(default_factory=dict)
+    traffic: TrafficStats = field(default_factory=TrafficStats)
+    makespan: float = 0.0
+
+    @property
+    def goodput_fps(self) -> float:
+        """Frames fully served per second of simulated time."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.traffic.completed_frames / self.makespan
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of per-frame final latency, in milliseconds."""
+        totals = [
+            trace.latency.final_latency * 1000.0
+            for result in self.per_stream.values()
+            for trace in result.traces
+        ]
+        return {
+            "p50_ms": percentile(totals, 50.0),
+            "p95_ms": percentile(totals, 95.0),
+            "p99_ms": percentile(totals, 99.0),
+        }
 
 
 class CroesusSystem:
@@ -201,6 +234,62 @@ class CroesusSystem:
         # under the default immediate policy).
         self.edge.policy.commit(now=makespan)
         return result
+
+    def run_open_loop(self, traffic: TrafficConfig) -> OpenLoopRunResult:
+        """Serve an open-loop arrival process on this single deployment.
+
+        A :class:`~repro.traffic.source.TrafficSource` mints streams at
+        seeded arrival instants until ``traffic.duration_s``; each
+        admitted stream runs the usual sequential per-stream pipeline,
+        but all concurrent streams contend for the *one* edge server, so
+        overload shows up as queue delay exactly as it does per-edge in
+        the cluster.  Admission control (the stream-level half of the
+        overload story) applies; per-frame shedding is a cluster
+        feature — a single deployment has no other edge to spare.
+        """
+        self.events.clear()
+        self.history.clear()
+        outcome = OpenLoopRunResult()
+        engine = Engine()
+        edge_server = Server(capacity=1, name="edge")
+        cloud_server = Server(capacity=None, name="cloud")
+        admission = make_admission(traffic.admission, rate=traffic.admission_rate)
+        source = TrafficSource(traffic, self.rngs)
+        stats = outcome.traffic
+
+        def deliver(video: SyntheticVideo) -> None:
+            stats.offered_streams += 1
+            stats.offered_frames += video.num_frames
+            backlog = edge_server.backlog(engine.now)
+            admitted = admission.admit(engine.now, backlog)
+            self.events.record(
+                engine.now,
+                "stream_arrival",
+                stream=video.name,
+                frames=video.num_frames,
+                admitted=admitted,
+                backlog_s=backlog,
+            )
+            if not admitted:
+                stats.rejected_streams += 1
+                return
+            stats.admitted_streams += 1
+            stats.admitted_frames += video.num_frames
+            client = Client(video)
+            result = RunResult(system_name="croesus", video_key=video.name)
+            outcome.per_stream[video.name] = result
+            engine.spawn(
+                self._video_process(engine, edge_server, cloud_server, client, result),
+                name=f"video-{video.name}",
+            )
+
+        engine.spawn(source.drive(engine, deliver), name="traffic-source")
+        outcome.makespan = engine.run()
+        self.edge.policy.commit(now=outcome.makespan)
+        stats.completed_frames = sum(
+            result.num_frames for result in outcome.per_stream.values()
+        )
+        return outcome
 
     # -- per-frame pipeline ---------------------------------------------------
     def _video_process(

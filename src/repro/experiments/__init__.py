@@ -47,6 +47,7 @@ from repro.experiments.runner import (
     build_cluster_config,
     build_single_config,
     build_streams,
+    build_traffic_config,
     run,
 )
 from repro.experiments.spec import (
@@ -86,6 +87,7 @@ __all__ = [
     "build_single_config",
     "build_cluster_config",
     "build_streams",
+    "build_traffic_config",
     "spec_field_names",
     "DEPLOYMENTS",
     "SINGLE_SYSTEMS",

@@ -276,6 +276,69 @@ def _resharding() -> ScenarioSpec:
     )
 
 
+# -- open-loop traffic scenarios ----------------------------------------------
+def _open_loop(**overrides) -> ScenarioSpec:
+    """One open-loop traffic cell: 2 edges, 2 fps streams of ~10 frames.
+
+    Calibrated against the measured service capacity of this topology
+    (~9.5 fps across the 2 edges, i.e. ~0.95 streams/s of 10-frame
+    streams at 2 fps): ``offered_rate=2.2`` is a sustained >=2x
+    overload, and the queue-threshold admission bound plus a
+    2 apologies/s shedding budget is the control configuration the
+    acceptance tests compare against the uncontrolled baseline.
+    """
+    base = dict(
+        deployment="cluster",
+        traffic="poisson",
+        offered_rate=0.6,
+        duration_s=16.0,
+        num_edges=2,
+        frames=10,
+        fps=2.0,
+        seed=_BENCH_SEED,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@register_scenario(
+    "flash-crowd",
+    "Open loop: a flash crowd spikes arrivals to 4x the base rate mid-run; "
+    "queue-threshold admission and budgeted shedding absorb it",
+)
+def _flash_crowd() -> ScenarioSpec:
+    return _open_loop(
+        traffic="flash-crowd",
+        peak_factor=4.0,
+        admission="queue-threshold",
+        apology_budget=2.0,
+    )
+
+
+@register_scenario(
+    "diurnal",
+    "Open loop: a diurnal rate curve (3x peak-to-base swing) with no "
+    "overload control — the observation baseline",
+)
+def _diurnal() -> ScenarioSpec:
+    return _open_loop(traffic="diurnal", peak_factor=3.0)
+
+
+@register_scenario(
+    "sustained-overload",
+    "Open loop: sustained Poisson arrivals at ~2x measured capacity, held "
+    "stable by queue-threshold admission and a 2 apologies/s shedding budget",
+)
+def _sustained_overload() -> ScenarioSpec:
+    return _open_loop(
+        offered_rate=2.2,
+        admission="queue-threshold",
+        admission_rate=0.85,
+        apology_budget=2.0,
+        shed_threshold=0.9,
+    )
+
+
 # -- the cluster sweeps -------------------------------------------------------
 @register_sweep(
     "cluster-scaleout",
@@ -349,6 +412,34 @@ def _resharding_sweep() -> Sweep:
         base=_resharding(),
         axis="resharding",
         values=((), ((2.0, 0, 1),), ((2.0, 0, 1), (3.0, 2, 3))),
+    )
+
+
+@register_sweep(
+    "sustained-overload",
+    "Offered-load series under overload control: 0.5/0.9/1.5/2.2 streams/s "
+    "(the last is >=2x measured capacity) with queue-threshold admission",
+)
+def _sustained_overload_sweep() -> Sweep:
+    return Sweep(
+        base=_sustained_overload(),
+        axis="offered_rate",
+        values=(0.5, 0.9, 1.5, 2.2),
+    )
+
+
+@register_sweep(
+    "overload-control",
+    "Control grid at ~2x overload: admission policy x apology budget "
+    "(no budget = no shedding), trading shed rate against tail latency",
+)
+def _overload_control_sweep() -> Sweep:
+    return Sweep(
+        base=_sustained_overload(),
+        axes=(
+            SweepAxis("admission", ("none", "token-bucket", "queue-threshold")),
+            SweepAxis("apology_budget", (None, 2.0)),
+        ),
     )
 
 

@@ -80,6 +80,13 @@ REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
     "frames_replayed": int,
     "txns_aborted_by_failure": int,
     "checkpoints": int,
+    "offered_load_fps": (int, float),
+    "admitted_load_fps": (int, float),
+    "goodput_fps": (int, float),
+    "shed_rate": (int, float),
+    "p50_latency_ms": (int, float),
+    "p95_latency_ms": (int, float),
+    "p99_latency_ms": (int, float),
     "edges": list,
     "migration_events": list,
     "failure_events": list,
@@ -127,12 +134,20 @@ class RunReport:
     frames_replayed: int = 0
     txns_aborted_by_failure: int = 0
     checkpoints: int = 0
+    offered_load_fps: float = 0.0
+    admitted_load_fps: float = 0.0
+    goodput_fps: float = 0.0
+    shed_rate: float = 0.0
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
     edges: tuple[dict[str, Any], ...] = ()
     migration_events: tuple[dict[str, Any], ...] = ()
     failure_events: tuple[dict[str, Any], ...] = ()
     reshard_events: tuple[dict[str, Any], ...] = ()
     cloud_queue: dict[str, float] | None = None
     batch_flushes: dict[str, float] | None = None
+    traffic: dict[str, float] | None = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -206,6 +221,13 @@ class RunReport:
             "frames_replayed": self.frames_replayed,
             "txns_aborted_by_failure": self.txns_aborted_by_failure,
             "checkpoints": self.checkpoints,
+            "offered_load_fps": self.offered_load_fps,
+            "admitted_load_fps": self.admitted_load_fps,
+            "goodput_fps": self.goodput_fps,
+            "shed_rate": self.shed_rate,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
             "edges": [dict(edge) for edge in self.edges],
             "migration_events": [dict(event) for event in self.migration_events],
             "failure_events": [dict(event) for event in self.failure_events],
@@ -214,6 +236,7 @@ class RunReport:
             "batch_flushes": (
                 dict(self.batch_flushes) if self.batch_flushes is not None else None
             ),
+            "traffic": dict(self.traffic) if self.traffic is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -252,6 +275,13 @@ class RunReport:
             frames_replayed=payload["frames_replayed"],
             txns_aborted_by_failure=payload["txns_aborted_by_failure"],
             checkpoints=payload["checkpoints"],
+            offered_load_fps=payload["offered_load_fps"],
+            admitted_load_fps=payload["admitted_load_fps"],
+            goodput_fps=payload["goodput_fps"],
+            shed_rate=payload["shed_rate"],
+            p50_latency_ms=payload["p50_latency_ms"],
+            p95_latency_ms=payload["p95_latency_ms"],
+            p99_latency_ms=payload["p99_latency_ms"],
             edges=tuple(dict(edge) for edge in payload["edges"]),
             migration_events=tuple(dict(event) for event in payload["migration_events"]),
             failure_events=tuple(dict(event) for event in payload["failure_events"]),
@@ -263,6 +293,9 @@ class RunReport:
                 dict(payload["batch_flushes"])
                 if payload.get("batch_flushes") is not None
                 else None
+            ),
+            traffic=(
+                dict(payload["traffic"]) if payload.get("traffic") is not None else None
             ),
         )
 

@@ -30,6 +30,7 @@ from repro.core.config import ConsistencyLevel, CroesusConfig
 from repro.core.results import LatencyBreakdown
 from repro.experiments.report import RunReport
 from repro.experiments.spec import ScenarioSpec
+from repro.traffic.source import TrafficConfig
 from repro.video.library import make_camera_streams, make_uneven_camera_streams
 from repro.video.synthetic import SyntheticVideo
 
@@ -69,6 +70,28 @@ def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
         failure_schedule=spec.failure_schedule,
         checkpoint_interval_s=spec.checkpoint_interval_s,
         resharding=spec.resharding,
+        failback=spec.failback,
+        failure_hazard_rate=spec.failure_hazard_rate,
+        failure_outage_s=spec.failure_outage_s,
+    )
+
+
+def build_traffic_config(spec: ScenarioSpec) -> TrafficConfig:
+    """The open-loop :class:`TrafficConfig` of a ``spec.traffic`` scenario."""
+    if spec.traffic is None:
+        raise ValueError("spec has no traffic process (closed-loop scenario)")
+    return TrafficConfig(
+        process=spec.traffic,
+        offered_rate=spec.offered_rate,
+        duration_s=spec.duration_s,
+        peak_factor=spec.peak_factor,
+        stream_length=spec.stream_length,
+        mean_frames=spec.frames,
+        frame_interval=spec.frame_interval,
+        admission=spec.admission,
+        admission_rate=spec.admission_rate,
+        shed_threshold=spec.shed_threshold,
+        apology_budget=spec.apology_budget,
     )
 
 
@@ -138,9 +161,23 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
     if spec.workload == "hotspot":
         bank_factory = hotspot_bank_factory(spec.seed, key_range=spec.hot_key_range)
     system = ClusterSystem(config, bank_factory=bank_factory)
-    result = system.run(build_streams(spec))
+    if spec.traffic is None:
+        result = system.run(build_streams(spec))
+    else:
+        result = system.run_open_loop(build_traffic_config(spec))
 
     latency = _latency_ms(result.average_latency)
+    percentiles = result.latency_percentiles()
+    traffic_summary = result.traffic_summary() or None
+    if traffic_summary is not None:
+        offered_load = traffic_summary["offered_load_fps"]
+        admitted_load = traffic_summary["admitted_load_fps"]
+        shed_rate = traffic_summary["shed_rate"]
+    else:
+        # A closed-loop run admits its whole finite workload.
+        offered_load = result.throughput_fps
+        admitted_load = result.throughput_fps
+        shed_rate = 0.0
 
     edges = tuple(
         {
@@ -236,12 +273,20 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         frames_replayed=result.frames_replayed,
         txns_aborted_by_failure=result.txns_aborted_by_failure,
         checkpoints=result.checkpoints,
+        offered_load_fps=offered_load,
+        admitted_load_fps=admitted_load,
+        goodput_fps=result.goodput_fps,
+        shed_rate=shed_rate,
+        p50_latency_ms=percentiles["p50_ms"],
+        p95_latency_ms=percentiles["p95_ms"],
+        p99_latency_ms=percentiles["p99_ms"],
         edges=edges,
         migration_events=migration_events,
         failure_events=failure_events,
         reshard_events=reshard_events,
         cloud_queue=cloud_queue,
         batch_flushes=batch_flushes,
+        traffic=traffic_summary,
     )
 
 

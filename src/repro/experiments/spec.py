@@ -20,11 +20,14 @@ from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Mapping
 
 from repro.cluster.failure import (
+    FailureInjector,
     normalize_failure_schedule,
     normalize_resharding,
     validate_failure_schedule,
 )
 from repro.cluster.router import ROUTER_POLICIES
+from repro.traffic.admission import ADMISSION_POLICIES
+from repro.traffic.arrivals import ARRIVAL_PROCESSES, STREAM_LENGTHS
 from repro.transactions.policy import TXN_POLICIES
 from repro.video.library import VIDEO_LIBRARY
 
@@ -69,6 +72,18 @@ CLUSTER_FIELDS = frozenset(
         "failure_schedule",
         "checkpoint_interval_s",
         "resharding",
+        "traffic",
+        "offered_rate",
+        "duration_s",
+        "peak_factor",
+        "stream_length",
+        "admission",
+        "admission_rate",
+        "shed_threshold",
+        "apology_budget",
+        "failback",
+        "failure_hazard_rate",
+        "failure_outage_s",
     }
 )
 
@@ -137,6 +152,39 @@ class ScenarioSpec:
         Scheduled runtime partition moves (cluster only): a tuple of
         ``(at_s, partition_id, to_edge)`` triples, each executed as a
         checkpoint-copy plus a log-shipped tail.
+    traffic:
+        Open-loop arrival process (cluster only).  ``None`` (the
+        default) runs the closed-loop finite workload built from
+        ``streams``/``frames``; an :data:`~repro.traffic.arrivals.ARRIVAL_PROCESSES`
+        name instead injects streams at runtime from a seeded
+        :class:`~repro.traffic.source.TrafficSource`, with ``frames``
+        as the mean stream length and ``offered_rate``/``duration_s``/
+        ``peak_factor``/``stream_length`` shaping the process.
+    offered_rate, duration_s, peak_factor, stream_length:
+        Open-loop traffic shape: time-averaged arrival rate in
+        streams/s, run horizon in seconds, peak-to-average rate ratio
+        of the diurnal and flash-crowd curves, and the stream-length
+        distribution (one of :data:`~repro.traffic.arrivals.STREAM_LENGTHS`).
+    admission, admission_rate:
+        Stream admission control of open-loop runs: ``"none"``,
+        ``"token-bucket"`` (refilling at ``admission_rate`` streams/s),
+        or ``"queue-threshold"``.
+    shed_threshold, apology_budget:
+        Frame-level load shedding of open-loop cluster runs: when the
+        serving edge's windowed load reaches ``shed_threshold`` a frame
+        may be degraded to an immediate apology response instead of
+        processed — but only while the apology budget (``apology_budget``
+        apologies/s, ``None`` disables shedding) has balance.
+    failback:
+        When true, streams failed over during an outage migrate *back*
+        to the recovered edge through the migration-trigger hysteresis
+        once the interim host is loaded and the home edge has headroom.
+    failure_hazard_rate, failure_outage_s:
+        Probabilistic failures: instead of an explicit
+        ``failure_schedule``, draw failures from a seeded exponential
+        hazard of ``failure_hazard_rate`` failures/s, each lasting
+        ``failure_outage_s`` seconds.  Mutually exclusive with
+        ``failure_schedule``.
     """
 
     deployment: str = "single"
@@ -162,6 +210,18 @@ class ScenarioSpec:
     failure_schedule: tuple[tuple[int, float, float], ...] = ()
     checkpoint_interval_s: float | None = None
     resharding: tuple[tuple[float, int, int], ...] = ()
+    traffic: str | None = None
+    offered_rate: float = 1.0
+    duration_s: float = 8.0
+    peak_factor: float = 4.0
+    stream_length: str = "fixed"
+    admission: str = "none"
+    admission_rate: float = 1.0
+    shed_threshold: float = 0.9
+    apology_budget: float | None = None
+    failback: bool = False
+    failure_hazard_rate: float | None = None
+    failure_outage_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.deployment not in DEPLOYMENTS:
@@ -253,6 +313,55 @@ class ScenarioSpec:
             raise ValueError(
                 "checkpoint_interval_s must be positive (or None), got "
                 f"{self.checkpoint_interval_s}"
+            )
+        if self.traffic is not None:
+            if self.traffic not in ARRIVAL_PROCESSES:
+                known = ", ".join(ARRIVAL_PROCESSES)
+                raise ValueError(
+                    f"unknown traffic process {self.traffic!r}; known processes: {known}"
+                )
+            if self.deployment != "cluster":
+                raise ValueError(
+                    "open-loop traffic requires deployment='cluster' "
+                    "(the single deployment runs one finite video)"
+                )
+        if self.offered_rate <= 0:
+            raise ValueError(f"offered_rate must be positive, got {self.offered_rate}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.peak_factor < 1.0:
+            raise ValueError(f"peak_factor must be at least 1, got {self.peak_factor}")
+        if self.stream_length not in STREAM_LENGTHS:
+            raise ValueError(
+                f"unknown stream_length {self.stream_length!r}; "
+                f"expected one of {STREAM_LENGTHS}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission {self.admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        if self.admission_rate <= 0:
+            raise ValueError(f"admission_rate must be positive, got {self.admission_rate}")
+        if not 0.0 < self.shed_threshold <= 1.0:
+            raise ValueError(
+                f"shed_threshold must be in (0, 1], got {self.shed_threshold}"
+            )
+        if self.apology_budget is not None and self.apology_budget <= 0:
+            raise ValueError(
+                f"apology_budget must be positive (or None), got {self.apology_budget}"
+            )
+        # FailureInjector owns the hazard-mode invariants (positive rate,
+        # exclusivity with the schedule, positive outage).
+        FailureInjector(
+            schedule=failures,
+            hazard_rate=self.failure_hazard_rate,
+            outage_s=self.failure_outage_s,
+        )
+        if self.failure_hazard_rate is not None and self.num_edges < 2:
+            raise ValueError(
+                "failure_hazard_rate needs at least 2 edges "
+                "(streams must have a live edge to fail over to)"
             )
 
     # -- derived -------------------------------------------------------------

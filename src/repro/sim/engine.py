@@ -342,6 +342,21 @@ class Server:
             return 0.0
         return self._free[0]
 
+    def backlog(self, now: float) -> float:
+        """Seconds of queued work ahead of a job arriving at ``now``.
+
+        The admission-control signal: how long a new arrival would wait
+        before its service could start, given everything already
+        admitted.  0.0 for unbounded or idle servers; infinite while
+        every slot is held by an admission that has not completed (the
+        server cannot currently promise a start time at all).
+        """
+        if self.capacity is None:
+            return 0.0
+        if not self._free:
+            return float("inf")
+        return max(0.0, self._free[0] - now)
+
     # -- statistics ---------------------------------------------------------
     @property
     def jobs(self) -> int:

@@ -1,0 +1,88 @@
+"""Load shedding: degrade initial stages on saturated edges, per budget.
+
+The paper's multi-stage transaction model already has a currency for
+degraded service: *apologies* — the compensating actions a final stage
+issues when the initial stage's optimistic answer turns out wrong (the
+token game of :mod:`repro.core.apps.token_game` spends them on overdraft
+repairs).  Load shedding generalises that machinery into an overload
+policy: when an edge is saturated, a frame's initial stage can be dropped
+entirely and the client compensated with an apology *now*, instead of a
+correct answer much later.
+
+The :class:`ApologyBudget` makes the trade sweepable.  Apology tokens
+accrue at a configured rate; shedding one frame spends one token.  A
+budget of zero never sheds (the no-control baseline), a small budget
+sheds just enough to keep queues bounded, and a large budget trades
+accuracy freely for latency — shed rate versus apology cost is the
+knob's axis.
+"""
+
+from __future__ import annotations
+
+#: Apology text attached to the client response of a shed frame.
+SHED_APOLOGY = "frame shed under overload: initial stage degraded to an apology"
+
+
+class ApologyBudget:
+    """A token bucket of apologies the shedder is allowed to issue.
+
+    Tokens accrue at ``per_second`` up to ``burst`` (default: one
+    second's worth, but at least one token).  :meth:`spend` is the only
+    mutation: it refreshes the balance to ``now`` and takes one token if
+    available.
+    """
+
+    def __init__(self, per_second: float, burst: float | None = None) -> None:
+        if per_second <= 0:
+            raise ValueError(f"apology budget must be positive, got {per_second}")
+        if burst is None:
+            burst = max(1.0, per_second)
+        if burst < 1.0:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.per_second = per_second
+        self._burst = burst
+        self._tokens = burst
+        self._last = 0.0
+        self.spent = 0
+
+    def balance(self, now: float) -> float:
+        """Tokens available at ``now`` (refreshes the accrual)."""
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(self._burst, self._tokens + elapsed * self.per_second)
+        self._last = now
+        return self._tokens
+
+    def spend(self, now: float) -> bool:
+        """Take one apology token if the budget allows it."""
+        if self.balance(now) >= 1.0:
+            self._tokens -= 1.0
+            self.spent += 1
+            return True
+        return False
+
+
+class LoadShedder:
+    """Sheds a frame's initial stage when its edge is saturated.
+
+    A frame is shed when the serving edge's observed (windowed) load is
+    at or above ``threshold`` *and* the apology budget has a token to
+    pay for the degradation.  An exhausted budget means the frame queues
+    normally — shedding is always bounded by what the operator agreed
+    to apologise for.
+    """
+
+    def __init__(self, threshold: float, budget: ApologyBudget) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"shed threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.budget = budget
+        self.shed_frames = 0
+
+    def should_shed(self, now: float, load: float) -> bool:
+        """Decide one frame: shed (and spend an apology) or serve."""
+        if load < self.threshold:
+            return False
+        if not self.budget.spend(now):
+            return False
+        self.shed_frames += 1
+        return True

@@ -203,3 +203,21 @@ class TestServer:
         server = Server(capacity=2)
         server.reserve(0.0, 4.0)
         assert server.utilization(4.0) == pytest.approx(0.5)
+
+    def test_backlog_measures_wait_for_next_free_slot(self):
+        server = Server(capacity=1)
+        assert server.backlog(0.0) == 0.0  # idle
+        server.reserve(0.0, 4.0)  # busy until t=4
+        assert server.backlog(1.0) == pytest.approx(3.0)
+        assert server.backlog(5.0) == 0.0  # already free
+
+    def test_backlog_uses_earliest_slot(self):
+        server = Server(capacity=2)
+        server.reserve(0.0, 4.0)
+        server.reserve(0.0, 2.0)
+        assert server.backlog(1.0) == pytest.approx(1.0)
+
+    def test_backlog_of_unbounded_server_is_zero(self):
+        server = Server(capacity=None)
+        server.reserve(0.0, 100.0)
+        assert server.backlog(1.0) == 0.0
