@@ -14,6 +14,14 @@ round trips and async hides prepare latency).  Grids run on a process
 pool (``Sweep.run(max_workers=...)``); bit-identity to serial execution
 is pinned by ``test_parallel_sweep_matches_serial_execution``.
 
+The ``scale_stress`` section measures the engine hot path itself: each
+cell runs a registered scale-stress scenario in a fresh subprocess and
+records wall clock per simulated frame (gated at 20% drift by the CI
+regression gate), frames/sec, and per-process peak RSS.  The smoke-sized
+fast/reference pair runs on every pass; the slow million-frame test adds
+the full-scale cells and asserts the fast path's >=5x speedup over the
+preserved pre-optimization engine.
+
 All three grids run through the declarative experiment layer: each is a
 registered :class:`repro.experiments.Sweep` (``cluster-scaleout``,
 ``cloud-contention``, ``migration-policies``) and every cell is a
@@ -47,7 +55,7 @@ from repro.analysis.regression import ARTIFACT_SCHEMA
 from repro.analysis.tables import format_table
 from repro.experiments import RunReport, get_scenario, get_sweep, run, validate_report
 
-from bench_common import BENCH_SEED  # noqa: E402  (benchmarks path setup)
+from bench_common import BENCH_SEED, measure_scenario  # noqa: E402  (benchmarks path setup)
 
 EDGE_COUNTS = (1, 2, 4, 8)
 PLACEMENTS = ("round-robin", "hotspot")
@@ -55,6 +63,17 @@ NUM_STREAMS = 8
 FRAMES_PER_STREAM = 10
 CLOUD_SERVER_COUNTS = (1, 2, 4)
 ARTIFACT_PATH = Path(__file__).parent / "results" / "BENCH_cluster.json"
+
+#: Acceptance floor: the fast path must process at least this many times
+#: more frames per wall-clock second than the pre-optimization engine on
+#: the full-scale cell (asserted by the slow million-frame test; at
+#: smoke scale the recorded-path's accretion has not started to hurt
+#: yet, so the smoke ratio is only reported, not gated).
+SCALE_STRESS_SPEEDUP_FLOOR = 5.0
+
+#: Raw cProfile dump of one smoke-cell run, uploaded by CI next to the
+#: perf artifact so a wall-clock regression comes with its flame data.
+SCALE_STRESS_PROFILE_PATH = Path(__file__).parent / "results" / "scale_stress_smoke.prof"
 
 
 def _cell(report: RunReport) -> dict:
@@ -334,6 +353,84 @@ def open_loop_results(report_writer):
     return results
 
 
+def _scale_stress_cell(
+    scenario: str, overrides: dict | None = None, profile_path=None
+) -> dict:
+    """Measure one scale-stress cell in a fresh process.
+
+    The cell keeps the legacy summary keys and the full report like every
+    other section, plus the wall-clock metrics the hot-path gate watches:
+    ``wall_clock_per_frame_us`` (gated), ``frames_per_sec`` and
+    ``peak_rss_mb`` (reported).
+    """
+    measured = measure_scenario(scenario, overrides, profile_path=profile_path)
+    report = RunReport.from_dict(measured["report"])
+    cell = _cell(report)
+    cell["wall_clock_per_frame_us"] = measured["wall_s"] / report.frames * 1e6
+    cell["frames_per_sec"] = report.frames / measured["wall_s"]
+    cell["peak_rss_mb"] = measured["peak_rss_mb"]
+    return cell
+
+
+@pytest.fixture(scope="module")
+def scale_stress_results(report_writer):
+    """Engine hot-path cells: wall clock per simulated frame, fast vs
+    the preserved pre-optimization engine.
+
+    The smoke-sized pair always runs (each in its own process, so peak
+    RSS is per-cell); the slow million-frame test appends its full-scale
+    cells to this dict before the artifact is emitted.  Wall-clock
+    metrics are machine-dependent by nature — they live next to the
+    simulated metrics because drift *on the same CI runner class* is the
+    regression signal the gate wants.
+    """
+    results = {
+        "smoke": _scale_stress_cell("scale-stress-smoke"),
+        "smoke-reference": _scale_stress_cell("scale-stress-reference"),
+    }
+    results["smoke"]["speedup_vs_reference"] = (
+        results["smoke-reference"]["wall_clock_per_frame_us"]
+        / results["smoke"]["wall_clock_per_frame_us"]
+    )
+    # A second, profiled smoke run feeds the CI profile artifact; the
+    # timing cell above stays unprofiled so cProfile overhead never
+    # pollutes the gated wall-clock metric.
+    profiled = measure_scenario(
+        "scale-stress-smoke", profile_path=SCALE_STRESS_PROFILE_PATH
+    )
+    report_writer("cluster_scale_stress_profile", profiled["profile_summary"].rstrip())
+    _write_scale_stress_table(report_writer, results)
+    return results
+
+
+def _write_scale_stress_table(report_writer, results: dict) -> None:
+    rows = [
+        [
+            label,
+            cell["frames"],
+            f"{cell['wall_clock_per_frame_us']:.1f}",
+            f"{cell['frames_per_sec']:.0f}",
+            f"{cell['peak_rss_mb']:.0f}",
+            f"{cell['speedup_vs_reference']:.2f}x" if "speedup_vs_reference" in cell else "-",
+        ]
+        for label, cell in results.items()
+    ]
+    report_writer(
+        "cluster_scale_stress",
+        format_table(
+            [
+                "cell",
+                "frames",
+                "wall clock / frame (us)",
+                "frames / sec",
+                "peak RSS (MB)",
+                "speedup vs reference",
+            ],
+            rows,
+        ),
+    )
+
+
 def _round_trips_per_txn(cell: dict) -> float:
     report = cell["report"]
     txns = report["cross_partition_txns"]
@@ -485,6 +582,60 @@ def test_open_loop_control_sheds_but_baseline_does_not(open_loop_results):
     assert open_loop_results["baseline-long"]["shed_rate"] == 0.0
 
 
+def test_scale_stress_smoke_cell_is_healthy(scale_stress_results):
+    """The CI regression cell: the fast path completes the smoke-sized
+    open-loop workload in bounded memory and the gated wall-clock metric
+    is live.  The speedup over the reference engine is recorded (its
+    acceptance floor is asserted at full scale, where the recorded
+    path's per-frame accretion actually bites)."""
+    smoke = scale_stress_results["smoke"]
+    assert smoke["frames"] >= 4000
+    assert smoke["wall_clock_per_frame_us"] > 0.0
+    assert smoke["peak_rss_mb"] < 256.0
+    assert smoke["speedup_vs_reference"] > 0.0
+
+
+def test_scale_stress_smoke_pair_runs_the_same_simulation(scale_stress_results):
+    """Fast and reference cells must process the identical workload —
+    the wall-clock ratio is meaningless otherwise."""
+    smoke = scale_stress_results["smoke"]
+    reference = scale_stress_results["smoke-reference"]
+    assert smoke["frames"] == reference["frames"]
+    assert smoke["report"]["streams"] == reference["report"]["streams"]
+    assert smoke["report"]["f_score"] == reference["report"]["f_score"]
+
+
+def test_scale_stress_profile_artifact_written(scale_stress_results):
+    assert SCALE_STRESS_PROFILE_PATH.exists()
+    assert SCALE_STRESS_PROFILE_PATH.stat().st_size > 0
+
+
+@pytest.mark.slow
+def test_scale_stress_full_million_frames(scale_stress_results, report_writer):
+    """Acceptance: ~1e5 open-loop streams (>=1e6 frames) over 100 edges
+    complete on the fast path within a bounded memory envelope, at >=5x
+    the frames/sec of the pre-optimization engine on the same scenario.
+
+    Both cells land in the artifact (and the report table) so the full-
+    scale trajectory is recorded whenever the slow suite runs.
+    """
+    full = _scale_stress_cell("scale-stress")
+    reference = _scale_stress_cell(
+        "scale-stress", overrides={"record_frames": True, "reference_engine": True}
+    )
+    full["speedup_vs_reference"] = (
+        reference["wall_clock_per_frame_us"] / full["wall_clock_per_frame_us"]
+    )
+    scale_stress_results["full"] = full
+    scale_stress_results["full-reference"] = reference
+    _write_scale_stress_table(report_writer, scale_stress_results)
+
+    assert full["frames"] >= 1_000_000
+    assert full["frames"] == reference["frames"]
+    assert full["peak_rss_mb"] < 2048.0
+    assert full["speedup_vs_reference"] >= SCALE_STRESS_SPEEDUP_FLOOR
+
+
 def test_migration_events_match_summary_counts(migration_results):
     for cell in migration_results.values():
         assert cell["timeline_migrations"] == cell["migrations"]
@@ -508,6 +659,7 @@ def test_emit_bench_cluster_artifact(
     failure_recovery_results,
     resharding_results,
     open_loop_results,
+    scale_stress_results,
 ):
     """Write every sweep cell to ``results/BENCH_cluster.json``.
 
@@ -547,6 +699,9 @@ def test_emit_bench_cluster_artifact(
         "open_loop": [
             {"label": label, **cell} for label, cell in open_loop_results.items()
         ],
+        "scale_stress": [
+            {"label": label, **cell} for label, cell in scale_stress_results.items()
+        ],
     }
     ARTIFACT_PATH.parent.mkdir(exist_ok=True)
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -556,7 +711,8 @@ def test_emit_bench_cluster_artifact(
     assert recorded["failure_recovery"]
     assert recorded["resharding"]
     assert recorded["open_loop"]
-    for section in ("scaleout", "failure_recovery", "resharding", "open_loop"):
+    assert recorded["scale_stress"]
+    for section in ("scaleout", "failure_recovery", "resharding", "open_loop", "scale_stress"):
         for cell in recorded[section]:
             validate_report(cell["report"])
 

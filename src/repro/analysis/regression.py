@@ -29,13 +29,14 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "failure_recovery": ("checkpoint_interval_s",),
     "resharding": ("moves",),
     "open_loop": ("label",),
+    "scale_stress": ("label",),
 }
 
 #: Version stamp of the ``BENCH_cluster.json`` layout.  Bumped when the
 #: cell schema changes incompatibly; the CI gate treats a baseline with
 #: a different stamp like a missing baseline (nothing to compare
 #: against) instead of failing on spurious diffs.
-ARTIFACT_SCHEMA = 3
+ARTIFACT_SCHEMA = 4
 
 
 class ArtifactError(ValueError):
@@ -44,16 +45,20 @@ class ArtifactError(ValueError):
 #: Metrics the gate watches.  ``throughput_fps`` and
 #: ``mean_queue_delay_ms`` come from the legacy summary keys every cell
 #: carries; ``recovery_time_ms`` only exists on ``failure_recovery``
-#: cells, ``goodput_fps`` and ``shed_rate`` only on ``open_loop`` cells
-#: (cells missing a metric are simply not gated on it).  Drift in
-#: either direction is suspect, since a seeded benchmark should not move
-#: at all without a behavioural change.
+#: cells, ``goodput_fps`` and ``shed_rate`` only on ``open_loop`` cells,
+#: and ``wall_clock_per_frame_us`` only on ``scale_stress`` cells (cells
+#: missing a metric are simply not gated on it).  Drift in either
+#: direction is suspect: for the simulated metrics a seeded benchmark
+#: should not move at all without a behavioural change, and for the
+#: wall-clock metric a >threshold move means the engine hot path got
+#: materially slower (or suspiciously faster) on the same machine.
 GATED_METRICS = (
     "throughput_fps",
     "mean_queue_delay_ms",
     "recovery_time_ms",
     "goodput_fps",
     "shed_rate",
+    "wall_clock_per_frame_us",
 )
 
 #: Default tolerated relative drift (20%).

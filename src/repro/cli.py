@@ -19,7 +19,11 @@ runner, and renders the returned
 :class:`~repro.experiments.report.RunReport`.  Every command accepts
 ``--json`` (emit the machine-readable report instead of tables) and
 ``--output FILE`` (write wherever the output would have been printed);
-invalid inputs exit with status 2, success with 0.
+invalid inputs exit with status 2, success with 0.  The commands that
+execute a simulation (``run``, ``cluster``, ``scenario``) also accept
+``--profile [FILE]``: the run happens under :mod:`cProfile`, the top 25
+functions by cumulative time are printed to stderr, and ``FILE`` (if
+given) receives the raw pstats dump.
 """
 
 from __future__ import annotations
@@ -64,11 +68,23 @@ def build_parser() -> argparse.ArgumentParser:
     output.add_argument(
         "--output", metavar="FILE", default=None, help="write the output to FILE instead of stdout"
     )
+    # Profiling contract of the commands that execute a simulation.
+    profiling = argparse.ArgumentParser(add_help=False)
+    profiling.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="run under cProfile; print the top 25 functions by cumulative "
+        "time to stderr, and with FILE also dump the raw pstats data there "
+        "(load it with `python -m pstats FILE` or snakeviz)",
+    )
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser(
-        "run", parents=[output], help="run Croesus on one video"
+        "run", parents=[output, profiling], help="run Croesus on one video"
     )
     _add_common_arguments(run_parser)
     run_parser.add_argument("--lower", type=float, default=0.3, help="lower threshold θL")
@@ -107,7 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
 
     cluster_parser = subparsers.add_parser(
-        "cluster", parents=[output], help="run many camera streams on a multi-edge cluster"
+        "cluster",
+        parents=[output, profiling],
+        help="run many camera streams on a multi-edge cluster",
     )
     cluster_parser.add_argument("--edges", type=int, default=2, help="number of edge replicas")
     cluster_parser.add_argument(
@@ -206,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
     scenario_parser = subparsers.add_parser(
-        "scenario", parents=[output], help="run a registered scenario by name"
+        "scenario", parents=[output, profiling], help="run a registered scenario by name"
     )
     scenario_parser.add_argument("name", nargs="?", help="registered scenario name")
     scenario_parser.add_argument(
@@ -296,6 +314,35 @@ def _emit(args: argparse.Namespace, text: str, payload: Any = None) -> int:
     return 0
 
 
+def _profiled(args: argparse.Namespace, thunk):
+    """Run ``thunk`` honouring ``--profile [FILE]``.
+
+    Without ``--profile`` this is a plain call.  With it, the run happens
+    under :mod:`cProfile`; the top 25 functions by cumulative time go to
+    stderr (stdout stays reserved for the report, so ``--json`` output
+    remains parseable), and a ``FILE`` argument additionally dumps the
+    raw pstats data for offline analysis.
+    """
+    profile = getattr(args, "profile", None)
+    if profile is None:
+        return thunk()
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return thunk()
+    finally:
+        profiler.disable()
+        if profile != "-":
+            profiler.dump_stats(profile)
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+        print(stream.getvalue(), file=sys.stderr, end="")
+
+
 # -- subcommands --------------------------------------------------------------
 def _cmd_videos(args: argparse.Namespace) -> int:
     specs = sorted(VIDEO_LIBRARY.values(), key=lambda s: s.key)
@@ -323,7 +370,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         return _fail("run", str(error))
-    report = run_scenario(spec)
+    report = _profiled(args, lambda: run_scenario(spec))
     table = format_table(
         ["video", "F-score", "initial latency (ms)", "final latency (ms)", "BU"],
         [
@@ -459,7 +506,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         return _fail("cluster", str(error))
-    report = run_scenario(spec)
+    report = _profiled(args, lambda: run_scenario(spec))
     return _emit(args, _cluster_text(report), report.to_dict())
 
 
@@ -630,7 +677,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return _fail("scenario", str(error.args[0]))
     if args.txn_policy is not None:
         spec = spec.with_(transaction_policy=args.txn_policy)
-    report = run_scenario(spec)
+    report = _profiled(args, lambda: run_scenario(spec))
     table = format_table(_REPORT_HEADERS, [_report_row(args.name, report)])
     if report.deployment == "cluster":
         table += "\n" + _cluster_text(report)

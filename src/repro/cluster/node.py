@@ -62,6 +62,11 @@ class EdgeReplica:
         Admission discipline of this replica's server: ``"fifo"`` (the
         default) or ``"priority"``, under which initial stages overtake
         queued final stages.
+    server_factory:
+        Builds this replica's :class:`~repro.sim.engine.Server` (and the
+        fresh one of every :meth:`reset_run_state`).  The cluster fast
+        path passes a factory wiring up streaming wait statistics,
+        interval retention, or the preserved reference implementation.
     """
 
     def __init__(
@@ -80,14 +85,18 @@ class EdgeReplica:
         coordinator_channel: Channel | None = None,
         discipline: str = "fifo",
         vote_channel_for=None,
+        server_factory=None,
     ) -> None:
         self.edge_id = edge_id
         self.owned_partitions = frozenset(owned_partitions)
         self.discipline = discipline
         self._store = store
+        self._server_factory = server_factory or (
+            lambda: Server(capacity=1, name=f"edge-{self.edge_id}", discipline=self.discipline)
+        )
         #: Finite-capacity server modelling this edge's processor: every
         #: frame stage is admitted here and served for its measured cost.
-        self.server = Server(capacity=1, name=f"edge-{edge_id}", discipline=discipline)
+        self.server = self._server_factory()
         self.streams: list[str] = []
 
         # The replica's consistency stack: a distributed controller over
@@ -139,9 +148,7 @@ class EdgeReplica:
 
     def reset_run_state(self) -> None:
         """Fresh server and stream assignments for a new cluster run."""
-        self.server = Server(
-            capacity=1, name=f"edge-{self.edge_id}", discipline=self.discipline
-        )
+        self.server = self._server_factory()
         self.streams = []
         # Discard frame charges, open batches, and issued prepares left
         # over from an interrupted run; the new run must not be billed

@@ -20,7 +20,7 @@ from repro.video.frames import Frame
 from repro.video.synthetic import SyntheticVideo
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameArrival:
     """One frame of one stream arriving at the cluster.
 

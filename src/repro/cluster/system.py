@@ -40,6 +40,8 @@ the cluster reproduces the paper's contention behaviour at scale.
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Callable, Sequence
@@ -66,15 +68,16 @@ from repro.cluster.scheduler import FrameArrival, FrameScheduler
 from repro.core.client import Client, ClientResponse
 from repro.core.cloud import CloudNode
 from repro.core.config import ConsistencyLevel, CroesusConfig
-from repro.core.edge import FinalStageOutcome
+from repro.core.edge import FinalStageOutcome, InitialStageOutcome
 from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
 from repro.core.system import LABELS_MESSAGE_BYTES, observed_labels
 from repro.core.thresholds import ConfidenceInterval, ThresholdPolicy
-from repro.detection.metrics import aggregate_reports, evaluate_detections
+from repro.detection.metrics import AccuracyReport, aggregate_reports, evaluate_detections
+from repro.analysis.streaming import QuantileAccumulator
 from repro.network.channel import Channel
 from repro.network.latency import SAME_REGION
 from repro.network.topology import MachineProfile
-from repro.sim.engine import Engine, Server
+from repro.sim.engine import At, Engine, ReferenceServer, Server
 from repro.sim.events import EventLog
 from repro.sim.rng import RngRegistry
 from repro.storage.partition import PartitionedStore
@@ -92,6 +95,36 @@ from repro.workloads.ycsb import YCSBWorkload
 #: its own bank so transaction ids (the lock-holder ids in the shared
 #: partitions) never collide across replicas.
 BankFactory = Callable[[int], TransactionBank]
+
+#: Event objects retained by a fast-path (``record_frames=False``) run;
+#: per-kind counts stay exact for the whole run regardless.
+FAST_PATH_EVENT_CAPACITY = 4096
+
+#: Busy intervals each fast-path server keeps; older intervals fold into
+#: a running busy-time total (whole-run utilization stays exact, only
+#: deep-history windowed loads lose resolution).
+FAST_PATH_INTERVAL_RETENTION = 4096
+
+
+@contextmanager
+def _gc_suspended(active: bool):
+    """Suspend the cycle collector for the duration of a fast-path run.
+
+    The fast path allocates only short-lived, acyclic records (events,
+    admissions, label tuples) that reference counting reclaims the
+    moment they drop out of the frame pipeline — the collector finds
+    nothing, but its generation scans are a double-digit share of a
+    million-frame run's wall clock.  No-op when the collector is already
+    off (respects an outer policy), and re-enabled even on error.
+    """
+    if not active or not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
 
 
 @dataclass(frozen=True)
@@ -170,6 +203,23 @@ class ClusterConfig:
     failure_outage_s:
         Outage length of each hazard-drawn failure (the gap between
         ``fail_at`` and the scheduled restart).
+    record_frames:
+        True (the default) keeps one :class:`~repro.core.results.FrameTrace`
+        per frame plus full client-response and event histories — the
+        exact, memory-hungry path every golden pin runs on.  False is
+        the **fast path**: per-frame results fold into streaming
+        accumulators (:class:`FrameStatsAccumulator`), the event log is
+        bounded, edge servers use streaming wait statistics and interval
+        retention, and open-loop streams run on one batched driver
+        process each — memory stays bounded at 10⁶+ frames.  Aggregate
+        metrics (means, rates, F-score) are computed from exact running
+        sums; latency percentiles are exact up to the accumulator's
+        buffer and within 1% beyond it.
+    reference_engine:
+        Run every server on the preserved pre-optimization
+        :class:`~repro.sim.engine.ReferenceServer` implementation.  The
+        scale-stress benchmark's yardstick; mutually exclusive with the
+        fast path.
 
     The commit policy of the consistency layer comes from
     ``base.transaction_policy`` (see
@@ -194,8 +244,15 @@ class ClusterConfig:
     failback: bool = False
     failure_hazard_rate: float | None = None
     failure_outage_s: float = 1.0
+    record_frames: bool = True
+    reference_engine: bool = False
 
     def __post_init__(self) -> None:
+        if self.reference_engine and not self.record_frames:
+            raise ValueError(
+                "reference_engine requires record_frames=True (the reference "
+                "implementation is the full-recording pre-optimization path)"
+            )
         if self.num_edges < 1:
             raise ValueError("num_edges must be at least 1")
         if self.partitions_per_edge < 1:
@@ -324,6 +381,192 @@ class MigrationRecord:
     utilization: float
 
 
+class FrameStatsAccumulator:
+    """Streaming per-frame aggregates of a fast-path cluster run.
+
+    The ``record_frames=False`` path folds every served frame into this
+    accumulator instead of building a :class:`~repro.core.results.FrameTrace`,
+    so run memory stays bounded at 10⁶+ frames.  Counts, sums, and the
+    derived means/rates are exact; the final-latency percentiles come
+    from a :class:`~repro.analysis.streaming.QuantileAccumulator` — exact
+    nearest-rank up to its buffer, within 1% relative error beyond it.
+    """
+
+    __slots__ = (
+        "frames",
+        "sent_to_cloud",
+        "bytes_sent",
+        "latency_sums",
+        "true_positives",
+        "false_positives",
+        "false_negatives",
+        "transactions",
+        "corrections",
+        "apologies",
+        "cloud_queue_delay_sum",
+        "final_latency_ms",
+    )
+
+    #: Component order mirrors LatencyBreakdown.to_dict().
+    LATENCY_COMPONENTS = (
+        "edge_transfer",
+        "edge_detection",
+        "initial_txn",
+        "cloud_transfer",
+        "cloud_detection",
+        "final_txn",
+        "queue_delay",
+        "final_queue_delay",
+        "cloud_queue_delay",
+        "commit_protocol",
+        "commit_overlap_saved",
+    )
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.sent_to_cloud = 0
+        self.bytes_sent = 0
+        self.latency_sums = [0.0] * len(self.LATENCY_COMPONENTS)
+        self.true_positives = 0
+        self.false_positives = 0
+        self.false_negatives = 0
+        self.transactions = 0
+        self.corrections = 0
+        self.apologies = 0
+        self.cloud_queue_delay_sum = 0.0
+        self.final_latency_ms = QuantileAccumulator()
+
+    def record(
+        self,
+        latency: LatencyBreakdown,
+        accuracy,
+        sent_to_cloud: bool,
+        bytes_sent: int,
+        transactions: int,
+        corrections: int,
+        apologies: int,
+    ) -> None:
+        """Fold one served frame's outcome into the running aggregates."""
+        self.record_frame(
+            latency.edge_transfer,
+            latency.edge_detection,
+            latency.initial_txn,
+            latency.cloud_transfer,
+            latency.cloud_detection,
+            latency.final_txn,
+            latency.queue_delay,
+            latency.final_queue_delay,
+            latency.cloud_queue_delay,
+            latency.commit_protocol,
+            latency.commit_overlap_saved,
+            accuracy,
+            sent_to_cloud,
+            bytes_sent,
+            transactions,
+            corrections,
+            apologies,
+        )
+
+    def record_frame(
+        self,
+        edge_transfer: float,
+        edge_detection: float,
+        initial_txn: float,
+        cloud_transfer: float,
+        cloud_detection: float,
+        final_txn: float,
+        queue_delay: float,
+        final_queue_delay: float,
+        cloud_queue_delay: float,
+        commit_protocol: float,
+        commit_overlap_saved: float,
+        accuracy,
+        sent_to_cloud: bool,
+        bytes_sent: int,
+        transactions: int,
+        corrections: int,
+        apologies: int,
+    ) -> None:
+        """Unboxed :meth:`record`: latency components as bare floats.
+
+        The inlined fast-path driver records every served frame through
+        this entry, skipping the per-frame :class:`LatencyBreakdown`
+        construction; the summation order matches
+        :attr:`LatencyBreakdown.final_latency` term for term, so the
+        accumulated values are bit-identical to the boxed path.
+        """
+        self.frames += 1
+        if sent_to_cloud:
+            self.sent_to_cloud += 1
+            self.cloud_queue_delay_sum += cloud_queue_delay
+        self.bytes_sent += bytes_sent
+        # Unrolled over LATENCY_COMPONENTS order: one add per component.
+        sums = self.latency_sums
+        sums[0] += edge_transfer
+        sums[1] += edge_detection
+        sums[2] += initial_txn
+        sums[3] += cloud_transfer
+        sums[4] += cloud_detection
+        sums[5] += final_txn
+        sums[6] += queue_delay
+        sums[7] += final_queue_delay
+        sums[8] += cloud_queue_delay
+        sums[9] += commit_protocol
+        sums[10] += commit_overlap_saved
+        self.true_positives += accuracy.true_positives
+        self.false_positives += accuracy.false_positives
+        self.false_negatives += accuracy.false_negatives
+        self.transactions += transactions
+        self.corrections += corrections
+        self.apologies += apologies
+        # Same association order as LatencyBreakdown.final_latency
+        # (initial_latency first), so the float sum is bit-identical.
+        final_latency = (
+            edge_transfer + queue_delay + edge_detection + initial_txn
+        ) + cloud_transfer + cloud_queue_delay + cloud_detection + final_queue_delay + final_txn + commit_protocol
+        self.final_latency_ms.add(final_latency * 1000.0)
+
+    @property
+    def average_latency(self) -> LatencyBreakdown:
+        """Component-wise mean breakdown over the recorded frames."""
+        if not self.frames:
+            return LatencyBreakdown()
+        means = {
+            component: self.latency_sums[index] / self.frames
+            for index, component in enumerate(self.LATENCY_COMPONENTS)
+        }
+        return LatencyBreakdown(**means)
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of recorded frames validated at the cloud."""
+        return self.sent_to_cloud / self.frames if self.frames else 0.0
+
+    @property
+    def mean_cloud_queue_delay(self) -> float:
+        """Mean cloud queueing over validated frames only."""
+        if not self.sent_to_cloud:
+            return 0.0
+        return self.cloud_queue_delay_sum / self.sent_to_cloud
+
+    @property
+    def f_score(self) -> float:
+        """Corpus-level F-score from the exact running tp/fp/fn counts."""
+        return AccuracyReport(
+            true_positives=self.true_positives,
+            false_positives=self.false_positives,
+            false_negatives=self.false_negatives,
+        ).f_score
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of per-frame final latency, in milliseconds."""
+        return {
+            "p50_ms": self.final_latency_ms.percentile(50.0),
+            "p95_ms": self.final_latency_ms.percentile(95.0),
+            "p99_ms": self.final_latency_ms.percentile(99.0),
+        }
+
+
 @dataclass
 class ClusterRunResult:
     """Aggregated outcome of one multi-stream cluster run.
@@ -357,6 +600,10 @@ class ClusterRunResult:
     #: Offered/admitted/shed accounting of an open-loop run (None for
     #: the closed-loop path, which serves everything it is given).
     traffic: TrafficStats | None = None
+    #: Streaming per-frame aggregates of a fast-path run (None on the
+    #: default full-recording path, which derives the same metrics from
+    #: the retained traces).
+    frame_stats: FrameStatsAccumulator | None = None
 
     @property
     def final_placements(self) -> dict[str, int]:
@@ -460,6 +707,8 @@ class ClusterRunResult:
         the tail (p99) is the number overload control exists to bound —
         a mean hides exactly the frames that queued.
         """
+        if self.frame_stats is not None:
+            return self.frame_stats.latency_percentiles()
         totals = [
             trace.latency.final_latency * 1000.0
             for result in self.per_stream.values()
@@ -538,6 +787,8 @@ class ClusterRunResult:
     def bandwidth_utilization(self) -> float:
         """Cluster-wide fraction of frames validated at the cloud (the
         paper's BU, aggregated over every stream's traces)."""
+        if self.frame_stats is not None:
+            return self.frame_stats.bandwidth_utilization
         traces = [trace for result in self.per_stream.values() for trace in result.traces]
         if not traces:
             return 0.0
@@ -546,6 +797,8 @@ class ClusterRunResult:
     @property
     def average_latency(self) -> LatencyBreakdown:
         """Component-wise mean breakdown over every stream's frames."""
+        if self.frame_stats is not None:
+            return self.frame_stats.average_latency
         return LatencyBreakdown.average(
             [trace.latency for result in self.per_stream.values() for trace in result.traces]
         )
@@ -558,6 +811,8 @@ class ClusterRunResult:
         visit the cloud); 0.0 when nothing was validated or the cloud
         is unbounded.
         """
+        if self.frame_stats is not None:
+            return self.frame_stats.mean_cloud_queue_delay
         delays = [
             trace.latency.cloud_queue_delay
             for result in self.per_stream.values()
@@ -569,6 +824,8 @@ class ClusterRunResult:
     @property
     def f_score(self) -> float:
         """Corpus-level F-score over every stream's observed labels."""
+        if self.frame_stats is not None:
+            return self.frame_stats.f_score
         reports = [
             trace.accuracy
             for result in self.per_stream.values()
@@ -639,6 +896,9 @@ class _RunState:
     admission: AdmissionController | None = None
     #: Per-frame load shedder of an open-loop run (None: never shed).
     shedder: LoadShedder | None = None
+    #: Streaming per-frame aggregates of a fast-path run (None on the
+    #: default full-recording path).
+    frame_stats: FrameStatsAccumulator | None = None
 
 
 class ClusterSystem:
@@ -659,7 +919,24 @@ class ClusterSystem:
         self.config = config
         base = config.base
         self.rngs = RngRegistry(base.seed)
-        self.events = EventLog()
+        # The fast path bounds the event log: per-kind counts stay exact,
+        # only the retained window of event objects is capped.  When no
+        # configured machinery needs the retained window (failure /
+        # re-sharding timelines, batch-flush profiles), the log drops to
+        # count-only and per-frame records cost two dict increments.
+        if config.record_frames:
+            event_capacity = None
+        elif (
+            config.failure_schedule
+            or config.failure_hazard_rate is not None
+            or config.resharding
+            or config.checkpoint_interval_s is not None
+            or base.transaction_policy == "batched-2pc"
+        ):
+            event_capacity = FAST_PATH_EVENT_CAPACITY
+        else:
+            event_capacity = 0
+        self.events = EventLog(capacity=event_capacity)
         self.policy = ThresholdPolicy(base.lower_threshold, base.upper_threshold)
         self.store = PartitionedStore(config.num_partitions)
         self.scheduler = FrameScheduler(config.frame_interval)
@@ -677,7 +954,11 @@ class ClusterSystem:
         # replica's own channel (resolved through the partition-home map,
         # which re-sharding updates at runtime).
         self._coordinator_channels = [
-            Channel(SAME_REGION, self.rngs.stream(f"txn-coordinator-{edge_id}"))
+            Channel(
+                SAME_REGION,
+                self.rngs.stream(f"txn-coordinator-{edge_id}"),
+                record_transfers=config.record_frames,
+            )
             for edge_id in range(config.num_edges)
         ]
         #: partition id -> edge currently hosting it (mutated by re-sharding).
@@ -711,14 +992,23 @@ class ClusterSystem:
                 coordinator_channel=self._coordinator_channels[edge_id],
                 discipline=config.edge_discipline,
                 vote_channel_for=self._vote_channel_for,
+                server_factory=self._edge_server_factory(edge_id),
             )
             replica.policy.on_flush = self._make_flush_recorder(edge_id)
             self.replicas.append(replica)
             self._client_edge.append(
-                Channel(base.topology.client_edge_link, self.rngs.stream(f"client-edge-{edge_id}"))
+                Channel(
+                    base.topology.client_edge_link,
+                    self.rngs.stream(f"client-edge-{edge_id}"),
+                    record_transfers=config.record_frames,
+                )
             )
             self._edge_cloud.append(
-                Channel(base.topology.edge_cloud_link, self.rngs.stream(f"edge-cloud-{edge_id}"))
+                Channel(
+                    base.topology.edge_cloud_link,
+                    self.rngs.stream(f"edge-cloud-{edge_id}"),
+                    record_transfers=config.record_frames,
+                )
             )
 
         self.cloud = CloudNode(
@@ -734,6 +1024,42 @@ class ClusterSystem:
             hot_fraction=config.hotspot_fraction,
             migration_high=config.migration_high,
             migration_low=config.migration_low,
+        )
+
+    def _edge_server_factory(self, edge_id: int):
+        """Server builder for one replica, honouring the engine knobs.
+
+        ``None`` (the default full-recording :class:`Server`) unless the
+        config selects the preserved reference implementation or the
+        fast path's streaming statistics + interval retention.
+        """
+        config = self.config
+        discipline = config.edge_discipline
+        name = f"edge-{edge_id}"
+        if config.reference_engine:
+            return lambda: ReferenceServer(capacity=1, name=name, discipline=discipline)
+        if config.record_frames:
+            return None
+        return lambda: Server(
+            capacity=1,
+            name=name,
+            discipline=discipline,
+            record_jobs=False,
+            interval_retention=FAST_PATH_INTERVAL_RETENTION,
+        )
+
+    def _make_cloud_server(self) -> Server:
+        """Cloud server of one run, on the same engine variant as the edges."""
+        config = self.config
+        if config.reference_engine:
+            return ReferenceServer(capacity=config.cloud_servers, name="cloud")
+        if config.record_frames:
+            return Server(capacity=config.cloud_servers, name="cloud")
+        return Server(
+            capacity=config.cloud_servers,
+            name="cloud",
+            record_jobs=False,
+            interval_retention=FAST_PATH_INTERVAL_RETENTION,
         )
 
     def _vote_channel_for(self, partition_id: int) -> Channel | None:
@@ -797,7 +1123,14 @@ class ClusterSystem:
         for name, edge_id in zip(names, placements):
             self.replicas[edge_id].assign_stream(name)
 
-        clients = [Client(video) for video in streams]
+        record_frames = self.config.record_frames
+        clients: list[Client | None]
+        if record_frames:
+            clients = [Client(video) for video in streams]
+        else:
+            # Fast path: no client-response accretion; per-frame results
+            # fold into the streaming accumulator instead of traces.
+            clients = [None] * len(streams)
         results = {
             name: RunResult(system_name="croesus-cluster", video_key=name) for name in names
         }
@@ -807,24 +1140,45 @@ class ClusterSystem:
         # Per-run execution state shared by the frame processes.
         state = _RunState(
             engine=Engine(),
-            cloud_server=Server(capacity=self.config.cloud_servers, name="cloud"),
+            cloud_server=self._make_cloud_server(),
             current_edge=dict(zip(names, placements)),
             frames_on_edge=[0] * len(self.replicas),
             failed=[False] * len(self.replicas),
             wake_at=[0.0] * len(self.replicas),
         )
+        if not record_frames:
+            state.frame_stats = FrameStatsAccumulator()
         state.frames_left = {video.name: video.num_frames for video in streams}
-        arrivals = list(self.scheduler.interleave(streams, placements))
-        state.frames_remaining = len(arrivals)
-        for arrival in arrivals:
-            state.engine.spawn(
-                self._frame_process(state, arrival, clients[arrival.stream_index], results),
-                at=arrival.arrival_time,
-                name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
-            )
-        horizon = arrivals[-1].arrival_time if arrivals else 0.0
+        if record_frames:
+            arrivals = list(self.scheduler.interleave(streams, placements))
+            state.frames_remaining = len(arrivals)
+            for arrival in arrivals:
+                state.engine.spawn(
+                    self._frame_process(state, arrival, clients[arrival.stream_index], results),
+                    at=arrival.arrival_time,
+                    name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
+                )
+            horizon = arrivals[-1].arrival_time if arrivals else 0.0
+        else:
+            # Fast path: one driver process per stream instead of one
+            # suspended generator per frame; the drivers reproduce the
+            # interleaver's phase-shifted per-stream timing.
+            state.frames_remaining = sum(video.num_frames for video in streams)
+            interval = self.scheduler.frame_interval
+            horizon = 0.0
+            for index, (video, edge_id) in enumerate(zip(streams, placements)):
+                offset = index * interval / max(1, len(streams))
+                if video.num_frames:
+                    horizon = max(horizon, offset + (video.num_frames - 1) * interval)
+                state.engine.spawn(
+                    self._stream_process(state, video, offset, edge_id, clients[index], results),
+                    at=offset,
+                    name=f"{video.name}-driver",
+                )
+        self._configure_load_tracking(state)
         self._spawn_run_processes(state, horizon)
-        state.engine.run()
+        with _gc_suspended(not self.config.record_frames):
+            state.engine.run()
         # Flush any coordinator batches still open at the end of the run
         # (latency lands in the policy stats; no frame is left waiting).
         for replica in self.replicas:
@@ -862,19 +1216,21 @@ class ClusterSystem:
 
         names: list[str] = []
         placements: list[int] = []
-        clients: dict[str, Client] = {}
+        clients: dict[str, Client | None] = {}
         results: dict[str, RunResult] = {}
 
         pre_stats, pre_records, pre_policy, pre_failure_aborts = self._pre_snapshot()
 
         state = _RunState(
             engine=Engine(),
-            cloud_server=Server(capacity=self.config.cloud_servers, name="cloud"),
+            cloud_server=self._make_cloud_server(),
             current_edge={},
             frames_on_edge=[0] * len(self.replicas),
             failed=[False] * len(self.replicas),
             wake_at=[0.0] * len(self.replicas),
         )
+        if not self.config.record_frames:
+            state.frame_stats = FrameStatsAccumulator()
         state.traffic = TrafficStats()
         state.source_active = True
         state.admission = make_admission(traffic.admission, rate=traffic.admission_rate)
@@ -893,8 +1249,10 @@ class ClusterSystem:
             state.source_active = False
 
         state.engine.spawn(source_process(), at=0.0, name="traffic-source")
+        self._configure_load_tracking(state)
         self._spawn_run_processes(state, horizon=traffic.duration_s)
-        state.engine.run()
+        with _gc_suspended(not self.config.record_frames):
+            state.engine.run()
         for replica in self.replicas:
             replica.policy.commit(now=state.makespan)
 
@@ -910,6 +1268,31 @@ class ClusterSystem:
         )
 
     # -- shared run setup ---------------------------------------------------
+    def _configure_load_tracking(self, state: "_RunState") -> None:
+        """Switch off per-server interval retention when nothing reads load.
+
+        Windowed :meth:`~repro.sim.engine.Server.load` queries are
+        consumed by the load shedder, the migrating router and the
+        failure/failover machinery.  A fast-path run with none of those
+        configured never calls ``load``, so the per-completion interval
+        bookkeeping is pure overhead; the recorded and reference paths
+        keep it on, exactly as the pre-optimization engine did.
+        """
+        config = self.config
+        if config.record_frames:
+            return
+        if (
+            state.shedder is not None
+            or isinstance(self.router, MigratingRouter)
+            or config.failure_schedule
+            or config.failure_hazard_rate is not None
+            or config.failback
+        ):
+            return
+        for replica in self.replicas:
+            replica.server.track_intervals = False
+        state.cloud_server.track_intervals = False
+
     def _pre_snapshot(self):
         """Snapshot controller state so a run reports only its own work."""
         pre_stats = [
@@ -964,7 +1347,7 @@ class ClusterSystem:
         video: SyntheticVideo,
         names: list[str],
         placements: list[int],
-        clients: dict[str, Client],
+        clients: dict[str, Client | None],
         results: dict[str, RunResult],
     ) -> None:
         """Admission-control one arriving stream; spawn its frames if it enters."""
@@ -976,14 +1359,20 @@ class ClusterSystem:
         stats.offered_frames += frames
         # Best-case backlog: the wait a frame would face at the least
         # backlogged live edge right now (the queue-threshold signal).
-        backlog = min(
-            (
-                replica.server.backlog(now)
-                for replica in self.replicas
-                if not state.failed[replica.edge_id]
-            ),
-            default=float("inf"),
-        )
+        # Probing it is a scan over every live edge, so fast-path runs
+        # skip it when the controller ignores the signal; recorded runs
+        # always compute it — the stream_arrival payload carries it.
+        if self.config.record_frames or state.admission.needs_backlog:
+            backlog = min(
+                (
+                    replica.server.backlog(now)
+                    for replica in self.replicas
+                    if not state.failed[replica.edge_id]
+                ),
+                default=float("inf"),
+            )
+        else:
+            backlog = 0.0
         admitted = state.admission.admit(now, backlog)
         self.events.record(
             now,
@@ -1007,27 +1396,355 @@ class ClusterSystem:
         state.frames_remaining += frames
         stats.admitted_streams += 1
         stats.admitted_frames += frames
-        client = Client(video)
+        client = Client(video) if self.config.record_frames else None
         clients[video.name] = client
         results[video.name] = RunResult(system_name="croesus-cluster", video_key=video.name)
-        for arrival in self.scheduler.stream_arrivals(video, start=now, edge_id=edge_id):
+        if self.config.record_frames:
+            for arrival in self.scheduler.stream_arrivals(video, start=now, edge_id=edge_id):
+                engine.spawn(
+                    self._frame_process(state, arrival, client, results),
+                    at=arrival.arrival_time,
+                    name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
+                )
+        else:
+            # Fast path: one driver process per stream walks the frame
+            # sequence and delegates into the per-frame pipeline, instead
+            # of materialising one suspended generator per frame up
+            # front — generator lifetime is bounded by one frame, not by
+            # the whole stream's span.
             engine.spawn(
-                self._frame_process(state, arrival, client, results),
-                at=arrival.arrival_time,
-                name=f"{arrival.stream_name}-frame-{arrival.frame.frame_id}",
+                self._stream_process(state, video, now, edge_id, client, results),
+                at=now,
+                name=f"{video.name}-driver",
             )
+
+    def _stream_process(
+        self,
+        state: "_RunState",
+        video: SyntheticVideo,
+        start: float,
+        edge_id: int,
+        client: Client | None,
+        results: dict[str, RunResult],
+    ):
+        """Fast-path driver: one engine process runs a whole stream's frames.
+
+        Walks the stream's frame sequence, sleeps until each arrival
+        instant, and runs the whole per-frame pipeline *inline* — the
+        specialised twin of :meth:`_frame_process` for the
+        ``record_frames=False`` configuration (``client`` is always
+        ``None`` here).  One generator per stream instead of one per
+        frame, no :class:`FrameArrival` boxing, loop-invariant lookups
+        hoisted out of the frame loop, and the one-shot
+        ``Server.acquire``/``finish`` admission path instead of
+        :class:`~repro.sim.engine.Admission` records.  Every simulated
+        quantity — and every RNG draw — is computed in the same order
+        and with the same float arithmetic as :meth:`_frame_process`,
+        which the fast-vs-recorded agreement tests in
+        ``tests/test_fast_path.py`` pin down.
+
+        Frames of one stream run back-to-back: exact whenever a frame
+        finishes before the next arrives (the pure-edge regime the
+        scale-stress scenario exercises, where the per-frame pipeline
+        never suspends), and a serialising approximation when a frame's
+        cloud round trip overlaps its successor's arrival.
+        """
+        engine = state.engine
+        stats = state.frame_stats
+        traffic = state.traffic
+        events = self.events
+        counting = events.capacity == 0
+        policy = self.policy
+        cloud = self.cloud
+        replicas = self.replicas
+        cloud_server = state.cloud_server
+        current_edge = state.current_edge
+        failed = state.failed
+        frames_left = state.frames_left
+        frames_on_edge = state.frames_on_edge
+        shedder = state.shedder
+        migrating = isinstance(self.router, MigratingRouter)
+        migration_window = self.config.migration_window
+        match_overlap = self.config.base.match_overlap
+        min_confidence = self.config.base.min_confidence
+        interval = self.scheduler.frame_interval
+        name = video.name
+        result = results[name]
+
+        # Per-edge bindings, refreshed only when routing moves the stream.
+        bound_edge = -1
+        replica = server = node = rpolicy = channel = edge_cloud = None
+        priority_serving = False
+        node_idle = False
+
+        for frame in video.frames():
+            arrival_time = start + frame.frame_id * interval
+            if arrival_time > engine.now:
+                yield At(arrival_time)
+
+            # -- routing (identical to _route_arrival) ------------------
+            if migrating:
+                edge_id = self._route_arrival(state, name)
+            else:
+                edge_id = current_edge[name]
+            if edge_id != bound_edge:
+                bound_edge = edge_id
+                replica = replicas[edge_id]
+                server = replica.server
+                node = replica.node
+                rpolicy = replica.policy
+                channel = self._client_edge[edge_id]
+                edge_cloud = self._edge_cloud[edge_id]
+                priority_serving = server.priority_serving
+                # An idle node (no trigger rules, no feedback loop) makes
+                # both TPC stages pure label plumbing — inlined below.
+                node_idle = (
+                    not node.bank.rules
+                    and node.smoother is None
+                    and node.feedback is None
+                )
+
+            now = engine.now
+            if shedder is not None:
+                load = server.load(now, window=migration_window)
+                if shedder.should_shed(now, load):
+                    traffic.shed_frames += 1
+                    traffic.apologies_spent += 1
+                    if counting:
+                        events.bump("frame_shed")
+                    else:
+                        events.record(
+                            now,
+                            "frame_shed",
+                            frame_id=frame.frame_id,
+                            stream=name,
+                            edge=edge_id,
+                            load=load,
+                        )
+                    if now > state.makespan:
+                        state.makespan = now
+                    state.frames_remaining -= 1
+                    left = frames_left.get(name)
+                    if left is not None:
+                        frames_left[name] = left - 1
+                    continue
+
+            # -- initial stage ------------------------------------------
+            edge_transfer = channel.send(frame.size_bytes, now, "")
+            start_t, queue_delay = server.acquire(
+                now + edge_transfer, 1 if priority_serving else 0
+            )
+            edge_labels_raw, edge_detection = node.detect(frame)
+            if node_idle:
+                # process_initial_stage with an empty bank and no
+                # feedback: filter, wrap, trigger nothing.
+                initial = InitialStageOutcome(
+                    frame_id=frame.frame_id,
+                    raw_labels=edge_labels_raw,
+                    labels=edge_labels_raw.filter_confidence(min_confidence),
+                    detection_latency=edge_detection,
+                )
+            else:
+                initial = node.process_initial_stage(
+                    frame,
+                    edge_labels_raw,
+                    now=start_t + edge_detection,
+                    detection_latency=edge_detection,
+                )
+            initial_charge, _ = rpolicy.drain_frame_costs()
+            initial_done = server.finish(
+                start_t, edge_detection + initial.txn_latency + initial_charge
+            )
+            frames_on_edge[edge_id] += 1
+            if counting:
+                events.bump("initial_commit")
+            else:
+                events.record(
+                    initial_done,
+                    "initial_commit",
+                    frame_id=frame.frame_id,
+                    stream=name,
+                    edge=edge_id,
+                )
+
+            send_to_cloud = policy.should_validate(initial.labels)
+
+            # The cloud model always runs for ground truth; its cost is
+            # only charged when the frame is actually validated.
+            cloud_labels, cloud_detection_raw = cloud.detect(frame)
+
+            cloud_transfer = 0.0
+            cloud_detection = 0.0
+            cloud_queue_delay = 0.0
+            frame_bytes_sent = 0
+            if send_to_cloud:
+                uplink, downlink = edge_cloud.round_trip(
+                    frame.size_bytes, LABELS_MESSAGE_BYTES, timestamp=initial_done
+                )
+                cloud_transfer = uplink + downlink
+                cloud_detection = cloud_detection_raw
+                frame_bytes_sent = frame.size_bytes
+                # Request a cloud server only once the frame is actually
+                # at the cloud (see _frame_process).
+                yield At(initial_done + uplink)
+                cloud_start, cloud_queue_delay = cloud_server.acquire(engine.now)
+                cloud_server.finish(cloud_start, cloud_detection)
+                if counting:
+                    events.bump("cloud_validate")
+                else:
+                    events.record(
+                        cloud_start,
+                        "cloud_validate",
+                        frame_id=frame.frame_id,
+                        stream=name,
+                        edge=edge_id,
+                        queue_delay=cloud_queue_delay,
+                    )
+                final_ready = (
+                    initial_done + cloud_transfer + cloud_detection + cloud_queue_delay
+                )
+            else:
+                final_ready = initial_done
+
+            # Suspend until the corrected labels are back; the replica
+            # keeps serving other frames meanwhile.
+            yield At(final_ready)
+
+            # Resolve failure-aborted transactions before the final
+            # sections run (see _frame_process).
+            failure_apologies: tuple[str, ...] = ()
+            if state.aborted_txns:
+                aborted_here = [
+                    entry
+                    for entry in initial.triggered
+                    if not entry.aborted
+                    and entry.transaction.transaction_id in state.aborted_txns
+                ]
+                for entry in aborted_here:
+                    entry.aborted = True
+                failure_apologies = tuple(
+                    apology
+                    for entry in aborted_here
+                    for apology in entry.transaction.apologies
+                )
+
+            frame_aborted = False
+            if failed[edge_id] and not initial.committed:
+                frame_aborted = True
+                final = FinalStageOutcome(
+                    frame_id=frame.frame_id, match_report=None, apologies=failure_apologies
+                )
+                final_wait = 0.0
+                final_charge = 0.0
+                overlap_saved = 0.0
+                final_done = engine.now
+                if final_done > state.makespan:
+                    state.makespan = final_done
+                if counting:
+                    events.bump("final_aborted")
+                else:
+                    events.record(
+                        final_done,
+                        "final_aborted",
+                        frame_id=frame.frame_id,
+                        stream=name,
+                        edge=edge_id,
+                    )
+            else:
+                while failed[edge_id]:
+                    # Park until the replica has replayed its log and
+                    # rejoined (low event priority: same-instant recovery
+                    # flips the flag first).
+                    wake = state.wake_at[edge_id]
+                    yield At(wake if wake > engine.now else engine.now, 2)
+                final_ready_at = engine.now
+                if priority_serving:
+                    # A queued final does not hold a reservation (see
+                    # _frame_process).
+                    while True:
+                        next_free = server.next_free()
+                        if next_free <= engine.now:
+                            break
+                        yield At(next_free, 1)
+                final_start, final_wait = server.acquire(final_ready_at)
+                if node_idle and not send_to_cloud:
+                    # process_final_stage with nothing to finalise and no
+                    # cloud correction is a frame-id wrapper.
+                    final = FinalStageOutcome(
+                        frame_id=frame.frame_id, match_report=None
+                    )
+                else:
+                    final = node.process_final_stage(
+                        initial,
+                        cloud_labels if send_to_cloud else None,
+                        now=final_start,
+                    )
+                if failure_apologies:
+                    final.apologies = final.apologies + failure_apologies
+                final_charge, overlap_saved = rpolicy.drain_frame_costs()
+                final_done = server.finish(final_start, final.txn_latency + final_charge)
+                if final_done > state.makespan:
+                    state.makespan = final_done
+                if counting:
+                    events.bump("final_commit")
+                else:
+                    events.record(
+                        final_done,
+                        "final_commit",
+                        frame_id=frame.frame_id,
+                        stream=name,
+                        edge=edge_id,
+                    )
+
+            observed = observed_labels(
+                policy, initial, cloud_labels, send_to_cloud, match_overlap
+            )
+            accuracy = evaluate_detections(
+                observed, cloud_labels, min_overlap=match_overlap
+            )
+            stats.record_frame(
+                edge_transfer,
+                edge_detection,
+                initial.txn_latency,
+                cloud_transfer,
+                cloud_detection,
+                final.txn_latency,
+                queue_delay,
+                final_wait,
+                cloud_queue_delay,
+                initial_charge + final_charge,
+                overlap_saved,
+                accuracy,
+                send_to_cloud,
+                frame_bytes_sent,
+                len(initial.triggered),
+                final.corrections,
+                len(final.apologies),
+            )
+            result.frames_streamed += 1
+            if traffic is not None and not frame_aborted:
+                traffic.completed_frames += 1
+            state.frames_remaining -= 1
+            left = frames_left.get(name)
+            if left is not None:
+                frames_left[name] = left - 1
 
     # -- per-frame pipeline -------------------------------------------------
     def _frame_process(
         self,
         state: "_RunState",
         arrival: FrameArrival,
-        client: Client,
+        client: Client | None,
         results: dict[str, RunResult],
     ):
-        """Engine process running one frame through the two-stage flow."""
+        """Engine process running one frame through the two-stage flow.
+
+        ``client`` is ``None`` on the fast path (``record_frames=False``):
+        no client responses are rendered and the frame's outcome folds
+        into ``state.frame_stats`` instead of a retained trace.
+        """
         engine = state.engine
-        edge_id = self._route_arrival(state, arrival)
+        edge_id = self._route_arrival(state, arrival.stream_name)
         replica = self.replicas[edge_id]
         frame = arrival.frame
 
@@ -1048,23 +1765,25 @@ class ClusterSystem:
                     edge=edge_id,
                     load=load,
                 )
-                client.render(
-                    ClientResponse(
-                        frame_id=frame.frame_id,
-                        stage="final",
-                        payload=None,
-                        apologies=(SHED_APOLOGY,),
-                        timestamp=engine.now,
+                if client is not None:
+                    client.render(
+                        ClientResponse(
+                            frame_id=frame.frame_id,
+                            stage="final",
+                            payload=None,
+                            apologies=(SHED_APOLOGY,),
+                            timestamp=engine.now,
+                        )
                     )
-                )
                 state.makespan = max(state.makespan, engine.now)
                 self._finish_frame(state, arrival.stream_name)
                 return
 
+        recording = client is not None
         edge_transfer = self._client_edge[edge_id].send(
             frame.size_bytes,
             timestamp=engine.now,
-            description=f"{arrival.stream_name}-frame-{frame.frame_id}",
+            description=f"{arrival.stream_name}-frame-{frame.frame_id}" if recording else "",
         )
         # The frame holds its place in the edge's queue from the moment it
         # arrives; service cannot start before the client->edge transfer
@@ -1090,14 +1809,15 @@ class ClusterSystem:
             admission, edge_detection + initial.txn_latency + initial_charge
         )
         state.frames_on_edge[edge_id] += 1
-        client.render(
-            ClientResponse(
-                frame_id=frame.frame_id,
-                stage="initial",
-                payload=[entry.initial_result for entry in initial.committed],
-                timestamp=initial_done,
+        if client is not None:
+            client.render(
+                ClientResponse(
+                    frame_id=frame.frame_id,
+                    stage="initial",
+                    payload=[entry.initial_result for entry in initial.committed],
+                    timestamp=initial_done,
+                )
             )
-        )
         self.events.record(
             initial_done,
             "initial_commit",
@@ -1106,8 +1826,7 @@ class ClusterSystem:
             edge=edge_id,
         )
 
-        partition = self.policy.classify_labels(initial.labels)
-        send_to_cloud = bool(partition[ConfidenceInterval.VALIDATE])
+        send_to_cloud = self.policy.should_validate(initial.labels)
 
         # The cloud model always runs for ground truth; its cost is only
         # charged when the frame is actually validated.
@@ -1122,8 +1841,8 @@ class ClusterSystem:
                 frame.size_bytes,
                 LABELS_MESSAGE_BYTES,
                 timestamp=initial_done,
-                up_description=f"{arrival.stream_name}-frame-{frame.frame_id}",
-                down_description=f"{arrival.stream_name}-labels-{frame.frame_id}",
+                up_description=f"{arrival.stream_name}-frame-{frame.frame_id}" if recording else "",
+                down_description=f"{arrival.stream_name}-labels-{frame.frame_id}" if recording else "",
             )
             cloud_transfer = uplink + downlink
             cloud_detection = cloud_detection_raw
@@ -1233,15 +1952,16 @@ class ClusterSystem:
                 stream=arrival.stream_name,
                 edge=edge_id,
             )
-        client.render(
-            ClientResponse(
-                frame_id=frame.frame_id,
-                stage="final",
-                payload=None,
-                apologies=final.apologies,
-                timestamp=final_done,
+        if client is not None:
+            client.render(
+                ClientResponse(
+                    frame_id=frame.frame_id,
+                    stage="final",
+                    payload=None,
+                    apologies=final.apologies,
+                    timestamp=final_done,
+                )
             )
-        )
 
         observed = observed_labels(
             self.policy,
@@ -1266,22 +1986,34 @@ class ClusterSystem:
             commit_protocol=initial_charge + final_charge,
             commit_overlap_saved=overlap_saved,
         )
-        results[arrival.stream_name].add(
-            FrameTrace(
-                frame_id=frame.frame_id,
-                edge_labels=initial.labels,
-                cloud_labels=cloud_labels,
-                observed_labels=observed,
-                sent_to_cloud=send_to_cloud,
+        if state.frame_stats is not None:
+            state.frame_stats.record(
                 latency=latency,
                 accuracy=accuracy,
-                transactions_triggered=len(initial.triggered),
+                sent_to_cloud=send_to_cloud,
+                bytes_sent=frame_bytes_sent,
+                transactions=len(initial.triggered),
                 corrections=final.corrections,
                 apologies=len(final.apologies),
-                frame_bytes_sent=frame_bytes_sent,
-                edge_id=edge_id,
             )
-        )
+            results[arrival.stream_name].count_frame()
+        else:
+            results[arrival.stream_name].add(
+                FrameTrace(
+                    frame_id=frame.frame_id,
+                    edge_labels=initial.labels,
+                    cloud_labels=cloud_labels,
+                    observed_labels=observed,
+                    sent_to_cloud=send_to_cloud,
+                    latency=latency,
+                    accuracy=accuracy,
+                    transactions_triggered=len(initial.triggered),
+                    corrections=final.corrections,
+                    apologies=len(final.apologies),
+                    frame_bytes_sent=frame_bytes_sent,
+                    edge_id=edge_id,
+                )
+            )
         if state.traffic is not None and not frame_aborted:
             state.traffic.completed_frames += 1
         self._finish_frame(state, arrival.stream_name)
@@ -1546,7 +2278,7 @@ class ClusterSystem:
             yield interval
 
     # -- runtime routing ----------------------------------------------------
-    def _route_arrival(self, state: "_RunState", arrival: FrameArrival) -> int:
+    def _route_arrival(self, state: "_RunState", stream_name: str) -> int:
         """Current home edge of the arriving frame's stream.
 
         With the ``"migrating"`` policy this is where the engine's
@@ -1555,7 +2287,7 @@ class ClusterSystem:
         when its hysteresis trigger fires, re-routes the stream's
         remaining frames to the least-utilized edge.
         """
-        edge_id = state.current_edge[arrival.stream_name]
+        edge_id = state.current_edge[stream_name]
         if not isinstance(self.router, MigratingRouter):
             return edge_id
         now = state.engine.now
@@ -1571,13 +2303,13 @@ class ClusterSystem:
         target = self.router.decide(edge_id, loads)
         if target is None:
             return edge_id
-        state.current_edge[arrival.stream_name] = target
-        self.replicas[edge_id].remove_stream(arrival.stream_name)
-        self.replicas[target].assign_stream(arrival.stream_name)
+        state.current_edge[stream_name] = target
+        self.replicas[edge_id].remove_stream(stream_name)
+        self.replicas[target].assign_stream(stream_name)
         state.migrations.append(
             MigrationRecord(
                 time=now,
-                stream=arrival.stream_name,
+                stream=stream_name,
                 from_edge=edge_id,
                 to_edge=target,
                 utilization=loads[edge_id],
@@ -1586,7 +2318,7 @@ class ClusterSystem:
         self.events.record(
             now,
             "stream_migrated",
-            stream=arrival.stream_name,
+            stream=stream_name,
             from_edge=edge_id,
             to_edge=target,
             utilization=loads[edge_id],
@@ -1660,6 +2392,7 @@ class ClusterSystem:
             + (self.store.failure_aborts - pre_failure_aborts),
             checkpoints=state.checkpoints,
             traffic=state.traffic,
+            frame_stats=state.frame_stats,
         )
 
     # -- banks --------------------------------------------------------------
@@ -1676,6 +2409,16 @@ class ClusterSystem:
             factory=lambda detection, txn_id: workload.build_transaction(txn_id, detection),
         )
         return bank
+
+
+def empty_bank_factory(edge_id: int) -> TransactionBank:
+    """Bank factory registering no transactions (the ``"none"`` workload).
+
+    Detections trigger nothing, so every frame is pure detection +
+    queueing work — the configuration the scale-stress scenario uses to
+    measure the engine hot path without transaction-processing cost.
+    """
+    return TransactionBank()
 
 
 def hotspot_bank_factory(

@@ -37,7 +37,7 @@ from repro.transactions.policy import ImmediatePolicy, TransactionPolicy
 from repro.video.frames import Frame
 
 
-@dataclass
+@dataclass(slots=True)
 class TriggeredTransaction:
     """A transaction the TPC started for a frame, with its trigger."""
 
@@ -47,7 +47,7 @@ class TriggeredTransaction:
     aborted: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class InitialStageOutcome:
     """What the edge produced for one frame before any cloud involvement."""
 
@@ -63,7 +63,7 @@ class InitialStageOutcome:
         return [item for item in self.triggered if not item.aborted]
 
 
-@dataclass
+@dataclass(slots=True)
 class FinalStageOutcome:
     """Result of running the final sections for one frame."""
 
@@ -199,8 +199,11 @@ class EdgeNode:
         outcome = FinalStageOutcome(frame_id=initial.frame_id, match_report=None)
 
         if cloud_labels is None:
-            for entry in initial.committed:
-                self._finalize(entry, entry.trigger_detection, outcome, now)
+            # Iterate triggered directly: the `committed` property builds a
+            # fresh list per call, and this path runs once per frame.
+            for entry in initial.triggered:
+                if not entry.aborted:
+                    self._finalize(entry, entry.trigger_detection, outcome, now)
             return outcome
 
         report = match_labels(initial.labels, cloud_labels, min_overlap=self._match_overlap)
@@ -212,7 +215,9 @@ class EdgeNode:
         }
         outcome.corrections = report.corrections_needed
 
-        for entry in initial.committed:
+        for entry in initial.triggered:
+            if entry.aborted:
+                continue
             trigger = entry.trigger_detection
             corrected = corrected_by_edge.get(trigger, trigger) if trigger is not None else None
             self._finalize(entry, corrected, outcome, now)

@@ -161,14 +161,21 @@ class RunResult:
     system_name: str
     video_key: str
     traces: list[FrameTrace] = field(default_factory=list)
+    #: Frames counted without a per-frame trace (the cluster fast path
+    #: aggregates into streaming accumulators instead of FrameTraces).
+    frames_streamed: int = 0
 
     def add(self, trace: FrameTrace) -> None:
         self.traces.append(trace)
 
+    def count_frame(self) -> None:
+        """Count one frame processed without retaining its trace."""
+        self.frames_streamed += 1
+
     # -- aggregates --------------------------------------------------------
     @property
     def num_frames(self) -> int:
-        return len(self.traces)
+        return len(self.traces) + self.frames_streamed
 
     @property
     def bandwidth_utilization(self) -> float:

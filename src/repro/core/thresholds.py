@@ -68,13 +68,17 @@ class ThresholdPolicy:
 
     def should_validate(self, labels: Iterable[Detection]) -> bool:
         """Whether a frame with these detections must be sent to the cloud."""
-        return any(
-            self.classify(detection.confidence) is ConfidenceInterval.VALIDATE
-            for detection in labels
-        )
+        # A plain loop rather than any(genexpr): no generator object per
+        # call on a path that runs once per simulated frame.
+        for detection in labels:
+            if self.classify(detection.confidence) is ConfidenceInterval.VALIDATE:
+                return True
+        return False
 
     def surviving_labels(self, labels: LabelSet) -> LabelSet:
         """Labels that remain relevant to the client (validate + keep)."""
+        if not labels.detections:
+            return labels
         kept = tuple(
             detection
             for detection in labels

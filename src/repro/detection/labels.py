@@ -14,7 +14,7 @@ from typing import Iterable, Iterator
 from repro.detection.geometry import BoundingBox
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Detection:
     """One detected object.
 
@@ -51,7 +51,7 @@ class Detection:
         return replace(self, name=name)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LabelSet:
     """The detections produced by one model for one frame."""
 
@@ -74,6 +74,8 @@ class LabelSet:
 
     def filter_confidence(self, minimum: float) -> "LabelSet":
         """Drop detections with confidence strictly below ``minimum``."""
+        if not self.detections:
+            return self
         kept = tuple(d for d in self.detections if d.confidence >= minimum)
         return LabelSet(self.frame_id, kept, self.model_name)
 

@@ -14,7 +14,7 @@ from repro.detection.geometry import overlap_ratio
 from repro.detection.labels import LabelSet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccuracyReport:
     """Precision / recall / F-score over a set of frames."""
 
@@ -52,6 +52,11 @@ def f_score(precision: float, recall: float) -> float:
     return 2.0 * precision * recall / (precision + recall)
 
 
+#: Shared zero report for frames with no predictions and no truth labels.
+#: AccuracyReport is frozen, so one instance can serve every such frame.
+_EMPTY_REPORT = AccuracyReport(0, 0, 0)
+
+
 def evaluate_detections(
     observed: LabelSet,
     truth: LabelSet,
@@ -63,6 +68,11 @@ def evaluate_detections(
     overlaps it by at least ``min_overlap`` and carries the same name —
     the same 10%-overlap rule the paper uses for its F-score.
     """
+    if not observed.detections:
+        truth_count = len(truth)
+        if truth_count == 0:
+            return _EMPTY_REPORT
+        return AccuracyReport(0, 0, truth_count)
     claimed: set[int] = set()
     true_positives = 0
     false_positives = 0

@@ -86,23 +86,35 @@ class SimulatedDetector:
         """
         detections: list[Detection] = []
         profile = self._profile
+        rng = self._rng
+        recall = profile.recall
+        mislabel_rate = profile.mislabel_rate
         for obj in frame.objects:
-            detect_prob = profile.recall * obj.visibility
-            if self._rng.random() > detect_prob:
+            if rng.random() > recall * obj.visibility:
                 continue
-            mislabel_prob = min(1.0, profile.mislabel_rate * obj.difficulty)
-            mislabelled = self._rng.random() < mislabel_prob
+            difficulty = obj.difficulty
+            mislabel_prob = min(1.0, mislabel_rate * difficulty)
+            mislabelled = rng.random() < mislabel_prob
             name = obj.confusable_name if mislabelled else obj.name
             box = self._jitter_box(obj.box)
-            confidence = self._draw_confidence(correct=not mislabelled, difficulty=obj.difficulty)
+            confidence = self._draw_confidence(correct=not mislabelled, difficulty=difficulty)
             detections.append(
                 Detection(name=name, confidence=confidence, box=box, object_id=obj.object_id)
             )
 
-        for _ in range(self._rng.poisson(profile.false_positive_rate)):
-            detections.append(self._hallucinate(frame))
+        # The Poisson draw must happen whenever hallucination is possible,
+        # even when it yields zero — it advances the RNG stream that
+        # seeded runs are pinned against.  A rate of exactly zero draws
+        # nothing either way, so the noise-free stress profiles skip the
+        # call entirely.
+        if profile.false_positive_rate > 0.0:
+            for _ in range(rng.poisson(profile.false_positive_rate)):
+                detections.append(self._hallucinate(frame))
 
-        latency = self._draw_latency()
+        latency = float(rng.normal(profile.inference_latency, profile.latency_jitter))
+        if latency < 0.001:
+            latency = 0.001
+        latency = latency * self._latency_scale
         labels = LabelSet(
             frame_id=frame.frame_id,
             detections=tuple(detections),
@@ -116,7 +128,10 @@ class SimulatedDetector:
             return box
         dx = self._rng.normal(0.0, noise * box.width)
         dy = self._rng.normal(0.0, noise * box.height)
-        scale = float(np.clip(self._rng.normal(1.0, noise), 0.5, 1.5))
+        # Plain float clamp: np.clip on a scalar pays ufunc dispatch on a
+        # per-detection path, for the identical IEEE result.
+        scale = float(self._rng.normal(1.0, noise))
+        scale = 0.5 if scale < 0.5 else (1.5 if scale > 1.5 else scale)
         return box.translated(dx, dy).scaled(scale)
 
     def _draw_confidence(self, correct: bool, difficulty: float) -> float:
@@ -124,13 +139,8 @@ class SimulatedDetector:
         mean = profile.confidence_correct if correct else profile.confidence_error
         # Harder objects yield lower confidence even when correctly labelled.
         mean = mean / max(difficulty, 1.0) if difficulty > 1.0 else mean
-        value = self._rng.normal(mean, profile.confidence_spread)
-        return float(np.clip(value, 0.01, 0.999))
-
-    def _draw_latency(self) -> float:
-        profile = self._profile
-        latency = self._rng.normal(profile.inference_latency, profile.latency_jitter)
-        return float(max(latency, 0.001)) * self._latency_scale
+        value = float(self._rng.normal(mean, profile.confidence_spread))
+        return 0.01 if value < 0.01 else (0.999 if value > 0.999 else value)
 
     def _hallucinate(self, frame: Frame) -> Detection:
         """Produce a false-positive detection somewhere in the frame."""

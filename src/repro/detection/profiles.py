@@ -154,3 +154,31 @@ CLOUD_PROFILES: dict[str, ModelProfile] = {
     profile.name: profile
     for profile in (CLOUD_YOLOV3_320, CLOUD_YOLOV3_416, CLOUD_YOLOV3_608)
 }
+
+
+#: Noise-free stand-ins for the scale-stress benchmark: the same service
+#: latency distribution as the real presets (so queueing behaviour and
+#: saturation math are unchanged) but zero hallucinated detections —
+#: paired with the content-free video preset, frames carry no labels at
+#: all and wall clock measures the engine, not the label plumbing.
+STRESS_EDGE = replace(
+    EDGE_TINY_YOLOV3, name="stress-edge", false_positive_rate=0.0
+)
+STRESS_CLOUD = replace(
+    CLOUD_YOLOV3_416, name="stress-cloud", false_positive_rate=0.0
+)
+
+
+#: Every named profile a :class:`~repro.experiments.spec.ScenarioSpec`
+#: can select via ``edge_model`` / ``cloud_model``.
+MODEL_LIBRARY: dict[str, ModelProfile] = {
+    profile.name: profile
+    for profile in (
+        EDGE_TINY_YOLOV3,
+        CLOUD_YOLOV3_320,
+        CLOUD_YOLOV3_416,
+        CLOUD_YOLOV3_608,
+        STRESS_EDGE,
+        STRESS_CLOUD,
+    )
+}

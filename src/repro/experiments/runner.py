@@ -17,7 +17,12 @@ from functools import partial
 from typing import Callable
 
 from repro.analysis.timeline import batch_flush_profile, cloud_queue_profile, migration_timeline
-from repro.cluster.system import ClusterConfig, ClusterSystem, hotspot_bank_factory
+from repro.cluster.system import (
+    ClusterConfig,
+    ClusterSystem,
+    empty_bank_factory,
+    hotspot_bank_factory,
+)
 from repro.core.baselines import (
     BaselineResult,
     run_cloud_only,
@@ -27,6 +32,7 @@ from repro.core.baselines import (
     run_hybrid_croesus,
 )
 from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.detection.profiles import MODEL_LIBRARY
 from repro.core.results import LatencyBreakdown
 from repro.experiments.report import RunReport
 from repro.experiments.spec import ScenarioSpec
@@ -54,6 +60,8 @@ def build_single_config(spec: ScenarioSpec) -> CroesusConfig:
         upper_threshold=spec.upper_threshold,
         consistency=_consistency(spec),
         transaction_policy=spec.transaction_policy,
+        edge_profile=MODEL_LIBRARY[spec.edge_model],
+        cloud_profile=MODEL_LIBRARY[spec.cloud_model],
     )
 
 
@@ -73,6 +81,8 @@ def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
         failback=spec.failback,
         failure_hazard_rate=spec.failure_hazard_rate,
         failure_outage_s=spec.failure_outage_s,
+        record_frames=spec.record_frames,
+        reference_engine=spec.reference_engine,
     )
 
 
@@ -80,6 +90,11 @@ def build_traffic_config(spec: ScenarioSpec) -> TrafficConfig:
     """The open-loop :class:`TrafficConfig` of a ``spec.traffic`` scenario."""
     if spec.traffic is None:
         raise ValueError("spec has no traffic process (closed-loop scenario)")
+    kwargs: dict = {}
+    if spec.traffic_video is not None:
+        # Only set when asked for: the TrafficConfig default cycles the
+        # standard presets, which every existing open-loop pin relies on.
+        kwargs["video_keys"] = (spec.traffic_video,)
     return TrafficConfig(
         process=spec.traffic,
         offered_rate=spec.offered_rate,
@@ -92,6 +107,7 @@ def build_traffic_config(spec: ScenarioSpec) -> TrafficConfig:
         admission_rate=spec.admission_rate,
         shed_threshold=spec.shed_threshold,
         apology_budget=spec.apology_budget,
+        **kwargs,
     )
 
 
@@ -160,6 +176,10 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
     bank_factory = None
     if spec.workload == "hotspot":
         bank_factory = hotspot_bank_factory(spec.seed, key_range=spec.hot_key_range)
+    elif spec.workload == "none":
+        # No transactions at all: detections trigger nothing, so frames
+        # exercise pure detection + queueing (the scale-stress shape).
+        bank_factory = empty_bank_factory
     system = ClusterSystem(config, bank_factory=bank_factory)
     if spec.traffic is None:
         result = system.run(build_streams(spec))

@@ -26,6 +26,7 @@ from repro.cluster.failure import (
     validate_failure_schedule,
 )
 from repro.cluster.router import ROUTER_POLICIES
+from repro.detection.profiles import MODEL_LIBRARY
 from repro.traffic.admission import ADMISSION_POLICIES
 from repro.traffic.arrivals import ARRIVAL_PROCESSES, STREAM_LENGTHS
 from repro.transactions.policy import TXN_POLICIES
@@ -47,7 +48,9 @@ SINGLE_SYSTEMS = (
 )
 
 #: Transaction workloads a cluster scenario can attach to detections.
-WORKLOADS = ("ycsb", "hotspot")
+#: ``"none"`` registers no transactions at all — the scale-stress
+#: scenario's pure queueing/engine configuration.
+WORKLOADS = ("ycsb", "hotspot", "none")
 
 #: Multi-stage safety levels, by their paper names.
 CONSISTENCY_LEVELS = ("ms-ia", "ms-sr")
@@ -84,6 +87,9 @@ CLUSTER_FIELDS = frozenset(
         "failback",
         "failure_hazard_rate",
         "failure_outage_s",
+        "record_frames",
+        "reference_engine",
+        "traffic_video",
     }
 )
 
@@ -185,6 +191,27 @@ class ScenarioSpec:
         hazard of ``failure_hazard_rate`` failures/s, each lasting
         ``failure_outage_s`` seconds.  Mutually exclusive with
         ``failure_schedule``.
+    record_frames:
+        Cluster result fidelity: true (the default) retains one
+        ``FrameTrace`` per frame — the exact path every golden pin runs
+        on — while false selects the bounded-memory fast path (streaming
+        accumulators, bounded event log, batched per-stream drivers; see
+        :attr:`repro.cluster.system.ClusterConfig.record_frames`).
+    reference_engine:
+        Run the cluster's servers on the preserved pre-optimization
+        reference implementation — the scale-stress benchmark's
+        yardstick.  Requires ``record_frames=True``.
+    traffic_video:
+        Video preset every open-loop stream uses (cluster only, e.g.
+        ``"stress"`` for the content-free scale-stress preset).  ``None``
+        (the default) keeps the traffic source cycling the default
+        presets, which is what every existing open-loop pin does.
+    edge_model, cloud_model:
+        Which :data:`~repro.detection.profiles.MODEL_LIBRARY` profile the
+        edge model ``Me`` / cloud model ``Mc`` uses.  The defaults are
+        the paper's pairing (Tiny YOLOv3 at the edge, YOLOv3-416 at the
+        cloud); the ``"stress-*"`` presets keep the same latency
+        distributions but hallucinate nothing, for engine benchmarks.
     """
 
     deployment: str = "single"
@@ -222,8 +249,19 @@ class ScenarioSpec:
     failback: bool = False
     failure_hazard_rate: float | None = None
     failure_outage_s: float = 1.0
+    record_frames: bool = True
+    reference_engine: bool = False
+    traffic_video: str | None = None
+    edge_model: str = "tiny-yolov3"
+    cloud_model: str = "yolov3-416"
 
     def __post_init__(self) -> None:
+        if self.edge_model not in MODEL_LIBRARY:
+            known = ", ".join(sorted(MODEL_LIBRARY))
+            raise ValueError(f"unknown edge_model {self.edge_model!r}; known models: {known}")
+        if self.cloud_model not in MODEL_LIBRARY:
+            known = ", ".join(sorted(MODEL_LIBRARY))
+            raise ValueError(f"unknown cloud_model {self.cloud_model!r}; known models: {known}")
         if self.deployment not in DEPLOYMENTS:
             raise ValueError(
                 f"unknown deployment {self.deployment!r}; expected one of {DEPLOYMENTS}"
@@ -363,6 +401,25 @@ class ScenarioSpec:
                 "failure_hazard_rate needs at least 2 edges "
                 "(streams must have a live edge to fail over to)"
             )
+        if self.reference_engine and not self.record_frames:
+            raise ValueError(
+                "reference_engine requires record_frames=True (the reference "
+                "implementation is the full-recording pre-optimization path)"
+            )
+        if not self.record_frames and self.deployment != "cluster":
+            raise ValueError(
+                "record_frames=False (the fast path) requires deployment='cluster'"
+            )
+        if self.traffic_video is not None:
+            if self.traffic_video not in VIDEO_LIBRARY:
+                known = ", ".join(sorted(VIDEO_LIBRARY))
+                raise ValueError(
+                    f"unknown traffic_video {self.traffic_video!r}; known videos: {known}"
+                )
+            if self.traffic is None:
+                raise ValueError(
+                    "traffic_video only applies to open-loop runs (set traffic)"
+                )
 
     # -- derived -------------------------------------------------------------
     @property

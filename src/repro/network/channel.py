@@ -26,12 +26,26 @@ class TransferRecord:
 
 
 class Channel:
-    """A unidirectional link with transfer accounting."""
+    """A unidirectional link with transfer accounting.
 
-    def __init__(self, profile: LinkProfile, rng: np.random.Generator | None = None) -> None:
+    ``record_transfers=False`` keeps only the scalar totals
+    (:attr:`total_bytes`, :attr:`transfer_count`) and skips the per-call
+    :class:`TransferRecord` — the fast-path configuration, where a
+    million frames would otherwise accrete a million records per link.
+    The totals stay exact either way.
+    """
+
+    def __init__(
+        self,
+        profile: LinkProfile,
+        rng: np.random.Generator | None = None,
+        record_transfers: bool = True,
+    ) -> None:
         self._profile = profile
         self._rng = rng
-        self._transfers: list[TransferRecord] = []
+        self._transfers: list[TransferRecord] | None = [] if record_transfers else None
+        self._total_bytes = 0
+        self._count = 0
 
     @property
     def profile(self) -> LinkProfile:
@@ -40,14 +54,17 @@ class Channel:
     def send(self, size_bytes: int, timestamp: float = 0.0, description: str = "") -> float:
         """Record a transfer and return its duration in seconds."""
         duration = self._profile.transfer_time(size_bytes, rng=self._rng)
-        self._transfers.append(
-            TransferRecord(
-                timestamp=timestamp,
-                size_bytes=size_bytes,
-                duration=duration,
-                description=description,
+        self._total_bytes += size_bytes
+        self._count += 1
+        if self._transfers is not None:
+            self._transfers.append(
+                TransferRecord(
+                    timestamp=timestamp,
+                    size_bytes=size_bytes,
+                    duration=duration,
+                    description=description,
+                )
             )
-        )
         return duration
 
     def round_trip(
@@ -71,17 +88,21 @@ class Channel:
 
     @property
     def transfers(self) -> tuple[TransferRecord, ...]:
-        return tuple(self._transfers)
+        """Retained per-transfer records (empty when recording is off)."""
+        return tuple(self._transfers or ())
 
     @property
     def total_bytes(self) -> int:
         """Total bytes moved over this channel so far."""
-        return sum(record.size_bytes for record in self._transfers)
+        return self._total_bytes
 
     @property
     def transfer_count(self) -> int:
-        return len(self._transfers)
+        return self._count
 
     def reset(self) -> None:
         """Forget recorded transfers (new experiment run)."""
-        self._transfers.clear()
+        if self._transfers is not None:
+            self._transfers.clear()
+        self._total_bytes = 0
+        self._count = 0

@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_right, insort
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from statistics import mean
 from typing import Any, Callable, Generator, Iterable
 
@@ -47,7 +48,6 @@ class SimulationError(RuntimeError):
     """Raised on malformed simulation programs (bad delays, starved servers)."""
 
 
-@dataclass(frozen=True)
 class At:
     """Yield target for a process: resume at an absolute simulated time.
 
@@ -56,10 +56,21 @@ class At:
     high-``priority`` resume politely steps aside for same-instant
     default-priority events — how final stages let initial stages
     overtake under priority serving.
+
+    A plain slots class rather than a dataclass: one is built per
+    process suspension — two per simulated frame on the cluster fast
+    path — and the generated dataclass ``__init__`` costs several times
+    a pair of slot stores.
     """
 
-    time: float
-    priority: int = 0
+    __slots__ = ("time", "priority")
+
+    def __init__(self, time: float, priority: int = 0) -> None:
+        self.time = time
+        self.priority = priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"At(time={self.time}, priority={self.priority})"
 
 
 class Process:
@@ -67,6 +78,8 @@ class Process:
 
     Created through :meth:`Engine.spawn`; do not instantiate directly.
     """
+
+    __slots__ = ("_engine", "_generator", "name", "done", "value", "_waiters")
 
     def __init__(self, engine: "Engine", generator: Generator[Any, Any, Any], name: str) -> None:
         self._engine = engine
@@ -96,12 +109,22 @@ class Process:
             return
 
         if isinstance(target, At):
-            if target.time < engine.now - 1e-12:
+            # Inlined Engine.schedule: this branch fires twice per
+            # simulated frame on the cluster fast path, so it pays one
+            # guard and one heap push instead of a method call that
+            # re-checks both.
+            when = target.time
+            now = engine.now
+            if when < now - 1e-12:
                 raise SimulationError(
                     f"process {self.name!r} yielded a resume time in the past "
-                    f"({target.time} < {engine.now})"
+                    f"({when} < {now})"
                 )
-            engine.schedule(max(target.time, engine.now), self._step, priority=target.priority)
+            heapq.heappush(
+                engine._heap,
+                (when if when > now else now, target.priority, engine._sequence, self._step),
+            )
+            engine._sequence += 1
         elif isinstance(target, Process):
             if target.done:
                 engine.schedule(engine.now, self._step)
@@ -128,6 +151,8 @@ class Engine:
     schedule order.  :meth:`run` drains the queue and returns the
     timestamp of the last event processed (the makespan).
     """
+
+    __slots__ = ("_now", "_heap", "_sequence")
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
@@ -181,15 +206,27 @@ class Engine:
         Returns the final simulated time — with no ``until``, the
         timestamp of the last processed event (the run's makespan).
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # The no-horizon loop is the hot path (two events per simulated
+        # frame): pop inline rather than through step() so each event
+        # pays one heap pop and one callback, nothing else.
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            while heap:
+                when, _, _, callback = pop(heap)
+                self._now = when
+                callback()
+            return self._now
+        while heap:
+            if heap[0][0] > until:
                 self._now = float(until)
                 break
-            self.step()
+            when, _, _, callback = pop(heap)
+            self._now = when
+            callback()
         return self._now
 
 
-@dataclass
 class Admission:
     """One job admitted to a :class:`Server`, holding a capacity slot.
 
@@ -198,14 +235,26 @@ class Admission:
     requesting them first and reading the outcomes afterwards lets
     higher-priority jobs overtake.  Call :meth:`Server.complete` (or use
     :meth:`Server.reserve`) once the job's service time is known.
+
+    One instance exists per admitted frame stage, which makes this a
+    hot-path record: plain ``__slots__`` instead of a dataclass.
     """
 
-    server: "Server"
-    ready: float
-    priority: int
-    sequence: int
-    _start: float | None = field(default=None, repr=False)
-    _completed: bool = field(default=False, repr=False)
+    __slots__ = ("server", "ready", "priority", "sequence", "_start", "_completed")
+
+    def __init__(self, server: "Server", ready: float, priority: int, sequence: int) -> None:
+        self.server = server
+        self.ready = ready
+        self.priority = priority
+        self.sequence = sequence
+        self._start: float | None = None
+        self._completed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Admission(server={self.server.name!r}, ready={self.ready}, "
+            f"priority={self.priority}, sequence={self.sequence})"
+        )
 
     @property
     def start(self) -> float:
@@ -236,9 +285,47 @@ class Server:
         each pending batch by ``(-priority, request order)``, so a
         later-requested high-priority job overtakes queued lower-priority
         ones that have not started yet.
+    record_jobs:
+        True (the default) keeps the full per-job :attr:`waits` list,
+        exactly as analyses and tests expect.  False switches the wait
+        statistics to O(1) streaming accumulators (count / sum / max
+        plus a bounded tail window), so a million-frame run does not
+        accrete a million floats per server.
+    interval_retention:
+        When set, caps the completed-interval record at this many
+        entries; the busy time of trimmed intervals is folded into a
+        scalar so whole-run :meth:`load` queries stay exact.  Windowed
+        queries reaching further back than the retained tail undercount
+        (they see only the retained intervals) — retention should
+        therefore comfortably exceed the number of jobs any load window
+        can span.  ``None`` (the default) retains everything.
     """
 
     DISCIPLINES = ("fifo", "priority")
+
+    #: Bounded tail window of recent waits kept when ``record_jobs`` is off.
+    WAIT_TAIL = 512
+
+    __slots__ = (
+        "capacity",
+        "discipline",
+        "priority_serving",
+        "name",
+        "record_jobs",
+        "interval_retention",
+        "_free",
+        "_pending",
+        "_sequence",
+        "_waits",
+        "_wait_count",
+        "_wait_sum",
+        "_wait_max",
+        "_wait_tail",
+        "busy_time",
+        "track_intervals",
+        "_intervals",
+        "_trimmed_busy",
+    )
 
     def __init__(
         self,
@@ -246,6 +333,8 @@ class Server:
         discipline: str = "fifo",
         name: str = "server",
         start: float = 0.0,
+        record_jobs: bool = True,
+        interval_retention: int | None = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(
@@ -255,17 +344,43 @@ class Server:
             raise ValueError(
                 f"unknown discipline {discipline!r}; expected one of {self.DISCIPLINES}"
             )
+        if interval_retention is not None and interval_retention < 1:
+            raise ValueError(
+                f"interval_retention must be at least 1 (or None), got {interval_retention}"
+            )
         self.capacity = capacity
         self.discipline = discipline
+        #: Precomputed discipline check — hot paths branch on this every
+        #: frame and a bool attribute beats a string comparison.
+        self.priority_serving = discipline == "priority"
         self.name = name
+        self.record_jobs = record_jobs
+        self.interval_retention = interval_retention
         self._free: list[float] = [float(start)] * (capacity or 0)
-        self._pending: list[Admission] = []
+        # FIFO pops from the head (deque); priority pops the smallest
+        # ``(-priority, sequence)`` heap entry — both O(log n) or better,
+        # replacing the O(n) min() scan of the original implementation.
+        self._pending: Any = [] if discipline == "priority" else deque()
         self._sequence = 0
-        self.waits: list[float] = []
+        self._waits: list[float] | None = [] if record_jobs else None
+        self._wait_count = 0
+        self._wait_sum = 0.0
+        self._wait_max = 0.0
+        self._wait_tail: deque[float] | None = (
+            None if record_jobs else deque(maxlen=self.WAIT_TAIL)
+        )
         self.busy_time = 0.0
+        #: Whether completed service intervals are retained for windowed
+        #: :meth:`load` queries.  On by default; a run with no load
+        #: consumer (no shedding, migration or failover) may switch it
+        #: off — :meth:`load` then reports zero, which such runs never
+        #: ask for, and every other metric (``busy_time``, waits,
+        #: utilisation) is unaffected.
+        self.track_intervals = True
         #: Completed service intervals as ``(end, start)``, kept sorted by
         #: end time so windowed :meth:`load` queries touch only the tail.
         self._intervals: list[tuple[float, float]] = []
+        self._trimmed_busy = 0.0
 
     # -- admission ----------------------------------------------------------
     def admit(self, ready: float, priority: int = 0) -> Admission:
@@ -277,8 +392,83 @@ class Server:
         """
         admission = Admission(self, float(ready), priority, self._sequence)
         self._sequence += 1
-        self._pending.append(admission)
+        if self.discipline == "priority":
+            # The heap key is exactly the min() scan's key, and sequence
+            # numbers are unique, so pop order is a strict total order
+            # identical to the original scan's choice.
+            heapq.heappush(self._pending, (-priority, admission.sequence, admission))
+        else:
+            self._pending.append(admission)
         return admission
+
+    def acquire(self, ready: float, priority: int = 0) -> tuple[float, float]:
+        """Admit a job and resolve it immediately; returns ``(start, wait)``.
+
+        The one-shot form of :meth:`admit` + :attr:`Admission.start` for
+        callers that resolve every admission before the next one can be
+        requested — the cluster's per-frame pipeline.  Produces
+        bit-for-bit the same start/wait as the two-phase path without
+        materialising an :class:`Admission` or touching the pending
+        queue; pair it with :meth:`finish`.  When other admissions *are*
+        pending it falls back to the two-phase path so the discipline
+        still orders the whole batch.
+        """
+        if self._pending:
+            admission = self.admit(ready, priority=priority)
+            start = admission.start
+            return start, start - admission.ready
+        ready = float(ready)
+        self._sequence += 1
+        if self.capacity is None:
+            start = ready
+        else:
+            free = self._free
+            if not free:
+                raise SimulationError(
+                    f"server {self.name!r} is saturated: all {self.capacity} "
+                    "slot(s) are held by admissions that never completed"
+                )
+            slot_free = heapq.heappop(free)
+            start = ready if ready >= slot_free else slot_free
+        self._record_wait(start - ready)
+        return start, start - ready
+
+    def finish(self, start: float, service_time: float) -> float:
+        """Complete a job that began service at ``start``; returns the end time.
+
+        The completion half of the :meth:`acquire` path: identical
+        slot-release, busy-time and interval bookkeeping to
+        :meth:`complete`, keyed by the start time instead of an
+        :class:`Admission` record.
+        """
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        end = start + service_time
+        if self.capacity is not None:
+            heapq.heappush(self._free, end)
+        self.busy_time += service_time
+        if not self.track_intervals:
+            return end
+        # Service ends are near-monotonic per server, so the common case
+        # is an append; insort still covers out-of-order completions.
+        intervals = self._intervals
+        item = (end, start)
+        if not intervals or item >= intervals[-1]:
+            intervals.append(item)
+        else:
+            insort(intervals, item)
+        # Trim in blocks once the record doubles: deleting the list head
+        # shifts every element, so a per-completion trim would pay O(n)
+        # per job — amortised over a block it is O(1).  Windowed load()
+        # queries only ever see *more* history than the cap promises.
+        retention = self.interval_retention
+        if retention is not None and len(intervals) > 2 * retention:
+            excess = len(intervals) - retention
+            for index in range(excess):
+                old_end, old_start = intervals[index]
+                self._trimmed_busy += old_end - old_start
+            del intervals[:excess]
+        return end
 
     def complete(self, admission: Admission, service_time: float) -> float:
         """Finish ``admission`` after ``service_time`` seconds; returns the end time."""
@@ -288,13 +478,8 @@ class Server:
             raise SimulationError("admission belongs to a different server")
         if admission._completed:
             raise SimulationError("admission already completed")
-        end = admission.start + service_time
         admission._completed = True
-        if self.capacity is not None:
-            heapq.heappush(self._free, end)
-        self.busy_time += service_time
-        insort(self._intervals, (end, admission.start))
-        return end
+        return self.finish(admission.start, service_time)
 
     def reserve(self, ready: float, service_time: float, priority: int = 0) -> tuple[float, float]:
         """One-shot admit + complete; returns ``(start, wait)``."""
@@ -305,29 +490,44 @@ class Server:
 
     def _resolve(self, admission: Admission) -> None:
         """Assign start times to pending jobs until ``admission`` is placed."""
-        while self._pending:
-            if self.discipline == "priority":
-                index = min(
-                    range(len(self._pending)),
-                    key=lambda i: (-self._pending[i].priority, self._pending[i].sequence),
-                )
-            else:
-                index = 0
-            job = self._pending.pop(index)
-            if self.capacity is None:
-                job._start = job.ready
-            else:
-                if not self._free:
-                    raise SimulationError(
-                        f"server {self.name!r} is saturated: all {self.capacity} "
-                        "slot(s) are held by admissions that never completed"
-                    )
-                slot_free = heapq.heappop(self._free)
-                job._start = max(job.ready, slot_free)
-            self.waits.append(job._start - job.ready)
-            if job is admission:
-                return
+        pending = self._pending
+        if self.discipline == "priority":
+            while pending:
+                job = heapq.heappop(pending)[2]
+                self._place(job)
+                if job is admission:
+                    return
+        else:
+            while pending:
+                job = pending.popleft()
+                self._place(job)
+                if job is admission:
+                    return
         raise SimulationError("admission was already resolved or never queued")
+
+    def _place(self, job: Admission) -> None:
+        """Assign one job's start time and record its wait."""
+        if self.capacity is None:
+            job._start = job.ready
+        else:
+            if not self._free:
+                raise SimulationError(
+                    f"server {self.name!r} is saturated: all {self.capacity} "
+                    "slot(s) are held by admissions that never completed"
+                )
+            slot_free = heapq.heappop(self._free)
+            job._start = max(job.ready, slot_free)
+        self._record_wait(job._start - job.ready)
+
+    def _record_wait(self, wait: float) -> None:
+        self._wait_count += 1
+        if self._waits is not None:
+            self._waits.append(wait)
+        else:
+            self._wait_sum += wait
+            if wait > self._wait_max:
+                self._wait_max = wait
+            self._wait_tail.append(wait)
 
     def next_free(self) -> float:
         """Earliest instant a capacity slot is (or was) free.
@@ -359,19 +559,35 @@ class Server:
 
     # -- statistics ---------------------------------------------------------
     @property
+    def waits(self) -> list[float]:
+        """Per-job waiting times.
+
+        The full history when ``record_jobs`` is on; with streaming
+        accumulators it is the bounded tail window of recent waits (the
+        exact count / mean / max remain available regardless).
+        """
+        if self._waits is not None:
+            return self._waits
+        return list(self._wait_tail)
+
+    @property
     def jobs(self) -> int:
         """Number of jobs whose admission has been resolved."""
-        return len(self.waits)
+        return self._wait_count
 
     @property
     def mean_wait(self) -> float:
         """Mean waiting time over all resolved jobs."""
-        return mean(self.waits) if self.waits else 0.0
+        if self._waits is not None:
+            return mean(self._waits) if self._waits else 0.0
+        return self._wait_sum / self._wait_count if self._wait_count else 0.0
 
     @property
     def max_wait(self) -> float:
         """Longest waiting time any job experienced."""
-        return max(self.waits) if self.waits else 0.0
+        if self._waits is not None:
+            return max(self._waits) if self._waits else 0.0
+        return self._wait_max
 
     def utilization(self, makespan: float) -> float:
         """Fraction of ``makespan`` spent serving, per capacity slot."""
@@ -399,10 +615,22 @@ class Server:
         if span <= 0:
             return 0.0
         # Intervals ending at or before the window start contribute nothing.
-        first = bisect_right(self._intervals, (lo, float("inf")))
-        busy = interval_overlap(
-            ((start, end) for end, start in self._intervals[first:]), lo, now
-        )
+        # This is the hot path of every migration query, so the overlap is
+        # accumulated in a direct loop over the sorted tail — no slice
+        # copy, no generator (interval_overlap stays the public analysis
+        # helper).  Summing only the positive segments is value-identical
+        # to summing max(0.0, ...) over all of them.
+        intervals = self._intervals
+        busy = 0.0
+        for index in range(bisect_right(intervals, (lo, float("inf"))), len(intervals)):
+            end, start = intervals[index]
+            segment = (end if end < now else now) - (start if start > lo else lo)
+            if segment > 0.0:
+                busy += segment
+        if lo == 0.0:
+            # Whole-run queries still see the busy time of any intervals
+            # trimmed by ``interval_retention``.
+            busy += self._trimmed_busy
         slots = self.capacity or 1
         return busy / (span * slots)
 
@@ -410,3 +638,79 @@ class Server:
 def interval_overlap(intervals: Iterable[tuple[float, float]], lo: float, hi: float) -> float:
     """Total overlap of ``intervals`` with ``[lo, hi]`` (helper for analyses)."""
     return sum(max(0.0, min(end, hi) - max(start, lo)) for start, end in intervals)
+
+
+class ReferenceServer(Server):
+    """The pre-fast-path :class:`Server`, preserved as a benchmark yardstick.
+
+    Admissions sit in a plain list, the priority discipline re-scans the
+    whole pending batch with ``min()`` on every resolution, and ``load``
+    feeds a fresh generator over a list slice to :func:`interval_overlap`
+    — exactly the implementation the fast path replaced.  The
+    ``scale-stress`` benchmark runs its reduced reference cell on this
+    class so the measured frames/sec speedup is against the real pre-PR
+    engine rather than a guess.  Identical results to :class:`Server`
+    are pinned by the engine test suite; only the constant factors (and
+    asymptotics) differ.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        capacity: int | None = 1,
+        discipline: str = "fifo",
+        name: str = "server",
+        start: float = 0.0,
+        record_jobs: bool = True,
+        interval_retention: int | None = None,
+    ) -> None:
+        # The reference implementation always records full per-job lists
+        # and never trims intervals, whatever the caller asked for.
+        super().__init__(capacity, discipline, name, start)
+        self._pending = []
+
+    def admit(self, ready: float, priority: int = 0) -> Admission:
+        admission = Admission(self, float(ready), priority, self._sequence)
+        self._sequence += 1
+        self._pending.append(admission)
+        return admission
+
+    def _resolve(self, admission: Admission) -> None:
+        while self._pending:
+            if self.discipline == "priority":
+                index = min(
+                    range(len(self._pending)),
+                    key=lambda i: (-self._pending[i].priority, self._pending[i].sequence),
+                )
+            else:
+                index = 0
+            job = self._pending.pop(index)
+            if self.capacity is None:
+                job._start = job.ready
+            else:
+                if not self._free:
+                    raise SimulationError(
+                        f"server {self.name!r} is saturated: all {self.capacity} "
+                        "slot(s) are held by admissions that never completed"
+                    )
+                slot_free = heapq.heappop(self._free)
+                job._start = max(job.ready, slot_free)
+            self._record_wait(job._start - job.ready)
+            if job is admission:
+                return
+        raise SimulationError("admission was already resolved or never queued")
+
+    def load(self, now: float, window: float | None = None) -> float:
+        if now <= 0:
+            return 0.0
+        lo = 0.0 if window is None else max(0.0, now - window)
+        span = now - lo
+        if span <= 0:
+            return 0.0
+        first = bisect_right(self._intervals, (lo, float("inf")))
+        busy = interval_overlap(
+            ((start, end) for end, start in self._intervals[first:]), lo, now
+        )
+        slots = self.capacity or 1
+        return busy / (span * slots)

@@ -7,11 +7,12 @@ system components having to know which breakdown a benchmark wants.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A single timestamped event.
 
@@ -33,42 +34,89 @@ class Event:
 class EventLog:
     """Append-only, time-ordered log of :class:`Event` records.
 
-    A per-kind index is maintained on the side, so :meth:`of_kind` is a
-    dictionary lookup instead of a scan over the whole timeline — the
-    analysis and benchmark layers call it once per kind per report, and
-    cluster runs log thousands of events.
+    Unbounded by default: a per-kind index is maintained on the side, so
+    :meth:`of_kind` is a dictionary lookup instead of a scan over the
+    whole timeline — the analysis and benchmark layers call it once per
+    kind per report, and cluster runs log thousands of events.
+
+    With a ``capacity``, the log keeps only the most recent ``capacity``
+    events (a ring buffer) while per-kind *counts* stay exact for the
+    whole run — the fast-path configuration for million-frame runs,
+    where per-frame event objects would otherwise dominate memory.
+    :meth:`of_kind` then returns only the retained window (in order).
+    ``capacity=0`` goes one step further and counts without ever
+    building an :class:`Event` — two per-frame records on a hot path
+    become two dictionary increments.
     """
 
-    def __init__(self) -> None:
-        self._events: list[Event] = []
-        self._by_kind: dict[str, list[Event]] = {}
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be non-negative (or None), got {capacity}")
+        self.capacity = capacity
+        self._events: Any = [] if capacity is None else deque(maxlen=capacity)
+        self._by_kind: dict[str, list[Event]] | None = {} if capacity is None else None
+        self._counts: dict[str, int] = {}
+        self._total = 0
 
-    def record(self, timestamp: float, kind: str, **payload: Any) -> Event:
-        """Append an event and return it."""
-        event = Event(timestamp=timestamp, kind=kind, payload=dict(payload))
+    def record(self, timestamp: float, kind: str, **payload: Any) -> Event | None:
+        """Append an event and return it (``None`` in count-only mode)."""
+        self._total += 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self.capacity == 0:
+            return None
+        event = Event(timestamp=timestamp, kind=kind, payload=payload)
         self._events.append(event)
-        self._by_kind.setdefault(kind, []).append(event)
+        if self._by_kind is not None:
+            self._by_kind.setdefault(kind, []).append(event)
         return event
 
+    def bump(self, kind: str) -> None:
+        """Count one event of ``kind`` without building a record.
+
+        The hot-path entry for ``capacity=0`` logs, where :meth:`record`
+        would discard everything but the count anyway: callers that know
+        the log is count-only skip assembling the timestamp and payload
+        entirely.  Counts and totals stay exactly as :meth:`record`
+        would have left them.
+        """
+        self._total += 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
     def of_kind(self, kind: str) -> list[Event]:
-        """Return all events with the given ``kind`` in insertion order."""
-        return list(self._by_kind.get(kind, ()))
+        """All *retained* events of ``kind``, in insertion order.
+
+        The full history for an unbounded log; for a bounded log, the
+        events of that kind still inside the retained window (use
+        :meth:`count_of_kind` for the exact whole-run count).
+        """
+        if self._by_kind is not None:
+            return list(self._by_kind.get(kind, ()))
+        return [event for event in self._events if event.kind == kind]
 
     def count_of_kind(self, kind: str) -> int:
-        """Number of events of ``kind`` without materialising a list."""
-        return len(self._by_kind.get(kind, ()))
+        """Exact number of events of ``kind`` recorded over the whole run."""
+        return self._counts.get(kind, 0)
 
     def kinds(self) -> set[str]:
         """Return the set of event kinds seen so far."""
-        return set(self._by_kind)
+        return set(self._counts)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events recorded over the whole run (>= ``len(self)`` when bounded)."""
+        return self._total
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
     def __len__(self) -> int:
+        """Number of *retained* events."""
         return len(self._events)
 
     def clear(self) -> None:
         """Drop all recorded events."""
         self._events.clear()
-        self._by_kind.clear()
+        if self._by_kind is not None:
+            self._by_kind.clear()
+        self._counts.clear()
+        self._total = 0

@@ -26,6 +26,13 @@ class AdmissionController:
 
     name = "none"
 
+    #: Whether :meth:`admit` reads the ``backlog_s`` signal at all.  The
+    #: cluster's backlog probe is a min-scan over every live edge per
+    #: arriving stream; fast-path runs skip it for controllers that
+    #: ignore the signal (recorded runs always compute it, because the
+    #: ``stream_arrival`` event payload carries it).
+    needs_backlog = False
+
     def admit(self, now: float, backlog_s: float) -> bool:
         """Whether a stream arriving at ``now`` may enter the cluster."""
         return True
@@ -71,6 +78,7 @@ class QueueThresholdAdmission(AdmissionController):
     """
 
     name = "queue-threshold"
+    needs_backlog = True
 
     def __init__(self, max_backlog_s: float = DEFAULT_MAX_BACKLOG_S) -> None:
         if max_backlog_s <= 0:

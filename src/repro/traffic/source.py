@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
+import numpy as np
+
 from repro.sim.rng import RngRegistry
 from repro.traffic.admission import ADMISSION_POLICIES
 from repro.traffic.arrivals import (
@@ -30,7 +32,7 @@ from repro.traffic.arrivals import (
     make_rate_curve,
     sample_stream_length,
 )
-from repro.video.library import make_video
+from repro.video.library import VIDEO_LIBRARY, make_video
 from repro.video.synthetic import SyntheticVideo
 
 #: Video presets cycled over arriving streams, like make_camera_streams.
@@ -168,6 +170,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+#: Handed to every static (content-free) video in place of a per-stream
+#: RNG mint; such videos never draw, so one shared generator is safe.
+_NEVER_DRAWN_RNG = np.random.default_rng(0)
+
+
 class TrafficSource:
     """Mints camera streams according to a :class:`TrafficConfig`.
 
@@ -194,15 +201,25 @@ class TrafficSource:
         naming so per-stream results read the same way.
         """
         keys = self.config.video_keys
+        # A static preset never draws from its video RNG, so every such
+        # stream shares one never-drawn generator instead of minting its
+        # own stream — at ~10⁵ streams per scale-stress run the
+        # SeedSequence spawns would otherwise dominate stream setup.
+        # Stream RNG names are derived independently per name, so
+        # skipping a mint leaves every other stream's draws untouched.
+        static_key = {key: VIDEO_LIBRARY[key].is_static for key in keys}
+        num_keys = len(keys)
         for index, arrival_time in enumerate(self._arrivals.arrivals(self.config.duration_s)):
             frames = sample_stream_length(
                 self.config.stream_length, self.config.mean_frames, self._length_rng
             )
-            key = keys[index % len(keys)]
+            key = keys[index % num_keys]
             video = make_video(
                 key,
                 num_frames=frames,
-                rng=self._rngs.stream(f"traffic-video-{index}"),
+                rng=_NEVER_DRAWN_RNG
+                if static_key[key]
+                else self._rngs.stream(f"traffic-video-{index}"),
             )
             video.name = f"open{index}-{key}"
             yield arrival_time, video

@@ -116,6 +116,8 @@ class TransactionBank:
         present.
         """
         triggered: list[tuple[MultiStageTransaction, Detection | None]] = []
+        if not self._rules:
+            return triggered
         detections = list(detections)
 
         for rule in self._rules:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from repro.video.scene import SceneObject
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """One captured video frame.
 

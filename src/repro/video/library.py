@@ -35,6 +35,19 @@ class VideoSpec:
     auxiliary_click_rate: float = 0.05
     frame_size_bytes: int = 250_000
 
+    @property
+    def is_static(self) -> bool:
+        """True when the preset can never spawn an object or a click.
+
+        A static video never draws from its generator, so callers that
+        mint one RNG stream per video (the open-loop traffic source, at
+        ~10⁵ streams per scale-stress run) can skip the mint and hand
+        every such video one shared, never-drawn generator.
+        """
+        return self.auxiliary_click_rate <= 0.0 and all(
+            spec.arrival_rate <= 0.0 for spec in self.classes
+        )
+
 
 _PARK = VideoSpec(
     key="v1",
@@ -166,11 +179,36 @@ _MALL = VideoSpec(
     ),
 )
 
+_STRESS = VideoSpec(
+    key="stress",
+    description="content-free scale-stress preset: no objects ever spawn",
+    query_class="person",
+    classes=(
+        # A declared class is required, but its arrival rate is zero: no
+        # objects, no detections, no cloud validations — frames exercise
+        # pure queueing/transfer, which is what the million-frame
+        # scale-stress scenario measures.
+        ObjectClassSpec(
+            name="person",
+            confusable_name="mannequin",
+            arrival_rate=0.0,
+            lifetime_frames=1.0,
+            size_fraction=0.1,
+            visibility=0.9,
+            difficulty=1.0,
+            speed=1.0,
+        ),
+    ),
+    auxiliary_click_rate=0.0,
+    frame_size_bytes=50_000,
+)
+
 #: Lookup by the paper's video keys.  v1..v4 drive Figures 2/4 and
 #: Table 1; v5 (pedestrians) is the fifth workload mentioned in §5.1.
+#: "stress" is the content-free preset of the scale-stress benchmark.
 VIDEO_LIBRARY: dict[str, VideoSpec] = {
     spec.key: spec
-    for spec in (_PARK, _STREET_VEHICLES, _AIRPORT, _MALL, _STREET_PEDESTRIANS)
+    for spec in (_PARK, _STREET_VEHICLES, _AIRPORT, _MALL, _STREET_PEDESTRIANS, _STRESS)
 }
 
 

@@ -19,6 +19,11 @@ from repro.detection.geometry import BoundingBox
 from repro.video.frames import Frame
 from repro.video.scene import SceneObject
 
+#: Frame tuples of content-free videos, keyed by their geometry — see
+#: :meth:`SyntheticVideo.frames`.  Frames are frozen, so sharing one
+#: tuple across every stream of a scale-stress run is safe.
+_STATIC_FRAME_CACHE: dict[tuple, tuple[Frame, ...]] = {}
+
 
 @dataclass(frozen=True)
 class ObjectClassSpec:
@@ -97,17 +102,55 @@ class SyntheticVideo:
             raise ValueError("a synthetic video needs at least one object class")
 
     def frames(self) -> Iterator[Frame]:
-        """Yield the video's frames in order.
+        """The video's frames in order.
 
-        The generator is single-use: iterating twice continues the scene
-        rather than restarting it, so callers that need a fresh identical
-        stream should construct a new video (see
+        The returned iterator is single-use: iterating twice continues
+        the scene rather than restarting it, so callers that need a
+        fresh identical stream should construct a new video (see
         :func:`repro.video.library.make_video`).
         """
+        # A video that can never spawn an object or an auxiliary click
+        # (the content-free scale-stress preset) produces the same empty
+        # frames either way, and its generator feeds nothing else — its
+        # frame sequence is a pure function of the geometry, so every
+        # such stream shares one immutable cached tuple instead of
+        # constructing (and rolling dice for) its own frames.
+        static = self.auxiliary_click_rate <= 0.0 and all(
+            spec.arrival_rate <= 0.0 for spec in self.classes
+        )
+        if static and not self._active:
+            key = (
+                self.num_frames,
+                self.width,
+                self.height,
+                self.frame_size_bytes,
+                self.query_class,
+            )
+            cached = _STATIC_FRAME_CACHE.get(key)
+            if cached is None:
+                cached = tuple(
+                    Frame(
+                        frame_id=frame_id,
+                        width=self.width,
+                        height=self.height,
+                        objects=(),
+                        size_bytes=self.frame_size_bytes,
+                        query_class=self.query_class,
+                        auxiliary_input=False,
+                    )
+                    for frame_id in range(self.num_frames)
+                )
+                _STATIC_FRAME_CACHE[key] = cached
+            return iter(cached)
+        return self._generate_frames()
+
+    def _generate_frames(self) -> Iterator[Frame]:
+        """Generate frames by advancing the stochastic scene."""
         for frame_id in range(self.num_frames):
             self._spawn_objects()
             self._advance_objects()
             objects = tuple(obj for obj, _ in self._active)
+            auxiliary = bool(self.rng.random() < self.auxiliary_click_rate)
             yield Frame(
                 frame_id=frame_id,
                 width=self.width,
@@ -115,7 +158,7 @@ class SyntheticVideo:
                 objects=objects,
                 size_bytes=self.frame_size_bytes,
                 query_class=self.query_class,
-                auxiliary_input=bool(self.rng.random() < self.auxiliary_click_rate),
+                auxiliary_input=auxiliary,
             )
 
     def _spawn_objects(self) -> None:

@@ -193,7 +193,14 @@ class TestJsonOutput:
     def test_videos_json_lists_workloads(self, capsys):
         assert main(["videos", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert {entry["key"] for entry in payload} == {"v1", "v2", "v3", "v4", "v5"}
+        assert {entry["key"] for entry in payload} == {
+            "v1",
+            "v2",
+            "v3",
+            "v4",
+            "v5",
+            "stress",
+        }
 
     def test_scenario_list_json(self, capsys):
         assert main(["scenario", "--list", "--json"]) == 0

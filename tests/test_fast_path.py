@@ -1,0 +1,453 @@
+"""Engine hot path and bounded-memory fast path.
+
+Covers the PR's perf machinery from below and from above:
+
+* the heap-backed :class:`~repro.sim.engine.Server` must produce results
+  identical to the preserved O(n)-scan :class:`ReferenceServer` (the
+  speedup is allowed to change constants, never outcomes);
+* the streaming accumulators (:mod:`repro.analysis.streaming`) must match
+  their exact list-based counterparts while exact, and stay within the
+  promised error bound after spilling;
+* the cluster fast path (``record_frames=False``) must agree with the
+  fully recorded path on every aggregate at loads where its serialising
+  approximation is exact, stay deterministic, and keep memory-bounded
+  state (bounded event log, capped server records);
+* the new :class:`~repro.experiments.spec.ScenarioSpec` fields must
+  validate.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming import QuantileAccumulator, RingBuffer, StreamingStats
+from repro.detection.profiles import MODEL_LIBRARY
+from repro.experiments import ScenarioSpec, get_scenario, run
+from repro.sim.engine import ReferenceServer, Server
+from repro.sim.events import EventLog
+from repro.sim.rng import RngRegistry
+from repro.traffic.source import TrafficConfig, TrafficSource, percentile
+from repro.video.library import VIDEO_LIBRARY, make_video
+
+
+# -- heap-backed server vs the preserved reference implementation ------------
+class TestServerMatchesReference:
+    def _drive(self, server, schedule):
+        """Run one admission schedule; return every (start, wait, end).
+
+        Mirrors the system's usage: each admission's start is read (and
+        its service completed) before the next admit, so pending batches
+        never outrun the server's capacity slots.
+        """
+        outcomes = []
+        for ready, priority, service in schedule:
+            admission = server.admit(ready, priority=priority)
+            end = server.complete(admission, service)
+            outcomes.append((admission.start, admission.wait, end))
+        return outcomes
+
+    def _drive_batched(self, server, schedule, batch: int):
+        """Admit ``batch`` jobs at a time before resolving, to exercise
+        the pending-queue ordering (batch must not exceed capacity)."""
+        outcomes = []
+        for offset in range(0, len(schedule), batch):
+            admissions = [
+                (server.admit(ready, priority=priority), service)
+                for ready, priority, service in schedule[offset : offset + batch]
+            ]
+            for admission, service in admissions:
+                end = server.complete(admission, service)
+                outcomes.append((admission.start, admission.wait, end))
+        return outcomes
+
+    @pytest.mark.parametrize("discipline", ["fifo", "priority"])
+    def test_identical_outcomes_on_random_schedules(self, discipline):
+        rng = random.Random(7)
+        for trial in range(20):
+            schedule = []
+            clock = 0.0
+            for _ in range(50):
+                clock += rng.expovariate(10.0)
+                schedule.append((clock, rng.randrange(3), rng.uniform(0.0, 0.3)))
+            capacity = rng.choice([1, 2, None])
+            fast = Server(capacity=capacity, discipline=discipline)
+            reference = ReferenceServer(capacity=capacity, discipline=discipline)
+            assert self._drive(fast, schedule) == self._drive(reference, schedule), (
+                discipline,
+                trial,
+            )
+
+    @pytest.mark.parametrize("capacity,batch", [(2, 2), (None, 10)])
+    def test_identical_outcomes_on_batched_priority_admissions(self, capacity, batch):
+        """Deep pending batches hit the heap ordering itself: the pop
+        order of ``(-priority, sequence)`` must equal the reference
+        implementation's min() scan, job for job."""
+        rng = random.Random(13)
+        schedule = []
+        clock = 0.0
+        for _ in range(60):
+            clock += rng.expovariate(20.0)
+            schedule.append((clock, rng.randrange(3), rng.uniform(0.0, 0.1)))
+        fast = Server(capacity=capacity, discipline="priority")
+        reference = ReferenceServer(capacity=capacity, discipline="priority")
+        assert self._drive_batched(fast, schedule, batch) == self._drive_batched(
+            reference, schedule, batch
+        )
+
+    def test_identical_wait_statistics(self):
+        schedule = [(0.0, 0, 1.0), (0.1, 0, 1.0), (0.2, 1, 1.0), (0.3, 0, 1.0)]
+        fast = Server(capacity=2, discipline="priority")
+        reference = ReferenceServer(capacity=2, discipline="priority")
+        self._drive_batched(fast, schedule, 2)
+        self._drive_batched(reference, schedule, 2)
+        assert fast.waits == reference.waits
+        assert fast.mean_wait == reference.mean_wait
+        assert fast.busy_time == reference.busy_time
+
+    def test_priority_admission_overtakes_queued_batch(self):
+        """A later high-priority admission starts before earlier ones.
+
+        The heap key ``(-priority, sequence)`` must reproduce the
+        reference scan's strict total order: the priority-1 job jumps the
+        two queued priority-0 jobs, which then run in request order.
+        """
+        for cls in (Server, ReferenceServer):
+            server = cls(capacity=1, discipline="priority")
+            a = server.admit(0.0, priority=0)
+            b = server.admit(0.0, priority=0)
+            c = server.admit(0.0, priority=1)
+            # Reading any start resolves the whole batch in queue order.
+            assert c.start == 0.0
+            server.complete(c, 1.0)
+            assert a.start == 1.0
+            server.complete(a, 1.0)
+            assert b.start == 2.0
+            server.complete(b, 1.0)
+
+    def test_fifo_ignores_priority(self):
+        for cls in (Server, ReferenceServer):
+            server = cls(capacity=1, discipline="fifo")
+            a = server.admit(0.0, priority=0)
+            c = server.admit(0.0, priority=5)
+            assert a.start == 0.0
+            server.complete(a, 1.0)
+            assert c.start == 1.0
+            server.complete(c, 1.0)
+
+
+class TestServerStreamingStats:
+    def _loaded(self, **kwargs) -> Server:
+        server = Server(capacity=1, **kwargs)
+        for index in range(1000):
+            server.reserve(index * 0.001, 0.01)
+        return server
+
+    def test_record_jobs_off_bounds_the_wait_list(self):
+        server = self._loaded(record_jobs=False)
+        assert len(server.waits) == Server.WAIT_TAIL
+        assert server.jobs == 1000
+
+    def test_streaming_wait_stats_match_full_recording(self):
+        full = self._loaded(record_jobs=True)
+        streaming = self._loaded(record_jobs=False)
+        assert streaming.mean_wait == pytest.approx(full.mean_wait)
+        assert streaming.max_wait == full.max_wait
+        assert streaming.jobs == full.jobs
+
+    def test_interval_retention_caps_the_record(self):
+        # Trimming happens in amortised blocks, so the live record sits
+        # between the cap and twice the cap instead of exactly at it.
+        capped = self._loaded(interval_retention=64)
+        assert 64 <= len(capped._intervals) <= 128
+        uncapped = self._loaded()
+        assert len(uncapped._intervals) == 1000
+
+    def test_whole_run_load_exact_despite_trimming(self):
+        full = self._loaded()
+        capped = self._loaded(interval_retention=64)
+        now = 10.1
+        assert capped.load(now) == pytest.approx(full.load(now))
+        assert capped.busy_time == full.busy_time
+
+
+# -- streaming accumulators ---------------------------------------------------
+class TestStreamingStats:
+    def test_matches_builtin_statistics(self):
+        rng = random.Random(11)
+        values = [rng.uniform(-5.0, 50.0) for _ in range(500)]
+        stats = StreamingStats()
+        for value in values:
+            stats.add(value)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+    def test_empty_is_all_zero(self):
+        stats = StreamingStats()
+        assert (stats.count, stats.mean, stats.min, stats.max) == (0, 0.0, 0.0, 0.0)
+
+
+class TestQuantileAccumulator:
+    def test_exact_mode_matches_nearest_rank(self):
+        rng = random.Random(3)
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(1000)]
+        accumulator = QuantileAccumulator(exact_limit=4096)
+        for value in values:
+            accumulator.add(value)
+        assert accumulator.is_exact
+        for q in (0.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+            assert accumulator.percentile(q) == percentile(values, q)
+
+    def test_spilled_mode_stays_within_relative_error(self):
+        rng = random.Random(5)
+        values = [rng.lognormvariate(0.0, 1.0) for _ in range(50_000)]
+        accumulator = QuantileAccumulator(exact_limit=1024, relative_error=0.01)
+        for value in values:
+            accumulator.add(value)
+        assert not accumulator.is_exact
+        for q in (50.0, 90.0, 95.0, 99.0):
+            exact = percentile(values, q)
+            estimate = accumulator.percentile(q)
+            assert abs(estimate - exact) / exact <= 0.02, q
+
+    def test_deterministic_across_instances(self):
+        values = [((index * 2654435761) % 1000) / 7.0 + 0.1 for index in range(10_000)]
+        first = QuantileAccumulator(exact_limit=256)
+        second = QuantileAccumulator(exact_limit=256)
+        for value in values:
+            first.add(value)
+            second.add(value)
+        for q in (50.0, 95.0, 99.0):
+            assert first.percentile(q) == second.percentile(q)
+
+    def test_non_positive_samples_tracked_exactly(self):
+        accumulator = QuantileAccumulator(exact_limit=4)
+        for value in (-1.0, 0.0, -2.5, 3.0, 4.0, 5.0):
+            accumulator.add(value)
+        assert not accumulator.is_exact
+        assert accumulator.percentile(25.0) == 0.0  # the largest non-positive
+        assert accumulator.percentile(100.0) == 5.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            QuantileAccumulator(exact_limit=0)
+        with pytest.raises(ValueError):
+            QuantileAccumulator(relative_error=1.5)
+        with pytest.raises(ValueError):
+            QuantileAccumulator().percentile(101.0)
+
+
+class TestRingBuffer:
+    def test_keeps_most_recent_window(self):
+        ring = RingBuffer(4)
+        ring.extend(float(index) for index in range(10))
+        assert ring.values() == [6.0, 7.0, 8.0, 9.0]
+        assert len(ring) == 4
+
+    def test_partial_fill_in_order(self):
+        ring = RingBuffer(8)
+        ring.extend([1.0, 2.0, 3.0])
+        assert ring.values() == [1.0, 2.0, 3.0]
+
+
+# -- bounded event log --------------------------------------------------------
+class TestBoundedEventLog:
+    def test_capacity_bounds_retention_but_counts_stay_exact(self):
+        log = EventLog(capacity=100)
+        for index in range(1000):
+            log.record(float(index), "frame" if index % 2 else "txn")
+        assert len(log) == 100
+        assert log.total_recorded == 1000
+        assert log.count_of_kind("frame") == 500
+        assert log.count_of_kind("txn") == 500
+        retained = log.of_kind("frame")
+        assert len(retained) <= 100
+        assert retained[-1].timestamp == 999.0
+
+    def test_unbounded_log_keeps_everything(self):
+        log = EventLog()
+        for index in range(1000):
+            log.record(float(index), "frame")
+        assert len(log) == 1000
+        assert len(log.of_kind("frame")) == 1000
+
+
+# -- cluster fast path vs the recorded path ----------------------------------
+#: A lightly loaded open-loop cell (~25% utilization): every frame
+#: finishes well before its successor arrives, so the fast-path driver's
+#: serialising approximation is exact and both paths simulate the very
+#: same timeline.
+_LIGHT_OVERRIDES = dict(offered_rate=3.0, duration_s=20.0, num_edges=20)
+
+
+@pytest.fixture(scope="module")
+def light_fast_report():
+    return run(get_scenario("scale-stress-smoke").with_(**_LIGHT_OVERRIDES))
+
+
+@pytest.fixture(scope="module")
+def light_recorded_report():
+    return run(
+        get_scenario("scale-stress-smoke").with_(record_frames=True, **_LIGHT_OVERRIDES)
+    )
+
+
+class TestFastPathAgreesWithRecordedPath:
+    def test_same_workload(self, light_fast_report, light_recorded_report):
+        assert light_fast_report.frames == light_recorded_report.frames
+        assert light_fast_report.streams == light_recorded_report.streams
+        assert light_fast_report.frames > 500
+
+    def test_same_accuracy_and_bandwidth(self, light_fast_report, light_recorded_report):
+        assert light_fast_report.f_score == light_recorded_report.f_score
+        assert (
+            light_fast_report.bandwidth_utilization
+            == light_recorded_report.bandwidth_utilization
+        )
+
+    def test_same_latency_breakdown(self, light_fast_report, light_recorded_report):
+        for key, value in light_recorded_report.latency.items():
+            assert light_fast_report.latency[key] == pytest.approx(
+                value, rel=1e-9, abs=1e-12
+            ), key
+
+    def test_same_tail_percentiles(self, light_fast_report, light_recorded_report):
+        # Below the accumulator's exact limit both paths use nearest-rank
+        # over identical samples, so the tails agree to the last bit.
+        assert light_fast_report.p50_latency_ms == light_recorded_report.p50_latency_ms
+        assert light_fast_report.p95_latency_ms == light_recorded_report.p95_latency_ms
+        assert light_fast_report.p99_latency_ms == light_recorded_report.p99_latency_ms
+
+    def test_same_queueing_and_throughput(self, light_fast_report, light_recorded_report):
+        assert light_fast_report.queue_delay_ms == pytest.approx(
+            light_recorded_report.queue_delay_ms, rel=1e-9, abs=1e-12
+        )
+        assert light_fast_report.throughput_fps == pytest.approx(
+            light_recorded_report.throughput_fps, rel=1e-9
+        )
+        assert light_fast_report.makespan_s == pytest.approx(
+            light_recorded_report.makespan_s, rel=1e-9
+        )
+
+    def test_same_per_edge_frame_counts(self, light_fast_report, light_recorded_report):
+        fast_edges = {edge["edge_id"]: edge["frames_processed"] for edge in light_fast_report.edges}
+        recorded_edges = {
+            edge["edge_id"]: edge["frames_processed"] for edge in light_recorded_report.edges
+        }
+        assert fast_edges == recorded_edges
+
+
+class TestFastPathDeterminism:
+    def test_seeded_fast_runs_are_bit_identical(self):
+        spec = get_scenario("scale-stress-smoke").with_(duration_s=10.0)
+        first = run(spec)
+        second = run(spec)
+        assert first.to_dict() == second.to_dict()
+
+    def test_recorded_golden_pin_unaffected_by_fast_path_machinery(self):
+        """The recorded path's seeded runs stay bit-for-bit reproducible."""
+        spec = get_scenario("cluster-uniform")
+        assert spec.record_frames
+        assert run(spec).to_dict() == run(spec).to_dict()
+
+
+# -- spec validation ----------------------------------------------------------
+class TestSpecValidation:
+    def test_reference_engine_requires_recording(self):
+        with pytest.raises(ValueError, match="reference_engine"):
+            ScenarioSpec(
+                deployment="cluster", record_frames=False, reference_engine=True
+            )
+
+    def test_fast_path_is_cluster_only(self):
+        with pytest.raises(ValueError, match="record_frames"):
+            ScenarioSpec(deployment="single", record_frames=False)
+
+    def test_traffic_video_must_exist(self):
+        with pytest.raises(ValueError, match="traffic_video"):
+            ScenarioSpec(
+                deployment="cluster",
+                traffic="poisson",
+                traffic_video="no-such-video",
+            )
+
+    def test_traffic_video_requires_traffic(self):
+        with pytest.raises(ValueError, match="traffic_video"):
+            ScenarioSpec(deployment="cluster", traffic_video="stress")
+
+    def test_scale_stress_scenarios_are_registered(self):
+        full = get_scenario("scale-stress")
+        smoke = get_scenario("scale-stress-smoke")
+        reference = get_scenario("scale-stress-reference")
+        assert not full.record_frames and not smoke.record_frames
+        assert reference.reference_engine and reference.record_frames
+        assert full.num_edges >= 100
+        # ~1e5 streams / 1e6 frames offered over the arrival horizon.
+        assert full.offered_rate * full.duration_s >= 1e5
+        assert full.offered_rate * full.duration_s * full.frames >= 1e6
+
+    def test_model_axes_must_name_library_profiles(self):
+        with pytest.raises(ValueError, match="edge_model"):
+            ScenarioSpec(deployment="cluster", edge_model="no-such-model")
+        with pytest.raises(ValueError, match="cloud_model"):
+            ScenarioSpec(deployment="cluster", cloud_model="no-such-model")
+
+    def test_stress_profiles_never_hallucinate(self):
+        assert MODEL_LIBRARY["stress-edge"].false_positive_rate == 0.0
+        assert MODEL_LIBRARY["stress-cloud"].false_positive_rate == 0.0
+        stress = get_scenario("scale-stress")
+        assert stress.edge_model == "stress-edge"
+        assert stress.cloud_model == "stress-cloud"
+
+
+# -- static-video fast lanes (shared frames, skipped RNG mints) ---------------
+class TestStaticVideoSharing:
+    def test_is_static_flags_only_content_free_presets(self):
+        assert VIDEO_LIBRARY["stress"].is_static
+        for key in ("v1", "v2", "v3", "v4", "v5"):
+            assert not VIDEO_LIBRARY[key].is_static
+
+    def test_static_videos_share_one_frame_tuple(self):
+        first = list(make_video("stress", num_frames=7).frames())
+        second = list(make_video("stress", num_frames=7).frames())
+        other = list(make_video("stress", num_frames=8).frames())
+        assert [a is b for a, b in zip(first, second)] == [True] * 7
+        assert len(other) == 8 and other[0] is not first[0]
+        assert all(frame.objects == () for frame in first)
+
+    def test_static_video_never_draws_from_its_rng(self):
+        rng = np.random.default_rng(123)
+        witness = np.random.default_rng(123)
+        for _ in make_video("stress", num_frames=50, rng=rng).frames():
+            pass
+        assert rng.normal() == witness.normal()
+
+    def test_traffic_source_reuses_one_rng_for_static_streams(self):
+        config = TrafficConfig(
+            offered_rate=5.0, duration_s=2.0, video_keys=("stress",)
+        )
+        videos = [
+            video
+            for _, video in TrafficSource(config, RngRegistry(7)).streams()
+        ]
+        assert len(videos) >= 2
+        assert all(video.rng is videos[0].rng for video in videos)
+
+
+# -- interval tracking gate ---------------------------------------------------
+class TestTrackIntervalsGate:
+    def test_untracked_server_skips_interval_history_but_not_busy_time(self):
+        tracked = Server(capacity=1)
+        untracked = Server(capacity=1)
+        untracked.track_intervals = False
+        for server in (tracked, untracked):
+            start, _ = server.acquire(0.0)
+            server.finish(start, 2.0)
+        assert untracked.busy_time == tracked.busy_time == 2.0
+        assert tracked.load(2.0, window=4.0) > 0.0
+        assert untracked.load(2.0, window=4.0) == 0.0

@@ -117,8 +117,14 @@ class TestSyntheticVideo:
 
 
 class TestVideoLibrary:
-    def test_library_has_five_videos(self):
-        assert set(VIDEO_LIBRARY) == {"v1", "v2", "v3", "v4", "v5"}
+    def test_library_has_paper_videos_plus_stress(self):
+        assert set(VIDEO_LIBRARY) == {"v1", "v2", "v3", "v4", "v5", "stress"}
+
+    def test_stress_video_is_content_free(self):
+        video = make_video("stress", num_frames=20, seed=3)
+        frames = list(video.frames())
+        assert all(frame.object_count == 0 for frame in frames)
+        assert all(not frame.auxiliary_input for frame in frames)
 
     def test_make_video_returns_stream(self):
         video = make_video("v1", num_frames=10, seed=1)
