@@ -9,7 +9,8 @@ Usage::
         [--threshold 0.2]
 
 Exits 1 when any gated metric (cluster throughput, mean queue delay,
-recovery time) drifts more than ``--threshold`` relative to the baseline
+recovery time, replicated-failover downtime, replication lag) drifts
+more than ``--threshold`` relative to the baseline
 on a matching cell, 0 otherwise.  Baselines that cannot be gated against
 are not errors — the gate reports why and passes:
 

@@ -10,9 +10,12 @@ sweeps exercise the engine-level additions: a cloud-contention sweep
 comparison (``migrating`` vs ``least-loaded`` on a hotspot workload with
 unequal stream lengths), and a transaction-policy grid (immediate vs
 batched vs async 2PC, asserting that batching amortises coordinator
-round trips and async hides prepare latency).  Grids run on a process
-pool (``Sweep.run(max_workers=...)``); bit-identity to serial execution
-is pinned by ``test_parallel_sweep_matches_serial_execution``.
+round trips and async hides prepare latency).  The ``replication``
+section runs the availability grid — replication factor x shipping mode
+under identical seeded hazard failures — and asserts warm failover's
+>=5x downtime cut over the restart + WAL-replay path.  Grids run on a
+process pool (``Sweep.run(max_workers=...)``); bit-identity to serial
+execution is pinned by ``test_parallel_sweep_matches_serial_execution``.
 
 The ``scale_stress`` section measures the engine hot path itself: each
 cell runs a registered scale-stress scenario in a fresh subprocess and
@@ -263,6 +266,71 @@ def failure_recovery_results(report_writer):
         ),
     )
     return results
+
+
+#: Acceptance floor: warm failover must cut the same-schedule downtime
+#: of the unreplicated restart + WAL-replay path by at least this factor.
+REPLICATION_DOWNTIME_IMPROVEMENT_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def replication_results(report_writer):
+    """Replication availability grid: factor 1/2/3 (sync) plus the
+    sync/quorum/async mode cells at factor 2.
+
+    Every cell draws its failures from the same seeded hazard stream —
+    the draw depends only on the seed, edge count, and horizon, none of
+    which the replication axes touch — so the factor-1 cell and the
+    replicated cells execute the identical failure schedule and their
+    downtime difference is the failover path alone.  Cells are keyed by
+    ``(replication_factor, replication_mode)``; the gated availability
+    metrics are hoisted to the cell's top level.
+    """
+    results = {}
+    for cell in get_sweep("replication-availability").run(max_workers=2):
+        factor = cell.assignment["replication_factor"]
+        results[(factor, "sync")] = _replication_cell(cell.report)
+    for cell in get_sweep("replication-modes").run(max_workers=2):
+        mode = cell.assignment["replication_mode"]
+        if (2, mode) not in results:
+            results[(2, mode)] = _replication_cell(cell.report)
+    rows = [
+        [
+            factor,
+            mode,
+            int(cell["promotions"]),
+            f"{cell['downtime_ms']:.1f}",
+            f"{cell['replication_lag_ms']:.2f}",
+            int(cell["log_records_shipped"]),
+            f"{cell['throughput_fps']:.2f}",
+        ]
+        for (factor, mode), cell in sorted(results.items())
+    ]
+    report_writer(
+        "cluster_replication",
+        format_table(
+            [
+                "factor",
+                "mode",
+                "promotions",
+                "downtime (ms)",
+                "replication lag (ms)",
+                "log records shipped",
+                "throughput (fps)",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
+def _replication_cell(report: RunReport) -> dict:
+    entry = _cell(report)
+    entry["downtime_ms"] = report.downtime_ms
+    entry["replication_lag_ms"] = report.replication_lag_ms
+    entry["promotions"] = float(report.promotions)
+    entry["log_records_shipped"] = float(report.log_records_shipped)
+    return entry
 
 
 @pytest.fixture(scope="module")
@@ -542,6 +610,67 @@ def test_checkpoints_bound_the_recovery_replay(failure_recovery_results):
     )
 
 
+def test_replication_cells_share_the_failure_schedule(replication_results):
+    """The sweep's premise: every cell executed the same hazard draws."""
+    schedules = {
+        key: [
+            (event["edge"], event["failed_at_s"])
+            for event in cell["report"]["failure_events"]
+        ]
+        for key, cell in replication_results.items()
+    }
+    baseline = schedules[(1, "sync")]
+    assert baseline, "the hazard base must draw at least one failure"
+    for key, schedule in schedules.items():
+        assert schedule == baseline, key
+
+
+def test_replicated_failover_beats_replay_downtime(replication_results):
+    """Acceptance: on the identical seed and failure schedule, promoting
+    a synchronously-shipped backup restores service >=5x faster than the
+    factor-1 restart + WAL-replay path."""
+    replay = replication_results[(1, "sync")]["downtime_ms"]
+    for factor in (2, 3):
+        failover = replication_results[(factor, "sync")]["downtime_ms"]
+        assert failover > 0.0
+        assert replay >= REPLICATION_DOWNTIME_IMPROVEMENT_FLOOR * failover, factor
+
+
+def test_replicated_downtime_is_promotion_bound(replication_results):
+    """Acceptance: replicated downtime is the failover protocol itself —
+    detection + election round trip + gap catch-up — not the scheduled
+    outage.  Each promotion stays within a small constant factor of the
+    detection floor, and far under the 1.5 s outage window."""
+    for factor in (2, 3):
+        cell = replication_results[(factor, "sync")]
+        replication = cell["report"]["replication"]
+        assert cell["promotions"] > 0, factor
+        for event in replication["promotion_events"]:
+            assert 5.0 <= event["downtime_ms"] <= 100.0, (factor, event)
+
+
+def test_replication_modes_trade_latency_for_staleness(replication_results):
+    """Acceptance: sync/quorum pay an acknowledgement wait per append
+    while async pays none — and async's fire-and-forget flush delay shows
+    up as strictly larger replication lag."""
+    sync = replication_results[(2, "sync")]
+    quorum = replication_results[(2, "quorum")]
+    async_ = replication_results[(2, "async")]
+    assert sync["report"]["replication"]["replication_ack_wait_ms"] > 0.0
+    assert quorum["report"]["replication"]["replication_ack_wait_ms"] > 0.0
+    assert async_["report"]["replication"]["replication_ack_wait_ms"] == 0.0
+    assert async_["replication_lag_ms"] > sync["replication_lag_ms"]
+
+
+def test_replication_ships_the_log(replication_results):
+    """Log shipping scales with the backup count and factor 1 ships nothing."""
+    assert replication_results[(1, "sync")]["log_records_shipped"] == 0.0
+    shipped_2 = replication_results[(2, "sync")]["log_records_shipped"]
+    shipped_3 = replication_results[(3, "sync")]["log_records_shipped"]
+    assert shipped_2 > 0.0
+    assert shipped_3 > shipped_2
+
+
 def test_resharding_moves_execute(resharding_results):
     for moves, cell in resharding_results.items():
         assert cell["reshards"] == float(moves)
@@ -657,6 +786,7 @@ def test_emit_bench_cluster_artifact(
     migration_results,
     txn_policy_results,
     failure_recovery_results,
+    replication_results,
     resharding_results,
     open_loop_results,
     scale_stress_results,
@@ -693,6 +823,10 @@ def test_emit_bench_cluster_artifact(
             {"checkpoint_interval_s": interval, **cell}
             for interval, cell in failure_recovery_results.items()
         ],
+        "replication": [
+            {"replication_factor": factor, "replication_mode": mode, **cell}
+            for (factor, mode), cell in sorted(replication_results.items())
+        ],
         "resharding": [
             {"moves": moves, **cell} for moves, cell in resharding_results.items()
         ],
@@ -709,10 +843,18 @@ def test_emit_bench_cluster_artifact(
     assert recorded["artifact_schema"] == ARTIFACT_SCHEMA
     assert recorded["scaleout"]
     assert recorded["failure_recovery"]
+    assert recorded["replication"]
     assert recorded["resharding"]
     assert recorded["open_loop"]
     assert recorded["scale_stress"]
-    for section in ("scaleout", "failure_recovery", "resharding", "open_loop", "scale_stress"):
+    for section in (
+        "scaleout",
+        "failure_recovery",
+        "replication",
+        "resharding",
+        "open_loop",
+        "scale_stress",
+    ):
         for cell in recorded[section]:
             validate_report(cell["report"])
 

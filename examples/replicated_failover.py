@@ -1,0 +1,129 @@
+"""Warm failover under replication: downtime vs. replication factor.
+
+With ``replication_factor > 1`` every partition's primary ships each
+write-ahead-log append to ``factor - 1`` warm backups over the
+cross-edge network.  When a seeded hazard kills an edge, failover no
+longer waits for a checkpoint restore plus log replay: the most
+caught-up backup is elected (highest applied LSN), the surviving log
+tail closes its gap, and the partition re-homes — so ``downtime_ms``
+collapses from the replay cost to roughly detection plus an election
+round trip.
+
+Every cell below executes the *same* seeded failure schedule (the
+hazard draws come from a dedicated RNG stream the replication axes
+never touch), so the downtime column is the failover path and nothing
+else.  The second table holds the factor at 2 and sweeps the shipping
+mode: ``sync`` acks wait for the slowest backup, ``quorum`` for a
+majority, and ``async`` never waits but ships through a flush buffer —
+backups run stale, and a crash has a longer gap to catch up.
+
+Run with::
+
+    PYTHONPATH=src python examples/replicated_failover.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import ScenarioSpec, Sweep
+
+
+def hazard_base(**overrides) -> ScenarioSpec:
+    base = dict(
+        deployment="cluster",
+        num_edges=4,
+        streams=8,
+        frames=30,
+        seed=2022,
+        consistency="ms-sr",
+        workload="hotspot",
+        hot_key_range=50,
+        router="round-robin",
+        fps=5.0,
+        checkpoint_interval_s=1.0,
+        failure_hazard_rate=0.25,
+        failure_outage_s=1.5,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def main() -> None:
+    base = hazard_base()
+    print(
+        f"workload: {base.streams} hotspot streams x {base.frames} frames on "
+        f"{base.num_edges} edges (MS-SR, seed {base.seed});\n"
+        f"seeded hazard failures at rate {base.failure_hazard_rate}/s, "
+        f"{base.failure_outage_s:.1f}s outages\n"
+    )
+
+    rows = []
+    for cell in Sweep(base=base, axis="replication_factor", values=(1, 2, 3)).run():
+        report = cell.report
+        factor = cell.assignment["replication_factor"]
+        rows.append(
+            [
+                factor,
+                "replay" if factor == 1 else "promote",
+                f"{report.downtime_ms:.2f}",
+                f"{report.recovery_time_ms:.2f}",
+                report.promotions,
+                report.log_records_shipped,
+                f"{report.replication_lag_ms:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "factor",
+                "failover",
+                "downtime (ms)",
+                "recovery time (ms)",
+                "promotions",
+                "log records shipped",
+                "mean ship lag (ms)",
+            ],
+            rows,
+        )
+    )
+
+    print("\nshipping modes at factor 2:\n")
+    rows = []
+    for cell in Sweep(
+        base=hazard_base(replication_factor=2),
+        axis="replication_mode",
+        values=("sync", "quorum", "async"),
+    ).run():
+        report = cell.report
+        replication = report.replication or {}
+        rows.append(
+            [
+                cell.assignment["replication_mode"],
+                f"{report.downtime_ms:.2f}",
+                f"{report.replication_lag_ms:.2f}",
+                f"{replication.get('replication_ack_wait_ms', 0.0):.2f}",
+                sum(
+                    event["records_caught_up"]
+                    for event in replication.get("promotion_events", ())
+                ),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "mode",
+                "downtime (ms)",
+                "mean ship lag (ms)",
+                "mean ack wait (ms)",
+                "gap records caught up",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReplication turns recovery from 'replay the log tail' into 'promote\n"
+        "a warm backup': downtime drops by orders of magnitude, paid for in\n"
+        "shipped log records and (sync/quorum) per-append ack waits."
+    )
+
+
+if __name__ == "__main__":
+    main()

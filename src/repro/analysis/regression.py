@@ -30,13 +30,14 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "resharding": ("moves",),
     "open_loop": ("label",),
     "scale_stress": ("label",),
+    "replication": ("replication_factor", "replication_mode"),
 }
 
 #: Version stamp of the ``BENCH_cluster.json`` layout.  Bumped when the
 #: cell schema changes incompatibly; the CI gate treats a baseline with
 #: a different stamp like a missing baseline (nothing to compare
 #: against) instead of failing on spurious diffs.
-ARTIFACT_SCHEMA = 4
+ARTIFACT_SCHEMA = 5
 
 
 class ArtifactError(ValueError):
@@ -46,8 +47,9 @@ class ArtifactError(ValueError):
 #: ``mean_queue_delay_ms`` come from the legacy summary keys every cell
 #: carries; ``recovery_time_ms`` only exists on ``failure_recovery``
 #: cells, ``goodput_fps`` and ``shed_rate`` only on ``open_loop`` cells,
-#: and ``wall_clock_per_frame_us`` only on ``scale_stress`` cells (cells
-#: missing a metric are simply not gated on it).  Drift in either
+#: ``wall_clock_per_frame_us`` only on ``scale_stress`` cells, and
+#: ``downtime_ms``/``replication_lag_ms`` only on ``replication`` cells
+#: (cells missing a metric are simply not gated on it).  Drift in either
 #: direction is suspect: for the simulated metrics a seeded benchmark
 #: should not move at all without a behavioural change, and for the
 #: wall-clock metric a >threshold move means the engine hot path got
@@ -59,6 +61,8 @@ GATED_METRICS = (
     "goodput_fps",
     "shed_rate",
     "wall_clock_per_frame_us",
+    "downtime_ms",
+    "replication_lag_ms",
 )
 
 #: Default tolerated relative drift (20%).

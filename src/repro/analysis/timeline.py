@@ -119,11 +119,18 @@ class AvailabilityTimeline:
     ``cycles`` holds, per completed failure,
     ``(edge, failed_at, recovered_at, records_replayed)``; a failure
     whose recovery never happened (run ended first) appears with
-    ``recovered_at = None``.
+    ``recovered_at = None``.  Under replication, ``promotions`` holds
+    ``(time, partition, from_edge, to_edge, records_caught_up)`` per
+    warm failover, ``rejoins`` the ``(time, edge)`` of every restarted
+    host re-enrolling as a standby, and ``log_ships`` the count of
+    shipped WAL appends — all empty/zero at replication factor 1.
     """
 
     cycles: tuple[tuple[int, float, float | None, int], ...]
     checkpoints: int
+    promotions: tuple[tuple[float, int, int, int, int], ...] = ()
+    rejoins: tuple[tuple[float, int], ...] = ()
+    log_ships: int = 0
 
     @property
     def count(self) -> int:
@@ -145,6 +152,14 @@ class AvailabilityTimeline:
             for edge, failed, recovered, _ in self.cycles
             if edge == edge_id and recovered is not None
         )
+
+    @property
+    def num_promotions(self) -> int:
+        return len(self.promotions)
+
+    def promotions_to(self, edge_id: int) -> int:
+        """How many partitions failed over *onto* ``edge_id``."""
+        return sum(1 for _, _, _, to_edge, _ in self.promotions if to_edge == edge_id)
 
 
 @dataclass(frozen=True)
@@ -226,6 +241,24 @@ def availability_timeline(events: EventLog) -> AvailabilityTimeline:
                 recovery.payload["records_replayed"] if recovery else 0,
             )
         )
+    promotions = tuple(
+        (
+            event.timestamp,
+            event.payload["partition"],
+            event.payload["from_edge"],
+            event.payload["to_edge"],
+            event.payload["records_caught_up"],
+        )
+        for event in events.of_kind("partition_promoted")
+    )
+    rejoins = tuple(
+        (event.timestamp, event.payload["edge"])
+        for event in events.of_kind("edge_rejoined")
+    )
     return AvailabilityTimeline(
-        cycles=tuple(cycles), checkpoints=events.count_of_kind("checkpoint")
+        cycles=tuple(cycles),
+        checkpoints=events.count_of_kind("checkpoint"),
+        promotions=promotions,
+        rejoins=rejoins,
+        log_ships=events.count_of_kind("log_shipped"),
     )

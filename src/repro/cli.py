@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.analysis.tables import format_table
+from repro.cluster.replication import REPLICATION_MODES
 from repro.cluster.router import ROUTER_POLICIES
 from repro.traffic.admission import ADMISSION_POLICIES
 from repro.traffic.arrivals import ARRIVAL_PROCESSES
@@ -221,6 +222,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="apologies/s the load shedder may spend degrading frames "
         "under overload (omit = no shedding)",
     )
+    cluster_parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=1,
+        metavar="N",
+        help="copies of each partition: 1 primary + N-1 warm backups on "
+        "distinct edges (1 = no replication)",
+    )
+    cluster_parser.add_argument(
+        "--replication-mode",
+        choices=list(REPLICATION_MODES),
+        default="sync",
+        help="log-shipping acknowledgement discipline (sync = all backups, "
+        "quorum = majority, async = fire-and-forget)",
+    )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
     scenario_parser = subparsers.add_parser(
@@ -235,6 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(TXN_POLICIES),
         default=None,
         help="override the scenario's commit policy",
+    )
+    scenario_parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's partition replication factor",
+    )
+    scenario_parser.add_argument(
+        "--replication-mode",
+        choices=list(REPLICATION_MODES),
+        default=None,
+        help="override the scenario's log-shipping acknowledgement discipline",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -503,6 +532,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             admission=args.admission,
             apology_budget=args.apology_budget,
+            replication_factor=args.replication_factor,
+            replication_mode=args.replication_mode,
         )
     except ValueError as error:
         return _fail("cluster", str(error))
@@ -614,6 +645,22 @@ def _cluster_text(report: RunReport) -> str:
                 f"rejoined t={event['recovered_at_s']:.2f}s after replaying "
                 f"{event['records_replayed']} records"
             )
+    if report.replication:
+        replication = report.replication
+        blocks.append(
+            f"replication: factor {replication['factor']} ({replication['mode']}) — "
+            f"{replication['log_records_shipped']} log records shipped, "
+            f"mean lag {replication['replication_lag_ms']:.2f} ms, "
+            f"mean ack wait {replication['replication_ack_wait_ms']:.2f} ms"
+        )
+        for event in replication["promotion_events"]:
+            blocks.append(
+                f"  t={event['failed_at_s']:6.2f}s  partition {event['partition']} "
+                f"promoted: edge {event['from_edge']} -> edge {event['to_edge']} "
+                f"in {event['downtime_ms']:.1f} ms "
+                f"({event['records_caught_up']} records caught up at LSN "
+                f"{event['applied_lsn']})"
+            )
     if report.reshard_events:
         blocks.append(f"re-shards: {len(report.reshard_events)}")
         for event in report.reshard_events:
@@ -677,6 +724,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return _fail("scenario", str(error.args[0]))
     if args.txn_policy is not None:
         spec = spec.with_(transaction_policy=args.txn_policy)
+    try:
+        if args.replication_factor is not None:
+            spec = spec.with_(replication_factor=args.replication_factor)
+        if args.replication_mode is not None:
+            spec = spec.with_(replication_mode=args.replication_mode)
+    except ValueError as error:
+        return _fail("scenario", str(error))
     report = _profiled(args, lambda: run_scenario(spec))
     table = format_table(_REPORT_HEADERS, [_report_row(args.name, report)])
     if report.deployment == "cluster":

@@ -45,6 +45,11 @@ CHECKPOINT_RESTORE_SECONDS_PER_KEY = 2e-5
 #: key — which is why checkpoint frequency is worth sweeping.
 REPLAY_SECONDS_PER_RECORD = 2e-3
 
+#: Failure-detector timeout (seconds): how long backups wait for missed
+#: heartbeats before starting an election.  This is the floor under a
+#: warm failover's downtime — promotion cannot beat detection.
+FAILURE_DETECT_SECONDS = 0.005
+
 
 @dataclass(frozen=True)
 class FailureSpec:
@@ -246,6 +251,28 @@ class FailureRecord:
     transactions_replayed: int
     txns_aborted: int  #: in-flight transactions the failure aborted
     streams_migrated: int
+
+
+@dataclass(frozen=True)
+class PromotionRecord:
+    """One warm failover: a backup promoted to primary for a partition.
+
+    Under replication a crashed primary's partition does not wait for
+    checkpoint restore + log replay — the most-caught-up backup is
+    elected (highest shipped LSN, ties to the lowest edge id) and only
+    the gap between its applied LSN and the surviving log tail is caught
+    up.  ``promoted_at - failed_at`` is the partition's measured
+    unavailability window.
+    """
+
+    partition_id: int
+    from_edge: int  #: the crashed primary
+    to_edge: int  #: the elected backup
+    failed_at: float
+    promoted_at: float
+    applied_lsn: int  #: the winner's shipped LSN at election time
+    records_caught_up: int  #: log-tail gap replayed during promotion
+    catchup_time: float  #: seconds spent replaying the gap
 
 
 @dataclass(frozen=True)

@@ -47,9 +47,11 @@ from statistics import mean
 from typing import Callable, Sequence
 
 from repro.cluster.failure import (
+    FAILURE_DETECT_SECONDS,
     FailureInjector,
     FailureRecord,
     FailureSpec,
+    PromotionRecord,
     ReshardRecord,
     ReshardSpec,
     normalize_failure_schedule,
@@ -58,6 +60,7 @@ from repro.cluster.failure import (
     validate_failure_schedule,
 )
 from repro.cluster.node import EdgeReplica
+from repro.cluster.replication import REPLICATION_MODES, ReplicationManager
 from repro.cluster.router import (
     ROUTER_POLICIES,
     MigratingRouter,
@@ -246,6 +249,18 @@ class ClusterConfig:
     failure_outage_s: float = 1.0
     record_frames: bool = True
     reference_engine: bool = False
+    #: Replicas per partition: 1 (the default) keeps the single-owner
+    #: behaviour bit-for-bit; ``k >= 2`` gives every partition ``k - 1``
+    #: warm backups fed by log shipping, and a crashed primary's
+    #: partitions fail over by *promotion* instead of checkpoint replay.
+    replication_factor: int = 1
+    #: Log-shipping ack discipline: ``"sync"`` (ack after all backups
+    #: apply), ``"quorum"`` (ack after a majority), or ``"async"``
+    #: (fire-and-forget with bounded staleness).  Inert at factor 1.
+    replication_mode: str = "sync"
+    #: Group-commit window (seconds) for each replica's local log
+    #: appends; ``None`` keeps the flush-per-append discipline.
+    wal_group_commit_window_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.reference_engine and not self.record_frames:
@@ -318,6 +333,30 @@ class ClusterConfig:
         elif self.failure_outage_s <= 0:
             raise ValueError(
                 f"failure_outage_s must be positive, got {self.failure_outage_s}"
+            )
+        if self.replication_mode not in REPLICATION_MODES:
+            known = ", ".join(REPLICATION_MODES)
+            raise ValueError(
+                f"unknown replication_mode {self.replication_mode!r}; known modes: {known}"
+            )
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be at least 1, got {self.replication_factor}"
+            )
+        if self.replication_factor > self.num_edges:
+            raise ValueError(
+                f"replication_factor {self.replication_factor} exceeds the "
+                f"{self.num_edges} edge(s) available (backups live on distinct edges)"
+            )
+        if self.replication_factor > 1 and self.resharding:
+            raise ValueError(
+                "replication and scheduled re-sharding are mutually exclusive "
+                "(a promotion re-homes partitions through its own protocol)"
+            )
+        if self.wal_group_commit_window_s is not None and self.wal_group_commit_window_s <= 0:
+            raise ValueError(
+                f"wal_group_commit_window_s must be positive (or None), got "
+                f"{self.wal_group_commit_window_s}"
             )
 
     @property
@@ -604,6 +643,13 @@ class ClusterRunResult:
     #: default full-recording path, which derives the same metrics from
     #: the retained traces).
     frame_stats: FrameStatsAccumulator | None = None
+    #: Warm failovers performed under replication (empty at factor 1).
+    promotions: tuple[PromotionRecord, ...] = ()
+    log_records_shipped: int = 0
+    replication_lag_s: float = 0.0
+    replication_ack_wait_s: float = 0.0
+    replication_factor: int = 1
+    replication_mode: str = "sync"
 
     @property
     def final_placements(self) -> dict[str, int]:
@@ -698,6 +744,25 @@ class ClusterRunResult:
             "txns_aborted_by_failure": float(self.txns_aborted_by_failure),
             "checkpoints": float(self.checkpoints),
             "reshards": float(len(self.reshards)),
+        }
+
+    def replication_summary(self) -> dict[str, float]:
+        """Log-shipping and warm-failover metrics of one run.
+
+        A third separate dictionary (alongside :meth:`policy_summary`
+        and :meth:`availability_summary`) because both of those key sets
+        are pinned by existing tests; at ``replication_factor == 1``
+        every value is zero.
+        """
+        return {
+            "replication_factor": float(self.replication_factor),
+            "promotions": float(len(self.promotions)),
+            "log_records_shipped": float(self.log_records_shipped),
+            "replication_lag_ms": self.replication_lag_s * 1000.0,
+            "replication_ack_wait_ms": self.replication_ack_wait_s * 1000.0,
+            "records_caught_up": float(
+                sum(record.records_caught_up for record in self.promotions)
+            ),
         }
 
     def latency_percentiles(self) -> dict[str, float]:
@@ -881,6 +946,7 @@ class _RunState:
     aborted_txns: set[str] = field(default_factory=set)
     failures: list[FailureRecord] = field(default_factory=list)
     reshards: list[ReshardRecord] = field(default_factory=list)
+    promotions: list[PromotionRecord] = field(default_factory=list)
     downtime: float = 0.0
     recovery_time: float = 0.0
     records_replayed: int = 0
@@ -931,6 +997,8 @@ class ClusterSystem:
             or config.failure_hazard_rate is not None
             or config.resharding
             or config.checkpoint_interval_s is not None
+            or config.replication_factor > 1
+            or config.wal_group_commit_window_s is not None
             or base.transaction_policy == "batched-2pc"
         ):
             event_capacity = FAST_PATH_EVENT_CAPACITY
@@ -1026,6 +1094,41 @@ class ClusterSystem:
             migration_low=config.migration_low,
         )
 
+        # Replication and group-commit observe WAL appends through the
+        # ship hook.  Everything here is conditional: at the default
+        # replication_factor=1 with no group-commit window, no channels,
+        # RNG streams, or hooks exist and seeded runs stay bit-for-bit.
+        #: Engine of the run in flight (the WAL ship hook needs ``now``
+        #: and ``schedule`` from synchronous, non-process context).
+        self._run_engine: Engine | None = None
+        self._replication_channels: list[Channel] = []
+        self._replication: ReplicationManager | None = None
+        if config.replication_factor > 1:
+            self._replication_channels = [
+                Channel(
+                    SAME_REGION,
+                    self.rngs.stream(f"replication-{edge_id}"),
+                    record_transfers=config.record_frames,
+                )
+                for edge_id in range(config.num_edges)
+            ]
+            self._replication = ReplicationManager(
+                store=self.store,
+                partition_home=self._partition_home,
+                num_edges=config.num_edges,
+                factor=config.replication_factor,
+                mode=config.replication_mode,
+                channel_for=lambda edge_id: self._replication_channels[edge_id],
+            )
+        if config.wal_group_commit_window_s is not None:
+            for replica in self.replicas:
+                replica.policy.configure_group_commit(config.wal_group_commit_window_s)
+        if self._replication is not None or config.wal_group_commit_window_s is not None:
+            for partition_id in range(config.num_partitions):
+                self.store.partition(partition_id).wal.on_append = self._make_wal_observer(
+                    partition_id
+                )
+
     def _edge_server_factory(self, edge_id: int):
         """Server builder for one replica, honouring the engine knobs.
 
@@ -1089,6 +1192,34 @@ class ClusterSystem:
 
         return record
 
+    def _make_wal_observer(self, partition_id: int):
+        """Ship hook of one partition's redo log.
+
+        Fired synchronously inside every committed write: the hosting
+        replica's policy accounts the append (group-commit flush
+        amortisation), and the replication manager — when configured —
+        ships the record to the partition's backups as engine events.
+        """
+
+        def on_append(record) -> None:
+            engine = self._run_engine
+            now = engine.now if engine is not None else 0.0
+            home = self._partition_home.get(partition_id)
+            if home is not None:
+                self.replicas[home].policy.observe_wal_append(now)
+            if self._replication is not None:
+                shipped = self._replication.ship(partition_id, record, now)
+                if shipped:
+                    self.events.record(
+                        now,
+                        "log_shipped",
+                        partition=partition_id,
+                        lsn=record.lsn,
+                        backups=shipped,
+                    )
+
+        return on_append
+
     # -- public API ---------------------------------------------------------
     def run(self, streams: Sequence[SyntheticVideo]) -> ClusterRunResult:
         """Run every stream to completion and return the cluster result.
@@ -1146,6 +1277,7 @@ class ClusterSystem:
             failed=[False] * len(self.replicas),
             wake_at=[0.0] * len(self.replicas),
         )
+        self._bind_run_engine(state)
         if not record_frames:
             state.frame_stats = FrameStatsAccumulator()
         state.frames_left = {video.name: video.num_frames for video in streams}
@@ -1229,6 +1361,7 @@ class ClusterSystem:
             failed=[False] * len(self.replicas),
             wake_at=[0.0] * len(self.replicas),
         )
+        self._bind_run_engine(state)
         if not self.config.record_frames:
             state.frame_stats = FrameStatsAccumulator()
         state.traffic = TrafficStats()
@@ -1268,6 +1401,12 @@ class ClusterSystem:
         )
 
     # -- shared run setup ---------------------------------------------------
+    def _bind_run_engine(self, state: "_RunState") -> None:
+        """Point the WAL ship hook at this run's engine, reset ship stats."""
+        self._run_engine = state.engine
+        if self._replication is not None:
+            self._replication.begin_run(state.engine)
+
     def _configure_load_tracking(self, state: "_RunState") -> None:
         """Switch off per-server interval retention when nothing reads load.
 
@@ -2095,6 +2234,14 @@ class ClusterSystem:
             txns_aborted=len(aborted),
         )
 
+        if self._replication is not None:
+            # Warm failover: the owned partitions promote their backups
+            # instead of waiting for the host restart + log replay.
+            yield from self._promotion_process(
+                state, spec, replica, failed_at, len(aborted), migrated, failed_over
+            )
+            return
+
         yield engine.at(spec.recover_at)
 
         # Restart: rebuild every owned partition from its latest
@@ -2140,6 +2287,151 @@ class ClusterSystem:
             state.engine.spawn(
                 self._failback_process(state, spec.edge_id, failed_over),
                 at=rejoined_at,
+                name=f"failback-edge-{spec.edge_id}",
+            )
+
+    def _promotion_process(
+        self,
+        state: "_RunState",
+        spec: FailureSpec,
+        replica: EdgeReplica,
+        failed_at: float,
+        txns_aborted: int,
+        migrated: int,
+        failed_over: list[str],
+    ):
+        """Warm failover of a crashed primary's partitions.
+
+        Runs as engine events so the downtime is *measured*: a
+        failure-detection wait, then per partition an election of the
+        most-caught-up backup (highest shipped LSN, ties to the lowest
+        edge id), an election/re-route round trip over the new primary's
+        replication channel, and a catch-up replay of only the gap
+        between the winner's applied LSN and the surviving log tail.
+        Promotions of a replica's partitions run in parallel; service is
+        restored when the slowest one finishes.  The crashed host still
+        restarts at its scheduled ``recover_at`` — owning nothing, it
+        rejoins after the base restart overhead as a warm standby
+        re-enrolled from the durable logs.
+        """
+        engine = state.engine
+        manager = self._replication
+        # The crashed host also loses every standby it held for other
+        # primaries (standby stores are volatile); it re-enrolls from
+        # the durable logs after its restart.
+        manager.drop_edge(spec.edge_id)
+        # Backups notice the missed heartbeats before anyone can act.
+        yield FAILURE_DETECT_SECONDS
+
+        owned = sorted(replica.owned_partitions)
+        completion = engine.now
+        catchup_total = 0.0
+        records_caught_up = 0
+        gap_transactions: set[str] = set()
+        for partition_id in owned:
+            group = manager.group(partition_id)
+            winner = group.elect()
+            if winner is None:
+                # No live standby (impossible at factor >= 2 with
+                # disjoint failures, but stay safe): this partition
+                # waits for the host restart like the unreplicated path.
+                continue
+            partition = self.store.partition(partition_id)
+            round_trip = manager.election_round_trip(winner, engine.now)
+            applied = group.applied_lsn[winner]
+            store, gap = group.promote(winner, partition.wal)
+            catchup = manager.catchup_time(len(gap))
+            done_at = engine.now + round_trip + catchup
+            promotion = PromotionRecord(
+                partition_id=partition_id,
+                from_edge=spec.edge_id,
+                to_edge=winner,
+                failed_at=failed_at,
+                promoted_at=done_at,
+                applied_lsn=applied,
+                records_caught_up=len(gap),
+                catchup_time=catchup,
+            )
+
+            def finish(
+                partition=partition,
+                store=store,
+                promotion=promotion,
+            ) -> None:
+                partition.promote(store)
+                self.replicas[promotion.from_edge].release_partition(promotion.partition_id)
+                self.replicas[promotion.to_edge].adopt_partition(promotion.partition_id)
+                self._partition_home[promotion.partition_id] = promotion.to_edge
+                state.promotions.append(promotion)
+                self.events.record(
+                    promotion.promoted_at,
+                    "partition_promoted",
+                    partition=promotion.partition_id,
+                    from_edge=promotion.from_edge,
+                    to_edge=promotion.to_edge,
+                    applied_lsn=promotion.applied_lsn,
+                    records_caught_up=promotion.records_caught_up,
+                    downtime=promotion.promoted_at - promotion.failed_at,
+                )
+
+            engine.schedule(done_at, finish)
+            completion = max(completion, done_at)
+            catchup_total += catchup
+            records_caught_up += len(gap)
+            gap_transactions.update(record.transaction_id for record in gap)
+
+        if completion > engine.now:
+            yield engine.at(completion)
+
+        # Service is restored the instant the slowest promotion lands;
+        # that — not the host restart — is the measured downtime.
+        restored_at = engine.now
+        record = FailureRecord(
+            edge_id=spec.edge_id,
+            failed_at=failed_at,
+            recovered_at=restored_at,
+            downtime=restored_at - failed_at,
+            recovery_time=catchup_total,
+            records_replayed=records_caught_up,
+            transactions_replayed=len(gap_transactions),
+            txns_aborted=txns_aborted,
+            streams_migrated=migrated,
+        )
+        state.failures.append(record)
+        state.downtime += record.downtime
+        state.recovery_time += catchup_total
+        state.records_replayed += records_caught_up
+        state.transactions_replayed += len(gap_transactions)
+        self.events.record(
+            restored_at,
+            "edge_recovered",
+            edge=spec.edge_id,
+            records_replayed=records_caught_up,
+            transactions_replayed=len(gap_transactions),
+            recovery_time=catchup_total,
+            downtime=record.downtime,
+        )
+
+        # Host restart: nothing to replay (it owns no partitions now),
+        # so it rejoins after the base restart overhead and re-enrolls
+        # as a warm standby wherever a group has a free seat.
+        if engine.now < spec.recover_at:
+            yield engine.at(spec.recover_at)
+        restart = recovery_time(0, 0)
+        state.wake_at[spec.edge_id] = engine.now + restart
+        yield restart
+        state.failed[spec.edge_id] = False
+        bootstrapped = manager.reenroll(spec.edge_id, engine.now)
+        self.events.record(
+            engine.now,
+            "edge_rejoined",
+            edge=spec.edge_id,
+            standby_records=bootstrapped,
+        )
+        if self.config.failback and failed_over:
+            state.engine.spawn(
+                self._failback_process(state, spec.edge_id, failed_over),
+                at=engine.now,
                 name=f"failback-edge-{spec.edge_id}",
             )
 
@@ -2393,6 +2685,18 @@ class ClusterSystem:
             checkpoints=state.checkpoints,
             traffic=state.traffic,
             frame_stats=state.frame_stats,
+            promotions=tuple(state.promotions),
+            log_records_shipped=(
+                self._replication.records_shipped if self._replication is not None else 0
+            ),
+            replication_lag_s=(
+                self._replication.mean_lag_s if self._replication is not None else 0.0
+            ),
+            replication_ack_wait_s=(
+                self._replication.mean_ack_wait_s if self._replication is not None else 0.0
+            ),
+            replication_factor=self.config.replication_factor,
+            replication_mode=self.config.replication_mode,
         )
 
     # -- banks --------------------------------------------------------------

@@ -261,6 +261,39 @@ def _failure_recovery() -> ScenarioSpec:
 
 
 @register_scenario(
+    "replicated-failover",
+    "Warm failover: the failure-recovery scenario at replication factor 2 — "
+    "edge 1's partition promotes its synchronously-shipped backup instead of "
+    "waiting out the restart + WAL replay",
+)
+def _replicated_failover() -> ScenarioSpec:
+    return _failure_recovery().with_(replication_factor=2)
+
+
+def _hazard_cluster(**overrides) -> ScenarioSpec:
+    """The availability-sweep base: seeded hazard failures on 4 edges.
+
+    The hazard draws come from the dedicated ``failure-hazard`` stream
+    and depend only on the seed, the edge count, and the run horizon —
+    none of which the replication axes touch — so every cell of a
+    ``replication_factor`` sweep executes the *same* failure schedule
+    and downtime differences are attributable to the failover path
+    alone.
+    """
+    base = dict(
+        num_edges=4,
+        router="round-robin",
+        fps=5.0,
+        frames=30,
+        checkpoint_interval_s=1.0,
+        failure_hazard_rate=0.25,
+        failure_outage_s=1.5,
+    )
+    base.update(overrides)
+    return _bench_cluster(**base)
+
+
+@register_scenario(
     "resharding",
     "Elasticity: partition 0 moves from edge 0 to edge 1 at t=2s by "
     "checkpoint-copy plus a log-shipped tail",
@@ -476,6 +509,32 @@ def _failure_recovery_sweep() -> Sweep:
         base=_failure_recovery(),
         axis="checkpoint_interval_s",
         values=(0.5, 1.0, 2.0, None),
+    )
+
+
+@register_sweep(
+    "replication-availability",
+    "Availability sweep: replication factor 1/2/3 under the same seeded "
+    "hazard-drawn failures — restart + WAL replay vs warm failover downtime",
+)
+def _replication_availability_sweep() -> Sweep:
+    return Sweep(
+        base=_hazard_cluster(),
+        axis="replication_factor",
+        values=(1, 2, 3),
+    )
+
+
+@register_sweep(
+    "replication-modes",
+    "Log-shipping discipline grid at factor 2: sync vs quorum vs async "
+    "acknowledgement on the hazard-failure cluster",
+)
+def _replication_modes_sweep() -> Sweep:
+    return Sweep(
+        base=_hazard_cluster(replication_factor=2),
+        axis="replication_mode",
+        values=("sync", "quorum", "async"),
     )
 
 

@@ -87,6 +87,10 @@ REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
     "p50_latency_ms": (int, float),
     "p95_latency_ms": (int, float),
     "p99_latency_ms": (int, float),
+    "replication_lag_ms": (int, float),
+    "promotions": int,
+    "log_records_shipped": int,
+    "log_flushes": int,
     "edges": list,
     "migration_events": list,
     "failure_events": list,
@@ -141,6 +145,10 @@ class RunReport:
     p50_latency_ms: float = 0.0
     p95_latency_ms: float = 0.0
     p99_latency_ms: float = 0.0
+    replication_lag_ms: float = 0.0
+    promotions: int = 0
+    log_records_shipped: int = 0
+    log_flushes: int = 0
     edges: tuple[dict[str, Any], ...] = ()
     migration_events: tuple[dict[str, Any], ...] = ()
     failure_events: tuple[dict[str, Any], ...] = ()
@@ -148,6 +156,9 @@ class RunReport:
     cloud_queue: dict[str, float] | None = None
     batch_flushes: dict[str, float] | None = None
     traffic: dict[str, float] | None = None
+    #: Log-shipping/failover detail of a replicated cluster run (None at
+    #: replication factor 1, like ``batch_flushes`` without batching).
+    replication: dict[str, Any] | None = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -228,6 +239,10 @@ class RunReport:
             "p50_latency_ms": self.p50_latency_ms,
             "p95_latency_ms": self.p95_latency_ms,
             "p99_latency_ms": self.p99_latency_ms,
+            "replication_lag_ms": self.replication_lag_ms,
+            "promotions": self.promotions,
+            "log_records_shipped": self.log_records_shipped,
+            "log_flushes": self.log_flushes,
             "edges": [dict(edge) for edge in self.edges],
             "migration_events": [dict(event) for event in self.migration_events],
             "failure_events": [dict(event) for event in self.failure_events],
@@ -237,6 +252,9 @@ class RunReport:
                 dict(self.batch_flushes) if self.batch_flushes is not None else None
             ),
             "traffic": dict(self.traffic) if self.traffic is not None else None,
+            "replication": (
+                dict(self.replication) if self.replication is not None else None
+            ),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -282,6 +300,10 @@ class RunReport:
             p50_latency_ms=payload["p50_latency_ms"],
             p95_latency_ms=payload["p95_latency_ms"],
             p99_latency_ms=payload["p99_latency_ms"],
+            replication_lag_ms=payload["replication_lag_ms"],
+            promotions=payload["promotions"],
+            log_records_shipped=payload["log_records_shipped"],
+            log_flushes=payload["log_flushes"],
             edges=tuple(dict(edge) for edge in payload["edges"]),
             migration_events=tuple(dict(event) for event in payload["migration_events"]),
             failure_events=tuple(dict(event) for event in payload["failure_events"]),
@@ -296,6 +318,11 @@ class RunReport:
             ),
             traffic=(
                 dict(payload["traffic"]) if payload.get("traffic") is not None else None
+            ),
+            replication=(
+                dict(payload["replication"])
+                if payload.get("replication") is not None
+                else None
             ),
         )
 

@@ -83,6 +83,13 @@ def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
         failure_outage_s=spec.failure_outage_s,
         record_frames=spec.record_frames,
         reference_engine=spec.reference_engine,
+        replication_factor=spec.replication_factor,
+        replication_mode=spec.replication_mode,
+        wal_group_commit_window_s=(
+            spec.wal_group_commit_window_ms / 1000.0
+            if spec.wal_group_commit_window_ms is not None
+            else None
+        ),
     )
 
 
@@ -264,6 +271,30 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         if flushes.flushes
         else None
     )
+    replication = (
+        {
+            "factor": result.replication_factor,
+            "mode": result.replication_mode,
+            "log_records_shipped": result.log_records_shipped,
+            "replication_lag_ms": result.replication_lag_s * 1000.0,
+            "replication_ack_wait_ms": result.replication_ack_wait_s * 1000.0,
+            "promotion_events": [
+                {
+                    "partition": record.partition_id,
+                    "from_edge": record.from_edge,
+                    "to_edge": record.to_edge,
+                    "failed_at_s": record.failed_at,
+                    "promoted_at_s": record.promoted_at,
+                    "downtime_ms": (record.promoted_at - record.failed_at) * 1000.0,
+                    "applied_lsn": record.applied_lsn,
+                    "records_caught_up": record.records_caught_up,
+                }
+                for record in result.promotions
+            ],
+        }
+        if result.replication_factor > 1
+        else None
+    )
 
     return RunReport(
         scenario=spec.to_dict(),
@@ -300,6 +331,10 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         p50_latency_ms=percentiles["p50_ms"],
         p95_latency_ms=percentiles["p95_ms"],
         p99_latency_ms=percentiles["p99_ms"],
+        replication_lag_ms=result.replication_lag_s * 1000.0,
+        promotions=len(result.promotions),
+        log_records_shipped=result.log_records_shipped,
+        log_flushes=result.policy_stats.log_flushes,
         edges=edges,
         migration_events=migration_events,
         failure_events=failure_events,
@@ -307,6 +342,7 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         cloud_queue=cloud_queue,
         batch_flushes=batch_flushes,
         traffic=traffic_summary,
+        replication=replication,
     )
 
 

@@ -25,6 +25,7 @@ from repro.cluster.failure import (
     normalize_resharding,
     validate_failure_schedule,
 )
+from repro.cluster.replication import REPLICATION_MODES
 from repro.cluster.router import ROUTER_POLICIES
 from repro.detection.profiles import MODEL_LIBRARY
 from repro.traffic.admission import ADMISSION_POLICIES
@@ -90,6 +91,9 @@ CLUSTER_FIELDS = frozenset(
         "record_frames",
         "reference_engine",
         "traffic_video",
+        "replication_factor",
+        "replication_mode",
+        "wal_group_commit_window_ms",
     }
 )
 
@@ -206,6 +210,21 @@ class ScenarioSpec:
         ``"stress"`` for the content-free scale-stress preset).  ``None``
         (the default) keeps the traffic source cycling the default
         presets, which is what every existing open-loop pin does.
+    replication_factor, replication_mode:
+        Partition replication (cluster only): every write-ahead-log
+        append ships to ``replication_factor - 1`` warm backups on
+        distinct edges, and a crashed primary's partitions fail over by
+        promoting the most-caught-up backup instead of waiting for the
+        host restart + log replay.  ``replication_mode`` picks the
+        acknowledgement discipline: ``"sync"`` (ack after every backup
+        applies), ``"quorum"`` (majority), or ``"async"``
+        (fire-and-forget with bounded staleness).  Factor 1 — the
+        default — creates no replication machinery at all.
+    wal_group_commit_window_ms:
+        Group-commit window of the write-ahead log (cluster only):
+        appends within one window share a single log flush, mirroring
+        the batched-2PC amortisation.  ``None`` (the default) flushes
+        per append.
     edge_model, cloud_model:
         Which :data:`~repro.detection.profiles.MODEL_LIBRARY` profile the
         edge model ``Me`` / cloud model ``Mc`` uses.  The defaults are
@@ -252,6 +271,9 @@ class ScenarioSpec:
     record_frames: bool = True
     reference_engine: bool = False
     traffic_video: str | None = None
+    replication_factor: int = 1
+    replication_mode: str = "sync"
+    wal_group_commit_window_ms: float | None = None
     edge_model: str = "tiny-yolov3"
     cloud_model: str = "yolov3-416"
 
@@ -420,6 +442,30 @@ class ScenarioSpec:
                 raise ValueError(
                     "traffic_video only applies to open-loop runs (set traffic)"
                 )
+        if self.replication_mode not in REPLICATION_MODES:
+            raise ValueError(
+                f"unknown replication_mode {self.replication_mode!r}; "
+                f"expected one of {REPLICATION_MODES}"
+            )
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be at least 1, got {self.replication_factor}"
+            )
+        if self.replication_factor > self.num_edges:
+            raise ValueError(
+                f"replication_factor {self.replication_factor} exceeds num_edges "
+                f"{self.num_edges} (backups live on distinct edges)"
+            )
+        if self.replication_factor > 1 and self.resharding:
+            raise ValueError(
+                "replication and scheduled re-sharding are mutually exclusive "
+                "(a promotion re-homes partitions through its own protocol)"
+            )
+        if self.wal_group_commit_window_ms is not None and self.wal_group_commit_window_ms <= 0:
+            raise ValueError(
+                "wal_group_commit_window_ms must be positive (or None), got "
+                f"{self.wal_group_commit_window_ms}"
+            )
 
     # -- derived -------------------------------------------------------------
     @property

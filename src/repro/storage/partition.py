@@ -100,6 +100,19 @@ class Partition:
         self.store = KeyValueStore()
         self.available = False
 
+    def promote(self, store: KeyValueStore) -> None:
+        """Install a warm standby's store as the live state.
+
+        Warm failover: instead of rebuilding from checkpoint + replay
+        (:meth:`recover`), a promoted backup's already-applied store is
+        swapped in and the partition comes straight back available.  The
+        write-ahead log is untouched — it is the shared durable history
+        the standby was fed from, and it keeps accepting appends from
+        the new primary.
+        """
+        self.store = store
+        self.available = True
+
     def recover(self) -> RecoveryOutcome:
         """Rebuild the store: latest checkpoint + replay of the log tail."""
         checkpoint = self.wal.latest_checkpoint

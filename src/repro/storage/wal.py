@@ -133,6 +133,10 @@ class WriteAheadLog:
     def __init__(self) -> None:
         self._records: list[LogRecord] = []
         self._checkpoints: list[Checkpoint] = []
+        # Ship hook: replication (and group-commit accounting) observe every
+        # append without the log knowing who listens.  ``None`` means nobody
+        # does, which keeps the unreplicated path allocation-free.
+        self.on_append: Any | None = None
 
     # -- appending -----------------------------------------------------------
     def append(self, transaction_id: str, key: str, value: Any) -> LogRecord:
@@ -140,6 +144,24 @@ class WriteAheadLog:
         record = LogRecord(
             lsn=len(self._records) + 1, transaction_id=transaction_id, key=key, value=value
         )
+        self._records.append(record)
+        if self.on_append is not None:
+            self.on_append(record)
+        return record
+
+    def append_record(self, record: LogRecord) -> LogRecord:
+        """Apply a record shipped from another log, preserving its LSN.
+
+        This is the backup's half of log shipping: a standby log accepts
+        the primary's records verbatim so its LSNs stay aligned with the
+        primary's.  Continuity is enforced — the record must be exactly
+        the next LSN — because a gap would mean the standby silently
+        missed a committed write.  The ship hook is *not* re-fired (a
+        standby never re-ships).
+        """
+        expected = len(self._records) + 1
+        if record.lsn != expected:
+            raise ValueError(f"append_record expected LSN {expected}, got {record.lsn}")
         self._records.append(record)
         return record
 

@@ -143,6 +143,13 @@ class PolicyStats:
     coordinator_time_s: float = 0.0
     overlap_saved_s: float = 0.0
     prepare_vote_time_s: float = 0.0
+    #: Write-ahead-log appends observed on this policy's local path, and
+    #: the fsync-equivalent flushes that covered them.  Without a
+    #: group-commit window every append is its own flush; with one, all
+    #: appends inside a window share a single flush (mirroring what
+    #: ``batched-2pc`` does for coordinator round trips).
+    log_appends: int = 0
+    log_flushes: int = 0
 
     @property
     def round_trips_per_cross_partition_commit(self) -> float:
@@ -165,6 +172,8 @@ class PolicyStats:
             coordinator_time_s=self.coordinator_time_s - earlier.coordinator_time_s,
             overlap_saved_s=self.overlap_saved_s - earlier.overlap_saved_s,
             prepare_vote_time_s=self.prepare_vote_time_s - earlier.prepare_vote_time_s,
+            log_appends=self.log_appends - earlier.log_appends,
+            log_flushes=self.log_flushes - earlier.log_flushes,
         )
 
     def merge(self, other: "PolicyStats") -> None:
@@ -175,6 +184,8 @@ class PolicyStats:
         self.coordinator_time_s += other.coordinator_time_s
         self.overlap_saved_s += other.overlap_saved_s
         self.prepare_vote_time_s += other.prepare_vote_time_s
+        self.log_appends += other.log_appends
+        self.log_flushes += other.log_flushes
 
 
 class TransactionPolicy:
@@ -201,6 +212,8 @@ class TransactionPolicy:
         self.policy_stats = PolicyStats()
         self._frame_charge = 0.0
         self._frame_saving = 0.0
+        self._wal_window: float | None = None
+        self._wal_deadline: float | None = None
         #: Optional flush callback (wired by the systems to the event log).
         self.on_flush: FlushListener | None = None
         if hasattr(controller, "commit_listener"):
@@ -258,6 +271,7 @@ class TransactionPolicy:
         """
         self._frame_charge = 0.0
         self._frame_saving = 0.0
+        self._wal_deadline = None
 
     def on_edge_failure(self, now: float = 0.0) -> tuple[str, ...]:
         """Resolve in-flight transactions when this policy's edge crashes.
@@ -278,6 +292,31 @@ class TransactionPolicy:
     def update_owned(self, owned_partitions: frozenset[int]) -> None:
         """Re-point the local/remote partition split (runtime re-shard)."""
         self._owned = frozenset(owned_partitions)
+
+    # -- group-commit log accounting -----------------------------------------
+    def configure_group_commit(self, window_s: float | None) -> None:
+        """Amortise local log appends into one flush per ``window_s``.
+
+        ``None`` (the default) flushes every append individually — the
+        fsync-per-commit discipline the durability scenarios have always
+        modelled.  A positive window groups every append whose
+        :meth:`observe_wal_append` lands inside it under a single flush,
+        which is the log-layer mirror of ``batched-2pc``'s round-trip
+        batching.
+        """
+        if window_s is not None and window_s <= 0:
+            raise ValueError(f"group-commit window must be positive, got {window_s}")
+        self._wal_window = window_s
+
+    def observe_wal_append(self, now: float) -> None:
+        """Account one local write-ahead-log append at engine time ``now``."""
+        self.policy_stats.log_appends += 1
+        if self._wal_window is None:
+            self.policy_stats.log_flushes += 1
+            return
+        if self._wal_deadline is None or now >= self._wal_deadline:
+            self.policy_stats.log_flushes += 1
+            self._wal_deadline = now + self._wal_window
 
     # -- frame accounting ----------------------------------------------------
     def drain_frame_costs(self) -> tuple[float, float]:

@@ -1,0 +1,282 @@
+"""Tests for replicated partitions: log shipping, quorum acks, and
+warm-standby promotion (zero-downtime failover)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeline import availability_timeline
+from repro.cluster.replication import (
+    ASYNC_FLUSH_DELAY_S,
+    REPLICATION_MODES,
+    ReplicationGroup,
+)
+from repro.cluster.system import ClusterConfig, ClusterSystem
+from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.experiments import ScenarioSpec
+from repro.storage.kvstore import KeyValueStore
+from repro.storage.wal import WriteAheadLog
+from repro.video.library import make_camera_streams
+
+
+def replication_config(seed: int = 11, **overrides) -> ClusterConfig:
+    """The `tests/test_cluster_failure.py` golden scenario plus backups."""
+    overrides.setdefault("num_edges", 3)
+    overrides.setdefault("frame_interval", 0.2)
+    overrides.setdefault("checkpoint_interval_s", 0.5)
+    overrides.setdefault("failure_schedule", ((1, 1.0, 2.0),))
+    overrides.setdefault("replication_factor", 2)
+    return ClusterConfig(
+        base=CroesusConfig(seed=seed, consistency=ConsistencyLevel.MS_SR),
+        **overrides,
+    )
+
+
+def run_replicated(**overrides):
+    system = ClusterSystem(replication_config(**overrides))
+    result = system.run(make_camera_streams(6, num_frames=10, seed=11))
+    return system, result
+
+
+class TestReplicationValidation:
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="replication_mode"):
+            replication_config(replication_mode="paxos")
+        with pytest.raises(ValueError, match="replication_mode"):
+            ScenarioSpec(deployment="cluster", replication_mode="paxos")
+
+    def test_factor_bounds(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            replication_config(replication_factor=0)
+        # Backups live on distinct edges, so factor is capped by the fleet.
+        with pytest.raises(ValueError, match="distinct edges"):
+            replication_config(replication_factor=4)
+        with pytest.raises(ValueError, match="distinct edges"):
+            ScenarioSpec(deployment="cluster", num_edges=3, replication_factor=4)
+
+    def test_replication_excludes_scheduled_resharding(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            replication_config(resharding=((1.5, 0, 2),))
+        with pytest.raises(ValueError, match="re-homes partitions"):
+            ScenarioSpec(
+                deployment="cluster",
+                num_edges=3,
+                replication_factor=2,
+                resharding=((1.5, 0, 2),),
+            )
+
+    def test_group_commit_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            replication_config(replication_factor=1, wal_group_commit_window_s=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            ScenarioSpec(deployment="cluster", wal_group_commit_window_ms=-1.0)
+
+
+class TestReplicationGroup:
+    def make_group(self, factor: int = 3, mode: str = "sync") -> ReplicationGroup:
+        return ReplicationGroup(
+            partition_id=0,
+            primary_edge=0,
+            backup_edges=list(range(1, factor)),
+            factor=factor,
+            mode=mode,
+        )
+
+    def test_ack_delay_per_mode(self):
+        delays = [0.003, 0.001, 0.002]
+        assert self.make_group(mode="sync").ack_delay(list(delays)) == 0.003
+        # factor 3: majority is 2 of 3, and the primary counts, so the
+        # ack needs only the fastest backup.
+        assert self.make_group(mode="quorum").ack_delay(list(delays)) == 0.001
+        assert self.make_group(factor=4, mode="quorum").ack_delay(list(delays)) == 0.002
+        assert self.make_group(mode="async").ack_delay(list(delays)) == 0.0
+        assert self.make_group(mode="sync").ack_delay([]) == 0.0
+
+    def test_election_prefers_caught_up_then_low_edge_id(self):
+        wal = WriteAheadLog()
+        records = [wal.append(f"t{i}", "k", i) for i in range(3)]
+        group = self.make_group()
+        for record in records:
+            group.apply(1, record)
+        group.apply(2, records[0])
+        assert group.elect() == 1
+        # Tie on applied LSN breaks toward the lowest edge id.
+        tied = self.make_group()
+        tied.apply(1, records[0])
+        tied.apply(2, records[0])
+        assert tied.elect() == 1
+        empty = ReplicationGroup(
+            partition_id=0, primary_edge=0, backup_edges=[], factor=2, mode="sync"
+        )
+        assert empty.elect() is None
+
+    def test_promotion_replays_only_the_gap(self):
+        wal = WriteAheadLog()
+        records = [wal.append(f"t{i}", f"k{i}", i) for i in range(5)]
+        group = self.make_group(factor=2)
+        for record in records[:3]:
+            group.apply(1, record)
+        store, gap = group.promote(1, wal)
+        assert [record.lsn for record in gap] == [4, 5]
+        assert store.snapshot() == {f"k{i}": i for i in range(5)}
+        assert group.primary_edge == 1
+        assert 1 not in group.backup_edges
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(0, 100)),
+            min_size=1,
+            max_size=30,
+        ),
+        cut=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_promoted_store_matches_primary_committed_state(self, writes, cut):
+        """The failover invariant: whatever prefix the network delivered,
+        promotion (standby state + gap replay off the surviving log tail)
+        reconstructs exactly the crashed primary's committed state."""
+        wal = WriteAheadLog()
+        primary = KeyValueStore()
+        records = []
+        for index, (key, value) in enumerate(writes):
+            records.append(wal.append(f"txn-{index}", key, value))
+            primary.write(key, value, writer=f"txn-{index}")
+        group = ReplicationGroup(
+            partition_id=0, primary_edge=0, backup_edges=[1], factor=2, mode="sync"
+        )
+        applied = min(cut, len(records))
+        for record in records[:applied]:
+            group.apply(1, record)
+        assert group.elect() == 1
+        store, gap = group.promote(1, wal)
+        assert len(gap) == len(records) - applied
+        assert store.snapshot() == primary.snapshot()
+
+
+class TestWarmFailover:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_replicated()
+
+    def test_all_frames_complete_despite_the_failure(self, outcome):
+        _, result = outcome
+        assert result.num_frames == 6 * 10
+        assert result.num_failures == 1
+
+    def test_promotion_determinism_golden(self, outcome):
+        """Golden pin of the warm-failover path (seed 11, MS-SR)."""
+        _, result = outcome
+        assert result.downtime_s == pytest.approx(0.00870625089039212, abs=1e-12)
+        assert len(result.promotions) == 1
+        promotion = result.promotions[0]
+        assert promotion.partition_id == 1
+        assert promotion.from_edge == 1
+        assert promotion.to_edge == 2
+        assert promotion.failed_at == pytest.approx(1.0)
+        assert promotion.promoted_at == pytest.approx(1.0087062508903921, abs=1e-12)
+        assert promotion.applied_lsn == 3
+        assert promotion.records_caught_up == 0
+        summary = result.replication_summary()
+        assert summary["log_records_shipped"] == 480.0
+        assert summary["replication_lag_ms"] == pytest.approx(
+            2.1187399972718968, abs=1e-9
+        )
+
+    def test_failover_skips_checkpoint_restore(self, outcome):
+        """Promotion is detection + election + gap replay — with sync
+        shipping the backup was current, so no records are replayed."""
+        _, result = outcome
+        failure = result.failures[0]
+        assert failure.edge_id == 1
+        assert failure.recovery_time == 0.0
+        assert failure.records_replayed == 0
+        assert failure.transactions_replayed == 0
+        assert failure.downtime == pytest.approx(result.downtime_s)
+
+    def test_repeat_run_is_bitwise_identical(self, outcome):
+        _, first = outcome
+        _, again = run_replicated()
+        assert again.summary() == first.summary()
+        assert again.availability_summary() == first.availability_summary()
+        assert again.replication_summary() == first.replication_summary()
+
+    def test_failover_beats_replay_downtime_by_5x(self, outcome):
+        _, replicated = outcome
+        _, replay = run_replicated(replication_factor=1)
+        assert replay.downtime_s == pytest.approx(1.02204, abs=1e-4)
+        assert replicated.downtime_s > 0
+        assert replay.downtime_s >= 5.0 * replicated.downtime_s
+
+    def test_availability_timeline_sees_the_promotion(self, outcome):
+        system, _ = outcome
+        timeline = availability_timeline(system.events)
+        assert timeline.num_promotions == 1
+        assert timeline.promotions_to(2) == 1
+        assert timeline.log_ships > 0
+        assert [edge for _, edge in timeline.rejoins] == [1]
+        (cycle,) = timeline.cycles
+        edge, failed_at, recovered_at, replayed = cycle
+        assert edge == 1
+        assert replayed == 0
+        assert recovered_at - failed_at < 0.1
+
+    def test_rejoined_host_comes_back_as_standby(self, outcome):
+        system, _ = outcome
+        (rejoin,) = system.events.of_kind("edge_rejoined")
+        assert rejoin.payload["edge"] == 1
+        assert rejoin.payload["standby_records"] > 0
+        assert rejoin.timestamp > 2.0  # after the scheduled outage window
+
+
+class TestShippingModes:
+    def test_factor_one_is_inert_and_mode_axis_has_no_effect(self):
+        _, baseline = run_replicated(replication_factor=1)
+        _, async_one = run_replicated(replication_factor=1, replication_mode="async")
+        assert async_one.summary() == baseline.summary()
+        assert async_one.availability_summary() == baseline.availability_summary()
+        assert baseline.log_records_shipped == 0
+        assert baseline.promotions == ()
+        assert baseline.replication_summary()["replication_factor"] == 1.0
+
+    def test_sync_pays_acks_async_pays_staleness(self):
+        _, sync_result = run_replicated(replication_mode="sync")
+        _, async_result = run_replicated(replication_mode="async")
+        _, quorum_result = run_replicated(
+            replication_factor=3, replication_mode="quorum"
+        )
+        assert sync_result.replication_ack_wait_s > 0
+        assert quorum_result.replication_ack_wait_s > 0
+        assert async_result.replication_ack_wait_s == 0.0
+        # The async flush buffer shows up as shipping lag.
+        assert (
+            async_result.replication_lag_s
+            >= sync_result.replication_lag_s + ASYNC_FLUSH_DELAY_S / 2
+        )
+        # A quorum ack returns at the fastest backup, never after the
+        # slowest-link lag a sync ack would wait on.
+        assert quorum_result.replication_ack_wait_s <= quorum_result.replication_lag_s
+
+    def test_modes_are_exactly_the_supported_set(self):
+        assert set(REPLICATION_MODES) == {"sync", "quorum", "async"}
+
+
+class TestGroupCommit:
+    def test_window_batches_flushes_without_changing_results(self):
+        _, plain = run_replicated(replication_factor=1, failure_schedule=())
+        _, eager = run_replicated(replication_factor=2, failure_schedule=())
+        _, windowed = run_replicated(
+            replication_factor=1,
+            failure_schedule=(),
+            wal_group_commit_window_s=0.05,
+        )
+        # The append observer only exists when replication or group commit
+        # asks for it; the untouched default path counts nothing.
+        assert plain.policy_stats.log_appends == 0
+        # Without a window every append is its own flush.
+        assert eager.policy_stats.log_appends > 0
+        assert eager.policy_stats.log_flushes == eager.policy_stats.log_appends
+        assert windowed.policy_stats.log_appends == eager.policy_stats.log_appends
+        assert 0 < windowed.policy_stats.log_flushes < windowed.policy_stats.log_appends
+        # Group commit is a durability/accounting policy, not a scheduling
+        # change: the simulated outcome stays pinned.
+        assert windowed.summary() == plain.summary()
