@@ -18,7 +18,9 @@ are not errors — the gate reports why and passes:
 * a baseline that is unreadable or not valid JSON (a corrupted cache
   entry);
 * a baseline whose ``artifact_schema`` stamp differs from the
-  candidate's (the artifact layout changed under it).
+  candidate's *and* has no migration path (the artifact layout changed
+  under it).  Stamps with a migration path — v5 baselines against a v6
+  candidate — are lifted via ``migrate_artifact`` and gated normally.
 
 A broken *candidate* — the artifact this very run just produced — is a
 real failure and exits 1 with a clear message.
@@ -36,6 +38,7 @@ from repro.analysis.regression import (
     artifact_schema,
     compare_artifacts,
     load_artifact,
+    migrate_artifact,
     validate_artifact_cells,
 )
 
@@ -70,11 +73,19 @@ def main(argv: list[str] | None = None) -> int:
 
     base_schema, cand_schema = artifact_schema(baseline), artifact_schema(candidate)
     if base_schema != cand_schema:
+        migrated = migrate_artifact(baseline)
+        if migrated is None:
+            print(
+                f"baseline artifact schema v{base_schema} != candidate v{cand_schema} "
+                "(the artifact layout changed, no migration path); "
+                "nothing to gate against — PASS"
+            )
+            return 0
         print(
-            f"baseline artifact schema v{base_schema} != candidate v{cand_schema} "
-            "(the artifact layout changed); nothing to gate against — PASS"
+            f"baseline artifact schema v{base_schema} migrated to "
+            f"v{artifact_schema(migrated)} for gating"
         )
-        return 0
+        baseline = migrated
 
     try:
         result = compare_artifacts(baseline, candidate, threshold=args.threshold)

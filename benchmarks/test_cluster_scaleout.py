@@ -13,7 +13,11 @@ batched vs async 2PC, asserting that batching amortises coordinator
 round trips and async hides prepare latency).  The ``replication``
 section runs the availability grid — replication factor x shipping mode
 under identical seeded hazard failures — and asserts warm failover's
->=5x downtime cut over the restart + WAL-replay path.  Grids run on a
+>=5x downtime cut over the restart + WAL-replay path.  The ``geo``
+section runs the cross-region commit-variant grid (global vs migrated
+2PC vs asynchronous reconciliation, 2 WAN-linked regions) and the
+dominant-region placement pair, asserting migrated 2PC's WAN round-trip
+cut and async reconciliation's latency-for-apologies trade.  Grids run on a
 process pool (``Sweep.run(max_workers=...)``); bit-identity to serial
 execution is pinned by ``test_parallel_sweep_matches_serial_execution``.
 
@@ -330,6 +334,65 @@ def _replication_cell(report: RunReport) -> dict:
     entry["replication_lag_ms"] = report.replication_lag_ms
     entry["promotions"] = float(report.promotions)
     entry["log_records_shipped"] = float(report.log_records_shipped)
+    return entry
+
+
+@pytest.fixture(scope="module")
+def geo_results(report_writer):
+    """Geo-hierarchical cells: cross-region commit variants and placement.
+
+    The commit-variant grid runs the 2-region ``geo-baseline`` cell under
+    each cross-region policy; the placement pair runs the 4-region
+    uneven-demand grid (its cells are keyed ``uneven-static`` /
+    ``uneven-dominant-region`` so they never collide with the 2-region
+    static cells).  The gated metrics — WAN round trips per cross-region
+    transaction and the cross-region commit-charge p99 — are hoisted to
+    each cell's top level.
+    """
+    results = {}
+    for cell in get_sweep("geo-commit-policies").run(max_workers=2):
+        policy = cell.assignment["cross_region_policy"]
+        results[(policy, "static")] = _geo_cell(cell.report)
+    for cell in get_sweep("geo-placement").run(max_workers=2):
+        placement = cell.assignment["placement"]
+        results[("global-2pc", f"uneven-{placement}")] = _geo_cell(cell.report)
+    rows = [
+        [
+            policy,
+            placement,
+            f"{cell['geo']['cross_region_txn_fraction']:.0%}",
+            f"{cell['wan_round_trips_per_txn']:.2f}",
+            f"{cell['cross_region_p99_ms']:.0f}",
+            f"{cell['geo']['wan_time_s']:.1f}",
+            int(cell["geo"]["apologies"]),
+            int(cell["geo"]["placement_moves"]),
+        ]
+        for (policy, placement), cell in results.items()
+    ]
+    report_writer(
+        "cluster_geo",
+        format_table(
+            [
+                "policy",
+                "placement",
+                "cross-region",
+                "WAN RTs/txn",
+                "commit p99 (ms)",
+                "WAN time (s)",
+                "apologies",
+                "placement moves",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
+def _geo_cell(report: RunReport) -> dict:
+    entry = _cell(report)
+    entry["geo"] = report.geo
+    entry["wan_round_trips_per_txn"] = report.wan_round_trips_per_txn
+    entry["cross_region_p99_ms"] = report.geo["cross_region_p99_ms"]
     return entry
 
 
@@ -671,6 +734,57 @@ def test_replication_ships_the_log(replication_results):
     assert shipped_3 > shipped_2
 
 
+def test_migrated_commit_cuts_wan_round_trips(geo_results):
+    """Acceptance: on the same seeded cross-region workload, handing
+    coordination to the region owning most participant partitions takes
+    measurably fewer WAN round trips per cross-region transaction than
+    coordinating every remote partition from the origin."""
+    global_rts = geo_results[("global-2pc", "static")]["wan_round_trips_per_txn"]
+    migrated_rts = geo_results[("migrated-2pc", "static")]["wan_round_trips_per_txn"]
+    assert global_rts > 2.0
+    assert migrated_rts < 0.95 * global_rts
+
+
+def test_async_reconcile_trades_latency_for_apologies(geo_results):
+    """Acceptance: asynchronous reconciliation commits without any
+    synchronous WAN charge — its cross-region commit latency is below
+    the global-2PC cell's — at the price of a nonzero apology rate from
+    racing cross-region writes."""
+    sync_cell = geo_results[("global-2pc", "static")]
+    async_cell = geo_results[("async-reconcile", "static")]
+    assert sync_cell["cross_region_p99_ms"] > 0.0
+    assert async_cell["cross_region_p99_ms"] < sync_cell["cross_region_p99_ms"]
+    assert async_cell["geo"]["reconcile_conflicts"] > 0
+    assert async_cell["geo"]["apologies"] > 0
+
+
+def test_geo_commit_variants_agree_on_the_workload(geo_results):
+    """The commit variants only change cross-region messaging: every
+    cell of the policy grid sees the same frames, detection quality, and
+    cross-region transaction population."""
+    baseline = geo_results[("global-2pc", "static")]
+    for policy in ("migrated-2pc", "async-reconcile"):
+        cell = geo_results[(policy, "static")]
+        assert cell["frames"] == baseline["frames"]
+        assert cell["f_score"] == baseline["f_score"]
+        assert cell["geo"]["cross_region_txns"] == baseline["geo"]["cross_region_txns"]
+        assert (
+            cell["geo"]["cross_region_txn_fraction"]
+            == baseline["geo"]["cross_region_txn_fraction"]
+        )
+
+
+def test_dominant_region_placement_re_homes_partitions(geo_results):
+    """Acceptance: under deliberately uneven regional demand the
+    dominant-region mover executes real partition moves and cuts the
+    total WAN time against the static-placement cell."""
+    static_cell = geo_results[("global-2pc", "uneven-static")]
+    dominant_cell = geo_results[("global-2pc", "uneven-dominant-region")]
+    assert static_cell["geo"]["placement_moves"] == 0
+    assert dominant_cell["geo"]["placement_moves"] > 0
+    assert dominant_cell["geo"]["wan_time_s"] < static_cell["geo"]["wan_time_s"]
+
+
 def test_resharding_moves_execute(resharding_results):
     for moves, cell in resharding_results.items():
         assert cell["reshards"] == float(moves)
@@ -788,6 +902,7 @@ def test_emit_bench_cluster_artifact(
     failure_recovery_results,
     replication_results,
     resharding_results,
+    geo_results,
     open_loop_results,
     scale_stress_results,
 ):
@@ -830,6 +945,10 @@ def test_emit_bench_cluster_artifact(
         "resharding": [
             {"moves": moves, **cell} for moves, cell in resharding_results.items()
         ],
+        "geo": [
+            {"cross_region_policy": policy, "placement": placement, **cell}
+            for (policy, placement), cell in geo_results.items()
+        ],
         "open_loop": [
             {"label": label, **cell} for label, cell in open_loop_results.items()
         ],
@@ -845,6 +964,7 @@ def test_emit_bench_cluster_artifact(
     assert recorded["failure_recovery"]
     assert recorded["replication"]
     assert recorded["resharding"]
+    assert recorded["geo"]
     assert recorded["open_loop"]
     assert recorded["scale_stress"]
     for section in (
@@ -852,6 +972,7 @@ def test_emit_bench_cluster_artifact(
         "failure_recovery",
         "replication",
         "resharding",
+        "geo",
         "open_loop",
         "scale_stress",
     ):

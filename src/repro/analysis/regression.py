@@ -31,13 +31,15 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "open_loop": ("label",),
     "scale_stress": ("label",),
     "replication": ("replication_factor", "replication_mode"),
+    "geo": ("cross_region_policy", "placement"),
 }
 
 #: Version stamp of the ``BENCH_cluster.json`` layout.  Bumped when the
-#: cell schema changes incompatibly; the CI gate treats a baseline with
-#: a different stamp like a missing baseline (nothing to compare
-#: against) instead of failing on spurious diffs.
-ARTIFACT_SCHEMA = 5
+#: cell schema changes incompatibly; the CI gate first tries
+#: :func:`migrate_artifact` on an older baseline and only treats it like
+#: a missing baseline (nothing to compare against) when no migration
+#: path exists.  v6 added the ``geo`` section.
+ARTIFACT_SCHEMA = 6
 
 
 class ArtifactError(ValueError):
@@ -63,6 +65,8 @@ GATED_METRICS = (
     "wall_clock_per_frame_us",
     "downtime_ms",
     "replication_lag_ms",
+    "wan_round_trips_per_txn",
+    "cross_region_p99_ms",
 )
 
 #: Default tolerated relative drift (20%).
@@ -216,6 +220,26 @@ def artifact_schema(payload: Mapping[str, Any]) -> int:
     """Schema stamp of an artifact (1 for artifacts that predate stamps)."""
     stamp = payload.get("artifact_schema", 1)
     return stamp if isinstance(stamp, int) and not isinstance(stamp, bool) else 1
+
+
+def migrate_artifact(payload: Mapping[str, Any]) -> Mapping[str, Any] | None:
+    """Lift an older artifact to the current schema, or ``None``.
+
+    The only supported step today is v5 -> v6, which added the ``geo``
+    section: a v5 baseline is a valid v6 artifact with no geo cells, so
+    the migration is a re-stamp (the diff then reports the geo cells as
+    added, which never fails the gate).  Anything older than v5 has no
+    migration path — the cell layouts genuinely diverged — and the gate
+    falls back to treating it as a missing baseline.
+    """
+    version = artifact_schema(payload)
+    if version == ARTIFACT_SCHEMA:
+        return payload
+    if version == 5:
+        migrated = dict(payload)
+        migrated["artifact_schema"] = ARTIFACT_SCHEMA
+        return migrated
+    return None
 
 
 def compare_artifact_files(

@@ -223,6 +223,80 @@ def traffic_profile(events: EventLog) -> TrafficProfile:
     return TrafficProfile(arrivals=arrivals, sheds=sheds)
 
 
+@dataclass(frozen=True)
+class GeoProfile:
+    """WAN shipping and placement of one geo run, off the event log.
+
+    ``ships`` holds ``(time, txn, policy, from_region, to_region,
+    round_trips, bytes, duration)`` per ``wan_ship`` event — one per
+    remote region a commit round touched (2PC phases, coordinator
+    handoffs, and async write-set ships alike); ``placements`` holds
+    ``(time, partition, from_region, to_region)`` per dominant-region
+    partition move.
+    """
+
+    ships: tuple[tuple[float, str, str, int, int, int, int, float], ...]
+    placements: tuple[tuple[float, int, int, int], ...]
+
+    @property
+    def ship_count(self) -> int:
+        return len(self.ships)
+
+    @property
+    def wan_round_trips(self) -> int:
+        return sum(round_trips for *_head, round_trips, _bytes, _d in self.ships)
+
+    @property
+    def wan_bytes(self) -> int:
+        return sum(nbytes for *_head, nbytes, _duration in self.ships)
+
+    @property
+    def placement_moves(self) -> int:
+        return len(self.placements)
+
+    def ships_by_policy(self) -> dict[str, int]:
+        """Ship counts per commit variant (mixed only across sweeps)."""
+        counts: dict[str, int] = {}
+        for _, _, policy, *_rest in self.ships:
+            counts[policy] = counts.get(policy, 0) + 1
+        return counts
+
+    def bytes_between(self, from_region: int, to_region: int) -> int:
+        """WAN bytes shipped over one directed region pair."""
+        return sum(
+            nbytes
+            for _, _, _, src, dst, _, nbytes, _ in self.ships
+            if src == from_region and dst == to_region
+        )
+
+
+def geo_profile(events: EventLog) -> GeoProfile:
+    """Collect the ``wan_ship``/``partition_placed`` events of one run."""
+    ships = tuple(
+        (
+            event.timestamp,
+            event.payload["txn"],
+            event.payload["policy"],
+            event.payload["from_region"],
+            event.payload["to_region"],
+            event.payload["round_trips"],
+            event.payload["bytes"],
+            event.payload["duration"],
+        )
+        for event in events.of_kind("wan_ship")
+    )
+    placements = tuple(
+        (
+            event.timestamp,
+            event.payload["partition"],
+            event.payload["from_region"],
+            event.payload["to_region"],
+        )
+        for event in events.of_kind("partition_placed")
+    )
+    return GeoProfile(ships=ships, placements=placements)
+
+
 def availability_timeline(events: EventLog) -> AvailabilityTimeline:
     """Pair the ``edge_failed``/``edge_recovered`` events of one run."""
     recoveries: dict[int, list] = {}

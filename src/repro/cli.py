@@ -37,6 +37,8 @@ from typing import Any, Sequence
 from repro.analysis.tables import format_table
 from repro.cluster.replication import REPLICATION_MODES
 from repro.cluster.router import ROUTER_POLICIES
+from repro.geo.wan import CROSS_REGION_POLICIES, PLACEMENTS
+from repro.network.topology import WAN_LINKS
 from repro.traffic.admission import ADMISSION_POLICIES
 from repro.traffic.arrivals import ARRIVAL_PROCESSES
 from repro.transactions.policy import TXN_POLICIES
@@ -237,6 +239,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="log-shipping acknowledgement discipline (sync = all backups, "
         "quorum = majority, async = fire-and-forget)",
     )
+    cluster_parser.add_argument(
+        "--regions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="geo regions the edges are split into (1 = single-region cluster)",
+    )
+    cluster_parser.add_argument(
+        "--wan-link",
+        choices=sorted(WAN_LINKS),
+        default="cross-country",
+        help="multi-hop WAN path connecting the regions",
+    )
+    cluster_parser.add_argument(
+        "--cross-region-policy",
+        choices=list(CROSS_REGION_POLICIES),
+        default="global-2pc",
+        help="commit variant of cross-region transactions",
+    )
+    cluster_parser.add_argument(
+        "--placement",
+        choices=list(PLACEMENTS),
+        default="static",
+        help="partition placement across regions (dominant-region re-homes "
+        "partitions toward the region that uses them most)",
+    )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
     scenario_parser = subparsers.add_parser(
@@ -264,6 +292,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(REPLICATION_MODES),
         default=None,
         help="override the scenario's log-shipping acknowledgement discipline",
+    )
+    scenario_parser.add_argument(
+        "--regions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's geo region count",
+    )
+    scenario_parser.add_argument(
+        "--wan-link",
+        choices=sorted(WAN_LINKS),
+        default=None,
+        help="override the scenario's WAN path between regions",
+    )
+    scenario_parser.add_argument(
+        "--cross-region-policy",
+        choices=list(CROSS_REGION_POLICIES),
+        default=None,
+        help="override the scenario's cross-region commit variant",
+    )
+    scenario_parser.add_argument(
+        "--placement",
+        choices=list(PLACEMENTS),
+        default=None,
+        help="override the scenario's geo partition placement",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -534,6 +587,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             apology_budget=args.apology_budget,
             replication_factor=args.replication_factor,
             replication_mode=args.replication_mode,
+            regions=args.regions,
+            wan_link=args.wan_link,
+            cross_region_policy=args.cross_region_policy,
+            placement=args.placement,
         )
     except ValueError as error:
         return _fail("cluster", str(error))
@@ -661,6 +718,36 @@ def _cluster_text(report: RunReport) -> str:
                 f"({event['records_caught_up']} records caught up at LSN "
                 f"{event['applied_lsn']})"
             )
+    if report.geo:
+        geo = report.geo
+        blocks.append(
+            f"geo: {geo['regions']} regions x {geo['edges_per_region']} edges "
+            f"over {geo['wan_link']} ({geo['cross_region_policy']}, "
+            f"{geo['placement']} placement) — "
+            f"{geo['cross_region_txns']}/{geo['total_txns']} txns cross-region "
+            f"({geo['cross_region_txn_fraction']:.1%}), "
+            f"{geo['wan_round_trips_per_txn']:.2f} WAN round trips/txn, "
+            f"{geo['wan_bytes']} WAN bytes"
+        )
+        blocks.append(
+            f"  cross-region commit charge: mean {geo['cross_region_mean_ms']:.1f} ms, "
+            f"p50 {geo['cross_region_p50_ms']:.1f} ms, p99 {geo['cross_region_p99_ms']:.1f} ms"
+        )
+        if geo["migrated_handoffs"]:
+            blocks.append(f"  coordinator handoffs: {geo['migrated_handoffs']}")
+        if geo["reconcile_ships"]:
+            blocks.append(
+                f"  reconciliation: {geo['reconcile_ships']} write-set ships, "
+                f"{geo['reconcile_conflicts']} conflicts, {geo['apologies']} apologies"
+            )
+        if geo["placement_moves"]:
+            blocks.append(f"  placement moves: {geo['placement_moves']}")
+        for region in geo["per_region"]:
+            blocks.append(
+                f"  region {region['region']}: {region['txns']} txns "
+                f"({region['cross_region_txns']} cross-region), "
+                f"commit charge p99 {region['p99_ms']:.1f} ms"
+            )
     if report.reshard_events:
         blocks.append(f"re-shards: {len(report.reshard_events)}")
         for event in report.reshard_events:
@@ -729,6 +816,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             spec = spec.with_(replication_factor=args.replication_factor)
         if args.replication_mode is not None:
             spec = spec.with_(replication_mode=args.replication_mode)
+        if args.regions is not None:
+            spec = spec.with_(regions=args.regions)
+        if args.wan_link is not None:
+            spec = spec.with_(wan_link=args.wan_link)
+        if args.cross_region_policy is not None:
+            spec = spec.with_(cross_region_policy=args.cross_region_policy)
+        if args.placement is not None:
+            spec = spec.with_(placement=args.placement)
     except ValueError as error:
         return _fail("scenario", str(error))
     report = _profiled(args, lambda: run_scenario(spec))

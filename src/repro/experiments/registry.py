@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.experiments.spec import ScenarioSpec
 from repro.experiments.sweep import Sweep, SweepAxis
+from repro.geo.wan import CROSS_REGION_POLICIES, PLACEMENTS
 
 
 @dataclass(frozen=True)
@@ -309,6 +310,34 @@ def _resharding() -> ScenarioSpec:
     )
 
 
+# -- geo-hierarchical scenarios -----------------------------------------------
+def _geo_cluster(**overrides) -> ScenarioSpec:
+    """One geo cell: the contention cluster split into 2 WAN-linked regions.
+
+    40 frames (not the bench default 10) so asynchronous reconciliation
+    sees genuinely racing cross-region writes: the hotspot keys must be
+    committed by both regions within one WAN flight time for a conflict
+    — and an apology — to occur at all.
+    """
+    base = dict(
+        num_edges=4,
+        frames=40,
+        regions=2,
+        wan_link="cross-country",
+    )
+    base.update(overrides)
+    return _bench_cluster(**base)
+
+
+@register_scenario(
+    "geo-baseline",
+    "Geo deployment: 2 regions x 2 edges over a cross-country WAN, global 2PC "
+    "for cross-region transactions (the geo golden-pin cell)",
+)
+def _geo_baseline() -> ScenarioSpec:
+    return _geo_cluster()
+
+
 # -- open-loop traffic scenarios ----------------------------------------------
 def _open_loop(**overrides) -> ScenarioSpec:
     """One open-loop traffic cell: 2 edges, 2 fps streams of ~10 frames.
@@ -575,6 +604,36 @@ def _overload_control_sweep() -> Sweep:
             SweepAxis("admission", ("none", "token-bucket", "queue-threshold")),
             SweepAxis("apology_budget", (None, 2.0)),
         ),
+    )
+
+
+@register_sweep(
+    "geo-commit-policies",
+    "Cross-region commit grid: global 2PC vs coordinator-migrated 2PC vs "
+    "asynchronous reconciliation with apologies, 2 regions over a "
+    "cross-country WAN",
+)
+def _geo_commit_policies_sweep() -> Sweep:
+    return Sweep(
+        base=_geo_cluster(),
+        axis="cross_region_policy",
+        values=CROSS_REGION_POLICIES,
+    )
+
+
+@register_sweep(
+    "geo-placement",
+    "Geo placement grid: static partition homes vs dominant-region re-homing "
+    "on 4 single-edge regions with deliberately uneven stream demand",
+)
+def _geo_placement_sweep() -> Sweep:
+    # 6 streams over 4 regions: region 0 hosts two, the rest one each,
+    # so the shared hot partitions are demonstrably dominated by region 0
+    # and the dominant-region mover has real work to do.
+    return Sweep(
+        base=_geo_cluster(regions=4, streams=6),
+        axis="placement",
+        values=PLACEMENTS,
     )
 
 

@@ -91,6 +91,8 @@ REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
     "promotions": int,
     "log_records_shipped": int,
     "log_flushes": int,
+    "cross_region_txn_fraction": (int, float),
+    "wan_round_trips_per_txn": (int, float),
     "edges": list,
     "migration_events": list,
     "failure_events": list,
@@ -149,6 +151,8 @@ class RunReport:
     promotions: int = 0
     log_records_shipped: int = 0
     log_flushes: int = 0
+    cross_region_txn_fraction: float = 0.0
+    wan_round_trips_per_txn: float = 0.0
     edges: tuple[dict[str, Any], ...] = ()
     migration_events: tuple[dict[str, Any], ...] = ()
     failure_events: tuple[dict[str, Any], ...] = ()
@@ -159,6 +163,9 @@ class RunReport:
     #: Log-shipping/failover detail of a replicated cluster run (None at
     #: replication factor 1, like ``batch_flushes`` without batching).
     replication: dict[str, Any] | None = None
+    #: WAN/commit-variant detail of a geo run (None at ``regions == 1``,
+    #: following the ``replication`` pattern).
+    geo: dict[str, Any] | None = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -243,6 +250,8 @@ class RunReport:
             "promotions": self.promotions,
             "log_records_shipped": self.log_records_shipped,
             "log_flushes": self.log_flushes,
+            "cross_region_txn_fraction": self.cross_region_txn_fraction,
+            "wan_round_trips_per_txn": self.wan_round_trips_per_txn,
             "edges": [dict(edge) for edge in self.edges],
             "migration_events": [dict(event) for event in self.migration_events],
             "failure_events": [dict(event) for event in self.failure_events],
@@ -255,6 +264,7 @@ class RunReport:
             "replication": (
                 dict(self.replication) if self.replication is not None else None
             ),
+            "geo": dict(self.geo) if self.geo is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -304,6 +314,8 @@ class RunReport:
             promotions=payload["promotions"],
             log_records_shipped=payload["log_records_shipped"],
             log_flushes=payload["log_flushes"],
+            cross_region_txn_fraction=payload["cross_region_txn_fraction"],
+            wan_round_trips_per_txn=payload["wan_round_trips_per_txn"],
             edges=tuple(dict(edge) for edge in payload["edges"]),
             migration_events=tuple(dict(event) for event in payload["migration_events"]),
             failure_events=tuple(dict(event) for event in payload["failure_events"]),
@@ -324,6 +336,7 @@ class RunReport:
                 if payload.get("replication") is not None
                 else None
             ),
+            geo=(dict(payload["geo"]) if payload.get("geo") is not None else None),
         )
 
 

@@ -33,6 +33,7 @@ from repro.core.baselines import (
 )
 from repro.core.config import ConsistencyLevel, CroesusConfig
 from repro.detection.profiles import MODEL_LIBRARY
+from repro.geo.system import GeoConfig, GeoSystem
 from repro.core.results import LatencyBreakdown
 from repro.experiments.report import RunReport
 from repro.experiments.spec import ScenarioSpec
@@ -187,7 +188,24 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         # No transactions at all: detections trigger nothing, so frames
         # exercise pure detection + queueing (the scale-stress shape).
         bank_factory = empty_bank_factory
-    system = ClusterSystem(config, bank_factory=bank_factory)
+    geo_system: GeoSystem | None = None
+    if spec.regions > 1:
+        # The geo tier only exists when asked for: regions=1 takes the
+        # plain ClusterSystem construction below, so single-region seeded
+        # runs stay bit-for-bit on their golden pins.
+        geo_system = GeoSystem(
+            config,
+            GeoConfig(
+                regions=spec.regions,
+                wan_link=spec.wan_link,
+                cross_region_policy=spec.cross_region_policy,
+                placement=spec.placement,
+            ),
+            bank_factory=bank_factory,
+        )
+        system: ClusterSystem = geo_system
+    else:
+        system = ClusterSystem(config, bank_factory=bank_factory)
     if spec.traffic is None:
         result = system.run(build_streams(spec))
     else:
@@ -295,6 +313,7 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         if result.replication_factor > 1
         else None
     )
+    geo = geo_system.geo_summary() if geo_system is not None else None
 
     return RunReport(
         scenario=spec.to_dict(),
@@ -335,6 +354,12 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         promotions=len(result.promotions),
         log_records_shipped=result.log_records_shipped,
         log_flushes=result.policy_stats.log_flushes,
+        cross_region_txn_fraction=(
+            geo["cross_region_txn_fraction"] if geo is not None else 0.0
+        ),
+        wan_round_trips_per_txn=(
+            geo["wan_round_trips_per_txn"] if geo is not None else 0.0
+        ),
         edges=edges,
         migration_events=migration_events,
         failure_events=failure_events,
@@ -343,6 +368,7 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         batch_flushes=batch_flushes,
         traffic=traffic_summary,
         replication=replication,
+        geo=geo,
     )
 
 

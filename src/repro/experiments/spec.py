@@ -28,6 +28,8 @@ from repro.cluster.failure import (
 from repro.cluster.replication import REPLICATION_MODES
 from repro.cluster.router import ROUTER_POLICIES
 from repro.detection.profiles import MODEL_LIBRARY
+from repro.geo.wan import CROSS_REGION_POLICIES, PLACEMENTS
+from repro.network.topology import WAN_LINKS
 from repro.traffic.admission import ADMISSION_POLICIES
 from repro.traffic.arrivals import ARRIVAL_PROCESSES, STREAM_LENGTHS
 from repro.transactions.policy import TXN_POLICIES
@@ -94,6 +96,10 @@ CLUSTER_FIELDS = frozenset(
         "replication_factor",
         "replication_mode",
         "wal_group_commit_window_ms",
+        "regions",
+        "wan_link",
+        "cross_region_policy",
+        "placement",
     }
 )
 
@@ -225,6 +231,17 @@ class ScenarioSpec:
         appends within one window share a single log flush, mirroring
         the batched-2PC amortisation.  ``None`` (the default) flushes
         per append.
+    regions, wan_link, cross_region_policy, placement:
+        Geo-hierarchical deployment (cluster only).  ``regions`` groups
+        the edges into that many contiguous regions under one engine
+        (``num_edges`` must split evenly; 1 — the default — builds no
+        geo machinery at all).  ``wan_link`` names the multi-hop
+        :data:`~repro.network.topology.WAN_LINKS` route connecting the
+        regions; ``cross_region_policy`` picks how cross-region
+        transactions commit (:data:`~repro.geo.wan.CROSS_REGION_POLICIES`:
+        ``"global-2pc"``, ``"migrated-2pc"``, or ``"async-reconcile"``);
+        ``placement`` is ``"static"`` or ``"dominant-region"`` (re-home
+        partitions toward the region issuing most of their accesses).
     edge_model, cloud_model:
         Which :data:`~repro.detection.profiles.MODEL_LIBRARY` profile the
         edge model ``Me`` / cloud model ``Mc`` uses.  The defaults are
@@ -274,6 +291,10 @@ class ScenarioSpec:
     replication_factor: int = 1
     replication_mode: str = "sync"
     wal_group_commit_window_ms: float | None = None
+    regions: int = 1
+    wan_link: str = "cross-country"
+    cross_region_policy: str = "global-2pc"
+    placement: str = "static"
     edge_model: str = "tiny-yolov3"
     cloud_model: str = "yolov3-416"
 
@@ -466,6 +487,50 @@ class ScenarioSpec:
                 "wal_group_commit_window_ms must be positive (or None), got "
                 f"{self.wal_group_commit_window_ms}"
             )
+        if self.regions < 1:
+            raise ValueError(f"regions must be at least 1, got {self.regions}")
+        if self.wan_link not in WAN_LINKS:
+            known = ", ".join(sorted(WAN_LINKS))
+            raise ValueError(f"unknown wan_link {self.wan_link!r}; known links: {known}")
+        if self.cross_region_policy not in CROSS_REGION_POLICIES:
+            known = ", ".join(CROSS_REGION_POLICIES)
+            raise ValueError(
+                f"unknown cross_region_policy {self.cross_region_policy!r}; "
+                f"known policies: {known}"
+            )
+        if self.placement not in PLACEMENTS:
+            known = ", ".join(PLACEMENTS)
+            raise ValueError(
+                f"unknown placement {self.placement!r}; known placements: {known}"
+            )
+        if self.regions > 1:
+            if self.deployment != "cluster":
+                raise ValueError("regions > 1 requires deployment='cluster'")
+            if self.num_edges % self.regions != 0:
+                raise ValueError(
+                    f"num_edges ({self.num_edges}) must split evenly into "
+                    f"{self.regions} regions"
+                )
+            if self.transaction_policy != "immediate-2pc":
+                raise ValueError(
+                    "regions > 1 stacks the cross-region commit variants on "
+                    "immediate-2pc; got transaction_policy="
+                    f"{self.transaction_policy!r}"
+                )
+            if self.traffic is not None:
+                raise ValueError("regions > 1 runs closed-loop only (traffic=None)")
+            if self.replication_factor > 1:
+                raise ValueError("regions > 1 does not replicate partitions yet")
+            if self.failure_schedule or self.failure_hazard_rate is not None:
+                raise ValueError("regions > 1 does not support failure injection yet")
+            if self.resharding:
+                raise ValueError(
+                    "scheduled re-sharding conflicts with geo placement; drop one"
+                )
+            if not self.record_frames:
+                raise ValueError("regions > 1 requires record_frames=True")
+            if self.reference_engine:
+                raise ValueError("regions > 1 does not run on the reference engine")
 
     # -- derived -------------------------------------------------------------
     @property

@@ -1,0 +1,35 @@
+"""Geo-hierarchical deployment: edge clusters composed into regions.
+
+This package stacks a geo tier on top of :mod:`repro.cluster`: a
+:class:`GeoSystem` groups a cluster's edges into regions under one
+discrete-event engine, connects the regions with the seeded WAN channel
+mesh of :class:`~repro.geo.wan.WanFabric` (multi-hop
+:class:`~repro.network.topology.NetworkPath` routes), and models the
+cross-region commit variants of :data:`~repro.geo.wan.CROSS_REGION_POLICIES`
+plus geo-aware stream routing and dominant-region partition placement.
+"""
+
+from repro.geo.placement import GeoRouter, PlacementTracker
+from repro.geo.reconcile import Reconciler, ShipStamp, WriteShip
+from repro.geo.system import GeoConfig, GeoStats, GeoSystem
+from repro.geo.wan import (
+    CROSS_REGION_POLICIES,
+    PLACEMENTS,
+    WRITE_SET_MESSAGE_BYTES,
+    WanFabric,
+)
+
+__all__ = [
+    "CROSS_REGION_POLICIES",
+    "PLACEMENTS",
+    "WRITE_SET_MESSAGE_BYTES",
+    "GeoConfig",
+    "GeoRouter",
+    "GeoStats",
+    "GeoSystem",
+    "PlacementTracker",
+    "Reconciler",
+    "ShipStamp",
+    "WanFabric",
+    "WriteShip",
+]

@@ -1,0 +1,96 @@
+"""Geo-aware stream routing and partition placement.
+
+Routing: a :class:`GeoRouter` stripes arriving streams across regions
+first and across the edges inside each region second, so every region
+serves a share of the workload — the deployment shape the geo
+scenarios study (clients are near *their* region).
+
+Placement: a :class:`PlacementTracker` counts, per partition, which
+region's transactions touch it.  Under the ``dominant-region`` mode the
+:class:`~repro.geo.system.GeoSystem` runs a periodic engine process
+that re-homes any partition whose accesses are dominated by another
+region, reusing the same checkpoint-copy + log-tail transfer
+(:meth:`~repro.storage.partition.PartitionedStore.transfer_partition`)
+the re-sharding machinery ships partitions with.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.router import StreamRouter
+
+#: A partition is only re-homed once its dominant region has issued at
+#: least this many accesses since the last move...
+PLACEMENT_MIN_ACCESSES = 8
+
+#: ...and dominates the current home region by at least this factor
+#: (hysteresis against ping-ponging a genuinely shared partition).
+PLACEMENT_DOMINANCE = 1.5
+
+
+class GeoRouter(StreamRouter):
+    """Region-striped placement: stream *i* lands in region ``i % regions``.
+
+    Inside the chosen region, streams cycle round-robin over that
+    region's edges.  Deterministic, draws nothing from any RNG stream.
+    """
+
+    name = "geo"
+
+    def __init__(self, regions: int, edges_per_region: int) -> None:
+        super().__init__(regions * edges_per_region)
+        self.regions = regions
+        self.edges_per_region = edges_per_region
+        self._next = 0
+
+    def place(self, stream_name: str) -> int:
+        """Edge index that should host ``stream_name``."""
+        index = self._next
+        self._next += 1
+        region = index % self.regions
+        within = (index // self.regions) % self.edges_per_region
+        return region * self.edges_per_region + within
+
+
+class PlacementTracker:
+    """Per-partition access counts, broken down by accessing region."""
+
+    def __init__(self, num_partitions: int, regions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        if regions < 1:
+            raise ValueError("need at least one region")
+        self.regions = regions
+        self._counts = [[0] * regions for _ in range(num_partitions)]
+
+    def observe(self, partition_id: int, region: int) -> None:
+        """Count one access to ``partition_id`` by a region's transaction."""
+        self._counts[partition_id][region] += 1
+
+    def counts(self, partition_id: int) -> tuple[int, ...]:
+        """Access counts of one partition, indexed by region."""
+        return tuple(self._counts[partition_id])
+
+    def dominant_region(self, partition_id: int, home_region: int) -> int | None:
+        """Region that should host ``partition_id``, or ``None`` to stay.
+
+        Returns the region with the most accesses — ties broken toward
+        the current home, then the lowest id — but only when it has seen
+        at least :data:`PLACEMENT_MIN_ACCESSES` and leads the home
+        region's count by :data:`PLACEMENT_DOMINANCE`.
+        """
+        counts = self._counts[partition_id]
+        best = max(
+            range(self.regions),
+            key=lambda region: (counts[region], region == home_region, -region),
+        )
+        if best == home_region:
+            return None
+        if counts[best] < PLACEMENT_MIN_ACCESSES:
+            return None
+        if counts[best] < PLACEMENT_DOMINANCE * max(1, counts[home_region]):
+            return None
+        return best
+
+    def forget(self, partition_id: int) -> None:
+        """Reset one partition's counts (it just moved; demand must re-prove)."""
+        self._counts[partition_id] = [0] * self.regions

@@ -18,8 +18,11 @@ from repro.network.topology import (
     EDGE_REGULAR,
     EDGE_SMALL,
     CLOUD_XLARGE,
+    TRANSOCEANIC,
+    WAN_LINKS,
     EdgeCloudTopology,
     MachineProfile,
+    NetworkPath,
 )
 
 __all__ = [
@@ -27,6 +30,7 @@ __all__ = [
     "CLIENT_TO_EDGE",
     "SAME_REGION",
     "CROSS_COUNTRY",
+    "TRANSOCEANIC",
     "Channel",
     "TransferRecord",
     "MachineProfile",
@@ -34,4 +38,6 @@ __all__ = [
     "EDGE_REGULAR",
     "CLOUD_XLARGE",
     "EdgeCloudTopology",
+    "NetworkPath",
+    "WAN_LINKS",
 ]

@@ -1,4 +1,4 @@
-"""Machines and the edge-cloud topology.
+"""Machines, the edge-cloud topology, and multi-hop WAN paths.
 
 The evaluation uses two machine types (t3a.small and t3a.xlarge) and two
 placements (edge and cloud in the same region or across the country).
@@ -6,10 +6,19 @@ A :class:`MachineProfile` scales model-inference and transaction
 latencies; an :class:`EdgeCloudTopology` bundles the machine choices with
 the link profiles to describe one experimental setup (Figure 4 runs the
 same workload over four of these).
+
+Routes between geo regions are longer than one link: traffic leaves
+through the origin region's fabric, crosses a long-haul backbone, and
+arrives through the destination's fabric.  A :class:`NetworkPath` models
+such a route as an ordered sequence of links and composes them into a
+single equivalent :class:`~repro.network.latency.LinkProfile` that a
+:class:`~repro.network.channel.Channel` can consume unchanged; the named
+routes live in :data:`WAN_LINKS`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.network.latency import CLIENT_TO_EDGE, CROSS_COUNTRY, SAME_REGION, LinkProfile
@@ -114,3 +123,75 @@ class EdgeCloudTopology:
             cls.regular_edge_different_location(),
             cls.regular_edge_same_location(),
         )
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """A multi-hop route: an ordered sequence of link profiles.
+
+    The path composes its hops into one equivalent
+    :class:`~repro.network.latency.LinkProfile` under store-and-forward
+    semantics — the payload is serialised onto every hop in turn:
+
+    * propagation delay is the sum of the hop delays;
+    * effective bandwidth is the harmonic composition
+      ``1 / sum(1 / hop_bandwidth)``;
+    * jitter composes in quadrature (hop noise is independent).
+
+    Jitter aside, ``path.to_profile().transfer_time(n)`` therefore equals
+    ``sum(hop.transfer_time(n) for hop in path.hops)`` exactly.
+    """
+
+    name: str
+    hops: tuple[LinkProfile, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a network path needs at least one hop")
+
+    @property
+    def propagation_delay(self) -> float:
+        """One-way base delay of the whole route, in seconds."""
+        return sum(hop.propagation_delay for hop in self.hops)
+
+    @property
+    def bandwidth_bytes_per_sec(self) -> float:
+        """Effective end-to-end bandwidth under per-hop serialisation."""
+        return 1.0 / sum(1.0 / hop.bandwidth_bytes_per_sec for hop in self.hops)
+
+    @property
+    def jitter(self) -> float:
+        """Standard deviation of the composed delay noise, in seconds."""
+        return math.sqrt(sum(hop.jitter**2 for hop in self.hops))
+
+    def to_profile(self) -> LinkProfile:
+        """The single-link equivalent of traversing every hop in order."""
+        return LinkProfile(
+            name=self.name,
+            propagation_delay=self.propagation_delay,
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
+            jitter=self.jitter,
+        )
+
+
+#: Long-haul backbone between continents (~150 ms RTT, constrained).
+TRANSOCEANIC = LinkProfile(
+    name="transoceanic",
+    propagation_delay=0.075,
+    bandwidth_bytes_per_sec=15e6,
+    jitter=0.008,
+)
+
+
+#: Named WAN routes between geo regions, keyed by ``ScenarioSpec.wan_link``.
+#: Every multi-hop route leaves through the origin region's fabric and
+#: arrives through the destination's, with the backbone in between.
+WAN_LINKS: dict[str, NetworkPath] = {
+    "same-region": NetworkPath("same-region", (SAME_REGION,)),
+    "cross-country": NetworkPath(
+        "cross-country", (SAME_REGION, CROSS_COUNTRY, SAME_REGION)
+    ),
+    "intercontinental": NetworkPath(
+        "intercontinental", (SAME_REGION, CROSS_COUNTRY, TRANSOCEANIC, SAME_REGION)
+    ),
+}

@@ -332,6 +332,20 @@ class TransactionPolicy:
         self._frame_saving = 0.0
         return charge, saving
 
+    def add_frame_charge(self, seconds: float) -> None:
+        """Bill extra synchronous commit latency to the frame in flight.
+
+        Coordination layers stacked *outside* the policy — the geo tier's
+        WAN commit variants — fold their messaging cost into the same
+        frame bill the policy itself uses, so the charge flows into
+        server occupancy and the latency breakdown through the existing
+        :meth:`drain_frame_costs` points without the frame pipeline
+        knowing they exist.
+        """
+        if seconds < 0:
+            raise ValueError(f"frame charge must be non-negative, got {seconds}")
+        self._frame_charge += seconds
+
     # -- shared internals ----------------------------------------------------
     def _remote(self, participants: frozenset[int]) -> frozenset[int]:
         if self._owned is None:

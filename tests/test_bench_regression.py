@@ -5,9 +5,11 @@ import json
 import pytest
 
 from repro.analysis.regression import (
+    ARTIFACT_SCHEMA,
     DEFAULT_THRESHOLD,
     compare_artifact_files,
     compare_artifacts,
+    migrate_artifact,
 )
 
 
@@ -83,6 +85,26 @@ class TestCompareArtifacts:
         assert result.threshold == DEFAULT_THRESHOLD
 
 
+class TestMigrateArtifact:
+    def test_current_schema_passes_through_unchanged(self):
+        artifact = {**_artifact(10.0, 500.0), "artifact_schema": ARTIFACT_SCHEMA}
+        assert migrate_artifact(artifact) is artifact
+
+    def test_v5_is_restamped_to_current(self):
+        """A v5 baseline is a valid v6 artifact with no geo cells."""
+        v5 = {**_artifact(10.0, 500.0), "artifact_schema": 5}
+        migrated = migrate_artifact(v5)
+        assert migrated is not None
+        assert migrated["artifact_schema"] == ARTIFACT_SCHEMA
+        assert migrated["scaleout"] == v5["scaleout"]
+        assert v5["artifact_schema"] == 5  # the input is not mutated
+
+    def test_older_schemas_have_no_migration_path(self):
+        for version in (1, 2, 3, 4):
+            assert migrate_artifact({**_artifact(10.0, 500.0), "artifact_schema": version}) is None
+        assert migrate_artifact(_artifact(10.0, 500.0)) is None  # pre-stamp == v1
+
+
 class TestCompareReportsScript:
     """The CI entry point in benchmarks/compare_reports.py."""
 
@@ -121,3 +143,30 @@ class TestCompareReportsScript:
         candidate.write_text(json.dumps(_artifact(10.5, 480.0)))
         code = script_main(["--baseline", str(baseline), "--candidate", str(candidate)])
         assert code == 0
+
+    def test_v5_baseline_is_migrated_and_still_gates(self, script_main, tmp_path, capsys):
+        """A migratable baseline is lifted, then gated for real: a clean
+        candidate passes, a collapsed one still fails."""
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        baseline.write_text(json.dumps({**_artifact(10.0, 500.0), "artifact_schema": 5}))
+        candidate.write_text(
+            json.dumps({**_artifact(10.0, 500.0), "artifact_schema": ARTIFACT_SCHEMA})
+        )
+        assert script_main(["--baseline", str(baseline), "--candidate", str(candidate)]) == 0
+        assert "migrated to" in capsys.readouterr().out
+
+        candidate.write_text(
+            json.dumps({**_artifact(4.0, 500.0), "artifact_schema": ARTIFACT_SCHEMA})
+        )
+        assert script_main(["--baseline", str(baseline), "--candidate", str(candidate)]) == 1
+
+    def test_unmigratable_schema_mismatch_passes_with_notice(self, script_main, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        baseline.write_text(json.dumps({**_artifact(10.0, 500.0), "artifact_schema": 2}))
+        candidate.write_text(
+            json.dumps({**_artifact(4.0, 500.0), "artifact_schema": ARTIFACT_SCHEMA})
+        )
+        assert script_main(["--baseline", str(baseline), "--candidate", str(candidate)]) == 0
+        assert "no migration path" in capsys.readouterr().out

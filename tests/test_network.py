@@ -9,8 +9,11 @@ from repro.network.topology import (
     CLOUD_XLARGE,
     EDGE_REGULAR,
     EDGE_SMALL,
+    TRANSOCEANIC,
+    WAN_LINKS,
     EdgeCloudTopology,
     MachineProfile,
+    NetworkPath,
 )
 
 
@@ -107,6 +110,51 @@ class TestEdgeCloudTopology:
 
     def test_small_setups_use_small_edge(self):
         assert EdgeCloudTopology.small_edge_different_location().edge_machine == EDGE_SMALL
+
+
+class TestNetworkPath:
+    def test_path_latency_is_the_sum_of_its_hops(self):
+        """The multi-hop pin: a path's transfer time equals the sum of
+        each hop's transfer time (store-and-forward, jitter-free)."""
+        path = WAN_LINKS["intercontinental"]
+        for size in (0, 1_000, 250_000, 1_000_000):
+            assert path.to_profile().transfer_time(size) == pytest.approx(
+                sum(hop.transfer_time(size) for hop in path.hops)
+            )
+
+    def test_propagation_is_the_sum_of_hop_propagations(self):
+        for path in WAN_LINKS.values():
+            assert path.propagation_delay == pytest.approx(
+                sum(hop.propagation_delay for hop in path.hops)
+            )
+
+    def test_bandwidth_is_bottlenecked_harmonically(self):
+        path = NetworkPath(name="two", hops=(SAME_REGION, CROSS_COUNTRY))
+        expected = 1.0 / (
+            1.0 / SAME_REGION.bandwidth_bytes_per_sec
+            + 1.0 / CROSS_COUNTRY.bandwidth_bytes_per_sec
+        )
+        assert path.bandwidth_bytes_per_sec == pytest.approx(expected)
+        assert path.bandwidth_bytes_per_sec < CROSS_COUNTRY.bandwidth_bytes_per_sec
+
+    def test_jitter_composes_in_quadrature(self):
+        path = NetworkPath(name="two", hops=(SAME_REGION, CROSS_COUNTRY))
+        expected = (SAME_REGION.jitter**2 + CROSS_COUNTRY.jitter**2) ** 0.5
+        assert path.jitter == pytest.approx(expected)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkPath(name="empty", hops=())
+
+    def test_wan_links_are_ordered_by_distance(self):
+        size = 250_000
+        same = WAN_LINKS["same-region"].to_profile().transfer_time(size)
+        country = WAN_LINKS["cross-country"].to_profile().transfer_time(size)
+        ocean = WAN_LINKS["intercontinental"].to_profile().transfer_time(size)
+        assert same < country < ocean
+
+    def test_intercontinental_path_crosses_the_ocean(self):
+        assert TRANSOCEANIC in WAN_LINKS["intercontinental"].hops
 
 
 class TestChannelRoundTrip:
