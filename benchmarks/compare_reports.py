@@ -9,7 +9,8 @@ Usage::
         [--threshold 0.2]
 
 Exits 1 when any gated metric (cluster throughput, mean queue delay,
-recovery time, replicated-failover downtime, replication lag) drifts
+recovery time, replicated-failover downtime, replication lag, adaptive
+F-score, incremental-tuner frame rescores) drifts
 more than ``--threshold`` relative to the baseline
 on a matching cell, 0 otherwise.  Baselines that cannot be gated against
 are not errors — the gate reports why and passes:
@@ -19,8 +20,8 @@ are not errors — the gate reports why and passes:
   entry);
 * a baseline whose ``artifact_schema`` stamp differs from the
   candidate's *and* has no migration path (the artifact layout changed
-  under it).  Stamps with a migration path — v5 baselines against a v6
-  candidate — are lifted via ``migrate_artifact`` and gated normally.
+  under it).  Stamps with a migration path — v5/v6 baselines against a
+  v7 candidate — are lifted via ``migrate_artifact`` and gated normally.
 
 A broken *candidate* — the artifact this very run just produced — is a
 real failure and exits 1 with a clear message.

@@ -423,6 +423,66 @@ def resharding_results(report_writer):
     return results
 
 
+#: Acceptance floor: the incremental tuner must do at least this many
+#: times fewer full-frame label matches than the plain evaluator would
+#: have paid for the same scored pairs.
+TUNER_RESCORE_REDUCTION_FLOOR = 10.0
+
+
+@pytest.fixture(scope="module")
+def adaptive_results(report_writer):
+    """Static thresholds vs the runtime controllers on the paced cell.
+
+    The ``static-vs-adaptive`` sweep runs the adaptation base scenario
+    under no adaptation, the feedback controller, and per-stream
+    coordinate-descent retuning.  The gated metrics — the cell's
+    ``f_score`` (already a summary key) and the incremental tuner's
+    ``tuner_frame_rescores`` — are hoisted to each cell's top level,
+    alongside the grid-cost baseline the work-bound test divides by.
+    """
+    results = {}
+    for cell in get_sweep("static-vs-adaptive").run(max_workers=2):
+        mode = cell.assignment["threshold_adaptation"]
+        entry = _cell(cell.report)
+        entry["bandwidth_utilization"] = cell.report.bandwidth_utilization
+        entry["threshold_updates"] = float(cell.report.threshold_updates)
+        entry["tuner_evaluations"] = float(cell.report.tuner_evaluations)
+        entry["tuner_frame_rescores"] = float(cell.report.tuner_frame_rescores)
+        if cell.report.adaptation is not None:
+            entry["tuner_grid_rescores"] = float(
+                cell.report.adaptation["tuner_grid_rescores"]
+            )
+        results["static" if mode is None else mode] = entry
+    rows = [
+        [
+            label,
+            f"{cell['f_score']:.4f}",
+            f"{cell['bandwidth_utilization']:.1%}",
+            int(cell["threshold_updates"]),
+            int(cell["tuner_evaluations"]),
+            int(cell["tuner_frame_rescores"]),
+            int(cell.get("tuner_grid_rescores", 0)),
+        ]
+        for label, cell in results.items()
+    ]
+    report_writer(
+        "cluster_adaptive",
+        format_table(
+            [
+                "mode",
+                "F-score",
+                "bandwidth",
+                "threshold updates",
+                "tuner evaluations",
+                "frame rescores",
+                "grid-cost baseline",
+            ],
+            rows,
+        ),
+    )
+    return results
+
+
 @pytest.fixture(scope="module")
 def open_loop_results(report_writer):
     """Open-loop traffic cells: overload control vs the uncontrolled baseline.
@@ -825,6 +885,54 @@ def test_open_loop_control_sheds_but_baseline_does_not(open_loop_results):
     assert open_loop_results["baseline-long"]["shed_rate"] == 0.0
 
 
+def test_adaptive_cells_share_the_workload(adaptive_results):
+    """The adaptation axis only changes threshold decisions: every cell
+    serves the identical frame population on the identical timeline span
+    of arrivals."""
+    baseline = adaptive_results["static"]
+    for label, cell in adaptive_results.items():
+        assert cell["frames"] == baseline["frames"], label
+        assert cell["streams"] == baseline["streams"], label
+
+
+def test_adaptive_controllers_actually_move_thresholds(adaptive_results):
+    """Acceptance: both controller modes execute real mid-run threshold
+    updates — and the static cell, by construction, records none."""
+    assert adaptive_results["static"]["threshold_updates"] == 0.0
+    for mode in ("feedback", "retune"):
+        assert adaptive_results[mode]["threshold_updates"] > 0.0, mode
+        assert (
+            adaptive_results[mode]["bandwidth_utilization"]
+            != adaptive_results["static"]["bandwidth_utilization"]
+        ), mode
+
+
+def test_retune_cuts_bandwidth_within_the_f_target(adaptive_results):
+    """Acceptance: per-stream retuning spends less validation bandwidth
+    than the static pair while holding the F-score target the
+    controllers steer towards."""
+    retune = adaptive_results["retune"]
+    static = adaptive_results["static"]
+    assert retune["bandwidth_utilization"] < static["bandwidth_utilization"]
+    target = retune["report"]["scenario"]["adaptation_target_f"]
+    assert retune["f_score"] >= target
+
+
+def test_retune_tuner_meets_the_rescore_bound(adaptive_results):
+    """Acceptance: the in-loop tuner's full-frame label matches stay
+    >=10x below what the non-incremental evaluator would have paid for
+    the same scored pairs.  The feedback mode never invokes the tuner."""
+    retune = adaptive_results["retune"]
+    assert retune["tuner_evaluations"] > 0.0
+    assert retune["tuner_frame_rescores"] > 0.0
+    assert retune["tuner_grid_rescores"] >= (
+        TUNER_RESCORE_REDUCTION_FLOOR * retune["tuner_frame_rescores"]
+    )
+    feedback = adaptive_results["feedback"]
+    assert feedback["tuner_evaluations"] == 0.0
+    assert feedback["tuner_frame_rescores"] == 0.0
+
+
 def test_scale_stress_smoke_cell_is_healthy(scale_stress_results):
     """The CI regression cell: the fast path completes the smoke-sized
     open-loop workload in bounded memory and the gated wall-clock metric
@@ -903,6 +1011,7 @@ def test_emit_bench_cluster_artifact(
     replication_results,
     resharding_results,
     geo_results,
+    adaptive_results,
     open_loop_results,
     scale_stress_results,
 ):
@@ -949,6 +1058,9 @@ def test_emit_bench_cluster_artifact(
             {"cross_region_policy": policy, "placement": placement, **cell}
             for (policy, placement), cell in geo_results.items()
         ],
+        "adaptive": [
+            {"label": label, **cell} for label, cell in adaptive_results.items()
+        ],
         "open_loop": [
             {"label": label, **cell} for label, cell in open_loop_results.items()
         ],
@@ -965,6 +1077,7 @@ def test_emit_bench_cluster_artifact(
     assert recorded["replication"]
     assert recorded["resharding"]
     assert recorded["geo"]
+    assert recorded["adaptive"]
     assert recorded["open_loop"]
     assert recorded["scale_stress"]
     for section in (
@@ -973,6 +1086,7 @@ def test_emit_bench_cluster_artifact(
         "replication",
         "resharding",
         "geo",
+        "adaptive",
         "open_loop",
         "scale_stress",
     ):

@@ -14,7 +14,9 @@ from repro.core.baselines import (
     run_hybrid_cloud,
     run_hybrid_croesus,
 )
+from repro.core.adaptive import ADAPTATION_MODES, AdaptationConfig, AdaptationManager
 from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.incremental import IncrementalThresholdScorer, coordinate_descent_search
 from repro.core.optimizer import (
     OptimizationResult,
     ThresholdEvaluator,
@@ -72,6 +74,11 @@ __all__ = [
     "OptimizationResult",
     "brute_force_search",
     "gradient_step_search",
+    "IncrementalThresholdScorer",
+    "coordinate_descent_search",
+    "ADAPTATION_MODES",
+    "AdaptationConfig",
+    "AdaptationManager",
     "RunResult",
     "LatencyBreakdown",
     "EdgeCloudTopology",

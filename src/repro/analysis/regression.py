@@ -32,14 +32,15 @@ SECTION_KEYS: dict[str, tuple[str, ...]] = {
     "scale_stress": ("label",),
     "replication": ("replication_factor", "replication_mode"),
     "geo": ("cross_region_policy", "placement"),
+    "adaptive": ("label",),
 }
 
 #: Version stamp of the ``BENCH_cluster.json`` layout.  Bumped when the
 #: cell schema changes incompatibly; the CI gate first tries
 #: :func:`migrate_artifact` on an older baseline and only treats it like
 #: a missing baseline (nothing to compare against) when no migration
-#: path exists.  v6 added the ``geo`` section.
-ARTIFACT_SCHEMA = 6
+#: path exists.  v6 added the ``geo`` section; v7 the ``adaptive`` one.
+ARTIFACT_SCHEMA = 7
 
 
 class ArtifactError(ValueError):
@@ -51,7 +52,9 @@ class ArtifactError(ValueError):
 #: cells, ``goodput_fps`` and ``shed_rate`` only on ``open_loop`` cells,
 #: ``wall_clock_per_frame_us`` only on ``scale_stress`` cells, and
 #: ``downtime_ms``/``replication_lag_ms`` only on ``replication`` cells
-#: (cells missing a metric are simply not gated on it).  Drift in either
+#: (cells missing a metric are simply not gated on it); ``f_score`` and
+#: ``tuner_frame_rescores`` only exist on ``adaptive`` cells — the
+#: latter gates the incremental tuner's work bound.  Drift in either
 #: direction is suspect: for the simulated metrics a seeded benchmark
 #: should not move at all without a behavioural change, and for the
 #: wall-clock metric a >threshold move means the engine hot path got
@@ -67,6 +70,8 @@ GATED_METRICS = (
     "replication_lag_ms",
     "wan_round_trips_per_txn",
     "cross_region_p99_ms",
+    "f_score",
+    "tuner_frame_rescores",
 )
 
 #: Default tolerated relative drift (20%).
@@ -225,17 +230,18 @@ def artifact_schema(payload: Mapping[str, Any]) -> int:
 def migrate_artifact(payload: Mapping[str, Any]) -> Mapping[str, Any] | None:
     """Lift an older artifact to the current schema, or ``None``.
 
-    The only supported step today is v5 -> v6, which added the ``geo``
-    section: a v5 baseline is a valid v6 artifact with no geo cells, so
-    the migration is a re-stamp (the diff then reports the geo cells as
-    added, which never fails the gate).  Anything older than v5 has no
-    migration path — the cell layouts genuinely diverged — and the gate
-    falls back to treating it as a missing baseline.
+    The supported steps are v5 -> v7 and v6 -> v7: v6 added the ``geo``
+    section and v7 the ``adaptive`` section, and each older baseline is
+    a valid newer artifact with those cells absent, so both migrations
+    are re-stamps (the diff then reports the new cells as added, which
+    never fails the gate).  Anything older than v5 has no migration
+    path — the cell layouts genuinely diverged — and the gate falls
+    back to treating it as a missing baseline.
     """
     version = artifact_schema(payload)
     if version == ARTIFACT_SCHEMA:
         return payload
-    if version == 5:
+    if version in (5, 6):
         migrated = dict(payload)
         migrated["artifact_schema"] = ARTIFACT_SCHEMA
         return migrated

@@ -3,9 +3,10 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro run --video v1 --frames 80 --lower 0.3 --upper 0.7
-    python -m repro tune --video v2 --target 0.85 --method gradient
+    python -m repro tune --video v2 --target 0.85 --method descent
     python -m repro compare --video v4 --frames 60
     python -m repro cluster --edges 4 --streams 8 --router hotspot
+    python -m repro cluster --edges 2 --streams 4 --fps 5 --adaptation retune
     python -m repro scenario fig2-v4
     python -m repro scenario --list
     python -m repro sweep cluster-scaleout
@@ -42,6 +43,8 @@ from repro.network.topology import WAN_LINKS
 from repro.traffic.admission import ADMISSION_POLICIES
 from repro.traffic.arrivals import ARRIVAL_PROCESSES
 from repro.transactions.policy import TXN_POLICIES
+from repro.core.adaptive import ADAPTATION_MODES
+from repro.core.incremental import coordinate_descent_search
 from repro.core.optimizer import ThresholdEvaluator, brute_force_search, gradient_step_search
 from repro.experiments import (
     ScenarioSpec,
@@ -112,9 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--target", type=float, default=0.8, help="F-score floor µ")
     tune_parser.add_argument(
         "--method",
-        choices=["brute", "gradient", "both"],
-        default="both",
-        help="search strategy",
+        choices=["brute", "grid", "gradient", "descent", "all", "both"],
+        default="all",
+        help="search strategy (grid is an alias for brute; both = brute + "
+        "gradient, all = every strategy)",
+    )
+    tune_parser.add_argument(
+        "--step",
+        type=float,
+        default=None,
+        metavar="STEP",
+        help="grid resolution of the searches (default: each method's own)",
     )
 
     compare_parser = subparsers.add_parser(
@@ -265,6 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition placement across regions (dominant-region re-homes "
         "partitions toward the region that uses them most)",
     )
+    cluster_parser.add_argument(
+        "--adaptation",
+        choices=["none", *ADAPTATION_MODES],
+        default="none",
+        help="online per-stream threshold adaptation (feedback = windowed "
+        "proportional controller, retune = incremental re-optimisation; "
+        "none = the static profiled thresholds)",
+    )
+    cluster_parser.add_argument(
+        "--adaptation-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="simulated seconds between adaptation ticks",
+    )
+    cluster_parser.add_argument(
+        "--adaptation-target",
+        type=float,
+        default=0.8,
+        metavar="F",
+        help="F-score floor µ the controllers must hold while cutting bandwidth",
+    )
     cluster_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
     scenario_parser = subparsers.add_parser(
@@ -317,6 +350,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(PLACEMENTS),
         default=None,
         help="override the scenario's geo partition placement",
+    )
+    scenario_parser.add_argument(
+        "--adaptation",
+        choices=["none", *ADAPTATION_MODES],
+        default=None,
+        help="override the scenario's threshold adaptation mode "
+        "(none = disable adaptation)",
+    )
+    scenario_parser.add_argument(
+        "--adaptation-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the scenario's adaptation tick interval",
+    )
+    scenario_parser.add_argument(
+        "--adaptation-target",
+        type=float,
+        default=None,
+        metavar="F",
+        help="override the scenario's adaptation F-score floor",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -473,25 +527,30 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         return _fail("tune", f"--frames must be positive, got {args.frames}")
     if not 0.0 < args.target <= 1.0:
         return _fail("tune", f"--target must be in (0, 1], got {args.target}")
+    if args.step is not None and not 0.0 < args.step < 0.95:
+        return _fail("tune", f"--step must be in (0, 0.95), got {args.step}")
+    step_kwargs = {} if args.step is None else {"step": args.step}
     spec = ScenarioSpec(deployment="single", video=args.video, frames=args.frames, seed=args.seed)
     evaluator = ThresholdEvaluator.profile(
         build_single_config(spec), spec.video, num_frames=spec.frames
     )
     rows = []
     methods: dict[str, Any] = {}
-    if args.method in ("brute", "both"):
-        brute = brute_force_search(evaluator, target_f_score=args.target)
-        rows.append(
-            ["brute force", str(brute.thresholds), brute.best.bandwidth_utilization, brute.best.f_score, brute.evaluations]
-        )
+    if args.method in ("brute", "grid", "both", "all"):
+        brute = brute_force_search(evaluator, target_f_score=args.target, **step_kwargs)
+        rows.append(_tune_row("brute force", brute))
         methods["brute"] = brute
-    if args.method in ("gradient", "both"):
+    if args.method in ("gradient", "both", "all"):
         gradient = gradient_step_search(evaluator, target_f_score=args.target)
-        rows.append(
-            ["gradient step", str(gradient.thresholds), gradient.best.bandwidth_utilization, gradient.best.f_score, gradient.evaluations]
-        )
+        rows.append(_tune_row("gradient step", gradient))
         methods["gradient"] = gradient
-    table = format_table(["method", "(θL, θU)", "BU", "F-score", "evaluations"], rows)
+    if args.method in ("descent", "all"):
+        descent = coordinate_descent_search(evaluator, target_f_score=args.target, **step_kwargs)
+        rows.append(_tune_row("coordinate descent", descent))
+        methods["descent"] = descent
+    table = format_table(
+        ["method", "(θL, θU)", "BU", "F-score", "evaluations", "frame rescores"], rows
+    )
     payload = {
         "scenario": spec.to_dict(),
         "target_f_score": args.target,
@@ -501,12 +560,24 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 "bandwidth_utilization": result.best.bandwidth_utilization,
                 "f_score": result.best.f_score,
                 "evaluations": result.evaluations,
+                "frame_rescores": result.frame_rescores,
                 "feasible": result.feasible,
             }
             for name, result in methods.items()
         },
     }
     return _emit(args, table, payload)
+
+
+def _tune_row(name: str, result: Any) -> list[Any]:
+    return [
+        name,
+        str(result.thresholds),
+        result.best.bandwidth_utilization,
+        result.best.f_score,
+        result.evaluations,
+        result.frame_rescores,
+    ]
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -591,6 +662,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             wan_link=args.wan_link,
             cross_region_policy=args.cross_region_policy,
             placement=args.placement,
+            threshold_adaptation=None if args.adaptation == "none" else args.adaptation,
+            adaptation_interval_s=args.adaptation_interval,
+            adaptation_target_f=args.adaptation_target,
         )
     except ValueError as error:
         return _fail("cluster", str(error))
@@ -748,6 +822,22 @@ def _cluster_text(report: RunReport) -> str:
                 f"({region['cross_region_txns']} cross-region), "
                 f"commit charge p99 {region['p99_ms']:.1f} ms"
             )
+    if report.adaptation:
+        adaptation = report.adaptation
+        line = (
+            f"threshold adaptation: {adaptation['mode']} "
+            f"(every {adaptation['interval_s']:g}s, F floor {adaptation['target_f']:g}) — "
+            f"{report.threshold_updates} updates"
+        )
+        if report.tuner_evaluations:
+            line += (
+                f", {report.tuner_evaluations} tuner evaluations at "
+                f"{report.tuner_frame_rescores} frame rescores "
+                f"(grid would have cost {adaptation['tuner_grid_rescores']})"
+            )
+        blocks.append(line)
+        for stream, (lower, upper) in sorted(adaptation["stream_thresholds"].items()):
+            blocks.append(f"  {stream}: ({lower:g}, {upper:g})")
     if report.reshard_events:
         blocks.append(f"re-shards: {len(report.reshard_events)}")
         for event in report.reshard_events:
@@ -824,6 +914,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             spec = spec.with_(cross_region_policy=args.cross_region_policy)
         if args.placement is not None:
             spec = spec.with_(placement=args.placement)
+        if args.adaptation is not None:
+            spec = spec.with_(
+                threshold_adaptation=None if args.adaptation == "none" else args.adaptation
+            )
+        if args.adaptation_interval is not None:
+            spec = spec.with_(adaptation_interval_s=args.adaptation_interval)
+        if args.adaptation_target is not None:
+            spec = spec.with_(adaptation_target_f=args.adaptation_target)
     except ValueError as error:
         return _fail("scenario", str(error))
     report = _profiled(args, lambda: run_scenario(spec))

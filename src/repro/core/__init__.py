@@ -15,7 +15,14 @@ from repro.core.baselines import (
     run_hybrid_cloud,
     run_hybrid_croesus,
 )
+from repro.core.adaptive import (
+    ADAPTATION_MODES,
+    AdaptationConfig,
+    AdaptationManager,
+    ThresholdUpdate,
+)
 from repro.core.config import ConsistencyLevel, CroesusConfig
+from repro.core.incremental import IncrementalThresholdScorer, coordinate_descent_search
 from repro.core.multi_tier import MultiTierPipeline, MultiTierResult, TierSpec
 from repro.core.optimizer import (
     OptimizationResult,
@@ -43,6 +50,12 @@ __all__ = [
     "OptimizationResult",
     "brute_force_search",
     "gradient_step_search",
+    "IncrementalThresholdScorer",
+    "coordinate_descent_search",
+    "ADAPTATION_MODES",
+    "AdaptationConfig",
+    "AdaptationManager",
+    "ThresholdUpdate",
     "BaselineResult",
     "run_edge_only",
     "run_cloud_only",

@@ -13,7 +13,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
+from repro.core.adaptive import AdaptationConfig
 from repro.core.config import CroesusConfig
 from repro.core.results import FrameTrace, LatencyBreakdown, RunResult
 from repro.core.system import LABELS_MESSAGE_BYTES, CroesusSystem
@@ -55,6 +57,10 @@ class BaselineResult:
     average_breakdown: LatencyBreakdown
     num_frames: int = 0
     transactions: int = 0
+    #: Online-adaptation accounting (mode, update/tuner counters, final
+    #: per-stream thresholds); None for the static-threshold runs every
+    #: baseline performs by default.
+    adaptation: dict[str, Any] | None = None
 
     def summary(self) -> dict[str, float]:
         return {
@@ -173,11 +179,34 @@ def run_hybrid_cloud(
     )
 
 
-def run_croesus(config: CroesusConfig, video_key: str, num_frames: int = 120) -> BaselineResult:
-    """Croesus itself, reported in the same shape as the baselines."""
-    system = CroesusSystem(config)
+def run_croesus(
+    config: CroesusConfig,
+    video_key: str,
+    num_frames: int = 120,
+    adaptation: AdaptationConfig | None = None,
+) -> BaselineResult:
+    """Croesus itself, reported in the same shape as the baselines.
+
+    ``adaptation`` turns on online threshold adaptation; the controller
+    accounting then rides along on :attr:`BaselineResult.adaptation`.
+    """
+    system = CroesusSystem(config, adaptation=adaptation)
     video = make_video(video_key, num_frames=num_frames, seed=config.seed)
-    return _from_run("croesus", system.run(video))
+    result = _from_run("croesus", system.run(video))
+    manager = system.last_adaptation
+    if manager is None:
+        return result
+    return replace(
+        result,
+        adaptation={
+            "mode": manager.config.mode,
+            "threshold_updates": manager.threshold_updates,
+            "tuner_evaluations": manager.tuner_evaluations,
+            "tuner_frame_rescores": manager.tuner_frame_rescores,
+            "tuner_grid_rescores": manager.tuner_grid_rescores,
+            "stream_thresholds": manager.final_thresholds(),
+        },
+    )
 
 
 def run_hybrid_croesus(

@@ -1,0 +1,304 @@
+"""Incremental threshold scoring and coordinate-descent search.
+
+:class:`~repro.core.optimizer.ThresholdEvaluator` re-runs label matching
+over every profiled frame for every candidate ``(θL, θU)`` pair.  But a
+frame's contribution to the score is fully determined by two small
+integers: how many of its edge-label confidences fall below ``θL``
+(which fixes the surviving label set) and whether any confidence lands
+inside ``[θL, θU]`` (which fixes the sent bit).  Both are found by
+bisecting the frame's *sorted* confidence array — the breakpoints at
+which the frame's VALIDATE/KEEP/DISCARD partition changes.
+
+:class:`IncrementalThresholdScorer` exploits this: it computes each
+frame's confusion-matrix contribution once per distinct
+``(discard-count, sent)`` state and reuses it for every threshold pair
+that lands the frame in the same state.  Moving a threshold by one grid
+cell therefore re-matches only the frames whose decision actually
+changed, instead of all frames.  A frame with ``k`` detections has at
+most ``2·(k + 1)`` states, so a full grid sweep costs
+``O(frames · min(k, grid))`` label matches instead of
+``O(frames · grid²)``.
+
+:func:`coordinate_descent_search` builds the fast multi-pass tuner on
+top: alternating full-axis sweeps over ``θL`` and ``θU`` (the shape of
+KenMeSH's incremental micro-F tuner and StormPhase2's paired-threshold
+descent) until a fixed point, with the final winner chosen over every
+examined pair in grid order so ties break exactly as
+:func:`~repro.core.optimizer.brute_force_search` breaks them.
+
+Scores are **bit-identical** to ``ThresholdEvaluator.evaluate()``:
+confusion counts are integers (order-free), and latency averages are
+re-summed in trace order from per-frame sent bits, reproducing the
+evaluator's float accumulation exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.optimizer import (
+    OptimizationResult,
+    ThresholdEvaluator,
+    ThresholdScore,
+    _grid,
+    _select_best,
+    hypothetical_observed,
+)
+from repro.core.results import FrameTrace
+from repro.core.thresholds import ThresholdPolicy
+from repro.detection.labels import LabelSet
+from repro.detection.metrics import AccuracyReport, evaluate_detections
+
+
+class _FrameEntry:
+    """Sufficient statistics for one profiled frame.
+
+    ``confidences`` holds the frame's edge-label confidences sorted
+    ascending — the breakpoints of its decision function.  ``stats``
+    memoises the frame's ``(tp, fp, fn)`` contribution per distinct
+    ``(discard_count, sent)`` state.
+    """
+
+    __slots__ = (
+        "frame_id",
+        "labels",
+        "cloud_labels",
+        "confidences",
+        "initial_latency",
+        "sent_latency",
+        "unsent_latency",
+        "stats",
+    )
+
+    def __init__(self, trace: FrameTrace) -> None:
+        self.frame_id = trace.frame_id
+        self.labels = trace.edge_labels
+        self.cloud_labels = trace.cloud_labels
+        self.confidences = tuple(
+            sorted(detection.confidence for detection in trace.edge_labels.detections)
+        )
+        latency = trace.latency
+        self.initial_latency = latency.initial_latency
+        self.sent_latency = latency.final_latency
+        self.unsent_latency = latency.initial_latency + latency.final_txn
+        self.stats: dict[tuple[int, bool], tuple[int, int, int]] = {}
+
+
+class IncrementalThresholdScorer:
+    """Scores threshold pairs in O(frames whose decision changed).
+
+    Drop-in score-compatible with :class:`ThresholdEvaluator`: for any
+    ``(lower, upper)`` pair, :meth:`evaluate` returns a
+    :class:`ThresholdScore` equal field-for-field (bit-for-bit floats)
+    to the evaluator's — it just avoids re-matching labels for frames
+    whose send/keep/discard decision it has already seen.
+
+    The scorer may start empty and grow via :meth:`add_frame`, which is
+    how the runtime adapter feeds it freshly validated frames.
+    """
+
+    def __init__(self, traces: list[FrameTrace] | None = None, match_overlap: float = 0.10) -> None:
+        self._frames = [_FrameEntry(trace) for trace in (traces or [])]
+        self._match_overlap = match_overlap
+        self._cache: dict[tuple[float, float], ThresholdScore] = {}
+        self._evaluations = 0
+        self._frame_rescores = 0
+
+    @classmethod
+    def from_evaluator(cls, evaluator: ThresholdEvaluator) -> "IncrementalThresholdScorer":
+        """Build a scorer over the same traces an evaluator scores."""
+        return cls(evaluator.traces, match_overlap=evaluator.match_overlap)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def match_overlap(self) -> float:
+        return self._match_overlap
+
+    @property
+    def evaluations(self) -> int:
+        """Threshold pairs actually scored (cache hits do no work)."""
+        return self._evaluations
+
+    @property
+    def frame_rescores(self) -> int:
+        """Full-frame label-match operations performed so far.
+
+        Grows by one per *newly seen* per-frame decision state — the
+        quantity the ≥10× gate compares against the evaluator's
+        ``num_frames`` per scored pair.
+        """
+        return self._frame_rescores
+
+    def add_frame(self, trace: FrameTrace) -> None:
+        """Append one profiled frame and invalidate cached pair scores.
+
+        Per-frame decision states already computed for *other* frames
+        stay cached; only the aggregated ``ThresholdScore``s are stale.
+        """
+        self._frames.append(_FrameEntry(trace))
+        self._cache.clear()
+
+    def evaluate(self, lower: float, upper: float) -> ThresholdScore:
+        """Score one ``(θL, θU)`` pair, bit-identical to the evaluator."""
+        key = (round(lower, 6), round(upper, 6))
+        if key in self._cache:
+            return self._cache[key]
+
+        ThresholdPolicy(lower, upper)  # validate bounds exactly like the evaluator
+        if not self._frames:
+            raise ValueError("cannot evaluate thresholds without any frame traces")
+        self._evaluations += 1
+
+        true_positives = 0
+        false_positives = 0
+        false_negatives = 0
+        sent_count = 0
+        final_latencies = []
+        initial_latencies = []
+
+        for frame in self._frames:
+            confidences = frame.confidences
+            discarded = bisect_left(confidences, lower)
+            below_upper = bisect_right(confidences, upper)
+            sent = below_upper > discarded
+
+            state = (discarded, sent)
+            stats = frame.stats.get(state)
+            if stats is None:
+                stats = self._frame_stats(frame, discarded, sent)
+                frame.stats[state] = stats
+                self._frame_rescores += 1
+            true_positives += stats[0]
+            false_positives += stats[1]
+            false_negatives += stats[2]
+
+            initial_latencies.append(frame.initial_latency)
+            if sent:
+                sent_count += 1
+                final_latencies.append(frame.sent_latency)
+            else:
+                final_latencies.append(frame.unsent_latency)
+
+        accuracy = AccuracyReport(true_positives, false_positives, false_negatives)
+        score = ThresholdScore(
+            lower=lower,
+            upper=upper,
+            bandwidth_utilization=sent_count / len(self._frames),
+            f_score=accuracy.f_score,
+            average_final_latency=sum(final_latencies) / len(final_latencies),
+            average_initial_latency=sum(initial_latencies) / len(initial_latencies),
+        )
+        self._cache[key] = score
+        return score
+
+    # -- internal -----------------------------------------------------------
+    def _frame_stats(self, frame: _FrameEntry, discarded: int, sent: bool) -> tuple[int, int, int]:
+        """Confusion-matrix contribution of one frame in one decision state.
+
+        ``discarded`` is the number of detections with confidence below
+        ``θL``; because the confidences are sorted and the bisect
+        boundary is strict, it uniquely determines the surviving label
+        set (every detection with confidence ≥ the first survivor's).
+        """
+        detections = frame.labels.detections
+        if not detections:
+            survivors = frame.labels
+        elif discarded >= len(frame.confidences):
+            survivors = LabelSet(frame.labels.frame_id, (), frame.labels.model_name)
+        else:
+            cutoff = frame.confidences[discarded]
+            survivors = LabelSet(
+                frame.labels.frame_id,
+                tuple(d for d in detections if d.confidence >= cutoff),
+                frame.labels.model_name,
+            )
+        observed = hypothetical_observed(
+            survivors, frame.cloud_labels, sent, frame.frame_id, self._match_overlap
+        )
+        report = evaluate_detections(observed, frame.cloud_labels, min_overlap=self._match_overlap)
+        return (report.true_positives, report.false_positives, report.false_negatives)
+
+
+def _scorer_for(evaluator: ThresholdEvaluator | IncrementalThresholdScorer) -> IncrementalThresholdScorer:
+    """The incremental scorer backing ``evaluator`` (cached on it)."""
+    if isinstance(evaluator, IncrementalThresholdScorer):
+        return evaluator
+    scorer = getattr(evaluator, "_incremental_scorer", None)
+    if scorer is None:
+        scorer = IncrementalThresholdScorer.from_evaluator(evaluator)
+        evaluator._incremental_scorer = scorer
+    return scorer
+
+
+def coordinate_descent_search(
+    evaluator: ThresholdEvaluator | IncrementalThresholdScorer,
+    target_f_score: float,
+    step: float = 0.05,
+    max_sweeps: int = 10,
+) -> OptimizationResult:
+    """Multi-start, multi-pass coordinate descent over ``(θL, θU)``.
+
+    One descent runs per ``θU`` grid line: starting wide at
+    ``(0, θU)``, alternately sweep every grid value of one threshold
+    with the other fixed — moving to the sweep's best pair under the
+    same selection rule as :func:`~repro.core.optimizer.brute_force_search`
+    — until neither axis moves.  The single-start version stalls in
+    local optima (a narrow low-bandwidth band elsewhere in the grid is
+    unreachable one axis at a time), so the starts fan out across the
+    ``θU`` axis; their first sweeps jointly cover every grid pair, and
+    the final winner is chosen over all examined pairs in grid order —
+    **exactly** the brute-force optimum, tie-breaks included.
+
+    The work is not in the pairs but in the label matching, and that is
+    where the incremental scorer wins: each frame is re-matched only
+    once per distinct decision state (at most ``2·(detections + 1)``
+    regardless of grid resolution), so the default grid here is twice
+    as fine as the brute-force default at ≥10× fewer full-frame
+    label-match operations (tracked in ``frame_rescores``).  Pass the
+    same ``step`` to both searches when comparing optima directly.
+    """
+    scorer = _scorer_for(evaluator)
+    values = _grid(step)
+    rescores_before = scorer.frame_rescores
+    examined: dict[tuple[float, float], ThresholdScore] = {}
+
+    def score_of(pair_lower: float, pair_upper: float) -> ThresholdScore:
+        key = (round(pair_lower, 6), round(pair_upper, 6))
+        if key not in examined:
+            examined[key] = scorer.evaluate(*key)
+        return examined[key]
+
+    for start_upper in reversed(values):
+        lower, upper = values[0], start_upper
+        for _ in range(max_sweeps):
+            moved = False
+
+            column = [score_of(value, upper) for value in values if value <= upper]
+            best = _select_best(column, target_f_score)
+            if best.lower != lower:
+                lower = best.lower
+                moved = True
+
+            row = [score_of(lower, value) for value in values if value >= lower]
+            best = _select_best(row, target_f_score)
+            if best.upper != upper:
+                upper = best.upper
+                moved = True
+
+            if not moved:
+                break
+
+    ordered = sorted(examined.values(), key=lambda s: (s.lower, s.upper))
+    best = _select_best(ordered, target_f_score)
+    feasible = best.f_score >= target_f_score
+    return OptimizationResult(
+        best=best,
+        evaluations=len(examined),
+        target_f_score=target_f_score,
+        feasible=feasible,
+        scores=tuple(ordered),
+        frame_rescores=scorer.frame_rescores - rescores_before,
+    )

@@ -52,6 +52,7 @@ class OptimizationResult:
     target_f_score: float
     feasible: bool
     scores: tuple[ThresholdScore, ...] = field(default_factory=tuple)
+    frame_rescores: int = 0
 
     @property
     def thresholds(self) -> tuple[float, float]:
@@ -77,6 +78,8 @@ class ThresholdEvaluator:
         self._traces = list(traces)
         self._match_overlap = match_overlap
         self._cache: dict[tuple[float, float], ThresholdScore] = {}
+        self._evaluations = 0
+        self._frame_rescores = 0
 
     @classmethod
     def profile(
@@ -101,6 +104,32 @@ class ThresholdEvaluator:
     def num_frames(self) -> int:
         return len(self._traces)
 
+    @property
+    def traces(self) -> list[FrameTrace]:
+        """The profiled frame traces this evaluator scores against."""
+        return self._traces
+
+    @property
+    def match_overlap(self) -> float:
+        return self._match_overlap
+
+    @property
+    def evaluations(self) -> int:
+        """Threshold pairs actually scored (cache hits do no work)."""
+        return self._evaluations
+
+    @property
+    def frame_rescores(self) -> int:
+        """Full-frame label-match operations performed so far.
+
+        Every cache-missed :meth:`evaluate` re-matches all profiled
+        frames, so this grows by ``num_frames`` per scored pair — the
+        cost model the incremental scorer
+        (:class:`repro.core.incremental.IncrementalThresholdScorer`)
+        beats by an order of magnitude.
+        """
+        return self._frame_rescores
+
     def evaluate(self, lower: float, upper: float) -> ThresholdScore:
         """Score one ``(θL, θU)`` pair (cached)."""
         key = (round(lower, 6), round(upper, 6))
@@ -112,11 +141,11 @@ class ThresholdEvaluator:
         sent_count = 0
         final_latencies = []
         initial_latencies = []
+        self._evaluations += 1
 
         for trace in self._traces:
-            survivors = policy.surviving_labels(trace.edge_labels)
-            partition = policy.classify_labels(trace.edge_labels)
-            sent = bool(partition[ConfidenceInterval.VALIDATE])
+            survivors, sent = _partition_frame(policy, trace.edge_labels)
+            self._frame_rescores += 1
 
             observed = self._observed(survivors, trace.cloud_labels, sent, trace.frame_id)
             reports.append(
@@ -162,14 +191,55 @@ class ThresholdEvaluator:
         frame_id: int,
     ) -> LabelSet:
         """Client-visible labels under a hypothetical threshold decision."""
-        if not sent:
-            return survivors
-        report = match_labels(survivors, cloud_labels, min_overlap=self._match_overlap)
-        corrected: list[Detection] = [
-            match.corrected_label for match in report.matches if match.corrected_label is not None
-        ]
-        corrected.extend(report.unmatched_cloud)
-        return LabelSet(frame_id, tuple(corrected), model_name="hypothetical")
+        return hypothetical_observed(
+            survivors, cloud_labels, sent, frame_id, self._match_overlap
+        )
+
+
+def _partition_frame(policy: ThresholdPolicy, labels: LabelSet) -> tuple[LabelSet, bool]:
+    """Survivors and the sent bit from ONE pass over a frame's edge labels.
+
+    Classifying each confidence once replaces the former
+    ``surviving_labels`` + ``classify_labels`` double partition while
+    producing the identical surviving :class:`LabelSet` (original
+    detection order, empty-frame passthrough) and sent decision.
+    """
+    if not labels.detections:
+        return labels, False
+    kept: list[Detection] = []
+    sent = False
+    for detection in labels:
+        interval = policy.classify(detection.confidence)
+        if interval is ConfidenceInterval.DISCARD:
+            continue
+        kept.append(detection)
+        if interval is ConfidenceInterval.VALIDATE:
+            sent = True
+    return LabelSet(labels.frame_id, tuple(kept), labels.model_name), sent
+
+
+def hypothetical_observed(
+    survivors: LabelSet,
+    cloud_labels: LabelSet,
+    sent: bool,
+    frame_id: int,
+    match_overlap: float,
+) -> LabelSet:
+    """Client-visible labels under a hypothetical threshold decision.
+
+    Unsent frames show the surviving edge labels; sent frames show the
+    cloud-corrected view (matched labels corrected, unmatched cloud
+    labels added) — the same rule the live system applies, replayed
+    against recorded traces.
+    """
+    if not sent:
+        return survivors
+    report = match_labels(survivors, cloud_labels, min_overlap=match_overlap)
+    corrected: list[Detection] = [
+        match.corrected_label for match in report.matches if match.corrected_label is not None
+    ]
+    corrected.extend(report.unmatched_cloud)
+    return LabelSet(frame_id, tuple(corrected), model_name="hypothetical")
 
 
 def brute_force_search(
@@ -183,6 +253,7 @@ def brute_force_search(
     bandwidth utilisation wins; latency breaks ties.  When no pair is
     feasible, the highest-F-score pair is returned with ``feasible=False``.
     """
+    rescores_before = evaluator.frame_rescores
     scores = evaluator.evaluate_grid(step=step)
     best = _select_best(scores, target_f_score)
     feasible = best.f_score >= target_f_score
@@ -192,6 +263,7 @@ def brute_force_search(
         target_f_score=target_f_score,
         feasible=feasible,
         scores=tuple(scores),
+        frame_rescores=evaluator.frame_rescores - rescores_before,
     )
 
 
@@ -212,13 +284,16 @@ def gradient_step_search(
     """
     values = _grid(step)
     lower, upper = values[0], values[-1]
-    evaluated: dict[tuple[float, float], ThresholdScore] = {}
+    rescores_before = evaluator.frame_rescores
+    # Pairs this search examined, in visit order.  The evaluator's own
+    # cache dedupes the actual scoring work — no shadow memo needed.
+    examined: dict[tuple[float, float], ThresholdScore] = {}
 
     def score_of(pair_lower: float, pair_upper: float) -> ThresholdScore:
         key = (round(pair_lower, 6), round(pair_upper, 6))
-        if key not in evaluated:
-            evaluated[key] = evaluator.evaluate(*key)
-        return evaluated[key]
+        if key not in examined:
+            examined[key] = evaluator.evaluate(*key)
+        return examined[key]
 
     current = score_of(lower, upper)
 
@@ -265,10 +340,11 @@ def gradient_step_search(
     feasible = current.f_score >= target_f_score
     return OptimizationResult(
         best=current,
-        evaluations=len(evaluated),
+        evaluations=len(examined),
         target_f_score=target_f_score,
         feasible=feasible,
-        scores=tuple(evaluated.values()),
+        scores=tuple(examined.values()),
+        frame_rescores=evaluator.frame_rescores - rescores_before,
     )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.adaptive import AdaptationConfig, AdaptationManager
 from repro.core.client import Client, ClientResponse
 from repro.core.cloud import CloudNode
 from repro.core.config import ConsistencyLevel, CroesusConfig
@@ -127,10 +128,26 @@ class CroesusSystem:
         evaluation ("transactions are constructed by randomly selecting
         keys to read or write to the database in response to detected
         labels").
+    adaptation:
+        Optional online threshold adaptation
+        (:class:`~repro.core.adaptive.AdaptationConfig`).  When set,
+        each run builds per-stream controllers that drift the stream's
+        ``(θL, θU)`` from its observed detection feedback; ``None`` (the
+        default) keeps the static configured thresholds and builds no
+        adaptation machinery at all.
     """
 
-    def __init__(self, config: CroesusConfig, bank: TransactionBank | None = None) -> None:
+    def __init__(
+        self,
+        config: CroesusConfig,
+        bank: TransactionBank | None = None,
+        adaptation: AdaptationConfig | None = None,
+    ) -> None:
         self.config = config
+        self.adaptation_config = adaptation
+        #: Controllers of the most recent run (``None`` before the first
+        #: adaptive run, or when adaptation is off).
+        self.last_adaptation: AdaptationManager | None = None
         self.rngs = RngRegistry(config.seed)
         self.events = EventLog()
         self.history = History()
@@ -225,10 +242,25 @@ class CroesusSystem:
         engine = Engine()
         edge_server = Server(capacity=1, name="edge")
         cloud_server = Server(capacity=None, name="cloud")
+        manager = self._make_adaptation()
+        progress = (
+            {"remaining": video.num_frames, "source_active": False}
+            if manager is not None
+            else None
+        )
         engine.spawn(
-            self._video_process(engine, edge_server, cloud_server, client, result),
+            self._video_process(
+                engine, edge_server, cloud_server, client, result,
+                adaptation=manager, progress=progress,
+            ),
             name=f"video-{video.name}",
         )
+        if manager is not None:
+            engine.spawn(
+                self._adaptation_process(engine, manager, progress),
+                at=self.adaptation_config.interval_s,
+                name="threshold-adapter",
+            )
         makespan = engine.run()
         # Flush any coordinator work the commit policy deferred (a no-op
         # under the default immediate policy).
@@ -256,6 +288,10 @@ class CroesusSystem:
         admission = make_admission(traffic.admission, rate=traffic.admission_rate)
         source = TrafficSource(traffic, self.rngs)
         stats = outcome.traffic
+        manager = self._make_adaptation()
+        progress = (
+            {"remaining": 0, "source_active": True} if manager is not None else None
+        )
 
         def deliver(video: SyntheticVideo) -> None:
             stats.offered_streams += 1
@@ -278,12 +314,29 @@ class CroesusSystem:
             client = Client(video)
             result = RunResult(system_name="croesus", video_key=video.name)
             outcome.per_stream[video.name] = result
+            if progress is not None:
+                progress["remaining"] += video.num_frames
             engine.spawn(
-                self._video_process(engine, edge_server, cloud_server, client, result),
+                self._video_process(
+                    engine, edge_server, cloud_server, client, result,
+                    adaptation=manager, progress=progress,
+                ),
                 name=f"video-{video.name}",
             )
 
-        engine.spawn(source.drive(engine, deliver), name="traffic-source")
+        if manager is None:
+            engine.spawn(source.drive(engine, deliver), name="traffic-source")
+        else:
+            def source_process():
+                yield from source.drive(engine, deliver)
+                progress["source_active"] = False
+
+            engine.spawn(source_process(), name="traffic-source")
+            engine.spawn(
+                self._adaptation_process(engine, manager, progress),
+                at=self.adaptation_config.interval_s,
+                name="threshold-adapter",
+            )
         outcome.makespan = engine.run()
         self.edge.policy.commit(now=outcome.makespan)
         stats.completed_frames = sum(
@@ -299,8 +352,16 @@ class CroesusSystem:
         cloud_server: Server,
         client: Client,
         result: RunResult,
+        adaptation: AdaptationManager | None = None,
+        progress: dict | None = None,
     ):
-        """Engine process running every frame through the two-stage flow."""
+        """Engine process running every frame through the two-stage flow.
+
+        ``adaptation``/``progress`` are only supplied by adaptive runs:
+        the per-stream controller overrides the static thresholding
+        decision, and the frame countdown tells the adapter process when
+        to stop ticking.
+        """
         for frame in client.frames():
             # Step 1: client -> edge transfer.
             edge_transfer = self.client_edge.send(
@@ -333,8 +394,15 @@ class CroesusSystem:
             )
             self.events.record(engine.now, "initial_commit", frame_id=frame.frame_id)
 
-            # Step 3: thresholding decision on the filtered labels.
-            partition = self.policy.classify_labels(initial.labels)
+            # Step 3: thresholding decision on the filtered labels —
+            # under adaptation, against the stream's *current* drifted
+            # thresholds rather than the static deployment pair.
+            policy = (
+                self.policy
+                if adaptation is None
+                else adaptation.policy_for(result.video_key)
+            )
+            partition = policy.classify_labels(initial.labels)
             validate = partition[ConfidenceInterval.VALIDATE]
             send_to_cloud = bool(validate)
 
@@ -383,7 +451,9 @@ class CroesusSystem:
             )
             self.events.record(engine.now, "final_commit", frame_id=frame.frame_id)
 
-            observed = self._observed_labels(initial, cloud_labels, send_to_cloud)
+            observed = observed_labels(
+                policy, initial, cloud_labels, send_to_cloud, self.config.match_overlap
+            )
             accuracy = evaluate_detections(
                 observed, cloud_labels, min_overlap=self.config.match_overlap
             )
@@ -401,23 +471,57 @@ class CroesusSystem:
                 commit_overlap_saved=overlap_saved,
             )
 
-            result.add(
-                FrameTrace(
-                    frame_id=frame.frame_id,
-                    edge_labels=initial.labels,
-                    cloud_labels=cloud_labels,
-                    observed_labels=observed,
-                    sent_to_cloud=send_to_cloud,
-                    latency=latency,
-                    accuracy=accuracy,
-                    transactions_triggered=len(initial.triggered),
-                    corrections=final.corrections,
-                    apologies=len(final.apologies),
-                    frame_bytes_sent=frame_bytes_sent,
-                )
+            trace = FrameTrace(
+                frame_id=frame.frame_id,
+                edge_labels=initial.labels,
+                cloud_labels=cloud_labels,
+                observed_labels=observed,
+                sent_to_cloud=send_to_cloud,
+                latency=latency,
+                accuracy=accuracy,
+                transactions_triggered=len(initial.triggered),
+                corrections=final.corrections,
+                apologies=len(final.apologies),
+                frame_bytes_sent=frame_bytes_sent,
             )
+            result.add(trace)
+            if adaptation is not None:
+                adaptation.observe_frame(
+                    result.video_key,
+                    send_to_cloud,
+                    final.corrections,
+                    trace if send_to_cloud and adaptation.wants_traces else None,
+                )
+            if progress is not None:
+                progress["remaining"] -= 1
 
     # -- helpers --------------------------------------------------------------
+    def _make_adaptation(self) -> AdaptationManager | None:
+        """Fresh per-run controllers, or ``None`` when adaptation is off."""
+        if self.adaptation_config is None:
+            self.last_adaptation = None
+            return None
+        manager = AdaptationManager(
+            self.adaptation_config, self.policy, match_overlap=self.config.match_overlap
+        )
+        self.last_adaptation = manager
+        return manager
+
+    def _adaptation_process(self, engine: Engine, manager: AdaptationManager, progress: dict):
+        """Periodic engine process ticking every stream's controller."""
+        interval = self.adaptation_config.interval_s
+        while progress["remaining"] > 0 or progress["source_active"]:
+            for update in manager.adapt_all(engine.now):
+                self.events.record(
+                    engine.now,
+                    "threshold_adapted",
+                    stream=update.stream,
+                    mode=update.mode,
+                    lower=update.lower,
+                    upper=update.upper,
+                )
+            yield interval
+
     def _observed_labels(
         self,
         initial: InitialStageOutcome,

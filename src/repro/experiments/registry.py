@@ -310,6 +310,40 @@ def _resharding() -> ScenarioSpec:
     )
 
 
+# -- online threshold adaptation ----------------------------------------------
+def _adaptive_cluster(**overrides) -> ScenarioSpec:
+    """The adaptation base cell: 2 edges x 4 streams of 40 frames at 5 fps.
+
+    The pacing is what makes adaptation observable: at 5 fps the
+    arrivals span 8 simulated seconds (16 controller ticks at the 0.5 s
+    interval) and each frame's feedback returns while later frames are
+    still arriving, so a mid-run threshold move changes the decisions
+    of every frame after it.  At the default 30 fps burst all decisions
+    happen before the first tick has any feedback to act on.
+    """
+    base = dict(
+        deployment="cluster",
+        num_edges=2,
+        streams=4,
+        frames=40,
+        fps=5.0,
+        seed=_BENCH_SEED,
+        adaptation_interval_s=0.5,
+        adaptation_target_f=0.8,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@register_scenario(
+    "adaptive-thresholds",
+    "Online adaptation: per-stream coordinate-descent retuning over each "
+    "stream's validated history (2 edges x 4 streams, 0.5 s ticks)",
+)
+def _adaptive_thresholds() -> ScenarioSpec:
+    return _adaptive_cluster(threshold_adaptation="retune")
+
+
 # -- geo-hierarchical scenarios -----------------------------------------------
 def _geo_cluster(**overrides) -> ScenarioSpec:
     """One geo cell: the contention cluster split into 2 WAN-linked regions.
@@ -634,6 +668,19 @@ def _geo_placement_sweep() -> Sweep:
         base=_geo_cluster(regions=4, streams=6),
         axis="placement",
         values=PLACEMENTS,
+    )
+
+
+@register_sweep(
+    "static-vs-adaptive",
+    "Adaptation grid: static thresholds vs the feedback controller vs "
+    "per-stream coordinate-descent retuning, on the paced adaptation cell",
+)
+def _static_vs_adaptive_sweep() -> Sweep:
+    return Sweep(
+        base=_adaptive_cluster(),
+        axis="threshold_adaptation",
+        values=(None, "feedback", "retune"),
     )
 
 

@@ -93,6 +93,9 @@ REQUIRED_KEYS: dict[str, type | tuple[type, ...]] = {
     "log_flushes": int,
     "cross_region_txn_fraction": (int, float),
     "wan_round_trips_per_txn": (int, float),
+    "threshold_updates": int,
+    "tuner_evaluations": int,
+    "tuner_frame_rescores": int,
     "edges": list,
     "migration_events": list,
     "failure_events": list,
@@ -153,6 +156,9 @@ class RunReport:
     log_flushes: int = 0
     cross_region_txn_fraction: float = 0.0
     wan_round_trips_per_txn: float = 0.0
+    threshold_updates: int = 0
+    tuner_evaluations: int = 0
+    tuner_frame_rescores: int = 0
     edges: tuple[dict[str, Any], ...] = ()
     migration_events: tuple[dict[str, Any], ...] = ()
     failure_events: tuple[dict[str, Any], ...] = ()
@@ -166,6 +172,10 @@ class RunReport:
     #: WAN/commit-variant detail of a geo run (None at ``regions == 1``,
     #: following the ``replication`` pattern).
     geo: dict[str, Any] | None = None
+    #: Online-adaptation detail (mode, controller config, tuner grid-cost
+    #: baseline, per-stream final thresholds).  None for static-threshold
+    #: runs, following the ``replication``/``geo`` pattern.
+    adaptation: dict[str, Any] | None = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -252,6 +262,9 @@ class RunReport:
             "log_flushes": self.log_flushes,
             "cross_region_txn_fraction": self.cross_region_txn_fraction,
             "wan_round_trips_per_txn": self.wan_round_trips_per_txn,
+            "threshold_updates": self.threshold_updates,
+            "tuner_evaluations": self.tuner_evaluations,
+            "tuner_frame_rescores": self.tuner_frame_rescores,
             "edges": [dict(edge) for edge in self.edges],
             "migration_events": [dict(event) for event in self.migration_events],
             "failure_events": [dict(event) for event in self.failure_events],
@@ -265,6 +278,9 @@ class RunReport:
                 dict(self.replication) if self.replication is not None else None
             ),
             "geo": dict(self.geo) if self.geo is not None else None,
+            "adaptation": (
+                dict(self.adaptation) if self.adaptation is not None else None
+            ),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -316,6 +332,9 @@ class RunReport:
             log_flushes=payload["log_flushes"],
             cross_region_txn_fraction=payload["cross_region_txn_fraction"],
             wan_round_trips_per_txn=payload["wan_round_trips_per_txn"],
+            threshold_updates=payload["threshold_updates"],
+            tuner_evaluations=payload["tuner_evaluations"],
+            tuner_frame_rescores=payload["tuner_frame_rescores"],
             edges=tuple(dict(edge) for edge in payload["edges"]),
             migration_events=tuple(dict(event) for event in payload["migration_events"]),
             failure_events=tuple(dict(event) for event in payload["failure_events"]),
@@ -337,6 +356,11 @@ class RunReport:
                 else None
             ),
             geo=(dict(payload["geo"]) if payload.get("geo") is not None else None),
+            adaptation=(
+                dict(payload["adaptation"])
+                if payload.get("adaptation") is not None
+                else None
+            ),
         )
 
 

@@ -31,6 +31,7 @@ from repro.core.baselines import (
     run_hybrid_cloud,
     run_hybrid_croesus,
 )
+from repro.core.adaptive import AdaptationConfig
 from repro.core.config import ConsistencyLevel, CroesusConfig
 from repro.detection.profiles import MODEL_LIBRARY
 from repro.geo.system import GeoConfig, GeoSystem
@@ -91,6 +92,9 @@ def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
             if spec.wal_group_commit_window_ms is not None
             else None
         ),
+        threshold_adaptation=spec.threshold_adaptation,
+        adaptation_interval_s=spec.adaptation_interval_s,
+        adaptation_target_f=spec.adaptation_target_f,
     )
 
 
@@ -142,6 +146,10 @@ def run(spec: ScenarioSpec) -> RunReport:
 # -- single edge -------------------------------------------------------------
 def _run_single(spec: ScenarioSpec) -> RunReport:
     runner = _SINGLE_RUNNERS[spec.system]
+    if spec.threshold_adaptation is not None:
+        # Spec validation restricts single-deployment adaptation to the
+        # croesus system, the only baseline with a validate interval.
+        runner = partial(run_croesus, adaptation=_adaptation_config(spec))
     result = runner(build_single_config(spec), spec.video, num_frames=spec.frames)
     breakdown = result.average_breakdown
     latency = _latency_ms(breakdown)
@@ -150,6 +158,7 @@ def _run_single(spec: ScenarioSpec) -> RunReport:
     # breakdown cannot express), so those override the derived sums.
     latency["initial_ms"] = result.average_initial_latency * 1000.0
     latency["final_ms"] = result.average_final_latency * 1000.0
+    counters = result.adaptation or {}
     return RunReport(
         scenario=spec.to_dict(),
         deployment="single",
@@ -175,6 +184,14 @@ def _run_single(spec: ScenarioSpec) -> RunReport:
         coordinator_round_trips=0,
         coordinator_batches=0,
         overlap_saved_ms=0.0,
+        threshold_updates=counters.get("threshold_updates", 0),
+        tuner_evaluations=counters.get("tuner_evaluations", 0),
+        tuner_frame_rescores=counters.get("tuner_frame_rescores", 0),
+        adaptation=_adaptation_block(
+            spec, counters.get("tuner_grid_rescores", 0), counters.get("stream_thresholds", {})
+        )
+        if result.adaptation is not None
+        else None,
     )
 
 
@@ -314,6 +331,11 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         else None
     )
     geo = geo_system.geo_summary() if geo_system is not None else None
+    adaptation = (
+        _adaptation_block(spec, result.tuner_grid_rescores, result.stream_thresholds)
+        if result.adaptation_mode is not None
+        else None
+    )
 
     return RunReport(
         scenario=spec.to_dict(),
@@ -360,6 +382,9 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         wan_round_trips_per_txn=(
             geo["wan_round_trips_per_txn"] if geo is not None else 0.0
         ),
+        threshold_updates=result.threshold_updates,
+        tuner_evaluations=result.tuner_evaluations,
+        tuner_frame_rescores=result.tuner_frame_rescores,
         edges=edges,
         migration_events=migration_events,
         failure_events=failure_events,
@@ -369,10 +394,38 @@ def _run_cluster(spec: ScenarioSpec) -> RunReport:
         traffic=traffic_summary,
         replication=replication,
         geo=geo,
+        adaptation=adaptation,
     )
 
 
 # -- shared ------------------------------------------------------------------
+def _adaptation_config(spec: ScenarioSpec) -> AdaptationConfig:
+    """The controller configuration an adaptive scenario translates to."""
+    return AdaptationConfig(
+        mode=spec.threshold_adaptation,
+        interval_s=spec.adaptation_interval_s,
+        target_f=spec.adaptation_target_f,
+    )
+
+
+def _adaptation_block(
+    spec: ScenarioSpec,
+    tuner_grid_rescores: int,
+    stream_thresholds: dict[str, tuple[float, float]],
+) -> dict:
+    """The report's nullable ``adaptation`` section (JSON-safe lists)."""
+    return {
+        "mode": spec.threshold_adaptation,
+        "interval_s": spec.adaptation_interval_s,
+        "target_f": spec.adaptation_target_f,
+        "tuner_grid_rescores": tuner_grid_rescores,
+        "stream_thresholds": {
+            stream: [lower, upper]
+            for stream, (lower, upper) in sorted(stream_thresholds.items())
+        },
+    }
+
+
 def _consistency(spec: ScenarioSpec) -> ConsistencyLevel:
     return ConsistencyLevel.MS_SR if spec.consistency == "ms-sr" else ConsistencyLevel.MS_IA
 

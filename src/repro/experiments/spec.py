@@ -27,6 +27,7 @@ from repro.cluster.failure import (
 )
 from repro.cluster.replication import REPLICATION_MODES
 from repro.cluster.router import ROUTER_POLICIES
+from repro.core.adaptive import ADAPTATION_MODES
 from repro.detection.profiles import MODEL_LIBRARY
 from repro.geo.wan import CROSS_REGION_POLICIES, PLACEMENTS
 from repro.network.topology import WAN_LINKS
@@ -242,6 +243,17 @@ class ScenarioSpec:
         ``"global-2pc"``, ``"migrated-2pc"``, or ``"async-reconcile"``);
         ``placement`` is ``"static"`` or ``"dominant-region"`` (re-home
         partitions toward the region issuing most of their accesses).
+    threshold_adaptation, adaptation_interval_s, adaptation_target_f:
+        Online per-stream threshold adaptation (both deployments).
+        ``threshold_adaptation`` is ``None`` (static thresholds, the
+        default — no adaptation machinery is built at all) or an
+        :data:`~repro.core.adaptive.ADAPTATION_MODES` name:
+        ``"feedback"`` drifts each stream's ``(θL, θU)`` from its
+        cloud-correction rate, ``"retune"`` re-runs the incremental
+        coordinate-descent tuner over the stream's validated history.
+        ``adaptation_interval_s`` is the controller tick period in
+        simulated seconds and ``adaptation_target_f`` the F-score floor
+        the controllers steer towards.
     edge_model, cloud_model:
         Which :data:`~repro.detection.profiles.MODEL_LIBRARY` profile the
         edge model ``Me`` / cloud model ``Mc`` uses.  The defaults are
@@ -295,6 +307,9 @@ class ScenarioSpec:
     wan_link: str = "cross-country"
     cross_region_policy: str = "global-2pc"
     placement: str = "static"
+    threshold_adaptation: str | None = None
+    adaptation_interval_s: float = 1.0
+    adaptation_target_f: float = 0.8
     edge_model: str = "tiny-yolov3"
     cloud_model: str = "yolov3-416"
 
@@ -502,6 +517,29 @@ class ScenarioSpec:
             known = ", ".join(PLACEMENTS)
             raise ValueError(
                 f"unknown placement {self.placement!r}; known placements: {known}"
+            )
+        if self.threshold_adaptation is not None and self.threshold_adaptation not in ADAPTATION_MODES:
+            known = ", ".join(ADAPTATION_MODES)
+            raise ValueError(
+                f"unknown threshold_adaptation {self.threshold_adaptation!r}; "
+                f"expected one of {known}"
+            )
+        if (
+            self.threshold_adaptation is not None
+            and self.deployment == "single"
+            and self.system != "croesus"
+        ):
+            raise ValueError(
+                "threshold_adaptation on the single deployment requires "
+                "system='croesus' (the baselines run fixed validate intervals)"
+            )
+        if self.adaptation_interval_s <= 0:
+            raise ValueError(
+                f"adaptation_interval_s must be positive, got {self.adaptation_interval_s}"
+            )
+        if not 0.0 < self.adaptation_target_f <= 1.0:
+            raise ValueError(
+                f"adaptation_target_f must be in (0, 1], got {self.adaptation_target_f}"
             )
         if self.regions > 1:
             if self.deployment != "cluster":

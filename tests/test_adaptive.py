@@ -1,0 +1,202 @@
+"""Tests for online per-stream threshold adaptation (core/adaptive.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import (
+    ADAPTATION_MODES,
+    AdaptationConfig,
+    AdaptationManager,
+    MAX_THRESHOLD,
+)
+from repro.core.results import FrameTrace, LatencyBreakdown
+from repro.core.thresholds import ThresholdPolicy
+from repro.detection.geometry import BoundingBox
+from repro.detection.labels import Detection, LabelSet
+from repro.detection.metrics import AccuracyReport
+from repro.experiments import get_scenario, run as run_scenario
+
+
+def _manager(mode: str = "feedback", **overrides) -> AdaptationManager:
+    config = AdaptationConfig(mode=mode, **overrides)
+    return AdaptationManager(config, ThresholdPolicy(0.3, 0.7))
+
+
+def _trace(frame_id: int, confidences: tuple[float, ...]) -> FrameTrace:
+    detections = tuple(
+        Detection("object", confidence, BoundingBox(i * 20.0, 0.0, i * 20.0 + 10.0, 10.0), i)
+        for i, confidence in enumerate(confidences)
+    )
+    labels = LabelSet(frame_id, detections, "edge")
+    return FrameTrace(
+        frame_id=frame_id,
+        edge_labels=labels,
+        cloud_labels=labels,
+        observed_labels=labels,
+        sent_to_cloud=True,
+        latency=LatencyBreakdown(edge_detection=0.01, cloud_detection=0.05),
+        accuracy=AccuracyReport(len(detections), 0, 0),
+    )
+
+
+class TestAdaptationConfig:
+    def test_accepts_every_registered_mode(self):
+        for mode in ADAPTATION_MODES:
+            assert AdaptationConfig(mode=mode).mode == mode
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "nope"},
+            {"mode": "feedback", "interval_s": 0.0},
+            {"mode": "feedback", "interval_s": -1.0},
+            {"mode": "feedback", "target_f": 0.0},
+            {"mode": "feedback", "target_f": 1.5},
+            {"mode": "retune", "step": 0.0},
+            {"mode": "retune", "step": 0.6},
+            {"mode": "retune", "min_samples": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptationConfig(**kwargs)
+
+
+class TestFeedbackController:
+    def test_streams_start_on_the_static_policy(self):
+        manager = _manager()
+        policy = manager.policy_for("cam0")
+        assert (policy.lower, policy.upper) == (0.3, 0.7)
+
+    def test_high_correction_rate_widens_the_band(self):
+        manager = _manager(target_f=0.8, step=0.05)
+        for _ in range(10):  # every validation came back corrected
+            manager.observe_frame("cam0", sent=True, corrections=1)
+        (update,) = manager.adapt_all(now=1.0)
+        assert (update.lower, update.upper) == (0.25, 0.75)
+
+    def test_blind_window_also_widens(self):
+        """No validations at all is treated like an untrusted edge."""
+        manager = _manager()
+        for _ in range(10):
+            manager.observe_frame("cam0", sent=False, corrections=0)
+        (update,) = manager.adapt_all(now=1.0)
+        assert update.lower < 0.3 and update.upper > 0.7
+
+    def test_clean_validations_narrow_from_the_top(self):
+        manager = _manager(target_f=0.8, step=0.05)
+        for _ in range(10):  # all validated, none corrected
+            manager.observe_frame("cam0", sent=True, corrections=0)
+        (update,) = manager.adapt_all(now=1.0)
+        assert update.lower == 0.3
+        assert update.upper == 0.65
+
+    def test_moderate_correction_rate_holds_in_the_deadband(self):
+        """Rate between 0.5*slack and slack: no move, no update."""
+        manager = _manager(target_f=0.8)  # slack 0.2, deadband (0.1, 0.2]
+        for i in range(20):
+            manager.observe_frame("cam0", sent=True, corrections=1 if i < 3 else 0)
+        assert manager.adapt_all(now=1.0) == []
+        assert manager.threshold_updates == 0
+
+    def test_empty_window_is_a_no_op(self):
+        manager = _manager()
+        manager.policy_for("cam0")  # controller exists, saw no frames
+        assert manager.adapt_all(now=1.0) == []
+
+    def test_thresholds_stay_clamped(self):
+        manager = _manager(step=0.5)
+        for tick in range(4):  # widen past both rails
+            for _ in range(5):
+                manager.observe_frame("cam0", sent=True, corrections=1)
+            manager.adapt_all(now=float(tick))
+        lower, upper = manager.final_thresholds()["cam0"]
+        assert lower == 0.0
+        assert upper == MAX_THRESHOLD
+
+    def test_streams_adapt_independently(self):
+        manager = _manager(target_f=0.8)
+        for _ in range(10):
+            manager.observe_frame("noisy", sent=True, corrections=1)
+            manager.observe_frame("clean", sent=True, corrections=0)
+        updates = manager.adapt_all(now=1.0)
+        assert {update.stream for update in updates} == {"noisy", "clean"}
+        final = manager.final_thresholds()
+        assert final["noisy"][1] > 0.7  # widened
+        assert final["clean"][1] < 0.7  # narrowed
+
+    def test_feedback_mode_does_no_tuner_work(self):
+        manager = _manager()
+        for _ in range(10):
+            manager.observe_frame("cam0", sent=True, corrections=1)
+        manager.adapt_all(now=1.0)
+        assert manager.tuner_evaluations == 0
+        assert manager.tuner_frame_rescores == 0
+        assert not manager.wants_traces
+
+
+class TestRetuneController:
+    def test_waits_for_min_samples(self):
+        manager = _manager("retune", min_samples=6)
+        assert manager.wants_traces
+        for i in range(5):
+            manager.observe_frame("cam0", sent=True, corrections=0, trace=_trace(i, (0.5,)))
+        assert manager.adapt_all(now=1.0) == []
+        assert manager.tuner_evaluations == 0
+
+    def test_retunes_once_evidence_accumulates(self):
+        manager = _manager("retune", min_samples=4, target_f=0.8)
+        for i in range(6):
+            manager.observe_frame(
+                "cam0", sent=True, corrections=0, trace=_trace(i, (0.3, 0.5, 0.9))
+            )
+        manager.adapt_all(now=1.0)
+        assert manager.tuner_evaluations > 0
+        assert manager.tuner_frame_rescores > 0
+        # The incremental tuner must beat the grid's evaluations x frames.
+        assert manager.tuner_frame_rescores < manager.tuner_grid_rescores
+
+    def test_no_new_frames_means_no_retune(self):
+        """Re-running the search on unchanged history is skipped."""
+        manager = _manager("retune", min_samples=2)
+        for i in range(4):
+            manager.observe_frame("cam0", sent=True, corrections=0, trace=_trace(i, (0.5,)))
+        manager.adapt_all(now=1.0)
+        evaluations = manager.tuner_evaluations
+        assert evaluations > 0
+        manager.adapt_all(now=2.0)  # nothing observed since the last tick
+        assert manager.tuner_evaluations == evaluations
+
+    def test_unsent_frames_do_not_feed_the_scorer(self):
+        """Only validated frames carry cloud labels the edge can learn from."""
+        manager = _manager("retune", min_samples=2)
+        for i in range(10):
+            manager.observe_frame("cam0", sent=False, corrections=0)
+        assert manager.adapt_all(now=1.0) == []
+        assert manager.tuner_evaluations == 0
+
+
+class TestAdaptiveScenario:
+    """End-to-end determinism of the registered adaptive scenario."""
+
+    def test_adaptive_thresholds_run_is_deterministic(self):
+        first = run_scenario(get_scenario("adaptive-thresholds"))
+        second = run_scenario(get_scenario("adaptive-thresholds"))
+        assert first.to_dict() == second.to_dict()
+
+    def test_adaptive_run_reports_the_loop_closure(self):
+        report = run_scenario(get_scenario("adaptive-thresholds"))
+        assert report.threshold_updates > 0
+        assert report.adaptation is not None
+        assert report.adaptation["mode"] == "retune"
+        assert len(report.adaptation["stream_thresholds"]) == report.scenario["streams"]
+        # The artifact-gated bound: incremental rescores >= 10x under grid cost.
+        assert report.tuner_frame_rescores * 10 <= report.adaptation["tuner_grid_rescores"]
+
+    def test_static_run_reports_no_adaptation(self):
+        spec = get_scenario("adaptive-thresholds").with_(threshold_adaptation=None)
+        report = run_scenario(spec)
+        assert report.threshold_updates == 0
+        assert report.tuner_evaluations == 0
+        assert report.adaptation is None

@@ -70,6 +70,28 @@ class TestCompareArtifacts:
         assert result.added_cells and result.removed_cells
         assert result.compared_cells == 1  # the cloud_contention cell still matches
 
+    def test_adaptive_cell_gates_f_score_and_tuner_rescores(self):
+        """The v7 ``adaptive`` section is matched by label and gated on
+        F-score drift and incremental-tuner work blowups."""
+
+        def adaptive_artifact(f_score: float, rescores: float) -> dict:
+            return {
+                "adaptive": [
+                    {
+                        "label": "retune",
+                        "f_score": f_score,
+                        "tuner_frame_rescores": rescores,
+                    }
+                ]
+            }
+
+        baseline = adaptive_artifact(0.9, 1000.0)
+        assert compare_artifacts(baseline, adaptive_artifact(0.9, 1000.0)).passed
+        dropped = compare_artifacts(baseline, adaptive_artifact(0.6, 1000.0))
+        assert any(d.metric == "f_score" for d in dropped.regressions)
+        blowup = compare_artifacts(baseline, adaptive_artifact(0.9, 8000.0))
+        assert any(d.metric == "tuner_frame_rescores" for d in blowup.regressions)
+
     def test_zero_baseline_is_only_flagged_when_candidate_moves(self):
         baseline = _artifact(0.0, 0.0)
         assert compare_artifacts(baseline, _artifact(0.0, 0.0)).passed
@@ -91,13 +113,22 @@ class TestMigrateArtifact:
         assert migrate_artifact(artifact) is artifact
 
     def test_v5_is_restamped_to_current(self):
-        """A v5 baseline is a valid v6 artifact with no geo cells."""
+        """A v5 baseline is a valid v7 artifact with no geo/adaptive cells."""
         v5 = {**_artifact(10.0, 500.0), "artifact_schema": 5}
         migrated = migrate_artifact(v5)
         assert migrated is not None
         assert migrated["artifact_schema"] == ARTIFACT_SCHEMA
         assert migrated["scaleout"] == v5["scaleout"]
         assert v5["artifact_schema"] == 5  # the input is not mutated
+
+    def test_v6_is_restamped_to_current(self):
+        """A v6 baseline is a valid v7 artifact with no adaptive cells."""
+        v6 = {**_artifact(10.0, 500.0), "artifact_schema": 6}
+        migrated = migrate_artifact(v6)
+        assert migrated is not None
+        assert migrated["artifact_schema"] == ARTIFACT_SCHEMA
+        assert migrated["scaleout"] == v6["scaleout"]
+        assert v6["artifact_schema"] == 6  # the input is not mutated
 
     def test_older_schemas_have_no_migration_path(self):
         for version in (1, 2, 3, 4):

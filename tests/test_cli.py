@@ -59,10 +59,32 @@ class TestCommands:
         assert "brute force" not in output
 
     def test_tune_both_methods(self, capsys):
-        assert main(["tune", "--video", "v3", "--frames", "20", "--target", "0.7"]) == 0
+        assert main(
+            ["tune", "--video", "v3", "--frames", "20", "--target", "0.7", "--method", "both"]
+        ) == 0
         output = capsys.readouterr().out
         assert "gradient step" in output
         assert "brute force" in output
+        assert "coordinate descent" not in output
+
+    def test_tune_all_methods_by_default(self, capsys):
+        assert main(["tune", "--video", "v3", "--frames", "20", "--target", "0.7"]) == 0
+        output = capsys.readouterr().out
+        assert "brute force" in output
+        assert "gradient step" in output
+        assert "coordinate descent" in output
+        assert "frame rescores" in output
+
+    def test_tune_descent_matches_brute_at_the_same_step(self, capsys):
+        """grid and descent agree on the optimum; descent rescores less."""
+        assert main(
+            ["tune", "--video", "v1", "--frames", "25", "--target", "0.7",
+             "--step", "0.1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        brute, descent = payload["methods"]["brute"], payload["methods"]["descent"]
+        assert descent["thresholds"] == brute["thresholds"]
+        assert descent["frame_rescores"] < brute["frame_rescores"]
 
     def test_compare_prints_three_systems(self, capsys):
         assert main(["compare", "--video", "v1", "--frames", "15", "--target", "0.7"]) == 0
@@ -95,6 +117,32 @@ class TestCommands:
         assert "failures: 1" in output
         assert "edge 1 failed" in output
         assert "checkpoints:" in output
+
+    def test_cluster_with_adaptation_prints_the_controller_summary(self, capsys):
+        assert main(
+            [
+                "cluster",
+                "--edges", "2",
+                "--streams", "3",
+                "--frames", "10",
+                "--fps", "5",
+                "--adaptation", "retune",
+                "--adaptation-interval", "0.5",
+                "--seed", "7",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "threshold adaptation: retune" in output
+        assert "tuner evaluations" in output
+        assert "cam0-v1" in output
+
+    def test_scenario_adaptation_override(self, capsys):
+        """--adaptation none strips the registered scenario's adaptation."""
+        assert main(["scenario", "adaptive-thresholds", "--adaptation", "none", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["threshold_adaptation"] is None
+        assert payload["threshold_updates"] == 0
+        assert payload["adaptation"] is None
 
     def test_cluster_with_reshard_prints_the_move(self, capsys):
         assert main(
@@ -240,6 +288,8 @@ class TestInvalidInput:
             ["tune", "--target", "0"],
             ["tune", "--target", "1.5"],
             ["tune", "--target", "-0.3"],
+            ["tune", "--step", "0"],
+            ["tune", "--step", "0.95"],
             ["compare", "--frames", "-1"],
             ["compare", "--target", "2.0"],
             ["cluster", "--edges", "0"],
@@ -254,6 +304,9 @@ class TestInvalidInput:
             ["cluster", "--checkpoint-interval", "-1"],
             ["cluster", "--reshard", "1.0:0"],
             ["cluster", "--edges", "2", "--reshard", "1.0:9:0"],
+            ["cluster", "--adaptation", "retune", "--adaptation-interval", "0"],
+            ["cluster", "--adaptation", "feedback", "--adaptation-target", "0"],
+            ["scenario", "adaptive-thresholds", "--adaptation-target", "1.5"],
             ["scenario"],
             ["scenario", "no-such-scenario"],
             ["sweep"],

@@ -95,6 +95,11 @@ class TestScenarioSpec:
             {"checkpoint_interval_s": 0.0},
             {"resharding": ((1.0, 9, 0),)},
             {"resharding": ((1.0, 0, 9),)},
+            {"threshold_adaptation": "nope"},
+            {"threshold_adaptation": "retune", "system": "edge-only"},
+            {"adaptation_interval_s": 0.0},
+            {"adaptation_target_f": 0.0},
+            {"adaptation_target_f": 1.5},
         ],
     )
     def test_rejects_bad_values(self, overrides):
